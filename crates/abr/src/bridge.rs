@@ -1,0 +1,332 @@
+//! Adapters mapping ABR sessions onto the `ddn-trace` evaluation model:
+//! **chunk = client, bitrate = decision, chunk QoE = reward** — exactly
+//! the correspondence the paper sets up for the Figure 2/7b scenario ("a
+//! flow-level simulator (the reward model) … for any given chunk c and
+//! bitrate d").
+
+use crate::ladder::BitrateLadder;
+use crate::policies::AbrPolicy;
+use crate::session::{ChunkOutcome, ChunkState, Session};
+use ddn_policy::Policy;
+use ddn_stats::rng::Rng;
+use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, Trace, TraceRecord};
+
+/// Sentinel for "no previous chunk" in numeric context features.
+const NONE_SENTINEL: f64 = -1.0;
+
+/// The context schema for ABR traces: the chunk index, the buffer level,
+/// the previous level and the previously *observed* throughput — the full
+/// observable state of [`ChunkState`].
+pub fn abr_schema() -> ContextSchema {
+    ContextSchema::builder()
+        .numeric("chunk")
+        .numeric("buffer_secs")
+        .numeric("prev_level")
+        .numeric("prev_observed_kbps")
+        .build()
+}
+
+/// The decision space of a ladder: one decision per bitrate level.
+pub fn abr_space(ladder: &BitrateLadder) -> DecisionSpace {
+    DecisionSpace::new(ladder.rates().iter().map(|r| format!("{r}kbps")).collect())
+}
+
+/// Encodes a [`ChunkState`] as a trace context.
+pub fn encode_state(schema: &ContextSchema, state: &ChunkState) -> Context {
+    Context::build(schema)
+        .set_numeric("chunk", state.index as f64)
+        .set_numeric("buffer_secs", state.buffer_secs)
+        .set_numeric(
+            "prev_level",
+            state.prev_level.map_or(NONE_SENTINEL, |l| l as f64),
+        )
+        .set_numeric(
+            "prev_observed_kbps",
+            state.prev_observed_kbps.unwrap_or(NONE_SENTINEL),
+        )
+        .finish()
+}
+
+/// Decodes a trace context back into a [`ChunkState`].
+pub fn decode_state(ctx: &Context) -> ChunkState {
+    let prev_level = ctx.num(2);
+    let prev_tput = ctx.num(3);
+    ChunkState {
+        index: ctx.num(0) as usize,
+        buffer_secs: ctx.num(1),
+        prev_level: (prev_level >= 0.0).then_some(prev_level as usize),
+        prev_observed_kbps: (prev_tput >= 0.0).then_some(prev_tput),
+    }
+}
+
+/// ε-exploring wrapper around a deterministic ABR controller — the
+/// randomized logging the paper's §4.1 asks operators to deploy, applied
+/// to ABR: with probability `1 − ε` follow the controller, else pick a
+/// uniformly random level, and *record the propensity*.
+#[derive(Debug, Clone)]
+pub struct ExploringAbr<P: AbrPolicy> {
+    inner: P,
+    epsilon: f64,
+}
+
+impl<P: AbrPolicy> ExploringAbr<P> {
+    /// Wraps `inner` with exploration rate `epsilon`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= epsilon <= 1`.
+    pub fn new(inner: P, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+        Self { inner, epsilon }
+    }
+
+    /// Probability this wrapper picks `level` in `state`.
+    pub fn prob(&self, state: &ChunkState, ladder: &BitrateLadder, level: usize) -> f64 {
+        let k = ladder.levels() as f64;
+        let greedy = self.inner.choose(state, ladder);
+        let base = if level == greedy {
+            1.0 - self.epsilon
+        } else {
+            0.0
+        };
+        base + self.epsilon / k
+    }
+
+    /// Samples a level and its propensity.
+    pub fn sample(
+        &self,
+        state: &ChunkState,
+        ladder: &BitrateLadder,
+        rng: &mut dyn Rng,
+    ) -> (usize, f64) {
+        let level = if rng.chance(self.epsilon) {
+            rng.index(ladder.levels())
+        } else {
+            self.inner.choose(state, ladder)
+        };
+        (level, self.prob(state, ladder, level))
+    }
+}
+
+/// A logged ABR session: the evaluation-ready trace plus the raw outcomes.
+#[derive(Debug, Clone)]
+pub struct SessionTrace {
+    /// Trace with contexts, bitrate decisions, per-chunk QoE rewards and
+    /// logging propensities.
+    pub trace: Trace,
+    /// The per-chunk outcomes (including observed throughput — what a
+    /// FastMPC-style evaluator would consume).
+    pub outcomes: Vec<ChunkOutcome>,
+}
+
+/// Runs `session` to completion under the ε-exploring `logger`, recording
+/// a trace.
+pub fn log_session<P: AbrPolicy>(
+    mut session: Session,
+    logger: &ExploringAbr<P>,
+    rng: &mut dyn Rng,
+) -> SessionTrace {
+    let schema = abr_schema();
+    let space = abr_space(session.ladder());
+    let ladder = session.ladder().clone();
+    let mut records = Vec::new();
+    let mut outcomes = Vec::new();
+    while !session.finished() {
+        let state = session.state();
+        let (level, propensity) = logger.sample(&state, &ladder, rng);
+        let ctx = encode_state(&schema, &state);
+        let outcome = session.download(level, rng);
+        records.push(
+            TraceRecord::new(ctx, Decision::from_index(level), outcome.qoe)
+                .with_propensity(propensity),
+        );
+        outcomes.push(outcome);
+    }
+    let trace =
+        Trace::from_records(schema, space, records).expect("ABR sessions always emit valid traces");
+    SessionTrace { trace, outcomes }
+}
+
+/// Runs `session` to completion under a plain (deterministic) policy —
+/// used for ground truth ("what QoE would the new ABR policy really get").
+pub fn run_session(
+    mut session: Session,
+    policy: &dyn AbrPolicy,
+    rng: &mut dyn Rng,
+) -> Vec<ChunkOutcome> {
+    let ladder = session.ladder().clone();
+    let mut outcomes = Vec::new();
+    while !session.finished() {
+        let level = policy.choose(&session.state(), &ladder);
+        outcomes.push(session.download(level, rng));
+    }
+    outcomes
+}
+
+/// Adapter exposing a deterministic ABR controller as a stationary
+/// [`Policy`] over ABR trace contexts, so the generic estimators can
+/// compute `μ_new(d | c)` on logged chunks.
+pub struct AbrAsPolicy<P: AbrPolicy> {
+    inner: P,
+    ladder: BitrateLadder,
+    space: DecisionSpace,
+}
+
+impl<P: AbrPolicy> AbrAsPolicy<P> {
+    /// Wraps an ABR controller for the given ladder.
+    pub fn new(inner: P, ladder: BitrateLadder) -> Self {
+        let space = abr_space(&ladder);
+        Self {
+            inner,
+            ladder,
+            space,
+        }
+    }
+}
+
+impl<P: AbrPolicy> Policy for AbrAsPolicy<P> {
+    fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    fn prob(&self, ctx: &Context, d: Decision) -> f64 {
+        let state = decode_state(ctx);
+        if self.inner.choose(&state, &self.ladder) == d.index() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{BufferBased, Mpc};
+    use crate::session::{QoeModel, SessionConfig};
+    use crate::throughput::{Bandwidth, ThroughputDiscount};
+    use ddn_stats::rng::Xoshiro256;
+
+    fn session() -> Session {
+        Session::new(
+            BitrateLadder::five_level(),
+            SessionConfig::default(),
+            QoeModel::default(),
+            Bandwidth::Constant(2000.0),
+            ThroughputDiscount::paper_default(),
+        )
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let schema = abr_schema();
+        let st = ChunkState {
+            index: 7,
+            buffer_secs: 12.5,
+            prev_level: Some(3),
+            prev_observed_kbps: Some(1850.0),
+        };
+        assert_eq!(decode_state(&encode_state(&schema, &st)), st);
+        let st0 = ChunkState {
+            index: 0,
+            buffer_secs: 8.0,
+            prev_level: None,
+            prev_observed_kbps: None,
+        };
+        assert_eq!(decode_state(&encode_state(&schema, &st0)), st0);
+    }
+
+    #[test]
+    fn log_session_produces_valid_trace() {
+        let logger = ExploringAbr::new(BufferBased::default(), 0.2);
+        let mut rng = Xoshiro256::seed_from(1);
+        let st = log_session(session(), &logger, &mut rng);
+        assert_eq!(st.trace.len(), 100);
+        assert!(st.trace.has_propensities());
+        assert_eq!(st.outcomes.len(), 100);
+        assert_eq!(st.trace.space().len(), 5);
+        // Rewards in the trace equal the chunk QoEs.
+        for (r, o) in st.trace.records().iter().zip(&st.outcomes) {
+            assert_eq!(r.reward, o.qoe);
+            assert_eq!(r.decision.index(), o.level);
+        }
+    }
+
+    #[test]
+    fn exploring_propensities_are_correct() {
+        let logger = ExploringAbr::new(BufferBased::default(), 0.25);
+        let ladder = BitrateLadder::five_level();
+        let st = ChunkState {
+            index: 1,
+            buffer_secs: 25.0, // deep buffer → BBA picks top level
+            prev_level: Some(4),
+            prev_observed_kbps: Some(900.0),
+        };
+        assert!((logger.prob(&st, &ladder, 4) - (0.75 + 0.05)).abs() < 1e-12);
+        assert!((logger.prob(&st, &ladder, 0) - 0.05).abs() < 1e-12);
+        let total: f64 = (0..5).map(|l| logger.prob(&st, &ladder, l)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exploration_rate_matches_epsilon() {
+        let logger = ExploringAbr::new(BufferBased::default(), 0.5);
+        let ladder = BitrateLadder::five_level();
+        let st = ChunkState {
+            index: 1,
+            buffer_secs: 0.0, // BBA would pick 0
+            prev_level: None,
+            prev_observed_kbps: None,
+        };
+        let mut rng = Xoshiro256::seed_from(2);
+        let n = 50_000;
+        let nonzero = (0..n)
+            .filter(|_| logger.sample(&st, &ladder, &mut rng).0 != 0)
+            .count();
+        // P(level ≠ 0) = ε·(4/5) = 0.4.
+        let f = nonzero as f64 / n as f64;
+        assert!((f - 0.4).abs() < 0.01, "explore fraction {f}");
+    }
+
+    #[test]
+    fn abr_as_policy_is_deterministic_and_consistent() {
+        let mpc = Mpc::new(5, QoeModel::default());
+        let pol = AbrAsPolicy::new(
+            Mpc::new(5, QoeModel::default()),
+            BitrateLadder::five_level(),
+        );
+        let schema = abr_schema();
+        let st = ChunkState {
+            index: 9,
+            buffer_secs: 18.0,
+            prev_level: Some(2),
+            prev_observed_kbps: Some(2400.0),
+        };
+        let ctx = encode_state(&schema, &st);
+        let choice = mpc.choose(&st, &BitrateLadder::five_level());
+        let probs = pol.probabilities(&ctx);
+        assert_eq!(probs[choice], 1.0);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_truth_run_is_deterministic() {
+        let mpc = Mpc::new(5, QoeModel::default());
+        let mut g1 = Xoshiro256::seed_from(3);
+        let mut g2 = Xoshiro256::seed_from(3);
+        let a = run_session(session(), &mpc, &mut g1);
+        let b = run_session(session(), &mpc, &mut g2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn bba_and_mpc_behave_differently_on_same_world() {
+        let mut g1 = Xoshiro256::seed_from(4);
+        let mut g2 = Xoshiro256::seed_from(4);
+        let bba = run_session(session(), &BufferBased::default(), &mut g1);
+        let mpc = run_session(session(), &Mpc::new(5, QoeModel::default()), &mut g2);
+        let bba_levels: Vec<usize> = bba.iter().map(|c| c.level).collect();
+        let mpc_levels: Vec<usize> = mpc.iter().map(|c| c.level).collect();
+        assert_ne!(bba_levels, mpc_levels, "policies should diverge");
+    }
+}

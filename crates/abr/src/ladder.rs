@@ -1,0 +1,111 @@
+//! Bitrate ladders and chunk geometry.
+
+/// An ascending ladder of available bitrates (kbps) with a fixed chunk
+/// duration, e.g. the classic `{350, 600, 1000, 2000, 3000}` five-level
+//  ladder the paper's Figure 7b sweep uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitrateLadder {
+    rates_kbps: Vec<f64>,
+    chunk_secs: f64,
+}
+
+impl BitrateLadder {
+    /// Creates a ladder.
+    ///
+    /// # Panics
+    /// Panics if the ladder is empty, not strictly ascending, contains a
+    /// non-positive rate, or `chunk_secs <= 0`.
+    pub fn new(rates_kbps: Vec<f64>, chunk_secs: f64) -> Self {
+        assert!(
+            !rates_kbps.is_empty(),
+            "ladder must have at least one bitrate"
+        );
+        assert!(rates_kbps[0] > 0.0, "bitrates must be positive");
+        for w in rates_kbps.windows(2) {
+            assert!(w[1] > w[0], "ladder must be strictly ascending: {w:?}");
+        }
+        assert!(chunk_secs > 0.0, "chunk duration must be positive");
+        Self {
+            rates_kbps,
+            chunk_secs,
+        }
+    }
+
+    /// The five-level ladder used by the Figure 7b reproduction.
+    pub fn five_level() -> Self {
+        Self::new(vec![350.0, 600.0, 1000.0, 2000.0, 3000.0], 4.0)
+    }
+
+    /// Number of bitrate levels.
+    pub fn levels(&self) -> usize {
+        self.rates_kbps.len()
+    }
+
+    /// Bitrate (kbps) of level `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn kbps(&self, i: usize) -> f64 {
+        self.rates_kbps[i]
+    }
+
+    /// All bitrates, ascending.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates_kbps
+    }
+
+    /// Chunk playback duration in seconds.
+    pub fn chunk_secs(&self) -> f64 {
+        self.chunk_secs
+    }
+
+    /// Size of a chunk at level `i`, in kilobits.
+    pub fn chunk_kbits(&self, i: usize) -> f64 {
+        self.kbps(i) * self.chunk_secs
+    }
+
+    /// The highest level whose bitrate does not exceed `kbps`, or level 0
+    /// if even the lowest exceeds it.
+    pub fn highest_at_most(&self, kbps: f64) -> usize {
+        self.rates_kbps
+            .iter()
+            .rposition(|&r| r <= kbps)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_level_shape() {
+        let l = BitrateLadder::five_level();
+        assert_eq!(l.levels(), 5);
+        assert_eq!(l.kbps(0), 350.0);
+        assert_eq!(l.kbps(4), 3000.0);
+        assert_eq!(l.chunk_secs(), 4.0);
+        assert_eq!(l.chunk_kbits(2), 4000.0);
+    }
+
+    #[test]
+    fn highest_at_most_selects_correctly() {
+        let l = BitrateLadder::five_level();
+        assert_eq!(l.highest_at_most(10_000.0), 4);
+        assert_eq!(l.highest_at_most(2500.0), 3);
+        assert_eq!(l.highest_at_most(601.0), 1);
+        assert_eq!(l.highest_at_most(100.0), 0); // below the floor
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unordered_ladder_panics() {
+        let _ = BitrateLadder::new(vec![1000.0, 600.0], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bitrate")]
+    fn empty_ladder_panics() {
+        let _ = BitrateLadder::new(vec![], 4.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ddn-abr — chunk-level adaptive-bitrate streaming simulator
+//!
+//! The substrate behind the paper's Figure 2 pitfall and Figure 7b
+//! experiment. A video session downloads `N` chunks; for each chunk an ABR
+//! policy picks a bitrate from a ladder; the chunk's download time follows
+//! from the **observed** throughput, which — crucially — depends on the
+//! chosen bitrate: `observed = available · p(bitrate)` with `p ≤ 1`
+//! monotonically increasing (paper ref \[12\]: small chunks never let TCP
+//! reach steady state). Evaluators that assume observed throughput is
+//! independent of bitrate (FastMPC's assumption, §2.2.1) are therefore
+//! systematically biased, and Figure 7b quantifies how much DR recovers.
+//!
+//! Components:
+//!
+//! - [`ladder`] — bitrate ladders and chunk geometry.
+//! - [`throughput`] — available-bandwidth processes and the
+//!   bitrate-dependent observation discount `p(r)`.
+//! - [`session`] — buffer dynamics: download, rebuffer, QoE accounting.
+//! - [`policies`] — ABR controllers: buffer-based (BBA, paper ref \[13\] —
+//!   the old policy of Figure 7b), rate-based, FESTIVE-like, and
+//!   MPC/FastMPC (paper ref \[42\] — the new policy).
+//! - [`bridge`] — adapters mapping sessions onto the `ddn-trace` model
+//!   (chunk = client, bitrate = decision, chunk QoE = reward) including
+//!   ε-exploring loggers with recorded propensities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod ladder;
+pub mod metrics;
+pub mod policies;
+pub mod session;
+pub mod throughput;
+
+pub use bridge::{
+    abr_schema, abr_space, decode_state, encode_state, log_session, run_session, AbrAsPolicy,
+    ExploringAbr, SessionTrace,
+};
+pub use ladder::BitrateLadder;
+pub use metrics::SessionMetrics;
+pub use policies::{AbrPolicy, BolaLike, BufferBased, FestiveLike, Mpc, RateBased};
+pub use session::{QoeModel, Session, SessionConfig, SessionResult};
+pub use throughput::{Bandwidth, ThroughputDiscount};

@@ -1,0 +1,160 @@
+//! Session-level streaming metrics.
+//!
+//! Per-chunk QoE is what the estimators consume; operators additionally
+//! read session-level rollups — rebuffer ratio, switch counts, bitrate
+//! distribution — when comparing ABR controllers. [`SessionMetrics`]
+//! computes the standard set from a slice of [`ChunkOutcome`]s.
+
+use crate::ladder::BitrateLadder;
+use crate::session::ChunkOutcome;
+
+/// Session-level rollup of a chunk sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMetrics {
+    /// Number of chunks played.
+    pub chunks: usize,
+    /// Mean bitrate over played chunks (kbps).
+    pub mean_bitrate_kbps: f64,
+    /// Total rebuffering (seconds).
+    pub rebuffer_secs: f64,
+    /// Rebuffering as a fraction of total playback time
+    /// (`stall / (stall + chunks · chunk_secs)`).
+    pub rebuffer_ratio: f64,
+    /// Number of bitrate switches (adjacent chunks at different levels).
+    pub switches: usize,
+    /// Mean absolute switch magnitude in ladder levels (0 when no
+    /// switches).
+    pub mean_switch_magnitude: f64,
+    /// Per-level chunk counts.
+    pub level_histogram: Vec<usize>,
+    /// Mean per-chunk QoE (the evaluation reward).
+    pub mean_qoe: f64,
+}
+
+impl SessionMetrics {
+    /// Computes metrics over a completed (or partial) session.
+    ///
+    /// # Panics
+    /// Panics if `outcomes` is empty.
+    pub fn of(ladder: &BitrateLadder, outcomes: &[ChunkOutcome]) -> Self {
+        assert!(!outcomes.is_empty(), "metrics need at least one chunk");
+        let n = outcomes.len();
+        let mut level_histogram = vec![0usize; ladder.levels()];
+        let mut bitrate_sum = 0.0;
+        let mut rebuffer = 0.0;
+        let mut switches = 0usize;
+        let mut switch_mag = 0usize;
+        let mut qoe = 0.0;
+        let mut prev: Option<usize> = None;
+        for o in outcomes {
+            level_histogram[o.level] += 1;
+            bitrate_sum += ladder.kbps(o.level);
+            rebuffer += o.rebuffer_secs;
+            qoe += o.qoe;
+            if let Some(p) = prev {
+                if p != o.level {
+                    switches += 1;
+                    switch_mag += p.abs_diff(o.level);
+                }
+            }
+            prev = Some(o.level);
+        }
+        let playback = n as f64 * ladder.chunk_secs();
+        Self {
+            chunks: n,
+            mean_bitrate_kbps: bitrate_sum / n as f64,
+            rebuffer_secs: rebuffer,
+            rebuffer_ratio: rebuffer / (rebuffer + playback),
+            switches,
+            mean_switch_magnitude: if switches > 0 {
+                switch_mag as f64 / switches as f64
+            } else {
+                0.0
+            },
+            level_histogram,
+            mean_qoe: qoe / n as f64,
+        }
+    }
+
+    /// Renders the metrics as compact text.
+    pub fn render(&self) -> String {
+        format!(
+            "chunks {} | mean bitrate {:.0} kbps | rebuffer {:.1}s ({:.2}%) | \
+             {} switches (mean {:.1} levels) | mean QoE {:.3}\nlevels: {:?}",
+            self.chunks,
+            self.mean_bitrate_kbps,
+            self.rebuffer_secs,
+            100.0 * self.rebuffer_ratio,
+            self.switches,
+            self.mean_switch_magnitude,
+            self.mean_qoe,
+            self.level_histogram,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{BolaLike, BufferBased, Mpc};
+    use crate::session::{QoeModel, Session, SessionConfig};
+    use crate::throughput::{Bandwidth, ThroughputDiscount};
+    use crate::{run_session, AbrPolicy};
+    use ddn_stats::rng::Xoshiro256;
+
+    fn run(policy: &dyn AbrPolicy, bandwidth: f64, seed: u64) -> Vec<ChunkOutcome> {
+        let session = Session::new(
+            BitrateLadder::five_level(),
+            SessionConfig::default(),
+            QoeModel::default(),
+            Bandwidth::Constant(bandwidth),
+            ThroughputDiscount::paper_default(),
+        );
+        let mut rng = Xoshiro256::seed_from(seed);
+        run_session(session, policy, &mut rng)
+    }
+
+    #[test]
+    fn histogram_and_counts_are_consistent() {
+        let ladder = BitrateLadder::five_level();
+        let out = run(&BufferBased::default(), 2_000.0, 1);
+        let m = SessionMetrics::of(&ladder, &out);
+        assert_eq!(m.chunks, 100);
+        assert_eq!(m.level_histogram.iter().sum::<usize>(), 100);
+        assert!(m.mean_bitrate_kbps >= 350.0 && m.mean_bitrate_kbps <= 3_000.0);
+        assert!((0.0..1.0).contains(&m.rebuffer_ratio));
+    }
+
+    #[test]
+    fn faster_link_streams_higher() {
+        let ladder = BitrateLadder::five_level();
+        let slow = SessionMetrics::of(&ladder, &run(&Mpc::new(5, QoeModel::default()), 800.0, 2));
+        let fast = SessionMetrics::of(&ladder, &run(&Mpc::new(5, QoeModel::default()), 4_000.0, 2));
+        assert!(fast.mean_bitrate_kbps > slow.mean_bitrate_kbps);
+        assert!(fast.mean_qoe > slow.mean_qoe);
+    }
+
+    #[test]
+    fn bola_switches_less_than_bba_under_default_tuning() {
+        // Not a universal law, but on a steady link the Lyapunov controller
+        // settles while BBA tracks its buffer ramp chunk by chunk.
+        let ladder = BitrateLadder::five_level();
+        let bba = SessionMetrics::of(&ladder, &run(&BufferBased::default(), 2_000.0, 3));
+        let bola = SessionMetrics::of(&ladder, &run(&BolaLike::default(), 2_000.0, 3));
+        assert!(
+            bola.switches <= bba.switches,
+            "BOLA {} vs BBA {} switches",
+            bola.switches,
+            bba.switches
+        );
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let ladder = BitrateLadder::five_level();
+        let m = SessionMetrics::of(&ladder, &run(&BufferBased::default(), 2_000.0, 4));
+        let text = m.render();
+        assert!(text.contains("chunks 100"));
+        assert!(text.contains("levels:"));
+    }
+}

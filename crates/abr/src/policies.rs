@@ -1,0 +1,424 @@
+//! ABR controllers.
+//!
+//! The Figure 7b cast: [`BufferBased`] (BBA, paper ref \[13\]) is the *old*
+//! policy that logged the trace; [`Mpc`] (FastMPC, paper ref \[42\]) is the
+//! *new* policy being evaluated. [`RateBased`] and [`FestiveLike`]
+//! (paper ref \[17\]) round out the spectrum for ablations.
+
+use crate::ladder::BitrateLadder;
+use crate::session::{ChunkState, QoeModel};
+
+/// An ABR controller: a (deterministic) mapping from observable chunk
+/// state to a bitrate level.
+pub trait AbrPolicy {
+    /// Short name for reports.
+    fn name(&self) -> &str;
+
+    /// The level to download the next chunk at.
+    fn choose(&self, state: &ChunkState, ladder: &BitrateLadder) -> usize;
+}
+
+/// Buffer-based ABR (BBA, paper ref \[13\]): bitrate is a piecewise-linear
+/// function of buffer occupancy — below the `reservoir` play it safe at the
+/// bottom, above `reservoir + cushion` go to the top, linear in between.
+/// Ignores throughput entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferBased {
+    /// Buffer level (seconds) below which the lowest level is used.
+    pub reservoir_secs: f64,
+    /// Width (seconds) of the linear ramp above the reservoir.
+    pub cushion_secs: f64,
+}
+
+impl Default for BufferBased {
+    fn default() -> Self {
+        Self {
+            reservoir_secs: 5.0,
+            cushion_secs: 15.0,
+        }
+    }
+}
+
+impl AbrPolicy for BufferBased {
+    fn name(&self) -> &str {
+        "BBA"
+    }
+
+    fn choose(&self, state: &ChunkState, ladder: &BitrateLadder) -> usize {
+        let b = state.buffer_secs;
+        if b <= self.reservoir_secs {
+            return 0;
+        }
+        let top = ladder.levels() - 1;
+        if b >= self.reservoir_secs + self.cushion_secs {
+            return top;
+        }
+        let frac = (b - self.reservoir_secs) / self.cushion_secs;
+        ((frac * top as f64).floor() as usize).min(top)
+    }
+}
+
+/// Rate-based ABR: picks the highest bitrate at most `safety ×` the
+/// predicted throughput, where the prediction is simply the previously
+/// observed throughput — inheriting its bitrate-dependence bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateBased {
+    /// Safety factor in `(0, 1]` applied to the throughput estimate.
+    pub safety: f64,
+}
+
+impl Default for RateBased {
+    fn default() -> Self {
+        Self { safety: 0.9 }
+    }
+}
+
+impl AbrPolicy for RateBased {
+    fn name(&self) -> &str {
+        "RateBased"
+    }
+
+    fn choose(&self, state: &ChunkState, ladder: &BitrateLadder) -> usize {
+        match state.prev_observed_kbps {
+            Some(tput) => ladder.highest_at_most(self.safety * tput),
+            None => 0, // conservative start
+        }
+    }
+}
+
+/// FESTIVE-like ABR (paper ref \[17\]): rate-based target, but steps at most
+/// one ladder level per chunk for stability.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FestiveLike {
+    inner: RateBased,
+}
+
+impl AbrPolicy for FestiveLike {
+    fn name(&self) -> &str {
+        "FESTIVE"
+    }
+
+    fn choose(&self, state: &ChunkState, ladder: &BitrateLadder) -> usize {
+        let target = self.inner.choose(state, ladder);
+        match state.prev_level {
+            None => target.min(1),
+            Some(p) => {
+                if target > p {
+                    p + 1
+                } else if target < p {
+                    p.saturating_sub(1)
+                } else {
+                    p
+                }
+            }
+        }
+    }
+}
+
+/// MPC / FastMPC (paper ref \[42\]): chooses the bitrate whose `horizon`-step
+/// lookahead maximizes predicted QoE, assuming the throughput estimate
+/// holds for the whole horizon.
+///
+/// The throughput estimate is the previously observed throughput — which is
+/// exactly the assumption Figure 2 skewers: "the throughput estimator may
+/// implicitly assume that the observed throughput is independent of the
+/// chunk's bitrate".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mpc {
+    /// Lookahead depth in chunks (FastMPC uses ~5).
+    pub horizon: usize,
+    /// QoE model optimized over the horizon.
+    pub qoe: QoeModel,
+}
+
+impl Mpc {
+    /// Creates an MPC controller.
+    ///
+    /// # Panics
+    /// Panics if `horizon == 0`.
+    pub fn new(horizon: usize, qoe: QoeModel) -> Self {
+        assert!(horizon > 0, "MPC horizon must be at least 1");
+        Self { horizon, qoe }
+    }
+
+    /// Best total predicted QoE achievable from `(buffer, prev)` over
+    /// `depth` steps at assumed throughput `tput`, together with the best
+    /// first move. Exhaustive search; ladders are small (≤ ~8 levels).
+    fn plan(
+        &self,
+        ladder: &BitrateLadder,
+        buffer: f64,
+        prev: Option<usize>,
+        tput: f64,
+        depth: usize,
+    ) -> (f64, usize) {
+        let mut best = (f64::NEG_INFINITY, 0);
+        for level in 0..ladder.levels() {
+            let download = ladder.chunk_kbits(level) / tput;
+            let rebuf = (download - buffer).max(0.0);
+            let next_buffer = (buffer - download).max(0.0) + ladder.chunk_secs();
+            let q = self.qoe.chunk_qoe(ladder, level, prev, rebuf);
+            let total = if depth > 1 {
+                q + self
+                    .plan(ladder, next_buffer, Some(level), tput, depth - 1)
+                    .0
+            } else {
+                q
+            };
+            if total > best.0 {
+                best = (total, level);
+            }
+        }
+        best
+    }
+}
+
+impl AbrPolicy for Mpc {
+    fn name(&self) -> &str {
+        "MPC"
+    }
+
+    fn choose(&self, state: &ChunkState, ladder: &BitrateLadder) -> usize {
+        let tput = match state.prev_observed_kbps {
+            Some(t) => t,
+            None => return 0, // no estimate yet: conservative start
+        };
+        self.plan(
+            ladder,
+            state.buffer_secs,
+            state.prev_level,
+            tput,
+            self.horizon,
+        )
+        .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> BitrateLadder {
+        BitrateLadder::five_level()
+    }
+
+    fn state(buffer: f64, prev: Option<usize>, tput: Option<f64>) -> ChunkState {
+        ChunkState {
+            index: 3,
+            buffer_secs: buffer,
+            prev_level: prev,
+            prev_observed_kbps: tput,
+        }
+    }
+
+    #[test]
+    fn bba_maps_buffer_to_ladder() {
+        let p = BufferBased::default();
+        let l = ladder();
+        assert_eq!(p.choose(&state(0.0, None, None), &l), 0);
+        assert_eq!(p.choose(&state(5.0, None, None), &l), 0);
+        assert_eq!(p.choose(&state(20.0, None, None), &l), 4);
+        assert_eq!(p.choose(&state(30.0, None, None), &l), 4);
+        // Mid-cushion: monotone in buffer.
+        let mid1 = p.choose(&state(9.0, None, None), &l);
+        let mid2 = p.choose(&state(14.0, None, None), &l);
+        assert!(mid1 <= mid2);
+        assert!(mid1 >= 1 && mid2 <= 3);
+    }
+
+    #[test]
+    fn bba_ignores_throughput() {
+        let p = BufferBased::default();
+        let l = ladder();
+        let a = p.choose(&state(10.0, Some(2), Some(100.0)), &l);
+        let b = p.choose(&state(10.0, Some(2), Some(100_000.0)), &l);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rate_based_follows_throughput() {
+        let p = RateBased::default();
+        let l = ladder();
+        assert_eq!(p.choose(&state(10.0, None, None), &l), 0);
+        assert_eq!(p.choose(&state(10.0, None, Some(400.0)), &l), 0); // 360 → level 0
+        assert_eq!(p.choose(&state(10.0, None, Some(1200.0)), &l), 2); // 1080 → level 2
+        assert_eq!(p.choose(&state(10.0, None, Some(10_000.0)), &l), 4);
+    }
+
+    #[test]
+    fn festive_steps_one_level() {
+        let p = FestiveLike::default();
+        let l = ladder();
+        // Huge estimate but prev level 1 → step to 2 only.
+        assert_eq!(p.choose(&state(10.0, Some(1), Some(10_000.0)), &l), 2);
+        // Tiny estimate from level 3 → step down to 2.
+        assert_eq!(p.choose(&state(10.0, Some(3), Some(100.0)), &l), 2);
+        // Matching target stays.
+        assert_eq!(p.choose(&state(10.0, Some(2), Some(1200.0)), &l), 2);
+    }
+
+    #[test]
+    fn mpc_picks_high_when_bandwidth_ample() {
+        let p = Mpc::new(5, QoeModel::default());
+        let l = ladder();
+        let choice = p.choose(&state(20.0, Some(4), Some(10_000.0)), &l);
+        assert_eq!(choice, 4);
+    }
+
+    #[test]
+    fn mpc_conservative_when_bandwidth_scarce() {
+        let p = Mpc::new(5, QoeModel::default());
+        let l = ladder();
+        let choice = p.choose(&state(4.0, Some(0), Some(400.0)), &l);
+        assert!(
+            choice <= 1,
+            "scarce bandwidth should keep MPC low, chose {choice}"
+        );
+    }
+
+    #[test]
+    fn mpc_avoids_wild_switches() {
+        // With a big smoothness penalty, MPC should not leap from 0 to 4
+        // even with bandwidth to spare.
+        let qoe = QoeModel {
+            smoothness_penalty: 10.0,
+            ..Default::default()
+        };
+        let p = Mpc::new(3, qoe);
+        let l = ladder();
+        let choice = p.choose(&state(25.0, Some(0), Some(10_000.0)), &l);
+        assert!(choice <= 2, "smoothness-heavy MPC jumped to {choice}");
+    }
+
+    #[test]
+    fn mpc_lookahead_beats_greedy_when_rebuffer_looms() {
+        // Greedy (horizon 1) grabs a higher level; horizon 5 foresees the
+        // buffer drain. Construct: thin buffer, modest tput.
+        let l = ladder();
+        let st = state(5.0, Some(2), Some(1100.0));
+        let greedy = Mpc::new(1, QoeModel::default()).choose(&st, &l);
+        let planner = Mpc::new(5, QoeModel::default()).choose(&st, &l);
+        assert!(
+            planner <= greedy,
+            "planner {planner} should be at most greedy {greedy}"
+        );
+    }
+}
+
+/// BOLA-like ABR (Lyapunov/buffer-utility controller): chooses the level
+/// maximizing `(V·utility(level) + V·gamma − buffer) / chunk_size(level)`
+/// — the classic DASH.js default family. Like BBA it is throughput-
+/// agnostic, but it trades utility against buffer risk explicitly, so its
+/// decisions differ from BBA's in the mid-buffer regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BolaLike {
+    /// Lyapunov control gain (seconds of buffer per unit utility);
+    /// larger favors higher bitrates.
+    pub v: f64,
+    /// Rebuffer-avoidance utility offset.
+    pub gamma: f64,
+    /// QoE model supplying the per-level utility.
+    pub qoe: QoeModel,
+}
+
+impl Default for BolaLike {
+    fn default() -> Self {
+        Self {
+            v: 10.0,
+            gamma: 0.8,
+            qoe: QoeModel {
+                log_utility: true,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl AbrPolicy for BolaLike {
+    fn name(&self) -> &str {
+        "BOLA"
+    }
+
+    fn choose(&self, state: &ChunkState, ladder: &BitrateLadder) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for level in 0..ladder.levels() {
+            let utility = self.qoe.utility(ladder, level);
+            let score =
+                (self.v * (utility + self.gamma) - state.buffer_secs) / ladder.chunk_kbits(level);
+            if score > best_score {
+                best_score = score;
+                best = level;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod bola_tests {
+    use super::*;
+
+    fn state(buffer: f64) -> ChunkState {
+        ChunkState {
+            index: 3,
+            buffer_secs: buffer,
+            prev_level: Some(2),
+            prev_observed_kbps: Some(1500.0),
+        }
+    }
+
+    #[test]
+    fn bola_monotone_in_buffer() {
+        let p = BolaLike::default();
+        let l = BitrateLadder::five_level();
+        let mut prev = 0usize;
+        for b in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0] {
+            let level = p.choose(&state(b), &l);
+            assert!(
+                level >= prev,
+                "BOLA should not drop as buffer grows: {prev} -> {level} at {b}s"
+            );
+            prev = level;
+        }
+    }
+
+    #[test]
+    fn bola_conservative_when_buffer_empty() {
+        let p = BolaLike::default();
+        let l = BitrateLadder::five_level();
+        assert_eq!(p.choose(&state(0.0), &l), 0);
+    }
+
+    #[test]
+    fn bola_ignores_throughput() {
+        let p = BolaLike::default();
+        let l = BitrateLadder::five_level();
+        let mut a = state(12.0);
+        let mut b = state(12.0);
+        a.prev_observed_kbps = Some(100.0);
+        b.prev_observed_kbps = Some(100_000.0);
+        assert_eq!(p.choose(&a, &l), p.choose(&b, &l));
+    }
+
+    #[test]
+    fn v_scales_the_upgrade_thresholds() {
+        // V multiplies the buffer levels at which BOLA upgrades: at a
+        // fixed mid buffer, a smaller V (thresholds compressed) sits at a
+        // higher rung than a large V.
+        let l = BitrateLadder::five_level();
+        let compressed = BolaLike {
+            v: 5.0,
+            ..Default::default()
+        };
+        let stretched = BolaLike {
+            v: 40.0,
+            ..Default::default()
+        };
+        let st = state(10.0);
+        assert!(
+            compressed.choose(&st, &l) > stretched.choose(&st, &l),
+            "v=5 should upgrade earlier than v=40 at the same buffer"
+        );
+    }
+}

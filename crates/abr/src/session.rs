@@ -1,0 +1,392 @@
+//! Buffer dynamics and QoE accounting for one streaming session.
+
+use crate::ladder::BitrateLadder;
+use crate::throughput::{Bandwidth, ThroughputDiscount};
+use ddn_stats::rng::Rng;
+
+/// QoE model in the MPC style (paper ref \[42\]): per-chunk utility of the
+/// bitrate minus rebuffering and bitrate-switch penalties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QoeModel {
+    /// Weight on rebuffer seconds.
+    pub rebuffer_penalty: f64,
+    /// Weight on |quality(r_i) − quality(r_{i−1})|.
+    pub smoothness_penalty: f64,
+    /// If true, chunk utility is `log(r / r_min)`; otherwise `r / 1000`
+    /// (Mbps-scaled linear).
+    pub log_utility: bool,
+}
+
+impl Default for QoeModel {
+    fn default() -> Self {
+        Self {
+            rebuffer_penalty: 4.0,
+            smoothness_penalty: 1.0,
+            log_utility: false,
+        }
+    }
+}
+
+impl QoeModel {
+    /// Utility of streaming one chunk at level `level`.
+    pub fn utility(&self, ladder: &BitrateLadder, level: usize) -> f64 {
+        if self.log_utility {
+            (ladder.kbps(level) / ladder.kbps(0)).ln()
+        } else {
+            ladder.kbps(level) / 1000.0
+        }
+    }
+
+    /// QoE of one chunk given its level, the previous chunk's level, and
+    /// the rebuffering it caused.
+    pub fn chunk_qoe(
+        &self,
+        ladder: &BitrateLadder,
+        level: usize,
+        prev_level: Option<usize>,
+        rebuffer_secs: f64,
+    ) -> f64 {
+        let u = self.utility(ladder, level);
+        let switch = match prev_level {
+            Some(p) => (self.utility(ladder, level) - self.utility(ladder, p)).abs(),
+            None => 0.0,
+        };
+        u - self.rebuffer_penalty * rebuffer_secs - self.smoothness_penalty * switch
+    }
+}
+
+/// Static session parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Number of chunks in the session (the paper uses 100).
+    pub chunks: usize,
+    /// Maximum buffer occupancy in seconds of video.
+    pub buffer_max_secs: f64,
+    /// Buffer level at session start (seconds of pre-fetched video).
+    pub startup_buffer_secs: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            chunks: 100,
+            buffer_max_secs: 30.0,
+            startup_buffer_secs: 8.0,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Validates parameters.
+    ///
+    /// # Panics
+    /// Panics on zero chunks or negative buffers.
+    pub fn validate(&self) {
+        assert!(self.chunks > 0, "session needs at least one chunk");
+        assert!(self.buffer_max_secs > 0.0, "buffer cap must be positive");
+        assert!(
+            self.startup_buffer_secs >= 0.0 && self.startup_buffer_secs <= self.buffer_max_secs,
+            "startup buffer must fit in the cap"
+        );
+    }
+}
+
+/// The observable state an ABR policy sees before choosing chunk `index`'s
+/// bitrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkState {
+    /// Chunk index (0-based).
+    pub index: usize,
+    /// Buffer occupancy (seconds) before the download starts.
+    pub buffer_secs: f64,
+    /// Level chosen for the previous chunk, if any.
+    pub prev_level: Option<usize>,
+    /// Observed throughput (kbps) of the previous chunk's download, if any
+    /// — the (biased!) signal throughput-predicting policies consume.
+    pub prev_observed_kbps: Option<f64>,
+}
+
+/// Record of one downloaded chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkOutcome {
+    /// The pre-decision state.
+    pub state: ChunkState,
+    /// The chosen bitrate level.
+    pub level: usize,
+    /// True available bandwidth during the download (kbps).
+    pub available_kbps: f64,
+    /// Observed throughput (kbps): `available · p(level)`.
+    pub observed_kbps: f64,
+    /// Rebuffering incurred (seconds).
+    pub rebuffer_secs: f64,
+    /// The chunk's QoE (the *reward* in the trace mapping).
+    pub qoe: f64,
+}
+
+/// Result of a full session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// Per-chunk outcomes, in order.
+    pub chunks: Vec<ChunkOutcome>,
+}
+
+impl SessionResult {
+    /// Total session QoE.
+    pub fn total_qoe(&self) -> f64 {
+        self.chunks.iter().map(|c| c.qoe).sum()
+    }
+
+    /// Mean per-chunk QoE — the session's value in the trace-evaluation
+    /// sense.
+    pub fn mean_qoe(&self) -> f64 {
+        self.total_qoe() / self.chunks.len() as f64
+    }
+
+    /// Total rebuffering seconds.
+    pub fn total_rebuffer(&self) -> f64 {
+        self.chunks.iter().map(|c| c.rebuffer_secs).sum()
+    }
+}
+
+/// A streaming session simulator.
+///
+/// Drive it chunk by chunk with [`Session::download`], which applies the
+/// standard buffer recursion: download time `size(level)/observed`,
+/// rebuffer `max(0, download − buffer)`, then the buffer gains one chunk
+/// of playback (capped — the client idles rather than overflow).
+#[derive(Debug, Clone)]
+pub struct Session {
+    ladder: BitrateLadder,
+    config: SessionConfig,
+    qoe: QoeModel,
+    bandwidth: Bandwidth,
+    discount: ThroughputDiscount,
+    // Mutable per-session state.
+    buffer: f64,
+    index: usize,
+    prev_level: Option<usize>,
+    prev_observed: Option<f64>,
+}
+
+impl Session {
+    /// Creates a fresh session.
+    pub fn new(
+        ladder: BitrateLadder,
+        config: SessionConfig,
+        qoe: QoeModel,
+        bandwidth: Bandwidth,
+        discount: ThroughputDiscount,
+    ) -> Self {
+        config.validate();
+        let buffer = config.startup_buffer_secs;
+        Self {
+            ladder,
+            config,
+            qoe,
+            bandwidth,
+            discount,
+            buffer,
+            index: 0,
+            prev_level: None,
+            prev_observed: None,
+        }
+    }
+
+    /// The ladder in use.
+    pub fn ladder(&self) -> &BitrateLadder {
+        &self.ladder
+    }
+
+    /// The QoE model in use.
+    pub fn qoe_model(&self) -> &QoeModel {
+        &self.qoe
+    }
+
+    /// Whether every chunk has been downloaded.
+    pub fn finished(&self) -> bool {
+        self.index >= self.config.chunks
+    }
+
+    /// The state the policy should decide the next chunk from.
+    ///
+    /// # Panics
+    /// Panics if the session is finished.
+    pub fn state(&self) -> ChunkState {
+        assert!(!self.finished(), "session already finished");
+        ChunkState {
+            index: self.index,
+            buffer_secs: self.buffer,
+            prev_level: self.prev_level,
+            prev_observed_kbps: self.prev_observed,
+        }
+    }
+
+    /// Downloads the next chunk at `level`, advancing the session.
+    ///
+    /// # Panics
+    /// Panics if finished or `level` is out of range.
+    pub fn download(&mut self, level: usize, rng: &mut dyn Rng) -> ChunkOutcome {
+        let state = self.state();
+        assert!(level < self.ladder.levels(), "bitrate level out of range");
+        let available = self.bandwidth.at(self.index, rng);
+        let observed = self
+            .discount
+            .observed(available, level, self.ladder.levels());
+        let download_secs = self.ladder.chunk_kbits(level) / observed;
+        let rebuffer = (download_secs - self.buffer).max(0.0);
+        self.buffer = (self.buffer - download_secs).max(0.0) + self.ladder.chunk_secs();
+        self.buffer = self.buffer.min(self.config.buffer_max_secs);
+        let qoe = self
+            .qoe
+            .chunk_qoe(&self.ladder, level, state.prev_level, rebuffer);
+        self.index += 1;
+        self.prev_level = Some(level);
+        self.prev_observed = Some(observed);
+        ChunkOutcome {
+            state,
+            level,
+            available_kbps: available,
+            observed_kbps: observed,
+            rebuffer_secs: rebuffer,
+            qoe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_stats::rng::Xoshiro256;
+
+    fn session(bw: f64, discount: ThroughputDiscount) -> Session {
+        Session::new(
+            BitrateLadder::five_level(),
+            SessionConfig::default(),
+            QoeModel::default(),
+            Bandwidth::Constant(bw),
+            discount,
+        )
+    }
+
+    #[test]
+    fn buffer_never_negative_and_capped() {
+        let mut s = session(500.0, ThroughputDiscount::paper_default());
+        let mut g = Xoshiro256::seed_from(1);
+        while !s.finished() {
+            let st = s.state();
+            assert!(st.buffer_secs >= 0.0);
+            assert!(st.buffer_secs <= 30.0 + 1e-9);
+            s.download(4, &mut g); // always top bitrate on 500kbps → struggle
+        }
+    }
+
+    #[test]
+    fn low_bitrate_on_fast_link_never_rebuffers() {
+        let mut s = session(5000.0, ThroughputDiscount::paper_default());
+        let mut g = Xoshiro256::seed_from(2);
+        let mut out = Vec::new();
+        while !s.finished() {
+            out.push(s.download(0, &mut g));
+        }
+        let total_rebuf: f64 = out.iter().map(|c| c.rebuffer_secs).sum();
+        assert_eq!(total_rebuf, 0.0);
+    }
+
+    #[test]
+    fn top_bitrate_on_slow_link_rebuffers() {
+        let mut s = session(1000.0, ThroughputDiscount::none());
+        let mut g = Xoshiro256::seed_from(3);
+        let mut rebuf = 0.0;
+        while !s.finished() {
+            rebuf += s.download(4, &mut g).rebuffer_secs; // 3000kbps on 1000kbps link
+        }
+        assert!(rebuf > 100.0, "expected heavy rebuffering, got {rebuf}");
+    }
+
+    #[test]
+    fn observed_throughput_depends_on_bitrate() {
+        // The Figure 2 mechanism: same bandwidth, different observation.
+        let mut s_low = session(2000.0, ThroughputDiscount::paper_default());
+        let mut s_high = session(2000.0, ThroughputDiscount::paper_default());
+        let mut g1 = Xoshiro256::seed_from(4);
+        let mut g2 = Xoshiro256::seed_from(4);
+        let lo = s_low.download(0, &mut g1);
+        let hi = s_high.download(4, &mut g2);
+        assert_eq!(lo.available_kbps, hi.available_kbps);
+        assert!(
+            lo.observed_kbps < hi.observed_kbps,
+            "low bitrate must observe less: {} vs {}",
+            lo.observed_kbps,
+            hi.observed_kbps
+        );
+        assert!(
+            (hi.observed_kbps - 2000.0).abs() < 1e-9,
+            "top level observes everything"
+        );
+    }
+
+    #[test]
+    fn qoe_penalizes_switches_and_rebuffering() {
+        let ladder = BitrateLadder::five_level();
+        let q = QoeModel::default();
+        let steady = q.chunk_qoe(&ladder, 2, Some(2), 0.0);
+        let switched = q.chunk_qoe(&ladder, 2, Some(4), 0.0);
+        let stalled = q.chunk_qoe(&ladder, 2, Some(2), 1.0);
+        assert!(switched < steady);
+        assert!(stalled < steady);
+        assert!(
+            (steady - stalled - 4.0).abs() < 1e-12,
+            "rebuffer penalty is 4/s"
+        );
+    }
+
+    #[test]
+    fn log_utility_is_concave() {
+        let ladder = BitrateLadder::five_level();
+        let q = QoeModel {
+            log_utility: true,
+            ..Default::default()
+        };
+        let u0 = q.utility(&ladder, 0);
+        let u2 = q.utility(&ladder, 2);
+        let u4 = q.utility(&ladder, 4);
+        assert_eq!(u0, 0.0);
+        // Concave in bitrate: marginal utility per kbps shrinks.
+        let lo_slope = (u2 - u0) / (ladder.kbps(2) - ladder.kbps(0));
+        let hi_slope = (u4 - u2) / (ladder.kbps(4) - ladder.kbps(2));
+        assert!(
+            hi_slope < lo_slope,
+            "log utility must flatten: {hi_slope} vs {lo_slope}"
+        );
+    }
+
+    #[test]
+    fn session_runs_exactly_n_chunks() {
+        let mut s = session(2000.0, ThroughputDiscount::none());
+        let mut g = Xoshiro256::seed_from(5);
+        let mut n = 0;
+        while !s.finished() {
+            s.download(1, &mut g);
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn state_after_finish_panics() {
+        let mut s = Session::new(
+            BitrateLadder::five_level(),
+            SessionConfig {
+                chunks: 1,
+                ..Default::default()
+            },
+            QoeModel::default(),
+            Bandwidth::Constant(1000.0),
+            ThroughputDiscount::none(),
+        );
+        let mut g = Xoshiro256::seed_from(6);
+        s.download(0, &mut g);
+        let _ = s.state();
+    }
+}

@@ -1,0 +1,183 @@
+//! Available bandwidth processes and the bitrate-dependent observation
+//! discount — the causal mechanism behind the Figure 2 pitfall.
+
+use ddn_stats::dist::{Distribution, LogNormal};
+use ddn_stats::rng::Rng;
+
+/// Available (true) bandwidth per chunk, in kbps.
+#[derive(Debug, Clone)]
+pub enum Bandwidth {
+    /// Constant bandwidth `b` — the Figure 7b setting ("the available
+    /// bandwidth is a constant b").
+    Constant(f64),
+    /// Log-normal i.i.d. per-chunk bandwidth with the given mean/std.
+    LogNormal {
+        /// Mean bandwidth (kbps).
+        mean: f64,
+        /// Standard deviation (kbps).
+        std: f64,
+    },
+    /// Explicit per-chunk series (cycled if shorter than the session).
+    Series(Vec<f64>),
+}
+
+impl Bandwidth {
+    /// The bandwidth available while downloading chunk `i`.
+    ///
+    /// # Panics
+    /// Panics if a `Series` is empty or a parameter is non-positive.
+    pub fn at(&self, chunk: usize, rng: &mut dyn Rng) -> f64 {
+        match self {
+            Bandwidth::Constant(b) => {
+                assert!(*b > 0.0, "bandwidth must be positive");
+                *b
+            }
+            Bandwidth::LogNormal { mean, std } => LogNormal::from_mean_std(*mean, *std).sample(rng),
+            Bandwidth::Series(v) => {
+                assert!(!v.is_empty(), "bandwidth series must be non-empty");
+                v[chunk % v.len()]
+            }
+        }
+    }
+}
+
+/// The bitrate-dependent throughput discount `p(r)`: the fraction of
+/// available bandwidth a download at bitrate level `r` actually observes.
+///
+/// "Using lower bitrates can lead to lower observed throughput than
+/// available bandwidth; e.g., if the chunk size is too small for TCP to
+/// reach steady state" (§2.2.1 citing \[12\]). The Figure 7b generator sets
+/// observed throughput to `b · p(r)` with `p < 1` monotonically increasing
+/// in the chosen bitrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputDiscount {
+    floor: f64,
+    gamma: f64,
+}
+
+impl ThroughputDiscount {
+    /// Creates a discount curve: level `i` of `k` observes fraction
+    /// `floor + (1 − floor) · ((i+1)/k)^gamma` of the available bandwidth
+    /// — monotone increasing from slightly above `floor` to exactly 1 at
+    /// the top level.
+    ///
+    /// # Panics
+    /// Panics unless `0 < floor <= 1` and `gamma > 0`.
+    pub fn new(floor: f64, gamma: f64) -> Self {
+        assert!(
+            floor > 0.0 && floor <= 1.0,
+            "floor must be in (0,1], got {floor}"
+        );
+        assert!(gamma > 0.0, "gamma must be positive, got {gamma}");
+        Self { floor, gamma }
+    }
+
+    /// The default curve used in the Figure 7b reproduction: the lowest
+    /// bitrate sees ~45% of available bandwidth, the highest sees 100%.
+    pub fn paper_default() -> Self {
+        Self::new(0.35, 1.0)
+    }
+
+    /// A discount of 1 for every level — switches the pitfall *off*
+    /// (observed throughput truly independent of bitrate), used as the
+    /// control arm of the model-bias ablation.
+    pub fn none() -> Self {
+        Self {
+            floor: 1.0,
+            gamma: 1.0,
+        }
+    }
+
+    /// The fraction observed at bitrate level `level` of a ladder with
+    /// `levels` levels.
+    ///
+    /// # Panics
+    /// Panics if `level >= levels` or `levels == 0`.
+    pub fn fraction(&self, level: usize, levels: usize) -> f64 {
+        assert!(levels > 0, "ladder must have levels");
+        assert!(level < levels, "level {level} out of range 0..{levels}");
+        let x = (level + 1) as f64 / levels as f64;
+        self.floor + (1.0 - self.floor) * x.powf(self.gamma)
+    }
+
+    /// Observed throughput for a download at `level` when `available` kbps
+    /// is truly available.
+    pub fn observed(&self, available: f64, level: usize, levels: usize) -> f64 {
+        available * self.fraction(level, levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_stats::rng::Xoshiro256;
+
+    #[test]
+    fn discount_monotone_and_tops_at_one() {
+        let d = ThroughputDiscount::paper_default();
+        let k = 5;
+        let mut prev = 0.0;
+        for i in 0..k {
+            let f = d.fraction(i, k);
+            assert!(f > prev, "fraction must increase");
+            assert!(f <= 1.0 + 1e-12);
+            prev = f;
+        }
+        assert!(
+            (d.fraction(k - 1, k) - 1.0).abs() < 1e-12,
+            "top level sees full bandwidth"
+        );
+    }
+
+    #[test]
+    fn none_discount_is_identity() {
+        let d = ThroughputDiscount::none();
+        for i in 0..5 {
+            assert_eq!(d.observed(2000.0, i, 5), 2000.0);
+        }
+    }
+
+    #[test]
+    fn observed_scales_available() {
+        let d = ThroughputDiscount::new(0.5, 1.0);
+        // level 0 of 2: 0.5 + 0.5·0.5 = 0.75.
+        assert!((d.observed(1000.0, 0, 2) - 750.0).abs() < 1e-9);
+        assert!((d.observed(1000.0, 1, 2) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_bandwidth() {
+        let mut g = Xoshiro256::seed_from(1);
+        let b = Bandwidth::Constant(2500.0);
+        assert_eq!(b.at(0, &mut g), 2500.0);
+        assert_eq!(b.at(99, &mut g), 2500.0);
+    }
+
+    #[test]
+    fn lognormal_bandwidth_statistics() {
+        let mut g = Xoshiro256::seed_from(2);
+        let b = Bandwidth::LogNormal {
+            mean: 2000.0,
+            std: 400.0,
+        };
+        let xs: Vec<f64> = (0..50_000).map(|i| b.at(i, &mut g)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 2000.0).abs() < 30.0, "mean {mean}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn series_bandwidth_cycles() {
+        let mut g = Xoshiro256::seed_from(3);
+        let b = Bandwidth::Series(vec![100.0, 200.0]);
+        assert_eq!(b.at(0, &mut g), 100.0);
+        assert_eq!(b.at(1, &mut g), 200.0);
+        assert_eq!(b.at(2, &mut g), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor must be in (0,1]")]
+    fn bad_floor_panics() {
+        let _ = ThroughputDiscount::new(0.0, 1.0);
+    }
+}

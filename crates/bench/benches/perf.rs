@@ -1,0 +1,150 @@
+//! Microbenchmarks of the building blocks: estimator throughput versus
+//! trace size, reward-model fit/predict, discrete-event simulator
+//! throughput, and change-point detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ddn_estimators::{CrossFitDr, DoublyRobust, Estimator, Ips};
+use ddn_models::{ForestConfig, ForestRegressor, KnnConfig, KnnRegressor, TabularMeanModel};
+use ddn_netsim::{small_world, wise_like_tiered, EventQueue, RateProfile, SimTime};
+use ddn_policy::{LookupPolicy, UniformRandomPolicy};
+use ddn_stats::changepoint::{pelt, CostModel, Penalty};
+use ddn_stats::dist::{Distribution, Normal};
+use ddn_stats::rng::{Rng, Xoshiro256};
+use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, Trace, TraceRecord};
+use std::hint::black_box;
+
+fn synthetic_trace(n: usize, seed: u64) -> Trace {
+    let schema = ContextSchema::builder()
+        .categorical("g", 8)
+        .numeric("x")
+        .build();
+    let space = DecisionSpace::of(&["a", "b", "c", "d"]);
+    let mut rng = Xoshiro256::seed_from(seed);
+    let records = (0..n)
+        .map(|_| {
+            let g = rng.index(8) as u32;
+            let x = rng.range_f64(0.0, 100.0);
+            let d = rng.index(4);
+            let ctx = Context::build(&schema)
+                .set_cat("g", g)
+                .set_numeric("x", x)
+                .finish();
+            let reward = g as f64 + d as f64 + 0.01 * x;
+            TraceRecord::new(ctx, Decision::from_index(d), reward).with_propensity(0.25)
+        })
+        .collect();
+    Trace::from_records(schema, space, records).unwrap()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_throughput");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let trace = synthetic_trace(n, 42);
+        let policy = LookupPolicy::constant(trace.space().clone(), 2);
+        let model = TabularMeanModel::fit_trace(&trace, 1.0);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("ips", n), &n, |b, _| {
+            b.iter(|| black_box(Ips::new().estimate(&trace, &policy).unwrap().value))
+        });
+        group.bench_with_input(BenchmarkId::new("dr_tabular", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    DoublyRobust::new(&model)
+                        .estimate(&trace, &policy)
+                        .unwrap()
+                        .value,
+                )
+            })
+        });
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("crossfit_dr_tabular", n), &n, |b, _| {
+                b.iter(|| {
+                    let est = CrossFitDr::new(5, |tr: &ddn_trace::Trace| {
+                        TabularMeanModel::fit_trace(tr, 1.0)
+                    });
+                    black_box(est.estimate(&trace, &policy).unwrap().value)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fit");
+    for &n in &[1_000usize, 10_000] {
+        let trace = synthetic_trace(n, 43);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("tabular", n), &n, |b, _| {
+            b.iter(|| black_box(TabularMeanModel::fit_trace(&trace, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("knn_fit", n), &n, |b, _| {
+            b.iter(|| black_box(KnnRegressor::fit(&trace, KnnConfig::default())))
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("forest_fit_10trees", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(ForestRegressor::fit(
+                        &trace,
+                        ForestConfig {
+                            trees: 10,
+                            ..Default::default()
+                        },
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("event_queue_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = Xoshiro256::seed_from(7);
+            for i in 0..100_000u64 {
+                q.schedule(SimTime::new(rng.next_f64() * 1e6 + i as f64), i);
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("world_run_2k_requests", |b| {
+        let world = small_world(RateProfile::Constant(10.0), 200.0);
+        let policy = UniformRandomPolicy::new(world.space().clone());
+        b.iter(|| black_box(world.run(&policy, 9).trace.len()))
+    });
+    group.bench_function("tiered_world_run_2k_requests", |b| {
+        let world = wise_like_tiered(RateProfile::Constant(10.0), 200.0);
+        let policy = UniformRandomPolicy::new(world.space().clone());
+        b.iter(|| black_box(world.run(&policy, 9).trace.len()))
+    });
+    group.finish();
+}
+
+fn bench_changepoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("changepoint");
+    for &n in &[500usize, 5_000] {
+        let mut rng = Xoshiro256::seed_from(11);
+        let mut series = Normal::new(0.0, 1.0).sample_n(&mut rng, n / 2);
+        series.extend(Normal::new(4.0, 1.0).sample_n(&mut rng, n / 2));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pelt", n), &n, |b, _| {
+            b.iter(|| black_box(pelt(&series, CostModel::NormalMean, Penalty::Bic, 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = perf;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimators, bench_models, bench_event_queue, bench_changepoint
+}
+criterion_main!(perf);

@@ -1,0 +1,133 @@
+//! Regenerates every figure and ablation of the reproduction as text.
+//!
+//! ```text
+//! cargo run --release -p ddn-bench --bin figures           # everything
+//! cargo run --release -p ddn-bench --bin figures -- 7a 7c  # a subset
+//! ```
+//!
+//! Selectors: `7a 7b 7c A B C D E F G H I` (case-insensitive). With no
+//! arguments, all of them run at the paper's 50-run protocol (ablations
+//! use smaller but still meaningful run counts).
+
+use ddn_bench::render_with_improvement;
+use ddn_scenarios::ablations;
+use ddn_scenarios::{figure7a, figure7b, figure7c};
+
+fn wants(args: &[String], key: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(key))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ran = 0usize;
+
+    if wants(&args, "7a") {
+        println!("================================================================");
+        println!("Figure 7a — trace bias (WISE world), 50 runs");
+        println!("paper: DR mean error ~32% lower than WISE");
+        println!("================================================================");
+        let t = figure7a();
+        print!(
+            "{}",
+            render_with_improvement(&t, "relative evaluation error", "WISE")
+        );
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "7b") {
+        println!("================================================================");
+        println!("Figure 7b — model bias (FastMPC ABR world), 50 runs");
+        println!("paper: DR mean error ~74% lower than the FastMPC evaluator");
+        println!("================================================================");
+        let t = figure7b();
+        print!(
+            "{}",
+            render_with_improvement(&t, "relative evaluation error", "FastMPC")
+        );
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "7c") {
+        println!("================================================================");
+        println!("Figure 7c — variance (CFA world), 50 runs");
+        println!("paper: DR mean error ~36% lower than CFA's matching evaluator");
+        println!("================================================================");
+        let t = figure7c();
+        print!(
+            "{}",
+            render_with_improvement(&t, "relative evaluation error", "CFA")
+        );
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "a") {
+        let rows = ablations::ablation_randomness(&[0.02, 0.05, 0.1, 0.2, 0.5], 20, 81_001);
+        print!("{}", ablations::randomness::render(&rows));
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "b") {
+        let rows = ablations::ablation_trace_size(&[0.5, 1.0, 2.0, 4.0, 8.0], 20, 81_002);
+        print!("{}", ablations::trace_size::render(&rows));
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "c") {
+        let rows = ablations::ablation_dimensionality(&[0, 2, 4, 8], 20, 81_003);
+        print!("{}", ablations::dimensionality::render(&rows));
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "d") {
+        let r = ablations::ablation_nonstationary(20, 81_004);
+        print!("{}", ablations::nonstationary::render(&r));
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "e") {
+        let r = ablations::ablation_state(20, 81_005);
+        print!("{}", ablations::state::render(&r));
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "f") {
+        let r = ablations::ablation_coupling(20, 81_006);
+        print!("{}", ablations::coupling::render(&r));
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "g") {
+        let rows = ablations::ablation_second_order(&[0.0, 1.5, 3.0], &[0.0, 0.4, 0.8], 20, 81_007);
+        print!("{}", ablations::second_order::render(&rows));
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "h") {
+        let rows = ablations::ablation_selection(&[150, 400, 1_000, 3_000], 20, 81_008);
+        print!("{}", ablations::selection::render(&rows));
+        println!();
+        ran += 1;
+    }
+
+    if wants(&args, "i") {
+        let rows = ablations::ablation_calibration(&[0.3, 0.6, 1.0, 1.5], 20, 81_009);
+        print!("{}", ablations::calibration::render(&rows));
+        println!();
+        ran += 1;
+    }
+
+    if ran == 0 {
+        eprintln!("no selector matched; known selectors: 7a 7b 7c A B C D E F G H I");
+        std::process::exit(2);
+    }
+}

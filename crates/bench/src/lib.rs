@@ -1,0 +1,56 @@
+//! # ddn-bench — benchmark harness and figure regeneration
+//!
+//! Two consumers:
+//!
+//! - `cargo run --release -p ddn-bench --bin figures` — regenerates every
+//!   figure and ablation table of the reproduction as text (the same
+//!   rows/series the paper reports), at the paper's full 50-run protocol.
+//! - `cargo bench -p ddn-bench` — Criterion benchmarks:
+//!   - `figure7` — one benchmark per Figure 7 panel (reduced run counts so
+//!     Criterion iterations stay tractable);
+//!   - `ablations` — one benchmark per ablation;
+//!   - `perf` — microbenchmarks of the building blocks (estimator
+//!     throughput vs. trace size, simulator events/sec, model fit/predict,
+//!     change-point detection).
+//!
+//! This crate's library surface is the small set of shared helpers the
+//! binary and benches use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ddn_estimators::ErrorTable;
+
+/// Renders an [`ErrorTable`] with the paper-comparison line appended
+/// ("DR improves on X by …%"), including the paired-t significance of the
+/// improvement (runs share seeds, so the paired test is the right one).
+pub fn render_with_improvement(table: &ErrorTable, title: &str, baseline: &str) -> String {
+    let mut out = table.render(title);
+    let imp = table.improvement("DR", baseline);
+    let t = table.paired_test("DR", baseline);
+    out.push_str(&format!(
+        "DR mean error is {:.0}% lower than {} on this substrate (paired t: p = {:.1e})\n",
+        imp * 100.0,
+        baseline,
+        t.p_two_sided,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_estimators::ExperimentRunner;
+
+    #[test]
+    fn improvement_line_rendered() {
+        let table = ExperimentRunner::new(2, 0).run(|_| {
+            (
+                1.0,
+                vec![("WISE".to_string(), 0.8), ("DR".to_string(), 0.9)],
+            )
+        });
+        let text = render_with_improvement(&table, "t", "WISE");
+        assert!(text.contains("lower than WISE"));
+    }
+}

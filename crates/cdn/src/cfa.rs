@@ -1,0 +1,365 @@
+//! The CFA world (paper Figure 5 / Figure 7c).
+//!
+//! "Given the video quality of previously seen clients who have been
+//! randomly assigned to a set of available CDNs and bitrates, CFA
+//! evaluates the video quality of a different client-CDN/bitrate
+//! assignment by using only the data of clients who use the same
+//! CDNs/bitrates" — the matching estimator whose variance Figure 7c
+//! measures, against a DR estimator whose DM is "a k-NN model trained by
+//! the trace".
+//!
+//! The world: clients carry categorical features (city, device,
+//! connection type) plus optional irrelevant noise features (for the
+//! dimensionality ablation); decisions are the CDN × bitrate product; the
+//! quality surface has CDN-city affinities and connection-dependent
+//! bitrate penalties so that no single marginal explains it.
+
+use ddn_policy::Policy;
+use ddn_stats::dist::{Distribution, Normal};
+use ddn_stats::rng::{Rng, Xoshiro256};
+use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, Trace, TraceRecord};
+
+/// Parameters of the CFA world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfaConfig {
+    /// Number of cities (categorical feature).
+    pub cities: usize,
+    /// Number of device types (categorical feature).
+    pub devices: usize,
+    /// Number of connection types (categorical; index 0 = wired,
+    /// higher = increasingly bandwidth-constrained).
+    pub connections: usize,
+    /// Number of CDNs.
+    pub cdns: usize,
+    /// Number of bitrate levels.
+    pub bitrates: usize,
+    /// Extra *irrelevant* categorical features (each with 4 levels) —
+    /// the §2.2.2 curse-of-dimensionality dial.
+    pub noise_features: usize,
+    /// Observation noise standard deviation (quality points).
+    pub noise_std: f64,
+}
+
+impl Default for CfaConfig {
+    fn default() -> Self {
+        Self {
+            cities: 6,
+            devices: 3,
+            connections: 2,
+            cdns: 3,
+            bitrates: 4,
+            noise_features: 0,
+            noise_std: 0.3,
+        }
+    }
+}
+
+impl CfaConfig {
+    /// Validates parameters.
+    ///
+    /// # Panics
+    /// Panics on empty dimensions or negative noise.
+    pub fn validate(&self) {
+        assert!(
+            self.cities > 0 && self.devices > 0 && self.connections > 0,
+            "feature dimensions must be positive"
+        );
+        assert!(
+            self.cdns > 0 && self.bitrates > 0,
+            "decision dimensions must be positive"
+        );
+        assert!(self.noise_std >= 0.0, "noise must be ≥ 0");
+    }
+}
+
+/// The CFA video-QoE world.
+#[derive(Debug, Clone)]
+pub struct CfaWorld {
+    config: CfaConfig,
+    schema: ContextSchema,
+    space: DecisionSpace,
+    /// `affinity[city][cdn]`: quality bonus of that CDN in that city.
+    affinity: Vec<Vec<f64>>,
+    /// Per-CDN base quality.
+    cdn_base: Vec<f64>,
+    /// Per-device quality offset.
+    device_offset: Vec<f64>,
+}
+
+impl CfaWorld {
+    /// Builds a world whose quality tables are drawn deterministically
+    /// from `seed`.
+    pub fn new(config: CfaConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut builder = ContextSchema::builder()
+            .categorical("city", config.cities as u32)
+            .categorical("device", config.devices as u32)
+            .categorical("conn", config.connections as u32);
+        for i in 0..config.noise_features {
+            builder = builder.categorical(&format!("noise{i}"), 4);
+        }
+        let schema = builder.build();
+        let cdn_names: Vec<String> = (0..config.cdns).map(|c| format!("cdn{c}")).collect();
+        let br_names: Vec<String> = (0..config.bitrates).map(|b| format!("br{b}")).collect();
+        let space = DecisionSpace::product(
+            &cdn_names.iter().map(String::as_str).collect::<Vec<_>>(),
+            &br_names.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        let affinity = (0..config.cities)
+            .map(|_| (0..config.cdns).map(|_| rng.range_f64(-1.0, 1.0)).collect())
+            .collect();
+        let cdn_base = (0..config.cdns).map(|_| rng.range_f64(2.0, 3.0)).collect();
+        let device_offset = (0..config.devices)
+            .map(|_| rng.range_f64(-0.3, 0.3))
+            .collect();
+        Self {
+            config,
+            schema,
+            space,
+            affinity,
+            cdn_base,
+            device_offset,
+        }
+    }
+
+    /// The context schema.
+    pub fn schema(&self) -> &ContextSchema {
+        &self.schema
+    }
+
+    /// The CDN × bitrate decision space.
+    pub fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CfaConfig {
+        &self.config
+    }
+
+    /// Decomposes a decision into (cdn, bitrate).
+    pub fn cdn_bitrate(&self, d: Decision) -> (usize, usize) {
+        (
+            d.index() / self.config.bitrates,
+            d.index() % self.config.bitrates,
+        )
+    }
+
+    /// Ground-truth mean quality for a client and decision.
+    ///
+    /// Quality = CDN base + city-CDN affinity + device offset + bitrate
+    /// utility − congestion penalty when a constrained connection streams
+    /// a high bitrate (an interaction no marginal captures).
+    pub fn mean_quality(&self, ctx: &Context, d: Decision) -> f64 {
+        let (cdn, br) = self.cdn_bitrate(d);
+        let city = ctx.cat(0) as usize;
+        let device = ctx.cat(1) as usize;
+        let conn = ctx.cat(2) as usize;
+        let bitrate_utility = 0.5 * br as f64;
+        let congestion = if conn > 0 && br >= self.config.bitrates - 1 {
+            1.5 * conn as f64
+        } else {
+            0.0
+        };
+        self.cdn_base[cdn] + self.affinity[city][cdn] + self.device_offset[device] + bitrate_utility
+            - congestion
+    }
+
+    /// Samples a client population of size `n` (uniform over feature
+    /// combinations).
+    pub fn sample_clients(&self, n: usize, rng: &mut dyn Rng) -> Vec<Context> {
+        (0..n)
+            .map(|_| {
+                let mut b = Context::build(&self.schema)
+                    .set_cat("city", rng.index(self.config.cities) as u32)
+                    .set_cat("device", rng.index(self.config.devices) as u32)
+                    .set_cat("conn", rng.index(self.config.connections) as u32);
+                for i in 0..self.config.noise_features {
+                    b = b.set_cat(&format!("noise{i}"), rng.index(4) as u32);
+                }
+                b.finish()
+            })
+            .collect()
+    }
+
+    /// Logs a trace under `policy` (CFA's own data collection used a
+    /// uniformly random policy).
+    pub fn log_trace(&self, clients: &[Context], policy: &dyn Policy, seed: u64) -> Trace {
+        assert!(!clients.is_empty(), "need at least one client");
+        let mut rng = Xoshiro256::seed_from(seed);
+        let noise = Normal::new(0.0, self.config.noise_std);
+        let records = clients
+            .iter()
+            .map(|ctx| {
+                let (d, p) = policy.sample_with_prob(ctx, &mut rng);
+                let q = self.mean_quality(ctx, d) + noise.sample(&mut rng);
+                TraceRecord::new(ctx.clone(), d, q).with_propensity(p)
+            })
+            .collect();
+        Trace::from_records(self.schema.clone(), self.space.clone(), records)
+            .expect("CFA world emits valid traces")
+    }
+
+    /// Exact expected quality of `policy` over a client population.
+    pub fn true_value(&self, clients: &[Context], policy: &dyn Policy) -> f64 {
+        let total: f64 = clients
+            .iter()
+            .map(|ctx| {
+                self.space
+                    .iter()
+                    .map(|d| policy.prob(ctx, d) * self.mean_quality(ctx, d))
+                    .sum::<f64>()
+            })
+            .sum();
+        total / clients.len() as f64
+    }
+
+    /// The "new assignment" of Figure 5: a deterministic policy that picks,
+    /// per client, the truly best CDN/bitrate — the kind of optimized
+    /// assignment CFA would produce and want to evaluate offline.
+    pub fn greedy_policy(&self) -> CfaGreedy {
+        CfaGreedy {
+            world: self.clone(),
+        }
+    }
+}
+
+/// Per-client argmax-of-true-quality policy. See
+/// [`CfaWorld::greedy_policy`].
+#[derive(Debug, Clone)]
+pub struct CfaGreedy {
+    world: CfaWorld,
+}
+
+impl Policy for CfaGreedy {
+    fn space(&self) -> &DecisionSpace {
+        &self.world.space
+    }
+
+    fn prob(&self, ctx: &Context, d: Decision) -> f64 {
+        let mut best = 0;
+        let mut best_q = f64::NEG_INFINITY;
+        for cand in self.world.space.iter() {
+            let q = self.world.mean_quality(ctx, cand);
+            if q > best_q {
+                best_q = q;
+                best = cand.index();
+            }
+        }
+        if d.index() == best {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_policy::UniformRandomPolicy;
+
+    fn world() -> CfaWorld {
+        CfaWorld::new(CfaConfig::default(), 11)
+    }
+
+    #[test]
+    fn decision_space_is_product() {
+        let w = world();
+        assert_eq!(w.space().len(), 12);
+        assert_eq!(w.cdn_bitrate(Decision::from_index(0)), (0, 0));
+        assert_eq!(w.cdn_bitrate(Decision::from_index(5)), (1, 1));
+        assert_eq!(w.space().name(5), "cdn1/br1");
+    }
+
+    #[test]
+    fn congestion_interaction_present() {
+        // On a constrained connection, the top bitrate loses quality
+        // relative to the next one down; on wired it gains.
+        let w = world();
+        let mut rng = Xoshiro256::seed_from(1);
+        let clients = w.sample_clients(200, &mut rng);
+        let wired = clients.iter().find(|c| c.cat(2) == 0).unwrap();
+        let cell = clients.iter().find(|c| c.cat(2) == 1).unwrap();
+        let top = Decision::from_index(3); // cdn0/br3
+        let mid = Decision::from_index(2); // cdn0/br2
+        assert!(w.mean_quality(wired, top) > w.mean_quality(wired, mid));
+        assert!(w.mean_quality(cell, top) < w.mean_quality(cell, mid));
+    }
+
+    #[test]
+    fn greedy_policy_beats_uniform() {
+        let w = world();
+        let mut rng = Xoshiro256::seed_from(2);
+        let clients = w.sample_clients(1000, &mut rng);
+        let uni = UniformRandomPolicy::new(w.space().clone());
+        let greedy = w.greedy_policy();
+        assert!(w.true_value(&clients, &greedy) > w.true_value(&clients, &uni) + 0.5);
+    }
+
+    #[test]
+    fn log_trace_uniform_propensities() {
+        let w = world();
+        let mut rng = Xoshiro256::seed_from(3);
+        let clients = w.sample_clients(500, &mut rng);
+        let uni = UniformRandomPolicy::new(w.space().clone());
+        let t = w.log_trace(&clients, &uni, 4);
+        assert_eq!(t.len(), 500);
+        assert!(t
+            .records()
+            .iter()
+            .all(|r| (r.propensity.unwrap() - 1.0 / 12.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empirical_mean_near_truth() {
+        let w = world();
+        let mut rng = Xoshiro256::seed_from(5);
+        let clients = w.sample_clients(5000, &mut rng);
+        let uni = UniformRandomPolicy::new(w.space().clone());
+        let t = w.log_trace(&clients, &uni, 6);
+        let truth = w.true_value(&clients, &uni);
+        assert!((t.mean_reward() - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn noise_features_extend_schema() {
+        let w = CfaWorld::new(
+            CfaConfig {
+                noise_features: 3,
+                ..Default::default()
+            },
+            7,
+        );
+        assert_eq!(w.schema().len(), 6);
+        let mut rng = Xoshiro256::seed_from(8);
+        let clients = w.sample_clients(10, &mut rng);
+        // Noise features don't change quality.
+        let c = &clients[0];
+        let d = Decision::from_index(0);
+        let q1 = w.mean_quality(c, d);
+        // Build the same client with different noise values.
+        let mut b = Context::build(w.schema())
+            .set_cat("city", c.cat(0))
+            .set_cat("device", c.cat(1))
+            .set_cat("conn", c.cat(2));
+        for i in 0..3 {
+            b = b.set_cat(&format!("noise{i}"), (c.cat(3 + i) + 1) % 4);
+        }
+        let c2 = b.finish();
+        assert_eq!(w.mean_quality(&c2, d), q1);
+    }
+
+    #[test]
+    fn world_deterministic_in_seed() {
+        let a = CfaWorld::new(CfaConfig::default(), 9);
+        let b = CfaWorld::new(CfaConfig::default(), 9);
+        let mut rng = Xoshiro256::seed_from(1);
+        let c = a.sample_clients(1, &mut rng)[0].clone();
+        assert_eq!(
+            a.mean_quality(&c, Decision::from_index(7)),
+            b.mean_quality(&c, Decision::from_index(7))
+        );
+    }
+}

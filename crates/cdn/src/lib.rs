@@ -1,0 +1,26 @@
+//! # ddn-cdn — CDN substrates: the WISE and CFA worlds
+//!
+//! Two synthetic-but-faithful CDN environments backing the paper's
+//! Figure 7a and 7c experiments:
+//!
+//! - [`wise`] — the Figure 4 what-if world: requests from two ISPs choose
+//!   a frontend and a backend cluster; response time is long only for the
+//!   conjunction (ISP-1, FE-1, BE-1). The skewed logging pattern (500
+//!   clients per observed arrow, 5 per unobserved cell) makes a
+//!   count-based CBN learn the wrong structure, and Figure 7a measures the
+//!   resulting evaluation error.
+//! - [`cfa`] — the Figure 5 world: feature-rich video clients assigned to
+//!   CDN × bitrate decisions by a uniformly random logging policy (CFA's
+//!   randomized data collection); evaluation of a new deterministic
+//!   assignment by decision matching is unbiased but high-variance, and
+//!   Figure 7c measures how much a DR estimator (k-NN DM + correction)
+//!   tightens it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfa;
+pub mod wise;
+
+pub use cfa::{CfaConfig, CfaWorld};
+pub use wise::{WiseConfig, WiseWorld};

@@ -1,0 +1,323 @@
+//! The WISE what-if world (paper Figure 4 / Figure 7a).
+//!
+//! "Suppose each request from ISP-1 and ISP-2 can choose one of two
+//! frontend clusters (FE-1, FE-2) and one of two backend clusters (BE-1,
+//! BE-2). … The ground truth in the example is that the response time of a
+//! request from ISP-1 is high only when it uses BE-1 **and** FE-1."
+//!
+//! The Figure 7a trace skew (§4.2): "We simulate 500 clients for each
+//! measurement (arrow) in Figure 4, and 5 clients for each remaining
+//! choice of backend and frontend not shown." The new policy "uses the
+//! same traffic pattern, except that 50% of ISP-1 clients use FE-1 and
+//! BE-2."
+
+use ddn_policy::Policy;
+use ddn_stats::dist::{Distribution, Normal};
+use ddn_stats::rng::Xoshiro256;
+use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, Trace, TraceRecord};
+
+/// Number of ISPs / frontends / backends in the Figure 4 world.
+const TWO: usize = 2;
+
+/// Parameters of the WISE world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WiseConfig {
+    /// Response time (ms) of the slow conjunction (ISP-1, FE-1, BE-1).
+    pub long_ms: f64,
+    /// Response time (ms) of every other combination.
+    pub short_ms: f64,
+    /// Observation noise standard deviation (ms).
+    pub noise_std: f64,
+    /// Clients per *observed* (arrow) cell in the logging pattern.
+    pub clients_per_arrow: usize,
+    /// Clients per *unobserved* cell.
+    pub clients_per_rare_cell: usize,
+}
+
+impl Default for WiseConfig {
+    fn default() -> Self {
+        // Paper §4.2 numbers: 500 per arrow, 5 per remaining cell.
+        Self {
+            long_ms: 300.0,
+            short_ms: 50.0,
+            noise_std: 10.0,
+            clients_per_arrow: 500,
+            clients_per_rare_cell: 5,
+        }
+    }
+}
+
+impl WiseConfig {
+    /// Validates parameters.
+    ///
+    /// # Panics
+    /// Panics on non-positive times/counts or `long <= short`.
+    pub fn validate(&self) {
+        assert!(self.short_ms > 0.0, "short response time must be positive");
+        assert!(self.long_ms > self.short_ms, "long must exceed short");
+        assert!(self.noise_std >= 0.0, "noise must be ≥ 0");
+        assert!(self.clients_per_arrow > 0, "need clients per arrow");
+        assert!(self.clients_per_rare_cell > 0, "need clients per rare cell");
+    }
+}
+
+/// The WISE world: ISP context, FE×BE composite decision, response-time
+/// reward (we estimate the *average response time*, the metric WISE
+/// answers what-if questions about; lower is better but the estimators
+/// are direction-agnostic).
+#[derive(Debug, Clone)]
+pub struct WiseWorld {
+    config: WiseConfig,
+    schema: ContextSchema,
+    space: DecisionSpace,
+}
+
+impl WiseWorld {
+    /// Creates the world.
+    pub fn new(config: WiseConfig) -> Self {
+        config.validate();
+        let schema = ContextSchema::builder()
+            .categorical("isp", TWO as u32)
+            .build();
+        let space = DecisionSpace::product(&["fe1", "fe2"], &["be1", "be2"]);
+        Self {
+            config,
+            schema,
+            space,
+        }
+    }
+
+    /// The context schema (just the ISP).
+    pub fn schema(&self) -> &ContextSchema {
+        &self.schema
+    }
+
+    /// The decision space: `fe1/be1`, `fe1/be2`, `fe2/be1`, `fe2/be2`
+    /// (decision index = fe·2 + be, matching
+    /// `CbnConfig { decision_axes: \[2, 2\] }`).
+    pub fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WiseConfig {
+        &self.config
+    }
+
+    /// Decomposes a decision index into (fe, be).
+    pub fn fe_be(d: Decision) -> (usize, usize) {
+        (d.index() / TWO, d.index() % TWO)
+    }
+
+    /// Ground-truth mean response time (ms) — long only for the
+    /// (ISP-1, FE-1, BE-1) conjunction.
+    pub fn mean_response(&self, isp: usize, d: Decision) -> f64 {
+        let (fe, be) = Self::fe_be(d);
+        if isp == 0 && fe == 0 && be == 0 {
+            self.config.long_ms
+        } else {
+            self.config.short_ms
+        }
+    }
+
+    /// Builds a request context.
+    pub fn context(&self, isp: usize) -> Context {
+        Context::build(&self.schema)
+            .set_cat("isp", isp as u32)
+            .finish()
+    }
+
+    /// The skewed old (logging) policy of Figure 7a as an explicit
+    /// stochastic policy: for each ISP, mass `clients_per_arrow` on each of
+    /// its two "arrow" cells and `clients_per_rare_cell` on the others.
+    ///
+    /// The arrows follow the traffic pattern of Figure 4: ISP-1 mostly
+    /// uses (FE-1, BE-1) or (FE-2, BE-2); ISP-2 mostly uses (FE-1, BE-1)
+    /// or (FE-2, BE-2) as well — so the counterfactual (FE-1, BE-2) cell
+    /// is nearly unobserved for ISP-1.
+    pub fn old_policy(&self) -> WisePolicy {
+        let a = self.config.clients_per_arrow as f64;
+        let r = self.config.clients_per_rare_cell as f64;
+        // Decision order: fe1/be1, fe1/be2, fe2/be1, fe2/be2.
+        let weights = [a, r, r, a];
+        let total: f64 = weights.iter().sum();
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        WisePolicy {
+            space: self.space.clone(),
+            per_isp: vec![probs.clone(), probs],
+        }
+    }
+
+    /// The Figure 7a new policy: "the same traffic pattern, except that
+    /// 50% of ISP-1 clients use FE-1 and BE-2."
+    pub fn new_policy(&self) -> WisePolicy {
+        let old = self.old_policy();
+        let mut isp1 = old.per_isp[0].iter().map(|p| 0.5 * p).collect::<Vec<_>>();
+        isp1[1] += 0.5; // index 1 = fe1/be2
+        WisePolicy {
+            space: self.space.clone(),
+            per_isp: vec![isp1, old.per_isp[1].clone()],
+        }
+    }
+
+    /// The client population of one experiment: every ISP contributes
+    /// `clients_per_arrow·2 + clients_per_rare_cell·2` requests (matching
+    /// the logging pattern's total mass).
+    pub fn population(&self) -> Vec<usize> {
+        let per_isp = 2 * self.config.clients_per_arrow + 2 * self.config.clients_per_rare_cell;
+        let mut isps = Vec::with_capacity(per_isp * TWO);
+        for isp in 0..TWO {
+            isps.extend(std::iter::repeat_n(isp, per_isp));
+        }
+        isps
+    }
+
+    /// Logs a trace: each client's decision is sampled from `policy`, the
+    /// response time observed with noise.
+    pub fn log_trace(&self, clients: &[usize], policy: &dyn Policy, seed: u64) -> Trace {
+        assert!(!clients.is_empty(), "need at least one client");
+        let mut rng = Xoshiro256::seed_from(seed);
+        let noise = Normal::new(0.0, self.config.noise_std);
+        let records = clients
+            .iter()
+            .map(|&isp| {
+                let ctx = self.context(isp);
+                let (d, p) = policy.sample_with_prob(&ctx, &mut rng);
+                let resp = self.mean_response(isp, d) + noise.sample(&mut rng);
+                TraceRecord::new(ctx, d, resp).with_propensity(p)
+            })
+            .collect();
+        Trace::from_records(self.schema.clone(), self.space.clone(), records)
+            .expect("WISE world emits valid traces")
+    }
+
+    /// Exact expected average response time of `policy` over a client
+    /// population (noise is zero-mean).
+    pub fn true_value(&self, clients: &[usize], policy: &dyn Policy) -> f64 {
+        let total: f64 = clients
+            .iter()
+            .map(|&isp| {
+                let ctx = self.context(isp);
+                self.space
+                    .iter()
+                    .map(|d| policy.prob(&ctx, d) * self.mean_response(isp, d))
+                    .sum::<f64>()
+            })
+            .sum();
+        total / clients.len() as f64
+    }
+}
+
+/// A per-ISP categorical policy over the four FE×BE decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WisePolicy {
+    space: DecisionSpace,
+    per_isp: Vec<Vec<f64>>,
+}
+
+impl Policy for WisePolicy {
+    fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    fn prob(&self, ctx: &Context, d: Decision) -> f64 {
+        self.per_isp[ctx.cat(0) as usize][d.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> WiseWorld {
+        WiseWorld::new(WiseConfig::default())
+    }
+
+    #[test]
+    fn ground_truth_conjunction() {
+        let w = world();
+        assert_eq!(w.mean_response(0, Decision::from_index(0)), 300.0); // isp1 fe1 be1
+        assert_eq!(w.mean_response(0, Decision::from_index(1)), 50.0); // isp1 fe1 be2
+        assert_eq!(w.mean_response(0, Decision::from_index(2)), 50.0); // isp1 fe2 be1
+        assert_eq!(w.mean_response(1, Decision::from_index(0)), 50.0); // isp2 fe1 be1
+    }
+
+    #[test]
+    fn decision_axis_mapping() {
+        assert_eq!(WiseWorld::fe_be(Decision::from_index(0)), (0, 0));
+        assert_eq!(WiseWorld::fe_be(Decision::from_index(1)), (0, 1));
+        assert_eq!(WiseWorld::fe_be(Decision::from_index(2)), (1, 0));
+        assert_eq!(WiseWorld::fe_be(Decision::from_index(3)), (1, 1));
+        let w = world();
+        assert_eq!(w.space().name(1), "fe1/be2");
+    }
+
+    #[test]
+    fn old_policy_mass_matches_pattern() {
+        let w = world();
+        let p = w.old_policy();
+        let ctx = w.context(0);
+        // 500/1010 on arrows, 5/1010 on rare cells.
+        assert!((p.prob(&ctx, Decision::from_index(0)) - 500.0 / 1010.0).abs() < 1e-12);
+        assert!((p.prob(&ctx, Decision::from_index(1)) - 5.0 / 1010.0).abs() < 1e-12);
+        let total: f64 = w.space().iter().map(|d| p.prob(&ctx, d)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_policy_moves_half_of_isp1() {
+        let w = world();
+        let p = w.new_policy();
+        let isp1 = w.context(0);
+        let isp2 = w.context(1);
+        assert!(p.prob(&isp1, Decision::from_index(1)) > 0.5);
+        let total: f64 = w.space().iter().map(|d| p.prob(&isp1, d)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // ISP-2 unchanged.
+        let old = w.old_policy();
+        for d in w.space().iter() {
+            assert_eq!(p.prob(&isp2, d), old.prob(&isp2, d));
+        }
+    }
+
+    #[test]
+    fn new_policy_is_faster_for_isp1() {
+        // Moving ISP-1 traffic off the slow conjunction reduces the true
+        // average response time.
+        let w = world();
+        let pop = w.population();
+        let v_old = w.true_value(&pop, &w.old_policy());
+        let v_new = w.true_value(&pop, &w.new_policy());
+        assert!(
+            v_new < v_old,
+            "new policy {v_new} should be faster than old {v_old}"
+        );
+    }
+
+    #[test]
+    fn trace_counts_roughly_match_pattern() {
+        let w = world();
+        let pop = w.population();
+        let t = w.log_trace(&pop, &w.old_policy(), 3);
+        assert_eq!(t.len(), 2 * 1010);
+        let mut isp1_counts = [0usize; 4];
+        for r in t.records() {
+            if r.context.cat(0) == 0 {
+                isp1_counts[r.decision.index()] += 1;
+            }
+        }
+        assert!(isp1_counts[0] > 400, "{isp1_counts:?}");
+        assert!(isp1_counts[3] > 400, "{isp1_counts:?}");
+        assert!(isp1_counts[1] < 30, "{isp1_counts:?}");
+        assert!(isp1_counts[2] < 30, "{isp1_counts:?}");
+    }
+
+    #[test]
+    fn empirical_mean_near_analytic_truth() {
+        let w = world();
+        let pop = w.population();
+        let t = w.log_trace(&pop, &w.old_policy(), 5);
+        let analytic = w.true_value(&pop, &w.old_policy());
+        assert!((t.mean_reward() - analytic).abs() < 5.0);
+    }
+}

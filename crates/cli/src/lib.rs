@@ -1,0 +1,653 @@
+//! # ddn-cli — trace-driven evaluation from the command line
+//!
+//! A small operator-facing tool over JSONL traces (the interchange format
+//! of `ddn-trace`):
+//!
+//! ```text
+//! ddn stats    <trace.jsonl>
+//! ddn evaluate <trace.jsonl> --decision <name> [--estimator dr|dm|ips|snips|matching]
+//!                            [--model tabular|knn] [--confidence 0.95]
+//! ddn compare  <trace.jsonl> [--estimator ...] [--model ...]
+//! ddn overlap  <trace.jsonl> --decision <name>
+//! ddn repair   <in.jsonl> <out.jsonl> [--smoothing 0.5]
+//! ddn generate <out.jsonl> --world cfa|wise|relay|netsim [--n 1000] [--seed 7]
+//! ```
+//!
+//! `evaluate` scores the constant policy "always take `--decision`" —
+//! the what-if question operators actually ask of a trace ("what if we
+//! pinned everyone to CDN 2?"). `compare` ranks every constant policy.
+//! `repair` fills missing propensities with trace-estimated ones so
+//! legacy telemetry becomes IPS/DR-capable.
+//!
+//! The library surface ([`run`]) takes argv-style strings and returns the
+//! rendered output, which is what the tests drive; `main.rs` is a thin
+//! shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ddn_estimators::{
+    DirectMethod, DoublyRobust, Estimate, Estimator, Ips, MatchingEstimator, OverlapReport,
+    PolicyComparator, SelfNormalizedIps,
+};
+use ddn_models::{KnnConfig, KnnRegressor, RewardModel, TabularMeanModel};
+use ddn_policy::{LookupPolicy, Policy};
+use ddn_stats::bootstrap::bootstrap_ci;
+use ddn_stats::rng::Xoshiro256;
+use ddn_trace::{CoverageReport, EmpiricalPropensity, Trace, TraceStats};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// CLI errors, with user-facing messages.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (usage is included in the message).
+    Usage(String),
+    /// Trace loading/validation failed.
+    Trace(ddn_trace::TraceError),
+    /// Estimation failed.
+    Estimator(ddn_estimators::EstimatorError),
+    /// Filesystem error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Trace(e) => write!(f, "trace error: {e}"),
+            CliError::Estimator(e) => write!(f, "estimation error: {e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ddn_trace::TraceError> for CliError {
+    fn from(e: ddn_trace::TraceError) -> Self {
+        CliError::Trace(e)
+    }
+}
+impl From<ddn_estimators::EstimatorError> for CliError {
+    fn from(e: ddn_estimators::EstimatorError) -> Self {
+        CliError::Estimator(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+const USAGE: &str = "\
+ddn — trace-driven evaluation toolkit
+
+USAGE:
+  ddn stats    <trace.jsonl>
+  ddn evaluate <trace.jsonl> --decision <name> [--estimator dr|dm|ips|snips|matching]
+                             [--model tabular|knn] [--confidence 0.95]
+  ddn compare  <trace.jsonl> [--estimator dr|dm|ips|snips|matching] [--model tabular|knn]
+  ddn overlap  <trace.jsonl> --decision <name>
+  ddn repair   <in.jsonl> <out.jsonl> [--smoothing 0.5]
+  ddn generate <out.jsonl> --world cfa|wise|relay|netsim [--n 1000] [--seed 7]
+";
+
+/// Parsed flag set (very small; hand-rolled on purpose — no CLI deps).
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| {
+                    CliError::Usage(format!("flag --{name} needs a value\n\n{USAGE}"))
+                })?;
+                pairs.push((name.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { positional, pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let file = File::open(path)?;
+    Ok(Trace::read_jsonl(BufReader::new(file))?)
+}
+
+enum ModelChoice {
+    Tabular(TabularMeanModel),
+    Knn(KnnRegressor),
+}
+
+impl RewardModel for ModelChoice {
+    fn predict(&self, c: &ddn_trace::Context, d: ddn_trace::Decision) -> f64 {
+        match self {
+            ModelChoice::Tabular(m) => m.predict(c, d),
+            ModelChoice::Knn(m) => m.predict(c, d),
+        }
+    }
+}
+
+fn fit_model(trace: &Trace, which: &str) -> Result<ModelChoice, CliError> {
+    match which {
+        "tabular" => Ok(ModelChoice::Tabular(TabularMeanModel::fit_trace(
+            trace, 1.0,
+        ))),
+        "knn" => Ok(ModelChoice::Knn(KnnRegressor::fit(
+            trace,
+            KnnConfig::default(),
+        ))),
+        other => Err(CliError::Usage(format!(
+            "unknown model {other:?} (expected tabular|knn)\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn estimate_with(
+    estimator: &str,
+    trace: &Trace,
+    policy: &dyn Policy,
+    model: &ModelChoice,
+) -> Result<Estimate, CliError> {
+    let est = match estimator {
+        "dr" => DoublyRobust::new(model).estimate(trace, policy),
+        "dm" => DirectMethod::new(model).estimate(trace, policy),
+        "ips" => Ips::new().estimate(trace, policy),
+        "snips" => SelfNormalizedIps::new().estimate(trace, policy),
+        "matching" => MatchingEstimator::new().estimate(trace, policy),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown estimator {other:?} (expected dr|dm|ips|snips|matching)\n\n{USAGE}"
+            )))
+        }
+    };
+    Ok(est?)
+}
+
+/// Runs the CLI on argv-style arguments (excluding the program name) and
+/// returns the rendered output.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage(format!("missing subcommand\n\n{USAGE}")));
+    };
+    match cmd.as_str() {
+        "stats" => cmd_stats(rest),
+        "evaluate" => cmd_evaluate(rest),
+        "compare" => cmd_compare(rest),
+        "overlap" => cmd_overlap(rest),
+        "repair" => cmd_repair(rest),
+        "generate" => cmd_generate(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "stats needs exactly one trace path\n\n{USAGE}"
+        )));
+    };
+    let trace = load_trace(path)?;
+    let stats = TraceStats::of(&trace);
+    let coverage = CoverageReport::of(&trace);
+    let mut out = stats.render();
+    out.push_str(&format!(
+        "coverage: {} distinct contexts, {}/{} decisions seen, cell fill {:.1}%\n",
+        coverage.distinct_contexts,
+        coverage.decisions_seen,
+        coverage.decisions_total,
+        100.0 * coverage.cell_fill,
+    ));
+    if coverage.has_unseen_decisions() {
+        out.push_str(
+            "WARNING: some decisions never appear — IPS/DR for policies using them is undefined\n",
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "evaluate needs exactly one trace path\n\n{USAGE}"
+        )));
+    };
+    let decision = flags
+        .get("decision")
+        .ok_or_else(|| CliError::Usage(format!("evaluate needs --decision <name>\n\n{USAGE}")))?;
+    let estimator = flags.get("estimator").unwrap_or("dr");
+    let model_name = flags.get("model").unwrap_or("tabular");
+    let confidence: f64 = flags
+        .get("confidence")
+        .unwrap_or("0.95")
+        .parse()
+        .map_err(|_| CliError::Usage("confidence must be a number".into()))?;
+
+    let trace = load_trace(path)?;
+    let idx = trace.space().position(decision).ok_or_else(|| {
+        CliError::Usage(format!(
+            "decision {decision:?} not in the trace's space {:?}",
+            trace.space().names()
+        ))
+    })?;
+    let policy = LookupPolicy::constant(trace.space().clone(), idx);
+    let model = fit_model(&trace, model_name)?;
+    let est = estimate_with(estimator, &trace, &policy, &model)?;
+    let mut rng = Xoshiro256::seed_from(0xDDCC);
+    let ci = bootstrap_ci(&est.per_record, confidence, 2_000, &mut rng);
+    Ok(format!(
+        "policy: always {decision}\nestimator: {estimator} (model: {model_name})\n\
+         estimate: {:.6}\n{:.0}% CI: [{:.6}, {:.6}]\n\
+         effective sample size: {:.0} of {} | max weight {:.2}\n",
+        est.value,
+        confidence * 100.0,
+        ci.lo,
+        ci.hi,
+        est.diagnostics.effective_sample_size,
+        trace.len(),
+        est.diagnostics.max_weight,
+    ))
+}
+
+fn cmd_compare(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "compare needs exactly one trace path\n\n{USAGE}"
+        )));
+    };
+    let estimator = flags.get("estimator").unwrap_or("dr");
+    let model_name = flags.get("model").unwrap_or("tabular");
+    let trace = load_trace(path)?;
+    let model = fit_model(&trace, model_name)?;
+
+    let policies: Vec<(String, LookupPolicy)> = trace
+        .space()
+        .names()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            (
+                format!("always {n}"),
+                LookupPolicy::constant(trace.space().clone(), i),
+            )
+        })
+        .collect();
+    let slate: Vec<(&str, &dyn Policy)> = policies
+        .iter()
+        .map(|(n, p)| (n.as_str(), p as &dyn Policy))
+        .collect();
+
+    // Wrap the chosen estimator so PolicyComparator can drive it.
+    struct Chosen<'a> {
+        name: String,
+        model: &'a ModelChoice,
+    }
+    impl Estimator for Chosen<'_> {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn estimate(
+            &self,
+            trace: &Trace,
+            policy: &dyn Policy,
+        ) -> Result<Estimate, ddn_estimators::EstimatorError> {
+            match self.name.as_str() {
+                "dr" => DoublyRobust::new(self.model).estimate(trace, policy),
+                "dm" => DirectMethod::new(self.model).estimate(trace, policy),
+                "ips" => Ips::new().estimate(trace, policy),
+                "snips" => SelfNormalizedIps::new().estimate(trace, policy),
+                _ => MatchingEstimator::new().estimate(trace, policy),
+            }
+        }
+    }
+    if !matches!(estimator, "dr" | "dm" | "ips" | "snips" | "matching") {
+        return Err(CliError::Usage(format!(
+            "unknown estimator {estimator:?} (expected dr|dm|ips|snips|matching)\n\n{USAGE}"
+        )));
+    }
+    let chosen = Chosen {
+        name: estimator.to_string(),
+        model: &model,
+    };
+    let mut rng = Xoshiro256::seed_from(0xCCDD);
+    let cmp = PolicyComparator::new(&chosen).compare(&trace, &slate, &mut rng);
+    let mut out = format!("estimator: {estimator} (model: {model_name})\n");
+    out.push_str(&cmp.render());
+    match cmp.decisive() {
+        Some(true) => out.push_str("verdict: decisive (winner's CI clears the runner-up)\n"),
+        Some(false) => out.push_str(
+            "verdict: NOT decisive — CIs overlap; collect more (or more randomized) data\n",
+        ),
+        None => out.push_str("verdict: no candidate evaluable\n"),
+    }
+    Ok(out)
+}
+
+fn cmd_overlap(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "overlap needs exactly one trace path\n\n{USAGE}"
+        )));
+    };
+    let decision = flags
+        .get("decision")
+        .ok_or_else(|| CliError::Usage(format!("overlap needs --decision <name>\n\n{USAGE}")))?;
+    let trace = load_trace(path)?;
+    let idx = trace.space().position(decision).ok_or_else(|| {
+        CliError::Usage(format!(
+            "decision {decision:?} not in the trace's space {:?}",
+            trace.space().names()
+        ))
+    })?;
+    let policy = LookupPolicy::constant(trace.space().clone(), idx);
+    let report = OverlapReport::analyze(&trace, &policy)?;
+    Ok(format!("policy: always {decision}\n{}", report.render()))
+}
+
+fn cmd_repair(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [input, output] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "repair needs input and output paths\n\n{USAGE}"
+        )));
+    };
+    let smoothing: f64 = flags
+        .get("smoothing")
+        .unwrap_or("0.5")
+        .parse()
+        .map_err(|_| CliError::Usage("smoothing must be a number".into()))?;
+    let trace = load_trace(input)?;
+    let missing = trace
+        .records()
+        .iter()
+        .filter(|r| r.propensity.is_none())
+        .count();
+    let fitted = EmpiricalPropensity::fit(&trace, smoothing);
+    let repaired_records: Vec<_> = trace
+        .records()
+        .iter()
+        .map(|r| {
+            if r.propensity.is_some() {
+                r.clone()
+            } else {
+                let p = fitted.prob(&r.context, r.decision).clamp(1e-9, 1.0);
+                let mut r = r.clone();
+                r.propensity = Some(p);
+                r
+            }
+        })
+        .collect();
+    let repaired = Trace::from_records(
+        trace.schema().clone(),
+        trace.space().clone(),
+        repaired_records,
+    )?;
+    let file = File::create(output)?;
+    repaired.write_jsonl(BufWriter::new(file))?;
+    Ok(format!(
+        "repaired {missing} of {} records with empirical propensities (smoothing {smoothing}); \
+         wrote {output}\n",
+        repaired.len(),
+    ))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [output] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "generate needs an output path\n\n{USAGE}"
+        )));
+    };
+    let world = flags
+        .get("world")
+        .ok_or_else(|| CliError::Usage(format!("generate needs --world <name>\n\n{USAGE}")))?;
+    let n: usize = flags
+        .get("n")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|_| CliError::Usage("n must be a positive integer".into()))?;
+    let seed: u64 = flags
+        .get("seed")
+        .unwrap_or("7")
+        .parse()
+        .map_err(|_| CliError::Usage("seed must be an integer".into()))?;
+    if n == 0 {
+        return Err(CliError::Usage("n must be at least 1".into()));
+    }
+
+    let trace = match world {
+        "cfa" => {
+            let w = ddn_cdn::cfa::CfaWorld::new(ddn_cdn::cfa::CfaConfig::default(), seed);
+            let mut rng = Xoshiro256::seed_from(seed ^ 0xAAAA);
+            let clients = w.sample_clients(n, &mut rng);
+            let old = ddn_policy::UniformRandomPolicy::new(w.space().clone());
+            w.log_trace(&clients, &old, seed ^ 0xBBBB)
+        }
+        "wise" => {
+            let w = ddn_cdn::wise::WiseWorld::new(ddn_cdn::wise::WiseConfig::default());
+            // Scale the canonical population to roughly n clients.
+            let pop = w.population();
+            let take = n.min(pop.len()).max(1);
+            w.log_trace(&pop[..take], &w.old_policy(), seed)
+        }
+        "relay" => {
+            let w = ddn_relay::RelayWorld::new(ddn_relay::RelayConfig::default(), seed);
+            let mut rng = Xoshiro256::seed_from(seed ^ 0xCCCC);
+            let calls = w.sample_calls(n, &mut rng);
+            let old = w.nat_only_relay_policy(0.2);
+            w.log_trace(&calls, &old, seed ^ 0xDDDD)
+        }
+        "netsim" => {
+            // Horizon sized so ~n requests arrive at 10 req/s.
+            let horizon = (n as f64 / 10.0).max(1.0);
+            let w = ddn_netsim::small_world(ddn_netsim::RateProfile::Constant(10.0), horizon);
+            let old = ddn_policy::EpsilonSmoothedPolicy::new(
+                Box::new(LookupPolicy::constant(w.space().clone(), 0)),
+                0.3,
+            );
+            w.run(&old, seed).trace
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown world {other:?} (expected cfa|wise|relay|netsim)\n\n{USAGE}"
+            )))
+        }
+    };
+    let file = File::create(output)?;
+    trace.write_jsonl(BufWriter::new(file))?;
+    Ok(format!(
+        "generated {} records from the {world} world (seed {seed}) into {output}\n\
+         decisions: {:?}\n",
+        trace.len(),
+        trace.space().names(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_policy::UniformRandomPolicy;
+    use ddn_stats::rng::Rng;
+    use ddn_trace::{Context, ContextSchema, DecisionSpace, TraceRecord};
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Writes a small trace (reward = decision index) to a temp file and
+    /// returns its path.
+    fn write_temp_trace(name: &str, with_propensity: bool) -> String {
+        let schema = ContextSchema::builder().categorical("g", 2).build();
+        let space = DecisionSpace::of(&["alpha", "beta"]);
+        let old = UniformRandomPolicy::new(space.clone());
+        let mut rng = Xoshiro256::seed_from(1);
+        let records: Vec<TraceRecord> = (0..400)
+            .map(|_| {
+                let g = rng.index(2) as u32;
+                let c = Context::build(&schema).set_cat("g", g).finish();
+                let (d, p) = old.sample_with_prob(&c, &mut rng);
+                let r = TraceRecord::new(c, d, d.index() as f64 + 0.1 * g as f64);
+                if with_propensity {
+                    r.with_propensity(p)
+                } else {
+                    r
+                }
+            })
+            .collect();
+        let trace = Trace::from_records(schema, space, records).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("ddn-cli-test-{name}-{}.jsonl", std::process::id()));
+        let file = File::create(&path).unwrap();
+        trace.write_jsonl(BufWriter::new(file)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn stats_renders_summary() {
+        let path = write_temp_trace("stats", true);
+        let out = run(&args(&["stats", &path])).unwrap();
+        assert!(out.contains("decision"));
+        assert!(out.contains("alpha"));
+        assert!(out.contains("coverage:"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn evaluate_constant_policy() {
+        let path = write_temp_trace("eval", true);
+        let out = run(&args(&[
+            "evaluate",
+            &path,
+            "--decision",
+            "beta",
+            "--estimator",
+            "ips",
+        ]))
+        .unwrap();
+        assert!(out.contains("always beta"));
+        // Truth for "always beta" is 1 + 0.1·E[g] ≈ 1.05.
+        let line = out.lines().find(|l| l.starts_with("estimate:")).unwrap();
+        let v: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((v - 1.05).abs() < 0.1, "estimate {v}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compare_ranks_beta_first() {
+        let path = write_temp_trace("cmp", true);
+        let out = run(&args(&["compare", &path])).unwrap();
+        let beta_pos = out.find("always beta").unwrap();
+        let alpha_pos = out.find("always alpha").unwrap();
+        assert!(beta_pos < alpha_pos, "beta should rank above alpha:\n{out}");
+        assert!(out.contains("verdict:"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn repair_fills_propensities() {
+        let input = write_temp_trace("rep-in", false);
+        let output = std::env::temp_dir()
+            .join(format!("ddn-cli-test-rep-out-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let msg = run(&args(&["repair", &input, &output])).unwrap();
+        assert!(msg.contains("repaired 400 of 400"));
+        let repaired = load_trace(&output).unwrap();
+        assert!(repaired.has_propensities());
+        // Uniform logging → estimated propensities near 0.5.
+        let mean_p: f64 = repaired
+            .records()
+            .iter()
+            .map(|r| r.propensity.unwrap())
+            .sum::<f64>()
+            / repaired.len() as f64;
+        assert!((mean_p - 0.5).abs() < 0.05, "mean propensity {mean_p}");
+        std::fs::remove_file(input).ok();
+        std::fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn overlap_reports_feasibility() {
+        let path = write_temp_trace("ovl", true);
+        let out = run(&args(&["overlap", &path, "--decision", "beta"])).unwrap();
+        assert!(out.contains("effective sample size"));
+        assert!(out.contains("verdict:"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generate_then_full_workflow() {
+        let out = std::env::temp_dir()
+            .join(format!("ddn-cli-gen-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        for world in ["cfa", "wise", "relay", "netsim"] {
+            let msg = run(&args(&[
+                "generate", &out, "--world", world, "--n", "300", "--seed", "3",
+            ]))
+            .unwrap();
+            assert!(msg.contains(world), "{msg}");
+            // The generated trace must be consumable by the other verbs.
+            let stats = run(&args(&["stats", &out])).unwrap();
+            assert!(stats.contains("overall:"), "{world}: {stats}");
+        }
+        assert!(matches!(
+            run(&args(&["generate", &out, "--world", "mars"])),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn usage_errors_are_informative() {
+        assert!(matches!(run(&args(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["bogus"])), Err(CliError::Usage(_))));
+        let path = write_temp_trace("use", true);
+        assert!(matches!(
+            run(&args(&["evaluate", &path])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["evaluate", &path, "--decision", "nope"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&[
+                "evaluate",
+                &path,
+                "--decision",
+                "beta",
+                "--estimator",
+                "magic"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(path).ok();
+        let help = run(&args(&["help"])).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Detection of self-induced state changes — paper §4.1 "Hidden
+//! decision-reward coupling" and §4.3 "Tackling reward-decision coupling".
+//!
+//! "If we assign clients to a specific server … the performance of future
+//! clients using that server instance may be degraded due to increased
+//! load." When the *evaluated* trace was produced while the old policy was
+//! itself shifting the system state, pooling records across the shift
+//! biases any estimator. The paper proposes monitoring a domain-specific
+//! proxy metric (e.g. per-server load) and using change-point detection
+//! (refs \[23, 26\]) to find when "our decisions have affected the system
+//! state", then restricting estimation to records from a consistent
+//! regime.
+//!
+//! [`CouplingDetector`] wraps the PELT detector from `ddn-stats` and turns
+//! its change points into per-record segment labels and filtered
+//! sub-traces.
+
+use crate::estimate::EstimatorError;
+use ddn_stats::changepoint::{pelt, segments, CostModel, Penalty};
+use ddn_trace::Trace;
+
+/// Result of coupling analysis over a trace-aligned proxy series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingReport {
+    /// Change-point indices into the record sequence (each starts a new
+    /// regime). Empty means no self-induced state change was detected.
+    pub changepoints: Vec<usize>,
+    /// Half-open `(start, end)` record ranges of the detected regimes.
+    pub segments: Vec<(usize, usize)>,
+    /// Mean of the proxy within each regime — the "low load / high load /
+    /// overload" levels the paper's threshold scheme would label.
+    pub segment_means: Vec<f64>,
+}
+
+impl CouplingReport {
+    /// Whether any decision-induced state change was detected.
+    pub fn coupled(&self) -> bool {
+        !self.changepoints.is_empty()
+    }
+
+    /// Index of the segment containing record `k`.
+    ///
+    /// # Panics
+    /// Panics if `k` is outside every segment.
+    pub fn segment_of(&self, k: usize) -> usize {
+        self.segments
+            .iter()
+            .position(|&(a, b)| k >= a && k < b)
+            .expect("record index outside all segments")
+    }
+}
+
+/// Change-point-based coupling detector.
+#[derive(Debug, Clone)]
+pub struct CouplingDetector {
+    penalty: Penalty,
+    min_segment: usize,
+}
+
+impl CouplingDetector {
+    /// Creates a detector with BIC penalty and the given minimum regime
+    /// length (in records).
+    ///
+    /// # Panics
+    /// Panics if `min_segment == 0`.
+    pub fn new(min_segment: usize) -> Self {
+        assert!(min_segment > 0, "min_segment must be positive");
+        Self {
+            penalty: Penalty::Bic,
+            min_segment,
+        }
+    }
+
+    /// Overrides the detection penalty (e.g. `Penalty::Manual` to tune
+    /// sensitivity).
+    pub fn with_penalty(mut self, penalty: Penalty) -> Self {
+        self.penalty = penalty;
+        self
+    }
+
+    /// Analyses a proxy series aligned 1:1 with the trace records (e.g.
+    /// the load of the server each request hit, or a smoothed global load
+    /// metric at each logging instant).
+    ///
+    /// # Panics
+    /// Panics if `proxy.len() != trace.len()`.
+    pub fn analyze(&self, trace: &Trace, proxy: &[f64]) -> CouplingReport {
+        assert_eq!(
+            proxy.len(),
+            trace.len(),
+            "proxy series must align 1:1 with trace records"
+        );
+        if proxy.len() < 2 * self.min_segment {
+            // Too short to ever split: single regime.
+            let mean = proxy.iter().sum::<f64>() / proxy.len() as f64;
+            return CouplingReport {
+                changepoints: vec![],
+                segments: vec![(0, proxy.len())],
+                segment_means: vec![mean],
+            };
+        }
+        let cps = pelt(proxy, CostModel::NormalMean, self.penalty, self.min_segment);
+        let segs = segments(proxy.len(), &cps);
+        let means = segs
+            .iter()
+            .map(|&(a, b)| proxy[a..b].iter().sum::<f64>() / (b - a) as f64)
+            .collect();
+        CouplingReport {
+            changepoints: cps,
+            segments: segs,
+            segment_means: means,
+        }
+    }
+
+    /// Returns the sub-trace belonging to regime `segment` of `report`.
+    ///
+    /// Use this to estimate within a consistent system state: "the DR
+    /// estimator can use the empirical data in the trace when the network
+    /// states match" (§4.3).
+    pub fn gate(
+        &self,
+        trace: &Trace,
+        report: &CouplingReport,
+        segment: usize,
+    ) -> Result<Trace, EstimatorError> {
+        let (a, b) = *report
+            .segments
+            .get(segment)
+            .unwrap_or_else(|| panic!("segment {segment} out of range"));
+        let mut idx = 0usize;
+        let filtered = trace.filtered(|_| {
+            let keep = idx >= a && idx < b;
+            idx += 1;
+            keep
+        })?;
+        Ok(filtered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_stats::dist::{Distribution, Normal};
+    use ddn_stats::rng::Xoshiro256;
+    use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, TraceRecord};
+
+    fn trace_of(n: usize) -> Trace {
+        let s = ContextSchema::builder().numeric("x").build();
+        let recs = (0..n)
+            .map(|i| {
+                let c = Context::build(&s).set_numeric("x", i as f64).finish();
+                TraceRecord::new(c, Decision::from_index(0), i as f64)
+            })
+            .collect();
+        Trace::from_records(s, DecisionSpace::of(&["d"]), recs).unwrap()
+    }
+
+    fn shifted_proxy(n1: usize, n2: usize, seed: u64) -> Vec<f64> {
+        let mut g = Xoshiro256::seed_from(seed);
+        let mut p = Normal::new(0.3, 0.05).sample_n(&mut g, n1);
+        p.extend(Normal::new(0.9, 0.05).sample_n(&mut g, n2));
+        p
+    }
+
+    #[test]
+    fn detects_load_shift_and_segments_trace() {
+        let t = trace_of(200);
+        let proxy = shifted_proxy(100, 100, 41);
+        let det = CouplingDetector::new(10);
+        let rep = det.analyze(&t, &proxy);
+        assert!(rep.coupled());
+        assert_eq!(rep.segments.len(), 2);
+        assert!((rep.changepoints[0] as i64 - 100).unsigned_abs() <= 3);
+        assert!(rep.segment_means[0] < 0.5 && rep.segment_means[1] > 0.7);
+
+        // Gate to the first regime: records 0..cp.
+        let gated = det.gate(&t, &rep, 0).unwrap();
+        assert_eq!(gated.len(), rep.changepoints[0]);
+        assert_eq!(gated.records()[0].reward, 0.0);
+        let gated2 = det.gate(&t, &rep, 1).unwrap();
+        assert_eq!(gated2.records()[0].reward, rep.changepoints[0] as f64);
+    }
+
+    #[test]
+    fn stationary_proxy_yields_single_regime() {
+        let t = trace_of(150);
+        let mut g = Xoshiro256::seed_from(42);
+        let proxy = Normal::new(0.5, 0.05).sample_n(&mut g, 150);
+        let rep = CouplingDetector::new(10).analyze(&t, &proxy);
+        assert!(!rep.coupled());
+        assert_eq!(rep.segments, vec![(0, 150)]);
+        assert_eq!(rep.segment_of(0), 0);
+        assert_eq!(rep.segment_of(149), 0);
+    }
+
+    #[test]
+    fn short_series_never_splits() {
+        let t = trace_of(5);
+        let rep = CouplingDetector::new(10).analyze(&t, &[0.0, 10.0, 0.0, 10.0, 0.0]);
+        assert!(!rep.coupled());
+        assert_eq!(rep.segments, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn segment_of_maps_records() {
+        let t = trace_of(200);
+        let proxy = shifted_proxy(100, 100, 43);
+        let rep = CouplingDetector::new(10).analyze(&t, &proxy);
+        let cp = rep.changepoints[0];
+        assert_eq!(rep.segment_of(cp - 1), 0);
+        assert_eq!(rep.segment_of(cp), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "align 1:1")]
+    fn misaligned_proxy_panics() {
+        let t = trace_of(10);
+        let _ = CouplingDetector::new(2).analyze(&t, &[1.0, 2.0]);
+    }
+}

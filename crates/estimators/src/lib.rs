@@ -1,0 +1,72 @@
+//! # ddn-estimators — off-policy evaluators for trace-driven networking
+//!
+//! **This crate is the paper's primary contribution** (§3–§4): given a
+//! trace `T = {(c_k, d_k, r_k)}` logged under an old policy `μ_old` and a
+//! new policy `μ_new`, estimate the expected reward
+//! `V(μ_new) = (1/n) Σ_k Σ_d μ_new(d|c_k) · r(c_k, d)` the new policy would
+//! have obtained on the same clients.
+//!
+//! ## The three basic estimators (paper §3)
+//!
+//! - [`DirectMethod`] (DM) — plug a reward model r̂ into the definition.
+//!   Biased whenever the model is misspecified or under-fit (§2.2.1), but
+//!   low variance: it uses every record.
+//! - [`Ips`] (Inverse Propensity Scoring) — importance-weight the observed
+//!   rewards by `μ_new(d_k|c_k)/μ_old(d_k|c_k)`. Unbiased when propensities
+//!   are correct, but variance explodes when the policies overlap poorly
+//!   (§2.2.2). [`SelfNormalizedIps`] and [`ClippedIps`] are the standard
+//!   variance-reduced variants.
+//! - [`DoublyRobust`] (DR, Eq. 1/2) — DM plus an IPS correction on the
+//!   model's *residuals*. Accurate when **either** the model or the
+//!   propensities are accurate ("second-order bias"), and lower-variance
+//!   than IPS because the residuals are smaller than the rewards.
+//!   [`SwitchDr`] additionally falls back to pure DM for records whose
+//!   importance weight exceeds a threshold.
+//!
+//! ## The networking extensions (paper §4)
+//!
+//! - [`ReplayEvaluator`] — the §4.2 rejection-sampling replay algorithm
+//!   extending DR to non-stationary (history-based) policies.
+//! - [`StateAwareDr`] — §4.3 state matching: only reuse records whose
+//!   system state matches the evaluation target, or transport rewards
+//!   across states with a [`TransitionModel`].
+//! - [`CouplingDetector`] — §4.3 change-point gating: detect self-induced
+//!   state changes from a load-proxy series and segment the trace so DR
+//!   only pools records from comparable regimes.
+//!
+//! ## Experiment harness
+//!
+//! [`experiment`] provides the paper's evaluation protocol: run an
+//! estimator across seeded simulations, compute the relative error
+//! `|V − V̂| / |V|` per run, and aggregate mean/min/max (Figure 7's bars).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coupling;
+pub mod crossfit;
+pub mod dm;
+pub mod dr;
+pub mod estimate;
+pub mod experiment;
+pub mod ips;
+pub mod matching;
+pub mod optimize;
+pub mod overlap;
+pub mod replay;
+pub mod selection;
+pub mod state_aware;
+
+pub use coupling::{CouplingDetector, CouplingReport};
+pub use crossfit::CrossFitDr;
+pub use dm::DirectMethod;
+pub use dr::{DoublyRobust, SwitchDr};
+pub use estimate::{Estimate, Estimator, EstimatorError, WeightDiagnostics};
+pub use experiment::{relative_error, ErrorTable, ExperimentRunner};
+pub use ips::{ClippedIps, Ips, SelfNormalizedIps};
+pub use matching::MatchingEstimator;
+pub use optimize::{dm_greedy_policy, dr_select, SearchResult};
+pub use overlap::OverlapReport;
+pub use replay::{ReplayEvaluator, ReplayOutcome};
+pub use selection::{selection_accuracy, Candidate, Comparison, PolicyComparator};
+pub use state_aware::{ScaleTransition, StateAwareDr, TransitionModel};

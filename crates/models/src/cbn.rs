@@ -1,0 +1,454 @@
+//! A discrete causal-Bayesian-network-style reward model in the spirit of
+//! WISE (paper ref \[38\], §2.2.1).
+//!
+//! WISE "builds a Causal Bayesian Network to capture the effect of
+//! different CDN configurations on average response time". The operative
+//! behaviour — and the pitfall Figure 4 illustrates — is *structure
+//! learning*: from the trace, the model infers **which variables the
+//! reward depends on**, then predicts with the conditional mean given
+//! those parents. When the trace is small or skewed, the learned parent
+//! set is incomplete ("WISE infers an incomplete CBN") and predictions for
+//! counterfactual configurations are systematically wrong.
+//!
+//! [`CausalBayesNet`] reproduces this faithfully:
+//!
+//! 1. Candidate parents are the categorical context features, quantile-
+//!    binned numeric features, and the *decision axes* (a composite
+//!    decision like FE×BE is decomposed into independent axes so structure
+//!    learning can include one axis but miss the other).
+//! 2. The reward node's parent set is chosen by greedy forward selection
+//!    under the Gaussian BIC score.
+//! 3. Prediction is the empirical mean reward conditioned on the selected
+//!    parents' configuration, falling back to the global mean for unseen
+//!    configurations.
+
+use crate::traits::RewardModel;
+use ddn_trace::{Context, Decision, FeatureKind, Trace};
+use std::collections::HashMap;
+
+/// Configuration for [`CausalBayesNet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CbnConfig {
+    /// Cardinalities of the decision axes. Their product must equal the
+    /// decision-space size; the flat decision index is decomposed in
+    /// row-major (last axis fastest) mixed radix. `None` treats the whole
+    /// decision as a single axis.
+    pub decision_axes: Option<Vec<usize>>,
+    /// Number of quantile bins for numeric features.
+    pub numeric_bins: usize,
+    /// Maximum number of parents the reward node may acquire.
+    pub max_parents: usize,
+}
+
+impl Default for CbnConfig {
+    fn default() -> Self {
+        Self {
+            decision_axes: None,
+            numeric_bins: 4,
+            max_parents: 4,
+        }
+    }
+}
+
+/// A candidate parent variable of the reward node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Var {
+    /// A context feature (by schema index).
+    Feature(usize),
+    /// One axis of the (possibly composite) decision.
+    DecisionAxis(usize),
+}
+
+/// The fitted model. See module docs.
+#[derive(Debug, Clone)]
+pub struct CausalBayesNet {
+    parents: Vec<Var>,
+    table: HashMap<Vec<u32>, (f64, f64)>, // config -> (sum, count)
+    global_mean: f64,
+    axes: Vec<usize>,
+    numeric_cuts: Vec<Vec<f64>>, // per feature: bin upper edges (empty for categorical)
+}
+
+impl CausalBayesNet {
+    /// Fits the network on a trace.
+    ///
+    /// # Panics
+    /// Panics if the decision axes don't multiply to the decision-space
+    /// size, or `numeric_bins == 0`.
+    pub fn fit(trace: &Trace, cfg: &CbnConfig) -> Self {
+        assert!(cfg.numeric_bins > 0, "numeric_bins must be positive");
+        let space_len = trace.space().len();
+        let axes = match &cfg.decision_axes {
+            Some(a) => {
+                let prod: usize = a.iter().product();
+                assert_eq!(
+                    prod, space_len,
+                    "decision axes product {prod} must equal decision-space size {space_len}"
+                );
+                a.clone()
+            }
+            None => vec![space_len],
+        };
+
+        // Quantile cuts for numeric features.
+        let schema = trace.schema();
+        let numeric_cuts: Vec<Vec<f64>> = schema
+            .kinds()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| match k {
+                FeatureKind::Categorical { .. } => Vec::new(),
+                FeatureKind::Numeric => {
+                    let mut vals: Vec<f64> =
+                        trace.records().iter().map(|r| r.context.num(i)).collect();
+                    vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+                    (1..cfg.numeric_bins)
+                        .map(|b| {
+                            let pos = b * vals.len() / cfg.numeric_bins;
+                            vals[pos.min(vals.len() - 1)]
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+
+        let candidates: Vec<Var> = (0..schema.len())
+            .map(Var::Feature)
+            .chain((0..axes.len()).map(Var::DecisionAxis))
+            .collect();
+
+        let n = trace.len();
+        let global_mean = trace.mean_reward();
+
+        // Extract each record's value for each candidate var once.
+        let values: Vec<Vec<u32>> = trace
+            .records()
+            .iter()
+            .map(|r| {
+                candidates
+                    .iter()
+                    .map(|v| var_value(*v, &r.context, r.decision, &axes, &numeric_cuts))
+                    .collect()
+            })
+            .collect();
+        let rewards: Vec<f64> = trace.records().iter().map(|r| r.reward).collect();
+
+        // Greedy forward selection by BIC.
+        let mut selected: Vec<usize> = Vec::new(); // indices into `candidates`
+        let mut best_bic = bic_for(&selected, &values, &rewards);
+        loop {
+            if selected.len() >= cfg.max_parents {
+                break;
+            }
+            let mut improvement: Option<(usize, f64)> = None;
+            for (ci, _) in candidates.iter().enumerate() {
+                if selected.contains(&ci) {
+                    continue;
+                }
+                let mut trial = selected.clone();
+                trial.push(ci);
+                let score = bic_for(&trial, &values, &rewards);
+                if score < best_bic && improvement.is_none_or(|(_, s)| score < s) {
+                    improvement = Some((ci, score));
+                }
+            }
+            match improvement {
+                Some((ci, score)) => {
+                    selected.push(ci);
+                    best_bic = score;
+                }
+                None => break,
+            }
+        }
+
+        // Build the conditional mean table over the selected parents.
+        let parents: Vec<Var> = selected.iter().map(|&ci| candidates[ci]).collect();
+        let mut table: HashMap<Vec<u32>, (f64, f64)> = HashMap::new();
+        for k in 0..n {
+            let config: Vec<u32> = selected.iter().map(|&ci| values[k][ci]).collect();
+            let e = table.entry(config).or_insert((0.0, 0.0));
+            e.0 += rewards[k];
+            e.1 += 1.0;
+        }
+
+        Self {
+            parents,
+            table,
+            global_mean,
+            axes,
+            numeric_cuts,
+        }
+    }
+
+    /// The learned parent set of the reward node.
+    pub fn parents(&self) -> &[Var] {
+        &self.parents
+    }
+
+    /// Whether the learned structure includes the given variable.
+    pub fn depends_on(&self, v: Var) -> bool {
+        self.parents.contains(&v)
+    }
+
+    /// Number of parent configurations observed at fit time.
+    pub fn configurations(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// Value of a candidate variable for one (context, decision) pair.
+fn var_value(v: Var, ctx: &Context, d: Decision, axes: &[usize], numeric_cuts: &[Vec<f64>]) -> u32 {
+    match v {
+        Var::Feature(i) => match ctx.get(i) {
+            ddn_trace::FeatureValue::Cat(c) => c,
+            ddn_trace::FeatureValue::Num(x) => {
+                let cuts = &numeric_cuts[i];
+                cuts.iter().take_while(|&&c| x > c).count() as u32
+            }
+        },
+        Var::DecisionAxis(a) => {
+            // Row-major mixed radix: last axis varies fastest.
+            let mut idx = d.index();
+            for &radix in &axes[(a + 1)..] {
+                idx /= radix;
+            }
+            (idx % axes[a]) as u32
+        }
+    }
+}
+
+/// Gaussian BIC of predicting rewards by the conditional mean given the
+/// configuration of the chosen variables. Lower is better.
+fn bic_for(chosen: &[usize], values: &[Vec<u32>], rewards: &[f64]) -> f64 {
+    let n = rewards.len();
+    let mut groups: HashMap<Vec<u32>, (f64, f64, f64)> = HashMap::new(); // (sum, sumsq, count)
+    for k in 0..n {
+        let config: Vec<u32> = chosen.iter().map(|&ci| values[k][ci]).collect();
+        let e = groups.entry(config).or_insert((0.0, 0.0, 0.0));
+        e.0 += rewards[k];
+        e.1 += rewards[k] * rewards[k];
+        e.2 += 1.0;
+    }
+    let rss: f64 = groups
+        .values()
+        .map(|&(s, ss, c)| (ss - s * s / c).max(0.0))
+        .sum();
+    let params = groups.len() as f64;
+    let nf = n as f64;
+    nf * (rss / nf).max(1e-12).ln() + params * nf.ln()
+}
+
+impl RewardModel for CausalBayesNet {
+    fn predict(&self, ctx: &Context, d: Decision) -> f64 {
+        let config: Vec<u32> = self
+            .parents
+            .iter()
+            .map(|v| var_value(*v, ctx, d, &self.axes, &self.numeric_cuts))
+            .collect();
+        match self.table.get(&config) {
+            Some(&(sum, count)) => sum / count,
+            None => self.global_mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_stats::rng::{Rng, Xoshiro256};
+    use ddn_trace::{ContextSchema, DecisionSpace, TraceRecord};
+
+    /// WISE-like world: ISP context feature, FE×BE composite decision,
+    /// response time long only for (ISP-1, FE-1, BE-1). Rewards = −latency.
+    fn wise_schema() -> ContextSchema {
+        ContextSchema::builder().categorical("isp", 2).build()
+    }
+
+    fn wise_space() -> DecisionSpace {
+        DecisionSpace::product(&["fe1", "fe2"], &["be1", "be2"])
+    }
+
+    fn wise_reward(isp: u32, fe: u32, be: u32, rng: &mut dyn Rng) -> f64 {
+        let long = isp == 0 && fe == 0 && be == 0;
+        let base = if long { -10.0 } else { -1.0 };
+        base + 0.1 * (rng.next_f64() - 0.5)
+    }
+
+    fn wise_trace(per_cell: usize, seed: u64) -> Trace {
+        let s = wise_schema();
+        let sp = wise_space();
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut recs = Vec::new();
+        for isp in 0..2u32 {
+            for fe in 0..2u32 {
+                for be in 0..2u32 {
+                    for _ in 0..per_cell {
+                        let c = Context::build(&s).set_cat("isp", isp).finish();
+                        let d = Decision::from_index((fe * 2 + be) as usize);
+                        recs.push(TraceRecord::new(c, d, wise_reward(isp, fe, be, &mut rng)));
+                    }
+                }
+            }
+        }
+        Trace::from_records(s, sp, recs).unwrap()
+    }
+
+    #[test]
+    fn learns_full_structure_with_ample_balanced_data() {
+        let t = wise_trace(100, 1);
+        let cfg = CbnConfig {
+            decision_axes: Some(vec![2, 2]),
+            ..Default::default()
+        };
+        let m = CausalBayesNet::fit(&t, &cfg);
+        assert!(m.depends_on(Var::Feature(0)), "parents: {:?}", m.parents());
+        assert!(
+            m.depends_on(Var::DecisionAxis(0)),
+            "parents: {:?}",
+            m.parents()
+        );
+        assert!(
+            m.depends_on(Var::DecisionAxis(1)),
+            "parents: {:?}",
+            m.parents()
+        );
+
+        // Predictions match ground truth.
+        let s = wise_schema();
+        let c_isp1 = Context::build(&s).set_cat("isp", 0).finish();
+        let long = m.predict(&c_isp1, Decision::from_index(0)); // fe1/be1
+        let short = m.predict(&c_isp1, Decision::from_index(1)); // fe1/be2
+        assert!(long < -8.0, "long path {long}");
+        assert!(short > -2.0, "short path {short}");
+    }
+
+    #[test]
+    fn decision_axis_decomposition() {
+        let axes = vec![2usize, 3usize];
+        let cuts: Vec<Vec<f64>> = vec![];
+        let s = ContextSchema::builder().build();
+        let ctx = Context::from_values(&s, vec![]);
+        // Flat index 5 = (fe=1, be=2) in row-major with be fastest.
+        let fe = var_value(
+            Var::DecisionAxis(0),
+            &ctx,
+            Decision::from_index(5),
+            &axes,
+            &cuts,
+        );
+        let be = var_value(
+            Var::DecisionAxis(1),
+            &ctx,
+            Decision::from_index(5),
+            &axes,
+            &cuts,
+        );
+        assert_eq!((fe, be), (1, 2));
+        let fe = var_value(
+            Var::DecisionAxis(0),
+            &ctx,
+            Decision::from_index(2),
+            &axes,
+            &cuts,
+        );
+        let be = var_value(
+            Var::DecisionAxis(1),
+            &ctx,
+            Decision::from_index(2),
+            &axes,
+            &cuts,
+        );
+        assert_eq!((fe, be), (0, 2));
+    }
+
+    #[test]
+    fn numeric_features_are_binned() {
+        let s = ContextSchema::builder().numeric("x").build();
+        let recs: Vec<TraceRecord> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let c = Context::build(&s).set_numeric("x", x).finish();
+                // Reward jumps at x = 50.
+                TraceRecord::new(c, Decision::from_index(0), if x < 50.0 { 0.0 } else { 1.0 })
+            })
+            .collect();
+        let t = Trace::from_records(s.clone(), DecisionSpace::of(&["d"]), recs).unwrap();
+        let m = CausalBayesNet::fit(
+            &t,
+            &CbnConfig {
+                numeric_bins: 2,
+                ..Default::default()
+            },
+        );
+        assert!(m.depends_on(Var::Feature(0)));
+        let lo = Context::build(&s).set_numeric("x", 10.0).finish();
+        let hi = Context::build(&s).set_numeric("x", 90.0).finish();
+        assert!(m.predict(&lo, Decision::from_index(0)) < 0.2);
+        assert!(m.predict(&hi, Decision::from_index(0)) > 0.8);
+    }
+
+    #[test]
+    fn irrelevant_features_excluded() {
+        let s = ContextSchema::builder()
+            .categorical("sig", 2)
+            .categorical("noise", 2)
+            .build();
+        let mut rng = Xoshiro256::seed_from(9);
+        let recs: Vec<TraceRecord> = (0..400)
+            .map(|_| {
+                let sig = rng.index(2) as u32;
+                let noise = rng.index(2) as u32;
+                let c = Context::build(&s)
+                    .set_cat("sig", sig)
+                    .set_cat("noise", noise)
+                    .finish();
+                let r = sig as f64 * 5.0 + 0.01 * (rng.next_f64() - 0.5);
+                TraceRecord::new(c, Decision::from_index(0), r)
+            })
+            .collect();
+        let t = Trace::from_records(s, DecisionSpace::of(&["d"]), recs).unwrap();
+        let m = CausalBayesNet::fit(&t, &CbnConfig::default());
+        assert!(m.depends_on(Var::Feature(0)));
+        assert!(
+            !m.depends_on(Var::Feature(1)),
+            "noise feature selected: {:?}",
+            m.parents()
+        );
+    }
+
+    #[test]
+    fn unseen_configuration_falls_back_to_global_mean() {
+        // Only ISP-0 in the trace; query ISP-1.
+        let s = wise_schema();
+        let mut rng = Xoshiro256::seed_from(2);
+        let recs: Vec<TraceRecord> = (0..100)
+            .map(|i| {
+                let c = Context::build(&s).set_cat("isp", 0).finish();
+                let d = Decision::from_index(i % 4);
+                let r = wise_reward(0, (i % 4) as u32 / 2, (i % 4) as u32 % 2, &mut rng);
+                TraceRecord::new(c, d, r)
+            })
+            .collect();
+        let t = Trace::from_records(s.clone(), wise_space(), recs).unwrap();
+        let cfg = CbnConfig {
+            decision_axes: Some(vec![2, 2]),
+            ..Default::default()
+        };
+        let m = CausalBayesNet::fit(&t, &cfg);
+        let c1 = Context::build(&s).set_cat("isp", 1).finish();
+        let pred = m.predict(&c1, Decision::from_index(0));
+        assert!(pred.is_finite());
+    }
+
+    #[test]
+    fn max_parents_caps_structure() {
+        let t = wise_trace(50, 3);
+        let cfg = CbnConfig {
+            decision_axes: Some(vec![2, 2]),
+            max_parents: 1,
+            ..Default::default()
+        };
+        let m = CausalBayesNet::fit(&t, &cfg);
+        assert!(m.parents().len() <= 1);
+    }
+}

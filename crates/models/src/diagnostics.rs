@@ -1,0 +1,103 @@
+//! Model-quality diagnostics.
+//!
+//! §2.2.1's model-misspecification pitfall is invisible if you never check
+//! the model against held-out data. [`ModelDiagnostics`] computes in-trace
+//! fit metrics so experiments (and users) can correlate model error with
+//! estimator error — the heart of the second-order-bias ablation.
+
+use crate::traits::RewardModel;
+use ddn_trace::Trace;
+
+/// Fit quality of a reward model over a trace (on the *logged* decisions —
+/// counterfactual cells are by definition unobservable here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelDiagnostics {
+    /// Mean squared prediction error on logged (context, decision, reward)
+    /// tuples.
+    pub mse: f64,
+    /// Mean absolute error on logged tuples.
+    pub mae: f64,
+    /// Mean signed residual (observed − predicted); a large magnitude
+    /// signals systematic bias, the hallmark of misspecification.
+    pub bias: f64,
+    /// R²: 1 − RSS/TSS (can be negative for models worse than the mean).
+    pub r_squared: f64,
+    /// Number of records scored.
+    pub n: usize,
+}
+
+impl ModelDiagnostics {
+    /// Scores `model` against the observed rewards of `trace`.
+    pub fn evaluate<M: RewardModel + ?Sized>(model: &M, trace: &Trace) -> Self {
+        let n = trace.len();
+        let mean_reward = trace.mean_reward();
+        let mut sse = 0.0;
+        let mut sae = 0.0;
+        let mut sres = 0.0;
+        let mut tss = 0.0;
+        for r in trace.records() {
+            let pred = model.predict(&r.context, r.decision);
+            let res = r.reward - pred;
+            sse += res * res;
+            sae += res.abs();
+            sres += res;
+            tss += (r.reward - mean_reward).powi(2);
+        }
+        let nf = n as f64;
+        Self {
+            mse: sse / nf,
+            mae: sae / nf,
+            bias: sres / nf,
+            r_squared: if tss > 0.0 { 1.0 - sse / tss } else { 1.0 },
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{ConstantModel, FnModel};
+    use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, TraceRecord};
+
+    fn trace() -> Trace {
+        let s = ContextSchema::builder().numeric("x").build();
+        let recs = (0..10)
+            .map(|i| {
+                let x = i as f64;
+                let c = Context::build(&s).set_numeric("x", x).finish();
+                TraceRecord::new(c, Decision::from_index(0), 2.0 * x)
+            })
+            .collect();
+        Trace::from_records(s, DecisionSpace::of(&["d"]), recs).unwrap()
+    }
+
+    #[test]
+    fn perfect_model_scores_perfectly() {
+        let m = FnModel::new(|c: &Context, _| 2.0 * c.num(0));
+        let d = ModelDiagnostics::evaluate(&m, &trace());
+        assert_eq!(d.mse, 0.0);
+        assert_eq!(d.mae, 0.0);
+        assert_eq!(d.bias, 0.0);
+        assert_eq!(d.r_squared, 1.0);
+        assert_eq!(d.n, 10);
+    }
+
+    #[test]
+    fn mean_model_has_zero_r_squared() {
+        let t = trace();
+        let m = ConstantModel::new(t.mean_reward());
+        let d = ModelDiagnostics::evaluate(&m, &t);
+        assert!(d.r_squared.abs() < 1e-12);
+        assert!(d.bias.abs() < 1e-12);
+        assert!(d.mse > 0.0);
+    }
+
+    #[test]
+    fn biased_model_shows_signed_residual() {
+        let m = FnModel::new(|c: &Context, _| 2.0 * c.num(0) - 3.0); // systematically low
+        let d = ModelDiagnostics::evaluate(&m, &trace());
+        assert!((d.bias - 3.0).abs() < 1e-12);
+        assert!((d.mae - 3.0).abs() < 1e-12);
+    }
+}

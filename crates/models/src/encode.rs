@@ -1,0 +1,156 @@
+//! One-hot feature encoding shared by the linear models.
+
+use ddn_trace::{Context, ContextSchema, FeatureKind};
+
+/// Encodes contexts into dense design-matrix rows: categorical features are
+/// one-hot expanded, numeric features are passed through (optionally
+/// z-standardized), and a bias/intercept column is appended.
+#[derive(Debug, Clone)]
+pub struct OneHotEncoder {
+    kinds: Vec<FeatureKind>,
+    num_mean: Vec<f64>,
+    num_std: Vec<f64>,
+    width: usize,
+}
+
+impl OneHotEncoder {
+    /// Builds an encoder for `schema`. `numeric_stats` optionally supplies
+    /// `(mean, std)` per feature (ignored entries for categorical
+    /// features); when `None`, numeric features pass through unscaled.
+    pub fn new(schema: &ContextSchema, numeric_stats: Option<(Vec<f64>, Vec<f64>)>) -> Self {
+        let kinds = schema.kinds().to_vec();
+        let width = 1 + kinds
+            .iter()
+            .map(|k| match k {
+                FeatureKind::Categorical { cardinality } => *cardinality as usize,
+                FeatureKind::Numeric => 1,
+            })
+            .sum::<usize>();
+        let (num_mean, num_std) = match numeric_stats {
+            Some((m, s)) => {
+                assert_eq!(m.len(), kinds.len(), "mean vector length mismatch");
+                assert_eq!(s.len(), kinds.len(), "std vector length mismatch");
+                (
+                    m,
+                    s.into_iter()
+                        .map(|x| if x > 1e-12 { x } else { 1.0 })
+                        .collect(),
+                )
+            }
+            None => (vec![0.0; kinds.len()], vec![1.0; kinds.len()]),
+        };
+        Self {
+            kinds,
+            num_mean,
+            num_std,
+            width,
+        }
+    }
+
+    /// Computes per-feature mean/std of the numeric features over contexts,
+    /// for use as `numeric_stats`.
+    pub fn stats_of<'a>(
+        schema: &ContextSchema,
+        contexts: impl Iterator<Item = &'a Context>,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let dim = schema.len();
+        let mut mean = vec![0.0; dim];
+        let mut var = vec![0.0; dim];
+        let mut n = 0.0;
+        let rows: Vec<Vec<f64>> = contexts.map(|c| c.dense()).collect();
+        for row in &rows {
+            n += 1.0;
+            for (m, x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        if n > 0.0 {
+            for m in &mut mean {
+                *m /= n;
+            }
+            for row in &rows {
+                for (v, (x, m)) in var.iter_mut().zip(row.iter().zip(&mean)) {
+                    *v += (x - m).powi(2);
+                }
+            }
+            for v in &mut var {
+                *v = (*v / n).sqrt();
+            }
+        }
+        (mean, var)
+    }
+
+    /// Width of encoded rows (including the intercept column).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encodes one context.
+    pub fn encode(&self, ctx: &Context) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.width);
+        row.push(1.0); // intercept
+        for (i, kind) in self.kinds.iter().enumerate() {
+            match kind {
+                FeatureKind::Categorical { cardinality } => {
+                    let code = ctx.cat(i) as usize;
+                    for j in 0..*cardinality as usize {
+                        row.push(if j == code { 1.0 } else { 0.0 });
+                    }
+                }
+                FeatureKind::Numeric => {
+                    row.push((ctx.num(i) - self.num_mean[i]) / self.num_std[i]);
+                }
+            }
+        }
+        debug_assert_eq!(row.len(), self.width);
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_trace::ContextSchema;
+
+    #[test]
+    fn encodes_mixed_features() {
+        let s = ContextSchema::builder()
+            .categorical("c", 3)
+            .numeric("x")
+            .build();
+        let enc = OneHotEncoder::new(&s, None);
+        assert_eq!(enc.width(), 1 + 3 + 1);
+        let ctx = Context::build(&s)
+            .set_cat("c", 1)
+            .set_numeric("x", 2.5)
+            .finish();
+        assert_eq!(enc.encode(&ctx), vec![1.0, 0.0, 1.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn standardizes_numeric() {
+        let s = ContextSchema::builder().numeric("x").build();
+        let enc = OneHotEncoder::new(&s, Some((vec![10.0], vec![2.0])));
+        let ctx = Context::build(&s).set_numeric("x", 14.0).finish();
+        assert_eq!(enc.encode(&ctx), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn stats_of_computes_mean_std() {
+        let s = ContextSchema::builder().numeric("x").build();
+        let c1 = Context::build(&s).set_numeric("x", 2.0).finish();
+        let c2 = Context::build(&s).set_numeric("x", 6.0).finish();
+        let (mean, std) = OneHotEncoder::stats_of(&s, [&c1, &c2].into_iter());
+        assert_eq!(mean, vec![4.0]);
+        assert_eq!(std, vec![2.0]);
+    }
+
+    #[test]
+    fn zero_std_degrades_gracefully() {
+        let s = ContextSchema::builder().numeric("x").build();
+        let enc = OneHotEncoder::new(&s, Some((vec![5.0], vec![0.0])));
+        let ctx = Context::build(&s).set_numeric("x", 5.0).finish();
+        // std floored to 1.0 → encoded as 0.0, not NaN.
+        assert_eq!(enc.encode(&ctx), vec![1.0, 0.0]);
+    }
+}

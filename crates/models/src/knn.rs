@@ -1,0 +1,317 @@
+//! k-nearest-neighbour regression (paper ref \[25\]) — the reward model the
+//! paper pairs with DR in the CFA experiment (Figure 7c: "The DM estimates
+//! are based on a k-NN model trained by the trace").
+
+use crate::traits::RewardModel;
+use ddn_trace::{Context, Decision, Trace};
+
+/// Configuration for [`KnnRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnConfig {
+    /// Number of neighbours to average.
+    pub k: usize,
+    /// Whether to z-standardize features using the fitting trace's
+    /// per-feature mean/std (recommended whenever numeric features are on
+    /// different scales).
+    pub standardize: bool,
+    /// If true, only records with the queried decision are candidate
+    /// neighbours (separate neighbourhoods per decision — the CFA setup);
+    /// if false, records with other decisions are used as neighbours too,
+    /// which borrows strength but is biased when decisions matter.
+    pub match_decision: bool,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            standardize: true,
+            match_decision: true,
+        }
+    }
+}
+
+/// Brute-force k-NN reward regressor over dense feature vectors
+/// (categorical codes cast to ℝ; exact matches dominate at distance 0).
+///
+/// Prediction: mean reward of the `k` nearest fitting records (among
+/// those with the queried decision when `match_decision`), falling back to
+/// the per-decision mean and then the global mean when no candidates exist.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    points: Vec<(Vec<f64>, usize, f64)>, // (standardized features, decision, reward)
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    per_decision_mean: Vec<Option<f64>>,
+    global_mean: f64,
+    cfg: KnnConfig,
+}
+
+impl KnnRegressor {
+    /// Fits the regressor on a trace.
+    ///
+    /// # Panics
+    /// Panics if `cfg.k == 0`.
+    pub fn fit(trace: &Trace, cfg: KnnConfig) -> Self {
+        assert!(cfg.k > 0, "k must be at least 1");
+        let dim = trace.schema().len();
+        let n = trace.len() as f64;
+
+        // Feature standardization statistics.
+        let mut mean = vec![0.0; dim];
+        let mut std = vec![1.0; dim];
+        if cfg.standardize && dim > 0 {
+            for r in trace.records() {
+                for (m, x) in mean.iter_mut().zip(r.context.dense()) {
+                    *m += x;
+                }
+            }
+            for m in &mut mean {
+                *m /= n;
+            }
+            let mut var = vec![0.0; dim];
+            for r in trace.records() {
+                for (v, (x, m)) in var.iter_mut().zip(r.context.dense().iter().zip(&mean)) {
+                    *v += (x - m).powi(2);
+                }
+            }
+            for (s, v) in std.iter_mut().zip(var) {
+                let sd = (v / n).sqrt();
+                *s = if sd > 1e-12 { sd } else { 1.0 };
+            }
+        } else {
+            mean = vec![0.0; dim];
+        }
+
+        let k_dec = trace.space().len();
+        let mut dec_sum = vec![(0.0, 0.0); k_dec];
+        let mut global = (0.0, 0.0);
+        let points = trace
+            .records()
+            .iter()
+            .map(|r| {
+                let z: Vec<f64> = r
+                    .context
+                    .dense()
+                    .iter()
+                    .zip(mean.iter().zip(&std))
+                    .map(|(x, (m, s))| (x - m) / s)
+                    .collect();
+                dec_sum[r.decision.index()].0 += r.reward;
+                dec_sum[r.decision.index()].1 += 1.0;
+                global.0 += r.reward;
+                global.1 += 1.0;
+                (z, r.decision.index(), r.reward)
+            })
+            .collect();
+        let per_decision_mean = dec_sum
+            .into_iter()
+            .map(|(s, c)| if c > 0.0 { Some(s / c) } else { None })
+            .collect();
+        Self {
+            points,
+            mean,
+            std,
+            per_decision_mean,
+            global_mean: if global.1 > 0.0 {
+                global.0 / global.1
+            } else {
+                0.0
+            },
+            cfg,
+        }
+    }
+
+    fn standardized(&self, ctx: &Context) -> Vec<f64> {
+        ctx.dense()
+            .iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect()
+    }
+
+    /// The fitted global mean reward.
+    pub fn global_mean(&self) -> f64 {
+        self.global_mean
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+impl RewardModel for KnnRegressor {
+    fn predict(&self, ctx: &Context, d: Decision) -> f64 {
+        let q = self.standardized(ctx);
+        // Collect (distance, reward) among candidates.
+        let mut cand: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .filter(|(_, dec, _)| !self.cfg.match_decision || *dec == d.index())
+            .map(|(z, _, r)| (sq_dist(&q, z), *r))
+            .collect();
+        if cand.is_empty() {
+            return self
+                .per_decision_mean
+                .get(d.index())
+                .copied()
+                .flatten()
+                .unwrap_or(self.global_mean);
+        }
+        let k = self.cfg.k.min(cand.len());
+        cand.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("NaN distance in k-NN")
+        });
+        cand[..k].iter().map(|(_, r)| r).sum::<f64>() / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_trace::{ContextSchema, DecisionSpace, TraceRecord};
+
+    fn schema() -> ContextSchema {
+        ContextSchema::builder().numeric("x").build()
+    }
+
+    fn trace(rows: &[(f64, usize, f64)]) -> Trace {
+        let s = schema();
+        let recs = rows
+            .iter()
+            .map(|&(x, d, r)| {
+                let c = Context::build(&s).set_numeric("x", x).finish();
+                TraceRecord::new(c, Decision::from_index(d), r)
+            })
+            .collect();
+        Trace::from_records(s, DecisionSpace::of(&["a", "b"]), recs).unwrap()
+    }
+
+    fn ctx(x: f64) -> Context {
+        Context::build(&schema()).set_numeric("x", x).finish()
+    }
+
+    #[test]
+    fn one_nn_returns_nearest_reward() {
+        let t = trace(&[(0.0, 0, 1.0), (10.0, 0, 5.0)]);
+        let m = KnnRegressor::fit(
+            &t,
+            KnnConfig {
+                k: 1,
+                standardize: false,
+                match_decision: true,
+            },
+        );
+        assert_eq!(m.predict(&ctx(1.0), Decision::from_index(0)), 1.0);
+        assert_eq!(m.predict(&ctx(9.0), Decision::from_index(0)), 5.0);
+    }
+
+    #[test]
+    fn k_averages_neighbours() {
+        let t = trace(&[(0.0, 0, 1.0), (1.0, 0, 3.0), (100.0, 0, 100.0)]);
+        let m = KnnRegressor::fit(
+            &t,
+            KnnConfig {
+                k: 2,
+                standardize: false,
+                match_decision: true,
+            },
+        );
+        assert!((m.predict(&ctx(0.5), Decision::from_index(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_matching_separates_neighbourhoods() {
+        let t = trace(&[(0.0, 0, 1.0), (0.0, 1, 9.0)]);
+        let m = KnnRegressor::fit(
+            &t,
+            KnnConfig {
+                k: 5,
+                standardize: false,
+                match_decision: true,
+            },
+        );
+        assert_eq!(m.predict(&ctx(0.0), Decision::from_index(0)), 1.0);
+        assert_eq!(m.predict(&ctx(0.0), Decision::from_index(1)), 9.0);
+    }
+
+    #[test]
+    fn without_decision_matching_pools_everything() {
+        let t = trace(&[(0.0, 0, 1.0), (0.0, 1, 9.0)]);
+        let m = KnnRegressor::fit(
+            &t,
+            KnnConfig {
+                k: 5,
+                standardize: false,
+                match_decision: false,
+            },
+        );
+        assert_eq!(m.predict(&ctx(0.0), Decision::from_index(0)), 5.0);
+    }
+
+    #[test]
+    fn unseen_decision_falls_back() {
+        let t = trace(&[(0.0, 0, 2.0), (1.0, 0, 4.0)]);
+        let m = KnnRegressor::fit(&t, KnnConfig::default());
+        // Decision 1 has no data: fall back to global mean (no decision mean).
+        assert!((m.predict(&ctx(0.0), Decision::from_index(1)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardization_rescales_distances() {
+        // Feature x spans [0, 1000]; with standardization, x=500 is
+        // equidistant in z-space from both clusters just as it is raw —
+        // but a second tiny-scale feature dominates only if standardized.
+        let s = ContextSchema::builder()
+            .numeric("big")
+            .numeric("small")
+            .build();
+        let mk = |b: f64, sm: f64, d: usize, r: f64| {
+            let c = Context::build(&s)
+                .set_numeric("big", b)
+                .set_numeric("small", sm)
+                .finish();
+            TraceRecord::new(c, Decision::from_index(d), r)
+        };
+        let t = Trace::from_records(
+            s.clone(),
+            DecisionSpace::of(&["a"]),
+            vec![
+                mk(0.0, 0.0, 0, 1.0),
+                mk(1000.0, 0.0, 0, 1.0),
+                mk(0.0, 1.0, 0, 9.0),
+                mk(1000.0, 1.0, 0, 9.0),
+            ],
+        )
+        .unwrap();
+        let m = KnnRegressor::fit(
+            &t,
+            KnnConfig {
+                k: 2,
+                standardize: true,
+                match_decision: true,
+            },
+        );
+        // Query near big=500, small=1: with standardization the two
+        // small=1 points are the nearest two.
+        let q = Context::build(&s)
+            .set_numeric("big", 500.0)
+            .set_numeric("small", 1.0)
+            .finish();
+        assert!((m.predict(&q, Decision::from_index(0)) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let t = trace(&[(0.0, 0, 1.0)]);
+        let _ = KnnRegressor::fit(
+            &t,
+            KnnConfig {
+                k: 0,
+                standardize: false,
+                match_decision: true,
+            },
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # ddn-models — hand-rolled reward models
+//!
+//! The Direct Method (paper §3) "uses a reward model r̂(c, d) to predict the
+//! reward of any client c and decision d". Model misspecification is the
+//! paper's first pitfall (§2.2.1), so this crate provides a spectrum of
+//! reward models — from the deliberately fragile to the reasonably robust —
+//! all implemented from scratch:
+//!
+//! - [`TabularMeanModel`] — per-(context, decision) cell means with
+//!   shrinkage toward coarser aggregates; the simplest DM.
+//! - [`KnnRegressor`] — k-nearest-neighbour regression (paper ref \[25\]),
+//!   the model CFA's evaluator is paired with in Figure 7c.
+//! - [`RidgeModel`] — linear (one-hot) ridge regression per decision,
+//!   solved by Cholesky on the normal equations.
+//! - [`TreeRegressor`] — CART regression tree with variance-reduction
+//!   splits.
+//! - [`CausalBayesNet`] — a discrete causal Bayesian network in the style
+//!   of WISE (paper ref \[38\]): it *learns which features the reward depends
+//!   on* by BIC scoring, and with sparse traces learns the wrong structure —
+//!   exactly the Figure 4 pitfall that Figure 7a quantifies.
+//!
+//! All models implement [`RewardModel`], the interface `ddn-estimators`
+//! consumes for DM and DR estimation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cbn;
+pub mod cv;
+pub mod diagnostics;
+pub mod encode;
+pub mod forest;
+pub mod isotonic;
+pub mod knn;
+pub mod ridge;
+pub mod tabular;
+pub mod traits;
+pub mod tree;
+
+pub use cbn::{CausalBayesNet, CbnConfig};
+pub use cv::{cross_validate, select_model, CvScore};
+pub use diagnostics::ModelDiagnostics;
+pub use encode::OneHotEncoder;
+pub use forest::{ForestConfig, ForestRegressor};
+pub use isotonic::{CalibratedModel, Isotonic};
+pub use knn::{KnnConfig, KnnRegressor};
+pub use ridge::RidgeModel;
+pub use tabular::TabularMeanModel;
+pub use traits::{ConstantModel, FnModel, RewardModel};
+pub use tree::{TreeConfig, TreeRegressor};

@@ -1,0 +1,210 @@
+//! Ridge (L2-regularized linear) regression reward model.
+//!
+//! One independent linear model per decision, fit by solving the normal
+//! equations `(XᵀX + λI) w = Xᵀy` with the Cholesky solver from
+//! `ddn-stats::linalg`. A linear model is the canonical *misspecifiable*
+//! DM: when the true reward surface is non-linear in the features (as in
+//! the WISE world, where reward depends on a conjunction of features), a
+//! linear DM is biased no matter how much data it sees — which is exactly
+//! when DR's IPS correction earns its keep.
+
+use crate::encode::OneHotEncoder;
+use crate::traits::RewardModel;
+use ddn_stats::linalg::{dot, Matrix};
+use ddn_trace::{Context, Decision, Trace};
+
+/// Per-decision ridge regression.
+#[derive(Debug, Clone)]
+pub struct RidgeModel {
+    encoder: OneHotEncoder,
+    weights: Vec<Option<Vec<f64>>>, // None when the decision had no data
+    fallback: f64,
+    lambda: f64,
+}
+
+impl RidgeModel {
+    /// Fits one ridge regression per decision with regularization
+    /// `lambda > 0` and z-standardized numeric features.
+    ///
+    /// # Panics
+    /// Panics unless `lambda > 0` (λ = 0 can make the normal equations
+    /// singular for one-hot designs; use a tiny λ instead).
+    pub fn fit(trace: &Trace, lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive, got {lambda}"
+        );
+        let schema = trace.schema();
+        let stats = OneHotEncoder::stats_of(schema, trace.records().iter().map(|r| &r.context));
+        let encoder = OneHotEncoder::new(schema, Some(stats));
+        let k = trace.space().len();
+        let p = encoder.width();
+
+        let mut weights = Vec::with_capacity(k);
+        for d in 0..k {
+            let rows: Vec<(&Context, f64)> = trace
+                .records()
+                .iter()
+                .filter(|r| r.decision.index() == d)
+                .map(|r| (&r.context, r.reward))
+                .collect();
+            if rows.is_empty() {
+                weights.push(None);
+                continue;
+            }
+            let data: Vec<f64> = rows.iter().flat_map(|(c, _)| encoder.encode(c)).collect();
+            let x = Matrix::from_rows(rows.len(), p, data);
+            let y: Vec<f64> = rows.iter().map(|(_, r)| *r).collect();
+            let mut gram = x.gram();
+            gram.add_diagonal(lambda);
+            let xty = x.transpose_mul_vec(&y);
+            match gram.cholesky_solve(&xty) {
+                Some(w) => weights.push(Some(w)),
+                None => weights.push(None),
+            }
+        }
+        let fallback = trace.mean_reward();
+        Self {
+            encoder,
+            weights,
+            fallback,
+            lambda,
+        }
+    }
+
+    /// The regularization strength used at fit time.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The fitted coefficient vector for decision `d`, if that decision had
+    /// training data.
+    pub fn coefficients(&self, d: Decision) -> Option<&[f64]> {
+        self.weights.get(d.index()).and_then(|w| w.as_deref())
+    }
+}
+
+impl RewardModel for RidgeModel {
+    fn predict(&self, ctx: &Context, d: Decision) -> f64 {
+        match self.weights.get(d.index()).and_then(|w| w.as_ref()) {
+            Some(w) => dot(&self.encoder.encode(ctx), w),
+            None => self.fallback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_trace::{ContextSchema, DecisionSpace, TraceRecord};
+
+    fn linear_trace(n: usize, slope: f64, intercept: f64) -> (Trace, ContextSchema) {
+        let s = ContextSchema::builder().numeric("x").build();
+        let recs = (0..n)
+            .map(|i| {
+                let x = i as f64;
+                let c = Context::build(&s).set_numeric("x", x).finish();
+                TraceRecord::new(c, Decision::from_index(0), slope * x + intercept)
+            })
+            .collect();
+        (
+            Trace::from_records(s.clone(), DecisionSpace::of(&["a", "b"]), recs).unwrap(),
+            s,
+        )
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let (t, s) = linear_trace(50, 2.0, 1.0);
+        let m = RidgeModel::fit(&t, 1e-6);
+        for &x in &[0.0, 10.0, 49.0, 100.0] {
+            let c = Context::build(&s).set_numeric("x", x).finish();
+            let pred = m.predict(&c, Decision::from_index(0));
+            assert!(
+                (pred - (2.0 * x + 1.0)).abs() < 1e-3,
+                "x={x}: predicted {pred}, expected {}",
+                2.0 * x + 1.0
+            );
+        }
+    }
+
+    #[test]
+    fn unseen_decision_uses_fallback() {
+        let (t, s) = linear_trace(10, 1.0, 0.0);
+        let m = RidgeModel::fit(&t, 1e-6);
+        let c = Context::build(&s).set_numeric("x", 3.0).finish();
+        assert!((m.predict(&c, Decision::from_index(1)) - t.mean_reward()).abs() < 1e-12);
+        assert!(m.coefficients(Decision::from_index(1)).is_none());
+        assert!(m.coefficients(Decision::from_index(0)).is_some());
+    }
+
+    #[test]
+    fn heavy_regularization_shrinks_slope() {
+        let (t, s) = linear_trace(20, 2.0, 0.0);
+        let light = RidgeModel::fit(&t, 1e-6);
+        let heavy = RidgeModel::fit(&t, 1e6);
+        let c_far = Context::build(&s).set_numeric("x", 19.0).finish();
+        let c_near = Context::build(&s).set_numeric("x", 9.5).finish();
+        let slope_light = light.predict(&c_far, Decision::from_index(0))
+            - light.predict(&c_near, Decision::from_index(0));
+        let slope_heavy = heavy.predict(&c_far, Decision::from_index(0))
+            - heavy.predict(&c_near, Decision::from_index(0));
+        assert!(slope_heavy.abs() < slope_light.abs() / 10.0);
+    }
+
+    #[test]
+    fn one_hot_categorical_means() {
+        // Reward depends on a category; ridge with one-hot should recover
+        // per-category means.
+        let s = ContextSchema::builder().categorical("g", 2).build();
+        let recs: Vec<TraceRecord> = (0..40)
+            .map(|i| {
+                let g = (i % 2) as u32;
+                let c = Context::build(&s).set_cat("g", g).finish();
+                TraceRecord::new(c, Decision::from_index(0), if g == 0 { 1.0 } else { 5.0 })
+            })
+            .collect();
+        let t = Trace::from_records(s.clone(), DecisionSpace::of(&["a"]), recs).unwrap();
+        let m = RidgeModel::fit(&t, 1e-6);
+        let c0 = Context::build(&s).set_cat("g", 0).finish();
+        let c1 = Context::build(&s).set_cat("g", 1).finish();
+        assert!((m.predict(&c0, Decision::from_index(0)) - 1.0).abs() < 1e-3);
+        assert!((m.predict(&c1, Decision::from_index(0)) - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn linear_model_misspecified_on_xor() {
+        // XOR-style conjunction reward (the WISE pattern): a linear model
+        // cannot represent it; verify it is indeed biased.
+        let s = ContextSchema::builder()
+            .categorical("a", 2)
+            .categorical("b", 2)
+            .build();
+        let mut recs = Vec::new();
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                for _ in 0..25 {
+                    let c = Context::build(&s).set_cat("a", a).set_cat("b", b).finish();
+                    let r = if a == b { 1.0 } else { 0.0 }; // XOR-complement
+                    recs.push(TraceRecord::new(c, Decision::from_index(0), r));
+                }
+            }
+        }
+        let t = Trace::from_records(s.clone(), DecisionSpace::of(&["d"]), recs).unwrap();
+        let m = RidgeModel::fit(&t, 1e-6);
+        let c = Context::build(&s).set_cat("a", 0).set_cat("b", 0).finish();
+        let pred = m.predict(&c, Decision::from_index(0));
+        // The best linear fit of XOR is the constant 0.5 — far from truth 1.0.
+        assert!(
+            (pred - 0.5).abs() < 0.05,
+            "linear model should flatline at 0.5, got {pred}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_panics() {
+        let (t, _) = linear_trace(5, 1.0, 0.0);
+        let _ = RidgeModel::fit(&t, 0.0);
+    }
+}

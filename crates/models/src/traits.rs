@@ -1,0 +1,123 @@
+//! The [`RewardModel`] interface and trivial implementations.
+
+use ddn_trace::{Context, Decision};
+
+/// A reward model r̂(c, d): predicts the reward of taking decision `d` for
+/// client-context `c` (paper §3, Direct Method).
+///
+/// Implementations must return a finite value for *every* (context,
+/// decision) pair — models are expected to fall back to coarser aggregates
+/// for cells they never observed, because the Direct Method queries them for
+/// counterfactual decisions by construction.
+pub trait RewardModel {
+    /// Predicted reward for taking `d` on `c`.
+    fn predict(&self, ctx: &Context, d: Decision) -> f64;
+}
+
+/// Blanket implementation so `&M`, `Box<M>`, `Arc<M>` are models too.
+impl<M: RewardModel + ?Sized> RewardModel for &M {
+    fn predict(&self, ctx: &Context, d: Decision) -> f64 {
+        (**self).predict(ctx, d)
+    }
+}
+
+impl<M: RewardModel + ?Sized> RewardModel for Box<M> {
+    fn predict(&self, ctx: &Context, d: Decision) -> f64 {
+        (**self).predict(ctx, d)
+    }
+}
+
+impl<M: RewardModel + ?Sized> RewardModel for std::sync::Arc<M> {
+    fn predict(&self, ctx: &Context, d: Decision) -> f64 {
+        (**self).predict(ctx, d)
+    }
+}
+
+/// A model that predicts the same constant everywhere. Useful as the
+/// "maximally misspecified" baseline in bias experiments, and as the
+/// zero model that reduces DR to plain IPS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantModel {
+    value: f64,
+}
+
+impl ConstantModel {
+    /// Creates a constant model.
+    ///
+    /// # Panics
+    /// Panics if `value` is non-finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "constant model value must be finite");
+        Self { value }
+    }
+
+    /// The zero model: `r̂ ≡ 0`. Plugging this into DR yields exactly IPS.
+    pub fn zero() -> Self {
+        Self::new(0.0)
+    }
+}
+
+impl RewardModel for ConstantModel {
+    fn predict(&self, _ctx: &Context, _d: Decision) -> f64 {
+        self.value
+    }
+}
+
+/// A model defined by an arbitrary function — the escape hatch for wiring
+/// ground-truth reward functions (perfect models) or analytically
+/// misspecified models into experiments.
+pub struct FnModel<F: Fn(&Context, Decision) -> f64> {
+    f: F,
+}
+
+impl<F: Fn(&Context, Decision) -> f64> FnModel<F> {
+    /// Wraps a prediction function.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: Fn(&Context, Decision) -> f64> RewardModel for FnModel<F> {
+    fn predict(&self, ctx: &Context, d: Decision) -> f64 {
+        (self.f)(ctx, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_trace::ContextSchema;
+
+    fn ctx() -> Context {
+        let s = ContextSchema::builder().numeric("x").build();
+        Context::build(&s).set_numeric("x", 2.0).finish()
+    }
+
+    #[test]
+    fn constant_model_predicts_constant() {
+        let m = ConstantModel::new(3.5);
+        assert_eq!(m.predict(&ctx(), Decision::from_index(0)), 3.5);
+        assert_eq!(m.predict(&ctx(), Decision::from_index(9)), 3.5);
+        assert_eq!(
+            ConstantModel::zero().predict(&ctx(), Decision::from_index(0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn fn_model_delegates() {
+        let m = FnModel::new(|c: &Context, d: Decision| c.num(0) * (d.index() + 1) as f64);
+        assert_eq!(m.predict(&ctx(), Decision::from_index(1)), 4.0);
+    }
+
+    #[test]
+    fn references_and_boxes_are_models() {
+        let m = ConstantModel::new(1.0);
+        let by_ref: &dyn RewardModel = &m;
+        assert_eq!(by_ref.predict(&ctx(), Decision::from_index(0)), 1.0);
+        let boxed: Box<dyn RewardModel> = Box::new(m);
+        assert_eq!(boxed.predict(&ctx(), Decision::from_index(0)), 1.0);
+        let arc: std::sync::Arc<dyn RewardModel> = std::sync::Arc::new(ConstantModel::new(2.0));
+        assert_eq!(arc.predict(&ctx(), Decision::from_index(0)), 2.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! CART regression tree reward model.
+//!
+//! A variance-reduction regression tree over the context features plus the
+//! decision (treated as one extra categorical dimension so the tree can
+//! model decision-dependent rewards and feature×decision interactions).
+//! Unlike the linear model, a deep enough tree *can* represent the WISE
+//! conjunction — given enough data; with sparse traces it reproduces the
+//! "unreliable model from data scarcity" pitfall of §2.2.1.
+
+use crate::traits::RewardModel;
+use ddn_trace::{Context, Decision, Trace};
+
+/// Configuration for [`TreeRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples a leaf may hold.
+    pub min_leaf: usize,
+    /// Minimum total variance reduction for a split to be kept.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 8,
+            min_leaf: 5,
+            min_gain: 1e-9,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        /// Feature index; `usize::MAX` encodes the decision dimension.
+        feature: usize,
+        /// Numeric threshold: left if `x <= threshold`.
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// CART regression tree over `(context, decision) → reward`.
+#[derive(Debug, Clone)]
+pub struct TreeRegressor {
+    root: Node,
+    dim: usize,
+}
+
+const DECISION_FEATURE: usize = usize::MAX;
+
+impl TreeRegressor {
+    /// Fits a tree on a trace.
+    ///
+    /// # Panics
+    /// Panics if `cfg.min_leaf == 0`.
+    pub fn fit(trace: &Trace, cfg: TreeConfig) -> Self {
+        assert!(cfg.min_leaf > 0, "min_leaf must be at least 1");
+        let dim = trace.schema().len();
+        let rows: Vec<(Vec<f64>, f64)> = trace
+            .records()
+            .iter()
+            .map(|r| {
+                let mut x = r.context.dense();
+                x.push(r.decision.index() as f64);
+                (x, r.reward)
+            })
+            .collect();
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let root = Self::build(&rows, idx, 0, &cfg, dim);
+        Self { root, dim }
+    }
+
+    fn mean(rows: &[(Vec<f64>, f64)], idx: &[usize]) -> f64 {
+        idx.iter().map(|&i| rows[i].1).sum::<f64>() / idx.len() as f64
+    }
+
+    fn sse(rows: &[(Vec<f64>, f64)], idx: &[usize]) -> f64 {
+        let m = Self::mean(rows, idx);
+        idx.iter().map(|&i| (rows[i].1 - m).powi(2)).sum()
+    }
+
+    fn build(
+        rows: &[(Vec<f64>, f64)],
+        idx: Vec<usize>,
+        depth: usize,
+        cfg: &TreeConfig,
+        dim: usize,
+    ) -> Node {
+        if depth >= cfg.max_depth || idx.len() < 2 * cfg.min_leaf {
+            return Node::Leaf {
+                value: Self::mean(rows, &idx),
+            };
+        }
+        let parent_sse = Self::sse(rows, &idx);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+
+        // Candidate features: context dims 0..dim plus the decision dim.
+        for f in 0..=dim {
+            let col = |i: usize| rows[i].0[f];
+            // Candidate thresholds: midpoints between consecutive sorted
+            // distinct values.
+            let mut vals: Vec<f64> = idx.iter().map(|&i| col(i)).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            for w in vals.windows(2) {
+                let thr = (w[0] + w[1]) / 2.0;
+                let (mut ls, mut lc, mut lss) = (0.0, 0usize, 0.0);
+                let (mut rs, mut rc, mut rss) = (0.0, 0usize, 0.0);
+                for &i in &idx {
+                    let y = rows[i].1;
+                    if col(i) <= thr {
+                        ls += y;
+                        lss += y * y;
+                        lc += 1;
+                    } else {
+                        rs += y;
+                        rss += y * y;
+                        rc += 1;
+                    }
+                }
+                if lc < cfg.min_leaf || rc < cfg.min_leaf {
+                    continue;
+                }
+                let sse_l = lss - ls * ls / lc as f64;
+                let sse_r = rss - rs * rs / rc as f64;
+                let gain = parent_sse - sse_l - sse_r;
+                if gain > cfg.min_gain && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, thr, gain));
+                }
+            }
+        }
+
+        match best {
+            None => Node::Leaf {
+                value: Self::mean(rows, &idx),
+            },
+            Some((f, thr, _)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.into_iter().partition(|&i| rows[i].0[f] <= thr);
+                let feature = if f == dim { DECISION_FEATURE } else { f };
+                Node::Split {
+                    feature,
+                    threshold: thr,
+                    left: Box::new(Self::build(rows, left_idx, depth + 1, cfg, dim)),
+                    right: Box::new(Self::build(rows, right_idx, depth + 1, cfg, dim)),
+                }
+            }
+        }
+    }
+
+    /// Number of leaves in the fitted tree.
+    pub fn leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+impl RewardModel for TreeRegressor {
+    fn predict(&self, ctx: &Context, d: Decision) -> f64 {
+        let x = ctx.dense();
+        debug_assert_eq!(x.len(), self.dim, "context dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = if *feature == DECISION_FEATURE {
+                        d.index() as f64
+                    } else {
+                        x[*feature]
+                    };
+                    node = if v <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_trace::{ContextSchema, DecisionSpace, TraceRecord};
+
+    fn schema() -> ContextSchema {
+        ContextSchema::builder().numeric("x").build()
+    }
+
+    fn ctx(x: f64) -> Context {
+        Context::build(&schema()).set_numeric("x", x).finish()
+    }
+
+    fn step_trace() -> Trace {
+        // Reward is a step function of x: 0 below 50, 10 above.
+        let s = schema();
+        let recs = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                TraceRecord::new(
+                    Context::build(&s).set_numeric("x", x).finish(),
+                    Decision::from_index(0),
+                    if x < 50.0 { 0.0 } else { 10.0 },
+                )
+            })
+            .collect();
+        Trace::from_records(s, DecisionSpace::of(&["a"]), recs).unwrap()
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let m = TreeRegressor::fit(&step_trace(), TreeConfig::default());
+        assert!((m.predict(&ctx(10.0), Decision::from_index(0)) - 0.0).abs() < 1e-9);
+        assert!((m.predict(&ctx(90.0), Decision::from_index(0)) - 10.0).abs() < 1e-9);
+        assert_eq!(m.leaves(), 2, "a single split suffices");
+    }
+
+    #[test]
+    fn splits_on_decision() {
+        let s = schema();
+        let mut recs = Vec::new();
+        for i in 0..50 {
+            let c = Context::build(&s).set_numeric("x", (i % 5) as f64).finish();
+            recs.push(TraceRecord::new(c.clone(), Decision::from_index(0), 1.0));
+            recs.push(TraceRecord::new(c, Decision::from_index(1), 7.0));
+        }
+        let t = Trace::from_records(s, DecisionSpace::of(&["a", "b"]), recs).unwrap();
+        let m = TreeRegressor::fit(&t, TreeConfig::default());
+        assert!((m.predict(&ctx(2.0), Decision::from_index(0)) - 1.0).abs() < 1e-9);
+        assert!((m.predict(&ctx(2.0), Decision::from_index(1)) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learns_conjunction_with_enough_data() {
+        // The WISE pattern: reward 1 iff a == 1 && b == 1.
+        let s = ContextSchema::builder()
+            .categorical("a", 2)
+            .categorical("b", 2)
+            .build();
+        let mut recs = Vec::new();
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                for _ in 0..30 {
+                    let c = Context::build(&s).set_cat("a", a).set_cat("b", b).finish();
+                    let r = if a == 1 && b == 1 { 1.0 } else { 0.0 };
+                    recs.push(TraceRecord::new(c, Decision::from_index(0), r));
+                }
+            }
+        }
+        let t = Trace::from_records(s.clone(), DecisionSpace::of(&["d"]), recs).unwrap();
+        let m = TreeRegressor::fit(&t, TreeConfig::default());
+        let q = |a: u32, b: u32| {
+            let c = Context::build(&s).set_cat("a", a).set_cat("b", b).finish();
+            m.predict(&c, Decision::from_index(0))
+        };
+        assert!((q(1, 1) - 1.0).abs() < 1e-9);
+        assert!((q(0, 1) - 0.0).abs() < 1e-9);
+        assert!((q(1, 0) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let m = TreeRegressor::fit(
+            &step_trace(),
+            TreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.depth(), 0);
+        assert_eq!(m.leaves(), 1);
+        // Depth-0 tree predicts the global mean.
+        assert!((m.predict(&ctx(0.0), Decision::from_index(0)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let m = TreeRegressor::fit(
+            &step_trace(),
+            TreeConfig {
+                min_leaf: 60,
+                ..Default::default()
+            },
+        );
+        // No split can give both children ≥ 60 of 100 samples.
+        assert_eq!(m.leaves(), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic discrete-event core.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in seconds. A thin wrapper enforcing finiteness and a
+/// total order so it can key the event queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    /// Panics if `t` is negative or non-finite.
+    pub fn new(t: f64) -> Self {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "simulation time must be finite and ≥ 0, got {t}"
+        );
+        Self(t)
+    }
+
+    /// Seconds since simulation start.
+    pub fn secs(&self) -> f64 {
+        self.0
+    }
+
+    /// This time advanced by `dt` seconds.
+    ///
+    /// # Panics
+    /// Panics if `dt` is negative or non-finite.
+    pub fn after(&self, dt: f64) -> SimTime {
+        assert!(
+            dt.is_finite() && dt >= 0.0,
+            "time delta must be finite and ≥ 0, got {dt}"
+        );
+        SimTime(self.0 + dt)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO for determinism.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO ordering among same-time
+/// events — the property that makes whole-simulation determinism possible.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the current time (causality violation).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {} < {}",
+            at.secs(),
+            self.now.secs()
+        );
+        self.heap.push(Entry {
+            time: at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `dt` seconds from now.
+    pub fn schedule_in(&mut self, dt: f64, event: E) {
+        let at = self.now.after(dt);
+        self.schedule(at, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.event)
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(3.0), "c");
+        q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::new(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(5.0), ());
+        assert_eq!(q.now().secs(), 0.0);
+        q.pop();
+        assert_eq!(q.now().secs(), 5.0);
+        q.schedule_in(2.5, ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.secs(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(5.0), ());
+        q.pop();
+        q.schedule(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::new(1.0), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and ≥ 0")]
+    fn negative_time_panics() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(1.0), 1);
+        q.schedule(SimTime::new(10.0), 10);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.secs(), e), (1.0, 1));
+        q.schedule(SimTime::new(5.0), 5);
+        q.schedule(SimTime::new(2.0), 2);
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec![2, 5, 10]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ddn-netsim — deterministic discrete-event network simulator
+//!
+//! The paper's §4 challenges are all *dynamical*: system state drifts with
+//! time-of-day load (§4.1 "System state of the world"), and the policy's
+//! own assignments shift server load (§4.1 "Hidden decision-reward
+//! coupling"). Reproducing those experiments needs a substrate where
+//! rewards actually depend on load and load actually depends on decisions.
+//! This crate is that substrate:
+//!
+//! - [`event`] — a deterministic discrete-event core: a time-ordered
+//!   [`EventQueue`] with stable FIFO tie-breaking.
+//! - [`queueing`] — single-server FIFO queues with exponential service
+//!   times; response time = wait + service (the M/M/1 mechanics that make
+//!   latency blow up as utilization approaches 1).
+//! - [`arrivals`] — non-homogeneous Poisson arrival processes with diurnal
+//!   rate profiles (morning lull vs. evening peak), sampled by thinning.
+//! - [`world`] — the serving world tying it together: ISPs issuing
+//!   requests, a pool of servers, a [`Policy`](ddn_policy::Policy) making
+//!   the server-selection *decision* per request, and trace emission with
+//!   per-record state tags and a load-proxy series for the coupling
+//!   detector.
+//!
+//! Everything is a pure function of the seed: same seed, same trace bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod event;
+pub mod queueing;
+pub mod topology;
+pub mod world;
+
+pub use arrivals::{ArrivalProcess, RateProfile};
+pub use event::{EventQueue, SimTime};
+pub use queueing::QueueServer;
+pub use topology::{wise_like_tiered, TieredConfig, TieredWorld};
+pub use world::{small_world, ServerSpec, SimOutput, World, WorldConfig};

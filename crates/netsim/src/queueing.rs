@@ -1,0 +1,202 @@
+//! Single-server FIFO queues with exponential service.
+//!
+//! The load→latency coupling at the heart of the paper's §4.1 concerns:
+//! a server near saturation serves each request dramatically slower, so a
+//! policy that concentrates traffic on one server degrades the rewards of
+//! the clients that follow — the "hidden decision-reward coupling".
+
+use ddn_stats::dist::{Distribution, Exponential};
+use ddn_stats::rng::Rng;
+
+/// A FIFO M/M/1-style server: requests queue and are served one at a time
+/// with i.i.d. exponential service times.
+///
+/// The simulator drives it with arrival timestamps; the server tracks when
+/// it will next be free and returns each request's departure time and
+/// response time (wait + service).
+#[derive(Debug, Clone)]
+pub struct QueueServer {
+    service: Exponential,
+    /// Absolute time at which the server becomes idle.
+    free_at: f64,
+    /// Number of requests that have arrived but not departed as of the
+    /// last arrival processed (an instantaneous backlog proxy).
+    backlog: usize,
+    /// Departure times of in-flight requests (kept sorted-ish lazily).
+    departures: Vec<f64>,
+    served: u64,
+    busy_time: f64,
+}
+
+impl QueueServer {
+    /// Creates a server with the given mean service rate (requests/sec).
+    ///
+    /// # Panics
+    /// Panics unless `service_rate > 0`.
+    pub fn new(service_rate: f64) -> Self {
+        Self {
+            service: Exponential::new(service_rate),
+            free_at: 0.0,
+            backlog: 0,
+            departures: Vec::new(),
+            served: 0,
+            busy_time: 0.0,
+        }
+    }
+
+    /// Processes an arrival at absolute time `t`, returning
+    /// `(response_time, backlog_at_arrival)` where `response_time` is
+    /// queueing wait plus service and `backlog_at_arrival` counts the
+    /// requests already in the system when this one arrived (the load
+    /// proxy the paper's §4.3 monitors).
+    ///
+    /// Arrivals must be fed in non-decreasing time order.
+    ///
+    /// # Panics
+    /// Panics if `t` is non-finite or negative.
+    pub fn arrive(&mut self, t: f64, rng: &mut dyn Rng) -> (f64, usize) {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "arrival time must be finite and ≥ 0"
+        );
+        // Retire departed requests from the backlog.
+        self.departures.retain(|&d| d > t);
+        let backlog = self.departures.len();
+
+        let start = self.free_at.max(t);
+        let service_time = self.service.sample(rng);
+        let departure = start + service_time;
+        self.free_at = departure;
+        self.departures.push(departure);
+        self.backlog = backlog + 1;
+        self.served += 1;
+        self.busy_time += service_time;
+        (departure - t, backlog)
+    }
+
+    /// Number of requests in the system as of the last processed arrival.
+    pub fn backlog(&self) -> usize {
+        self.backlog
+    }
+
+    /// Number of requests that will still be in the system at time `t`
+    /// (non-mutating; `t` may be at or after the last arrival).
+    pub fn backlog_at(&self, t: f64) -> usize {
+        self.departures.iter().filter(|&&d| d > t).count()
+    }
+
+    /// Total requests this server has accepted.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization estimate over `[0, horizon]`: busy time / horizon.
+    ///
+    /// # Panics
+    /// Panics unless `horizon > 0`.
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        assert!(horizon > 0.0, "horizon must be positive");
+        self.busy_time / horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_stats::rng::Xoshiro256;
+
+    #[test]
+    fn empty_server_serves_immediately() {
+        let mut s = QueueServer::new(10.0);
+        let mut g = Xoshiro256::seed_from(1);
+        let (resp, backlog) = s.arrive(0.0, &mut g);
+        assert_eq!(backlog, 0);
+        assert!(resp > 0.0);
+    }
+
+    #[test]
+    fn mean_response_matches_mm1_low_load() {
+        // λ = 1, μ = 10 → ρ = 0.1; M/M/1 mean response = 1/(μ−λ) ≈ 0.111.
+        let mut s = QueueServer::new(10.0);
+        let mut g = Xoshiro256::seed_from(2);
+        let arr = Exponential::new(1.0);
+        let mut t = 0.0;
+        let n = 50_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            t += arr.sample(&mut g);
+            total += s.arrive(t, &mut g).0;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 1.0 / 9.0).abs() < 0.01, "mean response {mean}");
+    }
+
+    #[test]
+    fn high_load_much_slower_than_low_load() {
+        let run = |lambda: f64| {
+            let mut s = QueueServer::new(10.0);
+            let mut g = Xoshiro256::seed_from(3);
+            let arr = Exponential::new(lambda);
+            let mut t = 0.0;
+            let mut total = 0.0;
+            let n = 20_000;
+            for _ in 0..n {
+                t += arr.sample(&mut g);
+                total += s.arrive(t, &mut g).0;
+            }
+            total / n as f64
+        };
+        let light = run(1.0); // ρ = 0.1
+        let heavy = run(9.0); // ρ = 0.9
+        assert!(
+            heavy > 5.0 * light,
+            "ρ=0.9 response {heavy} should dwarf ρ=0.1 response {light}"
+        );
+    }
+
+    #[test]
+    fn backlog_tracks_queue_buildup() {
+        let mut s = QueueServer::new(10.0);
+        let mut g = Xoshiro256::seed_from(4);
+        // Burst of simultaneous arrivals: backlog counts predecessors.
+        let (_, b0) = s.arrive(0.0, &mut g);
+        let (_, b1) = s.arrive(0.0, &mut g);
+        let (_, b2) = s.arrive(0.0, &mut g);
+        assert_eq!((b0, b1, b2), (0, 1, 2));
+        assert_eq!(s.backlog(), 3);
+        // Long after everything drains, backlog resets.
+        let (_, b) = s.arrive(1e6, &mut g);
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn fifo_departures_monotone() {
+        let mut s = QueueServer::new(5.0);
+        let mut g = Xoshiro256::seed_from(5);
+        let mut t = 0.0;
+        let mut last_departure = 0.0;
+        for _ in 0..1000 {
+            t += 0.01;
+            let (resp, _) = s.arrive(t, &mut g);
+            let dep = t + resp;
+            assert!(
+                dep >= last_departure,
+                "FIFO violated: {dep} < {last_departure}"
+            );
+            last_departure = dep;
+        }
+    }
+
+    #[test]
+    fn utilization_accumulates() {
+        let mut s = QueueServer::new(2.0);
+        let mut g = Xoshiro256::seed_from(6);
+        for i in 0..100 {
+            s.arrive(i as f64 * 10.0, &mut g);
+        }
+        let u = s.utilization(1000.0);
+        // 100 services of mean 0.5s over 1000s ≈ 5% utilization.
+        assert!((u - 0.05).abs() < 0.02, "utilization {u}");
+        assert_eq!(s.served(), 100);
+    }
+}

@@ -1,0 +1,333 @@
+//! Two-tier serving topology: frontend and backend clusters.
+//!
+//! The WISE scenario (paper Figure 4) statically assigns each (ISP, FE,
+//! BE) cell a response time; this module provides the *dynamic* version:
+//! requests traverse a frontend queue and then a backend queue, so the
+//! response time of a configuration emerges from queueing — including the
+//! §4.1 coupling where a configuration that concentrates load on one
+//! cluster degrades itself. The decision space is the FE × BE product,
+//! matching `ddn_models::CbnConfig::decision_axes`.
+
+use crate::arrivals::{ArrivalProcess, RateProfile};
+use crate::queueing::QueueServer;
+use crate::world::SimOutput;
+use ddn_policy::Policy;
+use ddn_stats::rng::{Rng, Xoshiro256};
+use ddn_trace::{Context, ContextSchema, DecisionSpace, StateTag, Trace, TraceRecord};
+
+/// Configuration of a two-tier world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieredConfig {
+    /// Number of client ISPs.
+    pub isps: usize,
+    /// Frontend cluster names and service rates (req/s).
+    pub frontends: Vec<(String, f64)>,
+    /// Backend cluster names and service rates (req/s).
+    pub backends: Vec<(String, f64)>,
+    /// `rtt_fe[isp][fe]`: ISP ↔ frontend network seconds.
+    pub rtt_fe: Vec<Vec<f64>>,
+    /// `rtt_be[fe][be]`: frontend ↔ backend network seconds.
+    pub rtt_be: Vec<Vec<f64>>,
+    /// Aggregate arrival process.
+    pub arrivals: RateProfile,
+    /// Simulation horizon in seconds.
+    pub horizon: f64,
+    /// Combined (FE + BE) backlog at-or-above which a record is tagged
+    /// high-load.
+    pub high_load_backlog: usize,
+    /// Combined backlog at-or-above which a record is tagged overloaded.
+    pub overload_backlog: usize,
+}
+
+impl TieredConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on empty tiers, malformed RTT matrices, or non-positive
+    /// rates/horizon.
+    pub fn validate(&self) {
+        assert!(self.isps > 0, "need at least one ISP");
+        assert!(!self.frontends.is_empty(), "need at least one frontend");
+        assert!(!self.backends.is_empty(), "need at least one backend");
+        assert!(
+            self.frontends
+                .iter()
+                .chain(&self.backends)
+                .all(|(_, r)| *r > 0.0),
+            "service rates must be positive"
+        );
+        assert_eq!(self.rtt_fe.len(), self.isps, "rtt_fe needs one row per ISP");
+        for row in &self.rtt_fe {
+            assert_eq!(
+                row.len(),
+                self.frontends.len(),
+                "rtt_fe row must cover frontends"
+            );
+        }
+        assert_eq!(
+            self.rtt_be.len(),
+            self.frontends.len(),
+            "rtt_be needs one row per FE"
+        );
+        for row in &self.rtt_be {
+            assert_eq!(
+                row.len(),
+                self.backends.len(),
+                "rtt_be row must cover backends"
+            );
+        }
+        self.arrivals.validate();
+        assert!(self.horizon > 0.0, "horizon must be positive");
+        assert!(
+            self.high_load_backlog < self.overload_backlog,
+            "load thresholds must be ordered"
+        );
+    }
+}
+
+/// A two-tier serving world ready to simulate FE×BE selection policies.
+#[derive(Debug, Clone)]
+pub struct TieredWorld {
+    config: TieredConfig,
+    schema: ContextSchema,
+    space: DecisionSpace,
+}
+
+impl TieredWorld {
+    /// Creates a world from a validated config. Decisions are the FE × BE
+    /// product in row-major order (backend varies fastest), named
+    /// `"<fe>/<be>"`.
+    pub fn new(config: TieredConfig) -> Self {
+        config.validate();
+        let schema = ContextSchema::builder()
+            .categorical("isp", config.isps as u32)
+            .numeric("tod_hours")
+            .build();
+        let fe_names: Vec<&str> = config.frontends.iter().map(|(n, _)| n.as_str()).collect();
+        let be_names: Vec<&str> = config.backends.iter().map(|(n, _)| n.as_str()).collect();
+        let space = DecisionSpace::product(&fe_names, &be_names);
+        Self {
+            config,
+            schema,
+            space,
+        }
+    }
+
+    /// The context schema.
+    pub fn schema(&self) -> &ContextSchema {
+        &self.schema
+    }
+
+    /// The FE × BE decision space.
+    pub fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TieredConfig {
+        &self.config
+    }
+
+    /// Decomposes a flat decision index into (fe, be).
+    pub fn fe_be(&self, index: usize) -> (usize, usize) {
+        (
+            index / self.config.backends.len(),
+            index % self.config.backends.len(),
+        )
+    }
+
+    /// Simulates `policy` routing every request. Deterministic in `seed`.
+    pub fn run(&self, policy: &dyn Policy, seed: u64) -> SimOutput {
+        assert_eq!(
+            policy.space().len(),
+            self.space.len(),
+            "policy decision space must match the FE x BE product"
+        );
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut arrival_rng = rng.fork();
+        let mut isp_rng = rng.fork();
+        let mut policy_rng = rng.fork();
+        let mut service_rng = rng.fork();
+
+        let mut arrivals = ArrivalProcess::new(self.config.arrivals.clone());
+        let times = arrivals.arrivals_until(self.config.horizon, &mut arrival_rng);
+        let mut fes: Vec<QueueServer> = self
+            .config
+            .frontends
+            .iter()
+            .map(|(_, r)| QueueServer::new(*r))
+            .collect();
+        let mut bes: Vec<QueueServer> = self
+            .config
+            .backends
+            .iter()
+            .map(|(_, r)| QueueServer::new(*r))
+            .collect();
+
+        let day = 86_400.0;
+        let mut records = Vec::with_capacity(times.len());
+        let mut load_proxy = Vec::with_capacity(times.len());
+        let mut per_server_load: Vec<Vec<u32>> =
+            vec![Vec::with_capacity(times.len()); fes.len() + bes.len()];
+        for t in times {
+            let isp = isp_rng.index(self.config.isps);
+            let tod = (t % day) / 3600.0;
+            let ctx = Context::build(&self.schema)
+                .set_cat("isp", isp as u32)
+                .set_numeric("tod_hours", tod)
+                .finish();
+            let (decision, propensity) = policy.sample_with_prob(&ctx, &mut policy_rng);
+            for (s, q) in fes.iter().chain(bes.iter()).enumerate() {
+                per_server_load[s].push(q.backlog_at(t) as u32);
+            }
+            let (fe, be) = self.fe_be(decision.index());
+            // Serialize through the two tiers: the backend sees the
+            // request when the frontend finishes with it.
+            let (fe_resp, fe_backlog) = fes[fe].arrive(t, &mut service_rng);
+            let be_arrival = t + fe_resp + self.config.rtt_be[fe][be];
+            let (be_resp, be_backlog) = bes[be].arrive(be_arrival, &mut service_rng);
+            let latency =
+                self.config.rtt_fe[isp][fe] + fe_resp + self.config.rtt_be[fe][be] + be_resp;
+            let backlog = fe_backlog + be_backlog;
+            let state = if backlog >= self.config.overload_backlog {
+                StateTag::OVERLOAD
+            } else if backlog >= self.config.high_load_backlog {
+                StateTag::HIGH_LOAD
+            } else {
+                StateTag::LOW_LOAD
+            };
+            records.push(
+                TraceRecord::new(ctx, decision, -latency)
+                    .with_propensity(propensity)
+                    .with_state(state)
+                    .with_timestamp(t),
+            );
+            load_proxy.push(backlog as f64);
+        }
+        let mut per_server: Vec<u64> = fes.iter().map(|s| s.served()).collect();
+        per_server.extend(bes.iter().map(|s| s.served()));
+        let trace = Trace::from_records(self.schema.clone(), self.space.clone(), records)
+            .expect("tiered world emits valid traces");
+        SimOutput {
+            trace,
+            load_proxy,
+            per_server,
+            per_server_load,
+        }
+    }
+
+    /// Ground-truth value of a policy: mean on-policy reward over `runs`
+    /// fresh simulations.
+    pub fn true_value(&self, policy: &dyn Policy, base_seed: u64, runs: usize) -> f64 {
+        assert!(runs > 0, "need at least one run");
+        (0..runs)
+            .map(|i| self.run(policy, base_seed + i as u64).trace.mean_reward())
+            .sum::<f64>()
+            / runs as f64
+    }
+}
+
+/// A ready-made 2 ISP × 2 FE × 2 BE world echoing the paper's Figure 4,
+/// with BE-1 undersized so that concentrating ISP-1 traffic on
+/// (FE-1, BE-1) — the "arrow" configuration — actually produces the long
+/// response times the figure asserts.
+pub fn wise_like_tiered(arrivals: RateProfile, horizon: f64) -> TieredWorld {
+    TieredWorld::new(TieredConfig {
+        isps: 2,
+        frontends: vec![("fe1".into(), 30.0), ("fe2".into(), 30.0)],
+        backends: vec![("be1".into(), 12.0), ("be2".into(), 30.0)],
+        rtt_fe: vec![vec![0.01, 0.03], vec![0.03, 0.01]],
+        rtt_be: vec![vec![0.005, 0.01], vec![0.01, 0.005]],
+        arrivals,
+        horizon,
+        high_load_backlog: 4,
+        overload_backlog: 12,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_policy::{LookupPolicy, UniformRandomPolicy};
+
+    fn world() -> TieredWorld {
+        wise_like_tiered(RateProfile::Constant(10.0), 400.0)
+    }
+
+    #[test]
+    fn decision_space_is_product() {
+        let w = world();
+        assert_eq!(w.space().len(), 4);
+        assert_eq!(w.space().name(0), "fe1/be1");
+        assert_eq!(w.space().name(3), "fe2/be2");
+        assert_eq!(w.fe_be(1), (0, 1));
+        assert_eq!(w.fe_be(2), (1, 0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let w = world();
+        let p = UniformRandomPolicy::new(w.space().clone());
+        let a = w.run(&p, 3);
+        let b = w.run(&p, 3);
+        assert_eq!(a.trace.records(), b.trace.records());
+    }
+
+    #[test]
+    fn per_server_covers_both_tiers() {
+        let w = world();
+        let p = UniformRandomPolicy::new(w.space().clone());
+        let out = w.run(&p, 4);
+        assert_eq!(out.per_server.len(), 4); // 2 FEs + 2 BEs
+        let fe_total: u64 = out.per_server[..2].iter().sum();
+        let be_total: u64 = out.per_server[2..].iter().sum();
+        assert_eq!(fe_total as usize, out.trace.len());
+        assert_eq!(be_total as usize, out.trace.len());
+    }
+
+    #[test]
+    fn concentrating_on_small_backend_is_slow() {
+        // BE-1 serves 12 req/s; pinning everything to it at 10 req/s puts
+        // it near saturation, while BE-2 (30 req/s) stays comfortable.
+        let w = world();
+        let pin_be1 = LookupPolicy::constant(w.space().clone(), 0); // fe1/be1
+        let pin_be2 = LookupPolicy::constant(w.space().clone(), 1); // fe1/be2
+        let v1 = w.true_value(&pin_be1, 10, 3);
+        let v2 = w.true_value(&pin_be2, 10, 3);
+        assert!(
+            v2 - v1 > 0.05,
+            "the undersized backend should be visibly slower: be1 {v1} vs be2 {v2}"
+        );
+    }
+
+    #[test]
+    fn two_tier_latency_exceeds_single_tier_components() {
+        // Sanity: latency includes both queue responses plus both RTTs, so
+        // even an idle system pays more than the pure network path.
+        let w = world();
+        let p = LookupPolicy::constant(w.space().clone(), 3); // fe2/be2
+        let out = w.run(&p, 5);
+        let min_latency = out
+            .trace
+            .records()
+            .iter()
+            .map(|r| -r.reward)
+            .fold(f64::INFINITY, f64::min);
+        // Network floor for isp1 on fe2/be2 is 0.01 + 0.005; responses add
+        // strictly positive service time on top.
+        assert!(min_latency > 0.015);
+    }
+
+    #[test]
+    fn spreading_beats_pinning_under_load() {
+        let w = wise_like_tiered(RateProfile::Constant(20.0), 300.0);
+        let pin = LookupPolicy::constant(w.space().clone(), 0);
+        let spread = UniformRandomPolicy::new(w.space().clone());
+        let v_pin = w.true_value(&pin, 20, 3);
+        let v_spread = w.true_value(&spread, 20, 3);
+        assert!(
+            v_spread > v_pin,
+            "spreading ({v_spread}) should beat pinning the small backend ({v_pin})"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Group-based exploration–exploitation, after Pytheas (paper ref \[18\],
+//! by the same authors as the reproduced paper).
+//!
+//! Pytheas's observation: network sessions cluster into *groups* with
+//! similar quality behaviour (same city + connection type, say), so
+//! exploration/exploitation should run **per group** rather than globally
+//! (one global bandit averages away context) or per exact context (which
+//! starves). [`GroupedBandit`] implements that middle layer: a grouping
+//! function maps contexts to group keys, and each group runs its own
+//! ε-greedy bandit over the decision space.
+//!
+//! As a [`HistoryPolicy`] it slots directly into the §4.2 replay
+//! evaluator — which is exactly how such a policy should be validated
+//! offline before deployment.
+
+use crate::history::HistoryPolicy;
+use ddn_trace::{Context, Decision, DecisionSpace};
+use std::collections::HashMap;
+
+/// Boxed grouping function: maps a context to its group key.
+pub type GroupFn = Box<dyn Fn(&Context) -> Vec<u32> + Send + Sync>;
+
+/// Per-group running statistics.
+#[derive(Debug, Clone, Default)]
+struct GroupState {
+    sums: Vec<f64>,
+    counts: Vec<f64>,
+}
+
+impl GroupState {
+    fn new(k: usize) -> Self {
+        Self {
+            sums: vec![0.0; k],
+            counts: vec![0.0; k],
+        }
+    }
+
+    fn best(&self) -> Option<usize> {
+        if self.counts.contains(&0.0) {
+            return None;
+        }
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(s, c)| s / c)
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Group-based ε-greedy bandit. The `group_by` function maps a context to
+/// a group key — typically a projection onto the features that matter
+/// (e.g. `|c| vec![c.cat(0), c.cat(2)]` for city × connection).
+pub struct GroupedBandit {
+    space: DecisionSpace,
+    epsilon: f64,
+    group_by: GroupFn,
+    groups: HashMap<Vec<u32>, GroupState>,
+}
+
+impl GroupedBandit {
+    /// Creates a grouped bandit.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= epsilon <= 1`.
+    pub fn new(
+        space: DecisionSpace,
+        epsilon: f64,
+        group_by: impl Fn(&Context) -> Vec<u32> + Send + Sync + 'static,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+        Self {
+            space,
+            epsilon,
+            group_by: Box::new(group_by),
+            groups: HashMap::new(),
+        }
+    }
+
+    /// Number of groups seen so far.
+    pub fn groups_seen(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group key for a context.
+    pub fn group_of(&self, ctx: &Context) -> Vec<u32> {
+        (self.group_by)(ctx)
+    }
+}
+
+impl std::fmt::Debug for GroupedBandit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupedBandit")
+            .field("epsilon", &self.epsilon)
+            .field("groups", &self.groups.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HistoryPolicy for GroupedBandit {
+    fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    fn reset(&mut self) {
+        self.groups.clear();
+    }
+
+    fn probabilities(&self, ctx: &Context) -> Vec<f64> {
+        let k = self.space.len();
+        let key = (self.group_by)(ctx);
+        match self.groups.get(&key).and_then(GroupState::best) {
+            None => vec![1.0 / k as f64; k],
+            Some(best) => {
+                let mut p = vec![self.epsilon / k as f64; k];
+                p[best] += 1.0 - self.epsilon;
+                p
+            }
+        }
+    }
+
+    fn observe(&mut self, ctx: &Context, d: Decision, reward: f64) {
+        let key = (self.group_by)(ctx);
+        let k = self.space.len();
+        let state = self.groups.entry(key).or_insert_with(|| GroupState::new(k));
+        state.sums[d.index()] += reward;
+        state.counts[d.index()] += 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_stats::rng::{Rng, Xoshiro256};
+    use ddn_trace::ContextSchema;
+
+    fn schema() -> ContextSchema {
+        ContextSchema::builder()
+            .categorical("city", 2)
+            .categorical("noise", 4)
+            .build()
+    }
+
+    fn ctx(city: u32, noise: u32) -> Context {
+        Context::build(&schema())
+            .set_cat("city", city)
+            .set_cat("noise", noise)
+            .finish()
+    }
+
+    fn space() -> DecisionSpace {
+        DecisionSpace::of(&["a", "b"])
+    }
+
+    /// Truth: city 0 prefers decision 1, city 1 prefers decision 0; the
+    /// noise feature is irrelevant.
+    fn truth(city: u32, d: usize) -> f64 {
+        if (city as usize) != d {
+            3.0
+        } else {
+            1.0
+        }
+    }
+
+    fn trained(epsilon: f64, seed: u64, steps: usize) -> GroupedBandit {
+        let mut bandit = GroupedBandit::new(space(), epsilon, |c: &Context| vec![c.cat(0)]);
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..steps {
+            let c = ctx(rng.index(2) as u32, rng.index(4) as u32);
+            let (d, _) = bandit.sample_with_prob(&c, &mut rng);
+            let r = truth(c.cat(0), d.index()) + 0.2 * (rng.next_f64() - 0.5);
+            bandit.observe(&c, d, r);
+        }
+        bandit
+    }
+
+    #[test]
+    fn learns_per_group_optima() {
+        let bandit = trained(0.1, 1, 600);
+        // Groups are cities, not full contexts.
+        assert_eq!(bandit.groups_seen(), 2);
+        let p0 = bandit.probabilities(&ctx(0, 3));
+        let p1 = bandit.probabilities(&ctx(1, 0));
+        assert!(p0[1] > 0.9, "city 0 should exploit decision 1: {p0:?}");
+        assert!(p1[0] > 0.9, "city 1 should exploit decision 0: {p1:?}");
+    }
+
+    #[test]
+    fn grouping_pools_across_irrelevant_features() {
+        // A per-exact-context bandit would have 8 cells of ~75 samples; the
+        // grouped bandit pools to 2 cells and converges with far less.
+        let bandit = trained(0.1, 2, 60);
+        let p = bandit.probabilities(&ctx(0, 2));
+        assert!(
+            p[1] > 0.9,
+            "60 observations should suffice when pooled per city: {p:?}"
+        );
+    }
+
+    #[test]
+    fn unseen_group_explores_uniformly() {
+        let mut bandit = GroupedBandit::new(space(), 0.1, |c: &Context| vec![c.cat(0)]);
+        assert_eq!(bandit.probabilities(&ctx(1, 0)), vec![0.5, 0.5]);
+        bandit.observe(&ctx(0, 0), Decision::from_index(0), 1.0);
+        // Only decision 0 tried in group 0: still uniform (optimism).
+        assert_eq!(bandit.probabilities(&ctx(0, 0)), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn reset_clears_all_groups() {
+        let mut bandit = trained(0.1, 3, 200);
+        assert!(bandit.groups_seen() > 0);
+        bandit.reset();
+        assert_eq!(bandit.groups_seen(), 0);
+        assert_eq!(bandit.probabilities(&ctx(0, 0)), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn probabilities_always_normalized() {
+        let bandit = trained(0.3, 4, 100);
+        for city in 0..2 {
+            for noise in 0..4 {
+                let p = bandit.probabilities(&ctx(city, noise));
+                assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Non-stationary (history-based) policies — paper §4.1 "Stationarity of
+//! policies".
+//!
+//! Most networking policies adapt: an ABR controller's bitrate choice
+//! depends on recently observed throughput; a load balancer's assignment
+//! depends on which servers it already loaded. Formally the decision on
+//! client `c_k` depends on the history `h_k = {(c_i, d_i, r_i)}_{i<k}`.
+//!
+//! [`HistoryPolicy`] models this as a *stateful sequential* interface: the
+//! evaluator drives the policy client by client, feeding back observed
+//! outcomes via [`HistoryPolicy::observe`]. The §4.2 replay evaluator in
+//! `ddn-estimators` only feeds back tuples where the replayed decision
+//! matched the logged one, exactly as the paper's algorithm prescribes
+//! (its `g_k` history).
+
+use crate::stationary::Policy;
+use ddn_stats::rng::Rng;
+use ddn_trace::{Context, Decision, DecisionSpace};
+
+/// A non-stationary policy: decision distribution depends on the observed
+/// history, which the caller advances via [`HistoryPolicy::observe`].
+pub trait HistoryPolicy {
+    /// The decision space.
+    fn space(&self) -> &DecisionSpace;
+
+    /// Clears the internal history, returning the policy to its initial
+    /// state (start of a fresh session/replay).
+    fn reset(&mut self);
+
+    /// Probability vector over decisions for `ctx` *given the current
+    /// history*. Must be non-negative and sum to 1.
+    fn probabilities(&self, ctx: &Context) -> Vec<f64>;
+
+    /// Informs the policy of an outcome tuple appended to its history.
+    fn observe(&mut self, ctx: &Context, d: Decision, reward: f64);
+
+    /// Samples a decision for `ctx` from the current conditional
+    /// distribution, returning the decision and its probability.
+    fn sample_with_prob(&self, ctx: &Context, rng: &mut dyn Rng) -> (Decision, f64) {
+        let probs = self.probabilities(ctx);
+        debug_assert!(
+            (probs.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+            "history policy probabilities must sum to 1"
+        );
+        let u = rng.next_f64();
+        let mut acc = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return (Decision::from_index(i), p);
+            }
+        }
+        let i = probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("history policy assigned zero probability everywhere");
+        (Decision::from_index(i), probs[i])
+    }
+}
+
+/// Adapter exposing any stationary [`Policy`] through the
+/// [`HistoryPolicy`] interface (it simply ignores the history).
+///
+/// The paper notes (§4.2) that the replay-based evaluator "is identical to
+/// the basic DR under the assumption of stationary policies"; this adapter
+/// is what the property test for that claim uses.
+pub struct StationaryAsHistory<P: Policy> {
+    inner: P,
+}
+
+impl<P: Policy> StationaryAsHistory<P> {
+    /// Wraps a stationary policy.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Policy> HistoryPolicy for StationaryAsHistory<P> {
+    fn space(&self) -> &DecisionSpace {
+        self.inner.space()
+    }
+
+    fn reset(&mut self) {}
+
+    fn probabilities(&self, ctx: &Context) -> Vec<f64> {
+        self.inner.probabilities(ctx)
+    }
+
+    fn observe(&mut self, _ctx: &Context, _d: Decision, _reward: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stationary::UniformRandomPolicy;
+    use ddn_stats::rng::Xoshiro256;
+    use ddn_trace::ContextSchema;
+
+    fn ctx() -> Context {
+        let s = ContextSchema::builder().numeric("x").build();
+        Context::build(&s).set_numeric("x", 0.0).finish()
+    }
+
+    /// A toy adaptive policy: starts uniform, then always repeats the last
+    /// decision whose reward exceeded a threshold.
+    struct StickyPolicy {
+        space: DecisionSpace,
+        sticky: Option<usize>,
+    }
+
+    impl HistoryPolicy for StickyPolicy {
+        fn space(&self) -> &DecisionSpace {
+            &self.space
+        }
+        fn reset(&mut self) {
+            self.sticky = None;
+        }
+        fn probabilities(&self, _ctx: &Context) -> Vec<f64> {
+            match self.sticky {
+                Some(i) => {
+                    let mut p = vec![0.0; self.space.len()];
+                    p[i] = 1.0;
+                    p
+                }
+                None => vec![1.0 / self.space.len() as f64; self.space.len()],
+            }
+        }
+        fn observe(&mut self, _ctx: &Context, d: Decision, reward: f64) {
+            if reward > 0.5 {
+                self.sticky = Some(d.index());
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_adapter_ignores_history() {
+        let mut p =
+            StationaryAsHistory::new(UniformRandomPolicy::new(DecisionSpace::of(&["a", "b"])));
+        let c = ctx();
+        let before = p.probabilities(&c);
+        p.observe(&c, Decision::from_index(0), 100.0);
+        p.reset();
+        assert_eq!(p.probabilities(&c), before);
+    }
+
+    #[test]
+    fn history_changes_distribution() {
+        let mut p = StickyPolicy {
+            space: DecisionSpace::of(&["a", "b"]),
+            sticky: None,
+        };
+        let c = ctx();
+        assert_eq!(p.probabilities(&c), vec![0.5, 0.5]);
+        p.observe(&c, Decision::from_index(1), 0.9);
+        assert_eq!(p.probabilities(&c), vec![0.0, 1.0]);
+        p.reset();
+        assert_eq!(p.probabilities(&c), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn sample_with_prob_consistent() {
+        let p = StickyPolicy {
+            space: DecisionSpace::of(&["a", "b"]),
+            sticky: Some(0),
+        };
+        let mut g = Xoshiro256::seed_from(5);
+        let (d, q) = p.sample_with_prob(&ctx(), &mut g);
+        assert_eq!(d.index(), 0);
+        assert_eq!(q, 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ddn-policy — decision policies
+//!
+//! A *policy* (paper §2.1) maps client-contexts to a probability
+//! distribution over decisions: `μ(d | c)` with `Σ_d μ(d|c) = 1`. This crate
+//! defines the two policy abstractions the estimators consume:
+//!
+//! - [`Policy`] — **stationary** (history-agnostic) policies: the decision
+//!   distribution depends only on the current client. This is what the
+//!   basic DM/IPS/DR estimators of paper §3 evaluate.
+//! - [`HistoryPolicy`] — **non-stationary** policies whose decision also
+//!   depends on the history `h_k = {(c_i, d_i, r_i)}_{i<k}` (paper §4.1
+//!   "Stationarity of policies"). Most real networking policies — ABR
+//!   controllers, load balancers — are of this kind; the replay evaluator
+//!   in `ddn-estimators` handles them.
+//!
+//! Implementations cover the spectrum the paper discusses: uniform random
+//! logging ([`UniformRandomPolicy`], what CFA's traces used), deterministic
+//! production policies ([`GreedyPolicy`], [`LookupPolicy`]), and the
+//! ε-randomized production policies the paper advocates operators deploy
+//! ([`EpsilonSmoothedPolicy`], §4.1: "introduce randomness where impact on
+//! overall performance is small").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grouped;
+pub mod history;
+pub mod linucb;
+pub mod stationary;
+
+pub use grouped::GroupedBandit;
+pub use history::{HistoryPolicy, StationaryAsHistory};
+pub use linucb::LinUcb;
+pub use stationary::{
+    EpsilonGreedyPolicy, EpsilonSmoothedPolicy, GreedyPolicy, LookupPolicy, MixturePolicy, Policy,
+    SoftmaxPolicy, UniformRandomPolicy,
+};

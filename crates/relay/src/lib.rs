@@ -1,0 +1,346 @@
+//! # ddn-relay — VoIP relay-selection substrate (the VIA scenario)
+//!
+//! Reproduces the paper's Figure 3 pitfall: VIA (paper ref \[14\]) estimates
+//! the quality of relaying a call `A → R → B` from previously *relayed*
+//! calls between the same AS pair. "However, if the old policy chooses
+//! only calls between two devices behind NATs to use the relay path, the
+//! observed performance on these calls may not be indicative to infer the
+//! performance of relaying other calls between public IPs, since private
+//! IP users may have different last-mile network conditions" (ref \[22\]).
+//!
+//! The [`RelayWorld`] here makes that concrete: call quality (an MOS-like
+//! score) depends on the AS pair, the chosen path (direct or one of the
+//! relays), and whether the endpoints are NAT-ed — with NAT hurting direct
+//! paths far more than relayed ones. A biased logging policy
+//! ([`RelayWorld::nat_only_relay_policy`]) relays exactly the NAT-ed
+//! calls, so naive per-path averages overestimate how much public-IP
+//! clients would gain from relaying.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod quality;
+
+pub use quality::{emodel_mos, PathMetrics};
+
+use ddn_policy::Policy;
+use ddn_stats::dist::{Distribution, Normal};
+use ddn_stats::rng::{Rng, Xoshiro256};
+use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, Trace, TraceRecord};
+
+/// Parameters of the relay world's quality model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayConfig {
+    /// Number of AS pairs (the `A_i → B_j` routes of Figure 3).
+    pub as_pairs: usize,
+    /// Number of relay nodes (decision space = direct + relays).
+    pub relays: usize,
+    /// Fraction of calls whose endpoints are NAT-ed.
+    pub nat_fraction: f64,
+    /// Quality penalty NAT inflicts on the *direct* path.
+    pub nat_direct_penalty: f64,
+    /// Quality penalty NAT inflicts on *relayed* paths (smaller: relays
+    /// help NAT traversal).
+    pub nat_relay_penalty: f64,
+    /// Observation noise standard deviation.
+    pub noise_std: f64,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        Self {
+            as_pairs: 6,
+            relays: 2,
+            nat_fraction: 0.4,
+            nat_direct_penalty: 1.2,
+            nat_relay_penalty: 0.2,
+            noise_std: 0.15,
+        }
+    }
+}
+
+impl RelayConfig {
+    /// Validates parameters.
+    ///
+    /// # Panics
+    /// Panics on empty dimensions or out-of-range fractions.
+    pub fn validate(&self) {
+        assert!(self.as_pairs > 0, "need at least one AS pair");
+        assert!(self.relays > 0, "need at least one relay");
+        assert!(
+            (0.0..=1.0).contains(&self.nat_fraction),
+            "nat_fraction must be in [0,1]"
+        );
+        assert!(self.noise_std >= 0.0, "noise_std must be ≥ 0");
+    }
+}
+
+/// The VoIP world: deterministic mean quality per (pair, NAT, path) plus
+/// observation noise.
+#[derive(Debug, Clone)]
+pub struct RelayWorld {
+    config: RelayConfig,
+    schema: ContextSchema,
+    space: DecisionSpace,
+    /// Mean direct-path quality per AS pair.
+    direct_base: Vec<f64>,
+    /// `relay_gain[pair][relay]`: relay quality delta vs. that pair's
+    /// direct base (before NAT effects).
+    relay_gain: Vec<Vec<f64>>,
+}
+
+impl RelayWorld {
+    /// Builds a world whose per-pair bases and relay gains are drawn
+    /// deterministically from `seed`.
+    pub fn new(config: RelayConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = Xoshiro256::seed_from(seed);
+        let schema = ContextSchema::builder()
+            .categorical("as_pair", config.as_pairs as u32)
+            .categorical("nat", 2)
+            .build();
+        let mut names = vec!["direct".to_string()];
+        names.extend((0..config.relays).map(|r| format!("relay-{r}")));
+        let space = DecisionSpace::new(names);
+        // Direct base quality ~ MOS 3.2–4.2.
+        let direct_base: Vec<f64> = (0..config.as_pairs).map(|_| 3.2 + rng.next_f64()).collect();
+        // Relay gains in [−0.4, +0.4]: some relays help some pairs.
+        let relay_gain: Vec<Vec<f64>> = (0..config.as_pairs)
+            .map(|_| {
+                (0..config.relays)
+                    .map(|_| rng.range_f64(-0.4, 0.4))
+                    .collect()
+            })
+            .collect();
+        Self {
+            config,
+            schema,
+            space,
+            direct_base,
+            relay_gain,
+        }
+    }
+
+    /// The context schema (`as_pair`, `nat`).
+    pub fn schema(&self) -> &ContextSchema {
+        &self.schema
+    }
+
+    /// The decision space (`direct`, `relay-0`, …).
+    pub fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RelayConfig {
+        &self.config
+    }
+
+    /// Mean (noise-free) call quality for a call on `pair` with NAT status
+    /// `nat` over decision `d`.
+    pub fn mean_quality(&self, pair: usize, nat: bool, d: Decision) -> f64 {
+        let base = self.direct_base[pair];
+        if d.index() == 0 {
+            base - if nat {
+                self.config.nat_direct_penalty
+            } else {
+                0.0
+            }
+        } else {
+            let relay = d.index() - 1;
+            base + self.relay_gain[pair][relay]
+                - if nat {
+                    self.config.nat_relay_penalty
+                } else {
+                    0.0
+                }
+        }
+    }
+
+    /// Builds the context for a call.
+    pub fn context(&self, pair: usize, nat: bool) -> Context {
+        Context::build(&self.schema)
+            .set_cat("as_pair", pair as u32)
+            .set_cat("nat", u32::from(nat))
+            .finish()
+    }
+
+    /// Samples a call population of size `n`: uniformly random pairs,
+    /// NAT per `nat_fraction`.
+    pub fn sample_calls(&self, n: usize, rng: &mut dyn Rng) -> Vec<(usize, bool)> {
+        (0..n)
+            .map(|_| {
+                (
+                    rng.index(self.config.as_pairs),
+                    rng.chance(self.config.nat_fraction),
+                )
+            })
+            .collect()
+    }
+
+    /// Logs a trace: for each call, `policy` picks the path, the world
+    /// produces a noisy quality observation.
+    pub fn log_trace(&self, calls: &[(usize, bool)], policy: &dyn Policy, seed: u64) -> Trace {
+        assert!(!calls.is_empty(), "need at least one call");
+        let mut rng = Xoshiro256::seed_from(seed);
+        let noise = Normal::new(0.0, self.config.noise_std);
+        let records = calls
+            .iter()
+            .map(|&(pair, nat)| {
+                let ctx = self.context(pair, nat);
+                let (d, p) = policy.sample_with_prob(&ctx, &mut rng);
+                let q = self.mean_quality(pair, nat, d) + noise.sample(&mut rng);
+                TraceRecord::new(ctx, d, q).with_propensity(p)
+            })
+            .collect();
+        Trace::from_records(self.schema.clone(), self.space.clone(), records)
+            .expect("relay world emits valid traces")
+    }
+
+    /// Exact expected value of `policy` over a call population (noise has
+    /// zero mean, so this is analytic).
+    pub fn true_value(&self, calls: &[(usize, bool)], policy: &dyn Policy) -> f64 {
+        let total: f64 = calls
+            .iter()
+            .map(|&(pair, nat)| {
+                let ctx = self.context(pair, nat);
+                self.space
+                    .iter()
+                    .map(|d| policy.prob(&ctx, d) * self.mean_quality(pair, nat, d))
+                    .sum::<f64>()
+            })
+            .sum();
+        total / calls.len() as f64
+    }
+
+    /// The Figure 3 biased logging policy, ε-smoothed: NAT-ed calls go to
+    /// relay 0 and public calls go direct (each with probability `1 − ε`;
+    /// the remaining ε explores uniformly). With `ε = 0` it is exactly the
+    /// deterministic selection-bias policy from the figure.
+    pub fn nat_only_relay_policy(&self, epsilon: f64) -> impl Policy + use<> {
+        NatOnlyRelay {
+            space: self.space.clone(),
+            epsilon,
+        }
+    }
+}
+
+/// See [`RelayWorld::nat_only_relay_policy`].
+#[derive(Debug, Clone)]
+struct NatOnlyRelay {
+    space: DecisionSpace,
+    epsilon: f64,
+}
+
+impl Policy for NatOnlyRelay {
+    fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    fn prob(&self, ctx: &Context, d: Decision) -> f64 {
+        let nat = ctx.cat(1) == 1;
+        let preferred = if nat { 1 } else { 0 };
+        let k = self.space.len() as f64;
+        let base = if d.index() == preferred {
+            1.0 - self.epsilon
+        } else {
+            0.0
+        };
+        base + self.epsilon / k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_policy::{LookupPolicy, UniformRandomPolicy};
+
+    fn world() -> RelayWorld {
+        RelayWorld::new(RelayConfig::default(), 42)
+    }
+
+    #[test]
+    fn nat_hurts_direct_more_than_relay() {
+        let w = world();
+        for pair in 0..w.config().as_pairs {
+            let direct_gap = w.mean_quality(pair, false, Decision::from_index(0))
+                - w.mean_quality(pair, true, Decision::from_index(0));
+            let relay_gap = w.mean_quality(pair, false, Decision::from_index(1))
+                - w.mean_quality(pair, true, Decision::from_index(1));
+            assert!((direct_gap - 1.2).abs() < 1e-12);
+            assert!((relay_gap - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn biased_policy_relays_nat_calls() {
+        let w = world();
+        let p = w.nat_only_relay_policy(0.0);
+        let nat_ctx = w.context(0, true);
+        let pub_ctx = w.context(0, false);
+        assert_eq!(p.prob(&nat_ctx, Decision::from_index(1)), 1.0);
+        assert_eq!(p.prob(&pub_ctx, Decision::from_index(0)), 1.0);
+        let smoothed = w.nat_only_relay_policy(0.3);
+        let total: f64 = w.space().iter().map(|d| smoothed.prob(&nat_ctx, d)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(smoothed.prob(&nat_ctx, Decision::from_index(0)) > 0.0);
+    }
+
+    #[test]
+    fn selection_bias_inflates_naive_relay_estimate() {
+        // Mean quality of *observed* relayed calls (all NAT-ed) vs. the
+        // true value of relaying everyone: the naive estimate is lower,
+        // because NAT-ed observations aren't representative... and crucially
+        // the naive estimator can't see the public-IP relay quality at all.
+        let w = world();
+        let mut rng = Xoshiro256::seed_from(1);
+        let calls = w.sample_calls(4000, &mut rng);
+        let biased = w.nat_only_relay_policy(0.0);
+        let trace = w.log_trace(&calls, &biased, 2);
+        let relayed: Vec<f64> = trace
+            .records()
+            .iter()
+            .filter(|r| r.decision.index() == 1)
+            .map(|r| r.reward)
+            .collect();
+        let naive = relayed.iter().sum::<f64>() / relayed.len() as f64;
+        let relay_all = LookupPolicy::constant(w.space().clone(), 1);
+        let truth = w.true_value(&calls, &relay_all);
+        assert!(
+            (naive - truth).abs() > 0.05,
+            "naive {naive} should be visibly biased vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn true_value_matches_monte_carlo() {
+        let w = world();
+        let mut rng = Xoshiro256::seed_from(3);
+        let calls = w.sample_calls(2000, &mut rng);
+        let policy = UniformRandomPolicy::new(w.space().clone());
+        let analytic = w.true_value(&calls, &policy);
+        let trace = w.log_trace(&calls, &policy, 4);
+        assert!((trace.mean_reward() - analytic).abs() < 0.03);
+    }
+
+    #[test]
+    fn log_trace_deterministic_in_seed() {
+        let w = world();
+        let mut rng = Xoshiro256::seed_from(5);
+        let calls = w.sample_calls(100, &mut rng);
+        let p = UniformRandomPolicy::new(w.space().clone());
+        let a = w.log_trace(&calls, &p, 9);
+        let b = w.log_trace(&calls, &p, 9);
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn world_regeneration_is_stable() {
+        let a = RelayWorld::new(RelayConfig::default(), 7);
+        let b = RelayWorld::new(RelayConfig::default(), 7);
+        assert_eq!(
+            a.mean_quality(0, false, Decision::from_index(1)),
+            b.mean_quality(0, false, Decision::from_index(1))
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Voice quality from path metrics: a simplified E-model (ITU-T G.107
+//! lineage).
+//!
+//! The base [`RelayWorld`] uses an additive MOS-like
+//! quality score; this module adds the *physical* channel: per-path
+//! latency/jitter/loss metrics mapped through the standard R-factor
+//! transmission-rating model to a MOS. It matters for the reproduction
+//! because the NAT effect (paper Figure 3, ref \[22\]) is physically a
+//! *last-mile impairment* — extra delay and loss — and the E-model is
+//! non-linear in those impairments, so selection bias distorts MOS
+//! averages even more than additive models suggest.
+
+use crate::{RelayConfig, RelayWorld};
+use ddn_policy::Policy;
+use ddn_stats::dist::{Distribution, Normal};
+use ddn_stats::rng::{Rng, Xoshiro256};
+use ddn_trace::{Decision, Trace, TraceRecord};
+
+/// One-way path metrics for a call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathMetrics {
+    /// Mouth-to-ear latency in milliseconds.
+    pub latency_ms: f64,
+    /// Jitter in milliseconds (folded into effective delay).
+    pub jitter_ms: f64,
+    /// Packet loss percentage in `[0, 100]`.
+    pub loss_pct: f64,
+}
+
+impl PathMetrics {
+    /// Effective delay: latency plus a 2× jitter buffer allowance.
+    pub fn effective_delay_ms(&self) -> f64 {
+        self.latency_ms + 2.0 * self.jitter_ms
+    }
+}
+
+/// Simplified E-model MOS from path metrics.
+///
+/// `R = 93.2 − Id(delay) − Ie(loss)` with the standard delay impairment
+/// `Id = 0.024·d + 0.11·(d − 177.3)·H(d − 177.3)` and a G.711+PLC-style
+/// loss impairment `Ie = 30·ln(1 + 0.15·loss_pct)`, then the canonical
+/// R→MOS mapping clamped to `[1, 5]`.
+pub fn emodel_mos(metrics: &PathMetrics) -> f64 {
+    let d = metrics.effective_delay_ms().max(0.0);
+    let id = 0.024 * d + if d > 177.3 { 0.11 * (d - 177.3) } else { 0.0 };
+    let loss = metrics.loss_pct.clamp(0.0, 100.0);
+    let ie = 30.0 * (1.0 + 0.15 * loss).ln();
+    let r = (93.2 - id - ie).clamp(0.0, 100.0);
+    let mos = 1.0 + 0.035 * r + 7.0e-6 * r * (r - 60.0) * (100.0 - r);
+    mos.clamp(1.0, 5.0)
+}
+
+impl RelayWorld {
+    /// Mean (noise-free) path metrics for a call on `pair` with NAT
+    /// status `nat` over decision `d`. Derived deterministically from the
+    /// world's seed-drawn tables so the metrics channel is consistent
+    /// with the additive quality channel: better additive quality ↔
+    /// lower latency/loss.
+    pub fn mean_metrics(&self, pair: usize, nat: bool, d: Decision) -> PathMetrics {
+        // Map the additive quality score (≈ 2..4.6 MOS-ish) onto latency:
+        // each missing quality point costs ~80 ms.
+        let q = self.mean_quality(pair, nat, d);
+        let latency = (40.0 + (4.6 - q) * 80.0).max(5.0);
+        // NAT-ed last miles add jitter and loss, much more on the direct
+        // path (no relay smoothing the traversal).
+        let (jitter, loss) = if nat {
+            if d.index() == 0 {
+                (12.0, 2.5)
+            } else {
+                (6.0, 0.8)
+            }
+        } else {
+            (3.0, 0.2)
+        };
+        PathMetrics {
+            latency_ms: latency,
+            jitter_ms: jitter,
+            loss_pct: loss,
+        }
+    }
+
+    /// Samples a noisy MOS observation for one call.
+    pub fn sample_mos(&self, pair: usize, nat: bool, d: Decision, rng: &mut dyn Rng) -> f64 {
+        let m = self.mean_metrics(pair, nat, d);
+        let jittered = PathMetrics {
+            latency_ms: (m.latency_ms + Normal::new(0.0, 8.0).sample(rng)).max(1.0),
+            jitter_ms: (m.jitter_ms + Normal::new(0.0, 1.0).sample(rng)).max(0.0),
+            loss_pct: (m.loss_pct + Normal::new(0.0, 0.15).sample(rng)).max(0.0),
+        };
+        emodel_mos(&jittered)
+    }
+
+    /// Logs a trace whose rewards are E-model MOS values.
+    pub fn log_mos_trace(&self, calls: &[(usize, bool)], policy: &dyn Policy, seed: u64) -> Trace {
+        assert!(!calls.is_empty(), "need at least one call");
+        let mut rng = Xoshiro256::seed_from(seed);
+        let records = calls
+            .iter()
+            .map(|&(pair, nat)| {
+                let ctx = self.context(pair, nat);
+                let (d, p) = policy.sample_with_prob(&ctx, &mut rng);
+                let mos = self.sample_mos(pair, nat, d, &mut rng);
+                TraceRecord::new(ctx, d, mos).with_propensity(p)
+            })
+            .collect();
+        Trace::from_records(self.schema().clone(), self.space().clone(), records)
+            .expect("relay world emits valid traces")
+    }
+
+    /// Monte-Carlo ground-truth MOS value of a policy over a call
+    /// population (the E-model is non-linear, so sampling is the honest
+    /// estimate; `reps` noisy passes are averaged).
+    pub fn true_mos_value(
+        &self,
+        calls: &[(usize, bool)],
+        policy: &dyn Policy,
+        reps: usize,
+        seed: u64,
+    ) -> f64 {
+        assert!(reps > 0, "need at least one repetition");
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut total = 0.0;
+        for _ in 0..reps {
+            for &(pair, nat) in calls {
+                let ctx = self.context(pair, nat);
+                let (d, _) = policy.sample_with_prob(&ctx, &mut rng);
+                total += self.sample_mos(pair, nat, d, &mut rng);
+            }
+        }
+        total / (reps * calls.len()) as f64
+    }
+}
+
+/// A convenience constructor mirroring [`RelayWorld::new`], for symmetry
+/// in examples that only use the MOS channel.
+pub fn mos_world(config: RelayConfig, seed: u64) -> RelayWorld {
+    RelayWorld::new(config, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_policy::UniformRandomPolicy;
+
+    fn world() -> RelayWorld {
+        RelayWorld::new(RelayConfig::default(), 42)
+    }
+
+    #[test]
+    fn emodel_reference_shape() {
+        // Pristine path: MOS ≈ 4.3-4.4 (the G.711 ceiling).
+        let pristine = emodel_mos(&PathMetrics {
+            latency_ms: 20.0,
+            jitter_ms: 1.0,
+            loss_pct: 0.0,
+        });
+        assert!((4.2..=4.5).contains(&pristine), "pristine MOS {pristine}");
+        // Monotone: latency hurts.
+        let slow = emodel_mos(&PathMetrics {
+            latency_ms: 400.0,
+            jitter_ms: 1.0,
+            loss_pct: 0.0,
+        });
+        assert!(slow < pristine - 0.5, "400ms path {slow}");
+        // Loss hurts a lot.
+        let lossy = emodel_mos(&PathMetrics {
+            latency_ms: 20.0,
+            jitter_ms: 1.0,
+            loss_pct: 5.0,
+        });
+        assert!(lossy < pristine - 0.5, "5% loss {lossy}");
+        // Bounds always hold.
+        let awful = emodel_mos(&PathMetrics {
+            latency_ms: 2_000.0,
+            jitter_ms: 100.0,
+            loss_pct: 60.0,
+        });
+        assert!((1.0..=5.0).contains(&awful));
+        assert!((1.0..2.0).contains(&awful));
+    }
+
+    #[test]
+    fn delay_knee_at_177ms() {
+        // The E-model's delay impairment steepens past 177.3 ms.
+        let f = |d: f64| {
+            emodel_mos(&PathMetrics {
+                latency_ms: d,
+                jitter_ms: 0.0,
+                loss_pct: 0.0,
+            })
+        };
+        let slope_before = f(100.0) - f(150.0);
+        let slope_after = f(250.0) - f(300.0);
+        assert!(
+            slope_after > slope_before,
+            "post-knee degradation {slope_after} should exceed pre-knee {slope_before}"
+        );
+    }
+
+    #[test]
+    fn metrics_channel_consistent_with_additive_channel() {
+        // For a fixed (pair, nat), decisions ordered by additive quality
+        // must be ordered the same way by E-model MOS of mean metrics.
+        let w = world();
+        for pair in 0..w.config().as_pairs {
+            for nat in [false, true] {
+                let mut pairs: Vec<(f64, f64)> = w
+                    .space()
+                    .iter()
+                    .map(|d| {
+                        (
+                            w.mean_quality(pair, nat, d),
+                            emodel_mos(&w.mean_metrics(pair, nat, d)),
+                        )
+                    })
+                    .collect();
+                pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for win in pairs.windows(2) {
+                    assert!(
+                        win[1].1 >= win[0].1 - 1e-9,
+                        "MOS should be monotone in additive quality: {pairs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nat_bias_shows_in_the_mos_channel_too() {
+        // The Figure 3 story must survive the non-linear channel: naive
+        // per-path MOS averages from a NAT-only-relay log misstate the
+        // relay-everyone value.
+        let w = world();
+        let mut rng = Xoshiro256::seed_from(1);
+        let calls = w.sample_calls(4_000, &mut rng);
+        let biased = w.nat_only_relay_policy(0.0);
+        let trace = w.log_mos_trace(&calls, &biased, 2);
+        let relayed: Vec<f64> = trace
+            .records()
+            .iter()
+            .filter(|r| r.decision.index() == 1)
+            .map(|r| r.reward)
+            .collect();
+        let naive = relayed.iter().sum::<f64>() / relayed.len() as f64;
+        let relay_all = ddn_policy::LookupPolicy::constant(w.space().clone(), 1);
+        let truth = w.true_mos_value(&calls, &relay_all, 4, 3);
+        assert!(
+            (naive - truth).abs() > 0.02,
+            "naive {naive} vs truth {truth}: NAT bias should distort MOS too"
+        );
+    }
+
+    #[test]
+    fn mos_trace_rewards_in_range() {
+        let w = world();
+        let mut rng = Xoshiro256::seed_from(4);
+        let calls = w.sample_calls(500, &mut rng);
+        let uni = UniformRandomPolicy::new(w.space().clone());
+        let t = w.log_mos_trace(&calls, &uni, 5);
+        assert!(t.records().iter().all(|r| (1.0..=5.0).contains(&r.reward)));
+        assert!(t.has_propensities());
+    }
+}

@@ -1,0 +1,166 @@
+//! Ablation I — isotonic calibration of a misspecified Direct Method.
+//!
+//! §2.2.1's model-bias pitfall often has a specific shape: the model gets
+//! the *ordering* of rewards right but the *scale* wrong (FastMPC's
+//! pessimistic throughput assumption shifts every QoE down; a stale
+//! quality model under-rates a CDN uniformly). Isotonic calibration
+//! (`ddn_models::CalibratedModel`) learns the best monotone map from
+//! predictions to observed rewards on the logged pairs — a propensity-free
+//! fix. This ablation measures how much it buys DM and DR in the CFA world
+//! with a deliberately scale-distorted model, as a function of distortion.
+
+use ddn_cdn::cfa::{CfaConfig, CfaWorld};
+use ddn_estimators::{DirectMethod, DoublyRobust, Estimator};
+use ddn_models::{CalibratedModel, FnModel};
+use ddn_policy::UniformRandomPolicy;
+use ddn_stats::rng::Xoshiro256;
+use ddn_stats::summary::ErrorReport;
+use ddn_trace::{Context, Decision};
+
+/// One row of the distortion sweep.
+#[derive(Debug, Clone)]
+pub struct CalibrationRow {
+    /// The scale distortion applied to the (otherwise order-correct) model:
+    /// predictions are `distortion·truth + shift`.
+    pub scale: f64,
+    /// Raw DM error.
+    pub dm: ErrorReport,
+    /// Calibrated DM error.
+    pub dm_calibrated: ErrorReport,
+    /// Raw DR error.
+    pub dr: ErrorReport,
+    /// Calibrated DR error.
+    pub dr_calibrated: ErrorReport,
+}
+
+/// Runs the calibration sweep over model scale distortions.
+///
+/// # Panics
+/// Panics if `scales` is empty or `runs == 0`.
+pub fn ablation_calibration(scales: &[f64], runs: usize, base_seed: u64) -> Vec<CalibrationRow> {
+    assert!(!scales.is_empty(), "need at least one scale");
+    assert!(runs > 0, "need at least one run");
+    let world = CfaWorld::new(
+        CfaConfig {
+            cities: 4,
+            devices: 2,
+            connections: 2,
+            noise_std: 0.25,
+            ..Default::default()
+        },
+        6161,
+    );
+    let old = UniformRandomPolicy::new(world.space().clone());
+    let newp = world.greedy_policy();
+
+    scales
+        .iter()
+        .map(|&scale| {
+            let mut dm_e = Vec::with_capacity(runs);
+            let mut dmc_e = Vec::with_capacity(runs);
+            let mut dr_e = Vec::with_capacity(runs);
+            let mut drc_e = Vec::with_capacity(runs);
+            for i in 0..runs {
+                let seed = base_seed + i as u64;
+                let mut rng = Xoshiro256::seed_from(seed);
+                let clients = world.sample_clients(1_000, &mut rng);
+                let truth = world.true_value(&clients, &newp);
+                let trace = world.log_trace(&clients, &old, seed ^ 0xF1F1);
+
+                // Order-correct, scale-distorted model of the true surface.
+                let w2 = world.clone();
+                let distorted = FnModel::new(move |c: &Context, d: Decision| {
+                    scale * w2.mean_quality(c, d) - 2.0
+                });
+                let calibrated = CalibratedModel::fit(
+                    {
+                        let w3 = world.clone();
+                        FnModel::new(move |c: &Context, d: Decision| {
+                            scale * w3.mean_quality(c, d) - 2.0
+                        })
+                    },
+                    &trace,
+                );
+
+                let rel = |v: f64| (truth - v).abs() / truth.abs();
+                dm_e.push(rel(DirectMethod::new(&distorted)
+                    .estimate(&trace, &newp)
+                    .unwrap()
+                    .value));
+                dmc_e.push(rel(DirectMethod::new(&calibrated)
+                    .estimate(&trace, &newp)
+                    .unwrap()
+                    .value));
+                dr_e.push(rel(DoublyRobust::new(&distorted)
+                    .estimate(&trace, &newp)
+                    .unwrap()
+                    .value));
+                drc_e.push(rel(DoublyRobust::new(&calibrated)
+                    .estimate(&trace, &newp)
+                    .unwrap()
+                    .value));
+            }
+            CalibrationRow {
+                scale,
+                dm: ErrorReport::from_errors(&dm_e),
+                dm_calibrated: ErrorReport::from_errors(&dmc_e),
+                dr: ErrorReport::from_errors(&dr_e),
+                dr_calibrated: ErrorReport::from_errors(&drc_e),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as aligned text.
+pub fn render(rows: &[CalibrationRow]) -> String {
+    let mut out =
+        String::from("Ablation I - isotonic calibration of a scale-distorted DM (CFA world)\n");
+    out.push_str(&format!(
+        "{:>6}  {:>10}  {:>12}  {:>10}  {:>12}\n",
+        "scale", "DM err", "DM+cal err", "DR err", "DR+cal err"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6.2}  {:>10.4}  {:>12.4}  {:>10.4}  {:>12.4}\n",
+            r.scale, r.dm.mean, r.dm_calibrated.mean, r.dr.mean, r.dr_calibrated.mean
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_rescues_the_distorted_dm() {
+        let rows = ablation_calibration(&[0.3], 8, 980);
+        let r = &rows[0];
+        assert!(
+            r.dm_calibrated.mean < 0.3 * r.dm.mean,
+            "calibration should slash the scale-distorted DM error: {} -> {}",
+            r.dm.mean,
+            r.dm_calibrated.mean
+        );
+        // DR was already protecting against the distortion (second-order
+        // bias); calibration should not hurt it.
+        assert!(
+            r.dr_calibrated.mean <= r.dr.mean * 1.5,
+            "calibrated DR {} should stay comparable to DR {}",
+            r.dr_calibrated.mean,
+            r.dr.mean
+        );
+    }
+
+    #[test]
+    fn undistorted_model_needs_no_rescue() {
+        let rows = ablation_calibration(&[1.0], 6, 981);
+        let r = &rows[0];
+        // With scale 1 the only error is the constant shift −2, which DR
+        // absorbs and calibration largely fixes (the isotonic step
+        // function clamps at the prediction range's edge, so a small
+        // residual remains on the greedy policy's top cells).
+        assert!(r.dm_calibrated.mean < 0.08, "{}", r.dm_calibrated.mean);
+        assert!(r.dr.mean < 0.08, "{}", r.dr.mean);
+    }
+}

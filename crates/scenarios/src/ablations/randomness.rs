@@ -1,0 +1,140 @@
+//! Ablation A — coverage and randomness (§4.1).
+//!
+//! "If not enough randomness is present, decisions that occur with low
+//! probability will generate high variance as the term in the denominator
+//! μ_old(d_k|c_k) will be very small."
+//!
+//! We sweep the exploration rate ε of an ε-smoothed *production* logging
+//! policy (pinned to one CDN/bitrate, as deterministic cost-optimizing
+//! policies are) in the CFA world, evaluating the greedy new policy. As
+//! ε → 0 the IPS weights blow up (max weight `|D|/ε`) and its error
+//! explodes; DR degrades far more gracefully because the model term
+//! absorbs most of the value and only residuals ride the weights.
+
+use ddn_cdn::cfa::{CfaConfig, CfaWorld};
+use ddn_estimators::{DoublyRobust, Estimator, Ips, SelfNormalizedIps};
+use ddn_models::{KnnConfig, KnnRegressor};
+use ddn_policy::{EpsilonSmoothedPolicy, LookupPolicy};
+use ddn_stats::rng::Xoshiro256;
+use ddn_stats::summary::ErrorReport;
+
+/// One row of the sweep.
+#[derive(Debug, Clone)]
+pub struct RandomnessRow {
+    /// Exploration rate of the logging policy.
+    pub epsilon: f64,
+    /// IPS relative error.
+    pub ips: ErrorReport,
+    /// Self-normalized IPS relative error.
+    pub snips: ErrorReport,
+    /// DR relative error.
+    pub dr: ErrorReport,
+    /// Mean (over runs) of the largest importance weight — the variance
+    /// early-warning signal.
+    pub mean_max_weight: f64,
+}
+
+/// Runs the randomness sweep.
+///
+/// # Panics
+/// Panics if `epsilons` is empty or `runs == 0`.
+pub fn ablation_randomness(epsilons: &[f64], runs: usize, base_seed: u64) -> Vec<RandomnessRow> {
+    assert!(!epsilons.is_empty(), "need at least one epsilon");
+    assert!(runs > 0, "need at least one run");
+    let world = CfaWorld::new(CfaConfig::default(), 2121);
+    let new_policy = world.greedy_policy();
+    let clients_n = 800;
+
+    epsilons
+        .iter()
+        .map(|&eps| {
+            let mut ips_err = Vec::with_capacity(runs);
+            let mut snips_err = Vec::with_capacity(runs);
+            let mut dr_err = Vec::with_capacity(runs);
+            let mut max_w = 0.0;
+            for i in 0..runs {
+                let seed = base_seed + i as u64;
+                let mut rng = Xoshiro256::seed_from(seed);
+                let clients = world.sample_clients(clients_n, &mut rng);
+                let truth = world.true_value(&clients, &new_policy);
+                let old = EpsilonSmoothedPolicy::new(
+                    Box::new(LookupPolicy::constant(world.space().clone(), 0)),
+                    eps,
+                );
+                let trace = world.log_trace(&clients, &old, seed ^ 0xABCD);
+                let knn = KnnRegressor::fit(&trace, KnnConfig::default());
+
+                let ips = Ips::new().estimate(&trace, &new_policy).unwrap();
+                let snips = SelfNormalizedIps::new()
+                    .estimate(&trace, &new_policy)
+                    .map(|e| e.value)
+                    .unwrap_or(trace.mean_reward());
+                let dr = DoublyRobust::new(&knn)
+                    .estimate(&trace, &new_policy)
+                    .unwrap();
+
+                ips_err.push((truth - ips.value).abs() / truth.abs());
+                snips_err.push((truth - snips).abs() / truth.abs());
+                dr_err.push((truth - dr.value).abs() / truth.abs());
+                max_w += ips.diagnostics.max_weight;
+            }
+            RandomnessRow {
+                epsilon: eps,
+                ips: ErrorReport::from_errors(&ips_err),
+                snips: ErrorReport::from_errors(&snips_err),
+                dr: ErrorReport::from_errors(&dr_err),
+                mean_max_weight: max_w / runs as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as aligned text.
+pub fn render(rows: &[RandomnessRow]) -> String {
+    let mut out = String::from(
+        "Ablation A - coverage & randomness (CFA world, pinned logger + eps exploration)\n",
+    );
+    out.push_str(&format!(
+        "{:>8}  {:>10}  {:>10}  {:>10}  {:>12}\n",
+        "epsilon", "IPS err", "SNIPS err", "DR err", "max weight"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8.3}  {:>10.4}  {:>10.4}  {:>10.4}  {:>12.1}\n",
+            r.epsilon, r.ips.mean, r.snips.mean, r.dr.mean, r.mean_max_weight
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ips_error_explodes_as_epsilon_shrinks_dr_does_not() {
+        let rows = ablation_randomness(&[0.02, 0.5], 8, 900);
+        let tight = &rows[0];
+        let loose = &rows[1];
+        assert!(
+            tight.ips.mean > 2.0 * loose.ips.mean,
+            "IPS at eps=0.02 ({}) should far exceed eps=0.5 ({})",
+            tight.ips.mean,
+            loose.ips.mean
+        );
+        assert!(
+            tight.dr.mean < tight.ips.mean,
+            "DR ({}) should beat IPS ({}) in the low-randomness regime",
+            tight.dr.mean,
+            tight.ips.mean
+        );
+        assert!(tight.mean_max_weight > loose.mean_max_weight);
+    }
+
+    #[test]
+    fn render_mentions_all_epsilons() {
+        let rows = ablation_randomness(&[0.1, 0.3], 3, 901);
+        let text = render(&rows);
+        assert!(text.contains("0.100") && text.contains("0.300"));
+    }
+}

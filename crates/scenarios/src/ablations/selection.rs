@@ -1,0 +1,239 @@
+//! Ablation H — policy selection accuracy.
+//!
+//! The paper's Figure 1 workflow exists to answer one question: **"Which
+//! policy is the best?"** Estimation error is only a proxy; what decides
+//! deployments is whether the evaluator *ranks the candidates correctly*.
+//! This ablation measures exactly that: a slate of candidate policies
+//! with a known true ranking is scored by each estimator across seeded
+//! traces, and we record how often each estimator picks the true winner
+//! and how much value a deployment following its choice would forfeit
+//! (the regret).
+//!
+//! The slate is adversarially close: the true best (per-client greedy), an
+//! ε-diluted version of it (clearly but not hugely worse), and a decent
+//! fixed assignment. Small traces separate the estimators; large traces
+//! let everyone win — so the sweep is over trace size.
+
+use ddn_cdn::cfa::{CfaConfig, CfaWorld};
+use ddn_estimators::{DirectMethod, DoublyRobust, Estimator, Ips, MatchingEstimator};
+use ddn_models::{KnnConfig, KnnRegressor};
+use ddn_policy::{EpsilonSmoothedPolicy, LookupPolicy, Policy, UniformRandomPolicy};
+use ddn_stats::rng::Xoshiro256;
+
+/// Per-estimator selection quality at one trace size.
+#[derive(Debug, Clone)]
+pub struct SelectionRow {
+    /// Records per trace.
+    pub trace_len: usize,
+    /// (estimator name, fraction of runs picking the true best, mean
+    /// regret of the picked policy in true-value units).
+    pub per_estimator: Vec<(String, f64, f64)>,
+}
+
+/// Runs the selection sweep.
+///
+/// # Panics
+/// Panics if `trace_sizes` is empty or `runs == 0`.
+pub fn ablation_selection(trace_sizes: &[usize], runs: usize, base_seed: u64) -> Vec<SelectionRow> {
+    assert!(!trace_sizes.is_empty(), "need at least one trace size");
+    assert!(runs > 0, "need at least one run");
+    let world = CfaWorld::new(
+        CfaConfig {
+            cities: 4,
+            devices: 2,
+            connections: 2,
+            noise_std: 0.4,
+            ..Default::default()
+        },
+        5252,
+    );
+    let old = UniformRandomPolicy::new(world.space().clone());
+
+    // The slate. True ranking (verified below): greedy > diluted > fixed.
+    let greedy = world.greedy_policy();
+    let diluted = EpsilonSmoothedPolicy::new(Box::new(world.greedy_policy()), 0.2);
+    let fixed = LookupPolicy::constant(world.space().clone(), best_fixed(&world));
+    let candidates: Vec<(&str, &dyn Policy)> = vec![
+        ("greedy", &greedy),
+        ("diluted", &diluted),
+        ("fixed", &fixed),
+    ];
+
+    trace_sizes
+        .iter()
+        .map(|&n| {
+            let mut wins = [0usize; 4];
+            let mut regret = [0.0f64; 4];
+            for i in 0..runs {
+                let seed = base_seed + i as u64;
+                let mut rng = Xoshiro256::seed_from(seed);
+                let clients = world.sample_clients(n, &mut rng);
+                let trace = world.log_trace(&clients, &old, seed ^ 0xC0DE);
+
+                // True values on THIS client sample (the estimand).
+                let truths: Vec<f64> = candidates
+                    .iter()
+                    .map(|(_, p)| world.true_value(&clients, *p))
+                    .collect();
+                let best_truth = truths.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+                let knn = KnnRegressor::fit(&trace, KnnConfig::default());
+                type Scorer<'a> = Box<dyn Fn(&dyn Policy) -> Option<f64> + 'a>;
+                let estimators: Vec<(&str, Scorer)> = vec![
+                    (
+                        "DM",
+                        Box::new(|p: &dyn Policy| {
+                            DirectMethod::new(&knn)
+                                .estimate(&trace, p)
+                                .ok()
+                                .map(|e| e.value)
+                        }),
+                    ),
+                    (
+                        "IPS",
+                        Box::new(|p: &dyn Policy| {
+                            Ips::new().estimate(&trace, p).ok().map(|e| e.value)
+                        }),
+                    ),
+                    (
+                        "DR",
+                        Box::new(|p: &dyn Policy| {
+                            DoublyRobust::new(&knn)
+                                .estimate(&trace, p)
+                                .ok()
+                                .map(|e| e.value)
+                        }),
+                    ),
+                    (
+                        "CFA",
+                        Box::new(|p: &dyn Policy| {
+                            MatchingEstimator::new()
+                                .estimate(&trace, p)
+                                .ok()
+                                .map(|e| e.value)
+                        }),
+                    ),
+                ];
+                for (j, (_, eval)) in estimators.iter().enumerate() {
+                    let scores: Vec<Option<f64>> =
+                        candidates.iter().map(|(_, p)| eval(*p)).collect();
+                    let picked = scores
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, s)| s.map(|v| (k, v)))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite estimate"))
+                        .map(|(k, _)| k);
+                    if let Some(k) = picked {
+                        if (truths[k] - best_truth).abs() < 1e-12 {
+                            wins[j] += 1;
+                        }
+                        regret[j] += best_truth - truths[k];
+                    }
+                }
+            }
+            SelectionRow {
+                trace_len: n,
+                per_estimator: ["DM", "IPS", "DR", "CFA"]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, name)| {
+                        (
+                            name.to_string(),
+                            wins[j] as f64 / runs as f64,
+                            regret[j] / runs as f64,
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// The single fixed decision with the best population-average quality.
+fn best_fixed(world: &CfaWorld) -> usize {
+    let mut rng = Xoshiro256::seed_from(999);
+    let clients = world.sample_clients(4_000, &mut rng);
+    (0..world.space().len())
+        .max_by(|&a, &b| {
+            let va = world.true_value(&clients, &LookupPolicy::constant(world.space().clone(), a));
+            let vb = world.true_value(&clients, &LookupPolicy::constant(world.space().clone(), b));
+            va.partial_cmp(&vb).expect("finite values")
+        })
+        .expect("non-empty space")
+}
+
+/// Renders the sweep as aligned text.
+pub fn render(rows: &[SelectionRow]) -> String {
+    let mut out =
+        String::from("Ablation H - policy selection accuracy (CFA world, 3-candidate slate)\n");
+    out.push_str(&format!(
+        "{:>8}  {:>16}  {:>16}  {:>16}  {:>16}\n",
+        "records", "DM acc/regret", "IPS acc/regret", "DR acc/regret", "CFA acc/regret"
+    ));
+    for r in rows {
+        out.push_str(&format!("{:>8}", r.trace_len));
+        for (_, acc, reg) in &r.per_estimator {
+            out.push_str(&format!("  {:>8.2}/{:>7.4}", acc, reg));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slate_ranking_is_as_designed() {
+        let world = CfaWorld::new(
+            CfaConfig {
+                cities: 4,
+                devices: 2,
+                connections: 2,
+                noise_std: 0.4,
+                ..Default::default()
+            },
+            5252,
+        );
+        let mut rng = Xoshiro256::seed_from(1);
+        let clients = world.sample_clients(3_000, &mut rng);
+        let greedy = world.greedy_policy();
+        let diluted = EpsilonSmoothedPolicy::new(Box::new(world.greedy_policy()), 0.2);
+        let fixed = LookupPolicy::constant(world.space().clone(), best_fixed(&world));
+        let vg = world.true_value(&clients, &greedy);
+        let vd = world.true_value(&clients, &diluted);
+        let vf = world.true_value(&clients, &fixed);
+        assert!(
+            vg > vd && vd > vf,
+            "expected greedy > diluted > fixed, got {vg} {vd} {vf}"
+        );
+    }
+
+    #[test]
+    fn everyone_picks_right_with_enough_data_and_dr_competes_when_scarce() {
+        let rows = ablation_selection(&[150, 2_000], 12, 970);
+        let small = &rows[0];
+        let large = &rows[1];
+        let acc = |row: &SelectionRow, name: &str| {
+            row.per_estimator
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .unwrap()
+                .1
+        };
+        // Abundant data: DR picks the winner essentially always.
+        assert!(
+            acc(large, "DR") >= 0.9,
+            "DR at n=2000: {}",
+            acc(large, "DR")
+        );
+        // Scarce data: DR at least matches the matching estimator.
+        assert!(
+            acc(small, "DR") >= acc(small, "CFA"),
+            "DR {} vs CFA {} at n=150",
+            acc(small, "DR"),
+            acc(small, "CFA")
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Off-policy estimates are single numbers; operators deciding whether to
+//! deploy a policy need uncertainty around them. The percentile bootstrap
+//! resamples the per-record contributions of an estimator (every estimator
+//! in `ddn-estimators` exposes those) and reads the interval off the
+//! resampled distribution of means.
+
+use crate::rng::Rng;
+
+/// A two-sided bootstrap confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (mean of the original sample).
+    pub point: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+    /// Confidence level used (e.g. `0.95`).
+    pub level: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+impl BootstrapCi {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+}
+
+/// Computes a percentile-bootstrap CI for the mean of `xs`.
+///
+/// `level` is the two-sided confidence level (e.g. `0.95` for a 95% CI);
+/// `resamples` is the number of bootstrap replicates (1000–10000 typical).
+///
+/// # Panics
+/// Panics if `xs` is empty, `resamples == 0`, or `level` is not in `(0, 1)`.
+pub fn bootstrap_ci(xs: &[f64], level: f64, resamples: usize, rng: &mut dyn Rng) -> BootstrapCi {
+    assert!(!xs.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "bootstrap needs at least one resample");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1), got {level}"
+    );
+
+    let n = xs.len();
+    let point = xs.iter().sum::<f64>() / n as f64;
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += xs[rng.index(n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("NaN in bootstrap means"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * resamples as f64) as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64) as usize).min(resamples - 1);
+    BootstrapCi {
+        point,
+        lo: means[lo_idx],
+        hi: means[hi_idx],
+        level,
+        resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn ci_brackets_point() {
+        let mut g = Xoshiro256::seed_from(8);
+        let xs: Vec<f64> = Normal::new(10.0, 2.0).sample_n(&mut g, 500);
+        let ci = bootstrap_ci(&xs, 0.95, 2000, &mut g);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(ci.contains(ci.point));
+        assert!((ci.point - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_sample_size() {
+        let mut g = Xoshiro256::seed_from(9);
+        let small: Vec<f64> = Normal::new(0.0, 1.0).sample_n(&mut g, 50);
+        let large: Vec<f64> = Normal::new(0.0, 1.0).sample_n(&mut g, 5000);
+        let ci_small = bootstrap_ci(&small, 0.95, 2000, &mut g);
+        let ci_large = bootstrap_ci(&large, 0.95, 2000, &mut g);
+        assert!(
+            ci_large.width() < ci_small.width(),
+            "large-n width {} should be below small-n width {}",
+            ci_large.width(),
+            ci_small.width()
+        );
+    }
+
+    #[test]
+    fn ci_coverage_near_nominal() {
+        // Crude coverage check: 95% CI should contain the true mean in
+        // most of a batch of independent experiments.
+        let mut g = Xoshiro256::seed_from(10);
+        let trials = 100;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let xs: Vec<f64> = Normal::new(3.0, 1.0).sample_n(&mut g, 200);
+            let ci = bootstrap_ci(&xs, 0.95, 500, &mut g);
+            if ci.contains(3.0) {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 85, "coverage {covered}/100 too low for a 95% CI");
+    }
+
+    #[test]
+    fn degenerate_sample_gives_zero_width() {
+        let mut g = Xoshiro256::seed_from(11);
+        let xs = vec![4.0; 64];
+        let ci = bootstrap_ci(&xs, 0.9, 200, &mut g);
+        assert_eq!(ci.lo, 4.0);
+        assert_eq!(ci.hi, 4.0);
+        assert_eq!(ci.point, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let mut g = Xoshiro256::seed_from(12);
+        let _ = bootstrap_ci(&[], 0.95, 100, &mut g);
+    }
+}

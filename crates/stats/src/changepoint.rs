@@ -1,0 +1,345 @@
+//! Offline change-point detection.
+//!
+//! Paper §4.3 ("Tackling reward-decision coupling") proposes borrowing
+//! change-point detection — citing PELT (Killick et al. \[23\]) and penalized
+//! contrasts (Lavielle \[26\]) — to infer *when our own decisions changed the
+//! system state* (e.g. a server sliding from "low load" into "overload"
+//! because the policy kept assigning clients to it). The detected segments
+//! gate which trace records a state-aware DR estimator may reuse.
+//!
+//! Two detectors are provided, both exact/greedy optimizers of a penalized
+//! segmented cost:
+//!
+//! - [`pelt`] — Pruned Exact Linear Time; exact minimizer of
+//!   `sum(seg_cost) + beta * #changepoints` under a pruning condition that
+//!   holds for the concave costs used here.
+//! - [`binary_segmentation`] — the classic greedy splitter; cheaper but
+//!   approximate, kept both as a baseline and for cross-checking PELT in
+//!   tests.
+
+/// Segment cost models for change-point detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModel {
+    /// Gaussian likelihood cost for a change in **mean** with (assumed)
+    /// common variance: `sum (x - mean)^2` within each segment. This is the
+    /// right model for a load-level proxy series that shifts level when a
+    /// server saturates.
+    NormalMean,
+    /// Gaussian likelihood cost for a change in mean **and variance**:
+    /// `n * log(var)` within each segment (plus constants). Detects
+    /// volatility shifts, e.g. queueing delay variance exploding at high
+    /// utilization.
+    NormalMeanVar,
+}
+
+/// Penalty selection for the number of change points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Penalty {
+    /// Bayesian information criterion: `p * ln(n)` with `p` the number of
+    /// parameters added per change point (1 for mean, 2 for mean+var).
+    Bic,
+    /// Explicit penalty value per change point.
+    Manual(f64),
+}
+
+impl Penalty {
+    fn value(&self, n: usize, model: CostModel) -> f64 {
+        match self {
+            Penalty::Manual(b) => {
+                assert!(*b >= 0.0, "penalty must be non-negative");
+                *b
+            }
+            Penalty::Bic => {
+                let p = match model {
+                    CostModel::NormalMean => 1.0,
+                    CostModel::NormalMeanVar => 2.0,
+                };
+                // +1 parameter for the changepoint location itself; the
+                // conventional "2 p ln n"-style BIC used by ruptures.
+                (p + 1.0) * (n.max(2) as f64).ln()
+            }
+        }
+    }
+}
+
+/// Prefix sums enabling O(1) segment cost queries.
+struct Prefix {
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+impl Prefix {
+    fn new(xs: &[f64]) -> Self {
+        let mut sum = Vec::with_capacity(xs.len() + 1);
+        let mut sum_sq = Vec::with_capacity(xs.len() + 1);
+        sum.push(0.0);
+        sum_sq.push(0.0);
+        for &x in xs {
+            sum.push(sum.last().unwrap() + x);
+            sum_sq.push(sum_sq.last().unwrap() + x * x);
+        }
+        Self { sum, sum_sq }
+    }
+
+    /// Cost of the half-open segment `[a, b)`.
+    fn cost(&self, a: usize, b: usize, model: CostModel) -> f64 {
+        debug_assert!(a < b);
+        let n = (b - a) as f64;
+        let s = self.sum[b] - self.sum[a];
+        let ss = self.sum_sq[b] - self.sum_sq[a];
+        let rss = (ss - s * s / n).max(0.0);
+        match model {
+            CostModel::NormalMean => rss,
+            CostModel::NormalMeanVar => {
+                // n * log(sigma^2_hat); floor the variance to keep the log
+                // finite on constant segments.
+                let var = (rss / n).max(1e-12);
+                n * var.ln()
+            }
+        }
+    }
+}
+
+/// Exact penalized change-point detection via PELT (Killick et al. 2012).
+///
+/// Returns the sorted change-point indices: each index `t` means "a new
+/// segment starts at `t`" (so indices lie in `1..n`). An empty result means
+/// the series is best explained by a single segment.
+///
+/// `min_seg` is the minimum segment length (≥ 1); short floors suppress
+/// spurious one-point segments in noisy load series.
+///
+/// # Panics
+/// Panics if `xs.len() < 2 * min_seg` or `min_seg == 0`.
+pub fn pelt(xs: &[f64], model: CostModel, penalty: Penalty, min_seg: usize) -> Vec<usize> {
+    assert!(min_seg >= 1, "min_seg must be at least 1");
+    assert!(
+        xs.len() >= 2 * min_seg,
+        "series of length {} too short for min_seg {}",
+        xs.len(),
+        min_seg
+    );
+    let n = xs.len();
+    let beta = penalty.value(n, model);
+    let pre = Prefix::new(xs);
+
+    // f[t] = optimal cost of xs[..t] (+ beta per internal changepoint).
+    let mut f = vec![f64::INFINITY; n + 1];
+    f[0] = -beta; // standard PELT initialization so each segment pays beta once
+    let mut last_cp = vec![0usize; n + 1];
+    // Candidate previous change points, pruned as we go.
+    let mut candidates: Vec<usize> = vec![0];
+
+    for t in min_seg..=n {
+        let mut best = f64::INFINITY;
+        let mut best_s = 0;
+        for &s in &candidates {
+            if t - s < min_seg {
+                continue;
+            }
+            let c = f[s] + pre.cost(s, t, model) + beta;
+            if c < best {
+                best = c;
+                best_s = s;
+            }
+        }
+        f[t] = best;
+        last_cp[t] = best_s;
+        // Pruning: drop s if even with zero future cost it cannot beat f[t].
+        candidates.retain(|&s| t - s < min_seg || f[s] + pre.cost(s, t, model) <= f[t]);
+        candidates.push(t.saturating_sub(min_seg - 1).max(1).min(t));
+        // Keep the canonical candidate t itself (segment could start at t).
+        if *candidates.last().unwrap() != t {
+            candidates.push(t);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+    }
+
+    // Backtrack.
+    let mut cps = Vec::new();
+    let mut t = n;
+    while t > 0 {
+        let s = last_cp[t];
+        if s == 0 {
+            break;
+        }
+        cps.push(s);
+        t = s;
+    }
+    cps.sort_unstable();
+    cps
+}
+
+/// Greedy binary segmentation under the same penalized cost.
+///
+/// Recursively splits the segment at the point of maximal cost reduction as
+/// long as the reduction exceeds the penalty. Approximate but fast and
+/// simple; serves as a baseline/cross-check for [`pelt`].
+pub fn binary_segmentation(
+    xs: &[f64],
+    model: CostModel,
+    penalty: Penalty,
+    min_seg: usize,
+) -> Vec<usize> {
+    assert!(min_seg >= 1, "min_seg must be at least 1");
+    assert!(
+        xs.len() >= 2 * min_seg,
+        "series of length {} too short for min_seg {}",
+        xs.len(),
+        min_seg
+    );
+    let n = xs.len();
+    let beta = penalty.value(n, model);
+    let pre = Prefix::new(xs);
+    let mut cps = Vec::new();
+    let mut stack = vec![(0usize, n)];
+    while let Some((a, b)) = stack.pop() {
+        if b - a < 2 * min_seg {
+            continue;
+        }
+        let whole = pre.cost(a, b, model);
+        let mut best_gain = 0.0;
+        let mut best_t = 0;
+        for t in (a + min_seg)..=(b - min_seg) {
+            let gain = whole - pre.cost(a, t, model) - pre.cost(t, b, model);
+            if gain > best_gain {
+                best_gain = gain;
+                best_t = t;
+            }
+        }
+        if best_gain > beta && best_t != 0 {
+            cps.push(best_t);
+            stack.push((a, best_t));
+            stack.push((best_t, b));
+        }
+    }
+    cps.sort_unstable();
+    cps
+}
+
+/// Splits a series into segments given change points from [`pelt`] /
+/// [`binary_segmentation`]; returns `(start, end)` half-open index pairs.
+pub fn segments(n: usize, changepoints: &[usize]) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(changepoints.len() + 1);
+    let mut start = 0;
+    for &cp in changepoints {
+        assert!(
+            cp > start && cp < n,
+            "changepoint {cp} out of order or range"
+        );
+        out.push((start, cp));
+        start = cp;
+    }
+    out.push((start, n));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use crate::rng::Xoshiro256;
+
+    fn series_with_shift(n1: usize, n2: usize, m1: f64, m2: f64, std: f64, seed: u64) -> Vec<f64> {
+        let mut g = Xoshiro256::seed_from(seed);
+        let mut xs = Normal::new(m1, std).sample_n(&mut g, n1);
+        xs.extend(Normal::new(m2, std).sample_n(&mut g, n2));
+        xs
+    }
+
+    #[test]
+    fn pelt_finds_clear_mean_shift() {
+        let xs = series_with_shift(100, 100, 0.0, 5.0, 1.0, 42);
+        let cps = pelt(&xs, CostModel::NormalMean, Penalty::Bic, 5);
+        assert_eq!(
+            cps.len(),
+            1,
+            "expected exactly one changepoint, got {cps:?}"
+        );
+        assert!(
+            (cps[0] as i64 - 100).unsigned_abs() <= 3,
+            "changepoint {} too far from 100",
+            cps[0]
+        );
+    }
+
+    #[test]
+    fn pelt_silent_on_stationary_series() {
+        let mut g = Xoshiro256::seed_from(7);
+        let xs = Normal::new(2.0, 1.0).sample_n(&mut g, 300);
+        let cps = pelt(&xs, CostModel::NormalMean, Penalty::Bic, 5);
+        assert!(
+            cps.is_empty(),
+            "false positives on stationary series: {cps:?}"
+        );
+    }
+
+    #[test]
+    fn pelt_finds_two_shifts() {
+        let mut xs = series_with_shift(80, 80, 0.0, 4.0, 0.8, 3);
+        let mut g = Xoshiro256::seed_from(4);
+        xs.extend(Normal::new(-3.0, 0.8).sample_n(&mut g, 80));
+        let cps = pelt(&xs, CostModel::NormalMean, Penalty::Bic, 5);
+        assert_eq!(cps.len(), 2, "expected two changepoints, got {cps:?}");
+        assert!((cps[0] as i64 - 80).unsigned_abs() <= 3);
+        assert!((cps[1] as i64 - 160).unsigned_abs() <= 3);
+    }
+
+    #[test]
+    fn pelt_meanvar_detects_variance_shift() {
+        let mut g = Xoshiro256::seed_from(21);
+        let mut xs = Normal::new(0.0, 0.5).sample_n(&mut g, 150);
+        xs.extend(Normal::new(0.0, 4.0).sample_n(&mut g, 150));
+        let cps = pelt(&xs, CostModel::NormalMeanVar, Penalty::Bic, 10);
+        assert!(!cps.is_empty(), "variance shift missed");
+        assert!(
+            (cps[0] as i64 - 150).unsigned_abs() <= 10,
+            "variance changepoint {} too far from 150",
+            cps[0]
+        );
+    }
+
+    #[test]
+    fn binseg_agrees_with_pelt_on_clean_shift() {
+        let xs = series_with_shift(120, 120, 1.0, 8.0, 1.0, 99);
+        let p = pelt(&xs, CostModel::NormalMean, Penalty::Bic, 5);
+        let b = binary_segmentation(&xs, CostModel::NormalMean, Penalty::Bic, 5);
+        assert_eq!(p.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!((p[0] as i64 - b[0] as i64).unsigned_abs() <= 2);
+    }
+
+    #[test]
+    fn manual_penalty_controls_sensitivity() {
+        // Small shift: a huge penalty should suppress detection, a tiny one allow it.
+        let xs = series_with_shift(100, 100, 0.0, 1.0, 1.0, 5);
+        let strict = pelt(&xs, CostModel::NormalMean, Penalty::Manual(1e6), 5);
+        assert!(strict.is_empty());
+        let lax = pelt(&xs, CostModel::NormalMean, Penalty::Manual(5.0), 5);
+        assert!(!lax.is_empty());
+    }
+
+    #[test]
+    fn segments_partition_series() {
+        let segs = segments(10, &[3, 7]);
+        assert_eq!(segs, vec![(0, 3), (3, 7), (7, 10)]);
+        let segs = segments(5, &[]);
+        assert_eq!(segs, vec![(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn pelt_short_series_panics() {
+        let _ = pelt(&[1.0, 2.0], CostModel::NormalMean, Penalty::Bic, 5);
+    }
+
+    #[test]
+    fn min_seg_respected() {
+        let xs = series_with_shift(50, 50, 0.0, 6.0, 1.0, 13);
+        let cps = pelt(&xs, CostModel::NormalMean, Penalty::Bic, 20);
+        for &cp in &cps {
+            assert!((20..=80).contains(&cp), "changepoint {cp} violates min_seg");
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Probability distributions used by the synthetic workloads.
+//!
+//! Each distribution implements [`Distribution`], a tiny sampling trait over
+//! the crate's [`Rng`]. Parameter validation happens at construction time so
+//! sampling is infallible and branch-light.
+
+use crate::rng::Rng;
+
+/// A sampler producing values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample(&self, rng: &mut dyn Rng) -> T;
+
+    /// Draws `n` samples into a vector.
+    fn sample_n(&self, rng: &mut dyn Rng, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Continuous uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "uniform bounds must be finite"
+        );
+        assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
+        Self { lo, hi }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Normal (Gaussian) distribution, sampled via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    /// Panics if `std < 0` or parameters are non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "normal parameters must be finite"
+        );
+        assert!(std >= 0.0, "normal std must be non-negative, got {std}");
+        Self { mean, std }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Draws a standard-normal variate via Box–Muller.
+    fn standard(rng: &mut dyn Rng) -> f64 {
+        // Reject u1 == 0 so ln is finite.
+        let mut u1 = rng.next_f64();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.next_f64();
+        }
+        let u2 = rng.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        self.mean + self.std * Self::standard(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Used for heavy-ish-tailed quantities like response times and available
+/// bandwidth, matching the skew observed in real network telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with location `mu` and scale
+    /// `sigma` (parameters of the underlying normal).
+    ///
+    /// # Panics
+    /// Panics if `sigma < 0` or parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self {
+            norm: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Constructs a log-normal from the desired *arithmetic* mean and
+    /// standard deviation of the resulting samples.
+    ///
+    /// # Panics
+    /// Panics if `mean <= 0` or `std < 0`.
+    pub fn from_mean_std(mean: f64, std: f64) -> Self {
+        assert!(mean > 0.0, "log-normal mean must be positive");
+        assert!(std >= 0.0, "log-normal std must be non-negative");
+        let variance_ratio = (std / mean).powi(2);
+        let sigma2 = (1.0 + variance_ratio).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with the given rate `lambda`.
+///
+/// The workhorse of inter-arrival times in `ddn-netsim`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda > 0`
+    /// (mean `1 / lambda`).
+    ///
+    /// # Panics
+    /// Panics if `rate <= 0` or non-finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
+        Self { rate }
+    }
+
+    /// The mean `1 / lambda`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl Distribution<f64> for Exponential {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let mut u = rng.next_f64();
+        while u <= f64::MIN_POSITIVE {
+            u = rng.next_f64();
+        }
+        -u.ln() / self.rate
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// Models heavy-tailed flow sizes and session durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics unless `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0, "pareto x_min must be positive");
+        assert!(alpha > 0.0, "pareto alpha must be positive");
+        Self { x_min, alpha }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let mut u = rng.next_f64();
+        while u <= f64::MIN_POSITIVE {
+            u = rng.next_f64();
+        }
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Bernoulli distribution: `true` with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "bernoulli p must be in [0,1], got {p}"
+        );
+        Self { p }
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample(&self, rng: &mut dyn Rng) -> bool {
+        rng.chance(self.p)
+    }
+}
+
+/// Categorical distribution over indices `0..k`, with O(1) sampling via
+/// Walker's alias method.
+///
+/// This is the sampler behind every stochastic [`Policy`](https://docs.rs)
+/// in `ddn-policy`: a policy's conditional distribution over decisions is
+/// exactly a categorical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    /// Normalized probabilities, kept for exact PMF queries.
+    pmf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds a categorical distribution from non-negative weights.
+    /// Weights need not sum to one; they are normalized.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "categorical weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "categorical weights must not all be zero");
+        let k = weights.len();
+        let pmf: Vec<f64> = weights.iter().map(|w| w / total).collect();
+
+        // Walker's alias method setup.
+        let mut prob = vec![0.0f64; k];
+        let mut alias = vec![0usize; k];
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        let scaled: Vec<f64> = pmf.iter().map(|p| p * k as f64).collect();
+        let mut scaled = scaled;
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &l in &large {
+            prob[l] = 1.0;
+        }
+        for &s in &small {
+            prob[s] = 1.0;
+        }
+        Self { prob, alias, pmf }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.pmf.len()
+    }
+
+    /// Whether the distribution has zero categories (never true by
+    /// construction; provided for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.pmf.is_empty()
+    }
+
+    /// The normalized probability of category `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn pmf(&self, i: usize) -> f64 {
+        self.pmf[i]
+    }
+
+    /// The full normalized probability vector.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.pmf
+    }
+}
+
+impl Distribution<usize> for Categorical {
+    fn sample(&self, rng: &mut dyn Rng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from(1234)
+    }
+
+    fn mean_std(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1.0);
+        (m, v.sqrt())
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut g = rng();
+        let d = Uniform::new(-2.0, 6.0);
+        let xs = d.sample_n(&mut g, 50_000);
+        assert!(xs.iter().all(|&x| (-2.0..6.0).contains(&x)));
+        let (m, _) = mean_std(&xs);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_bad_bounds() {
+        let _ = Uniform::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut g = rng();
+        let d = Normal::new(3.0, 2.0);
+        let xs = d.sample_n(&mut g, 100_000);
+        let (m, s) = mean_std(&xs);
+        assert!((m - 3.0).abs() < 0.03, "mean {m}");
+        assert!((s - 2.0).abs() < 0.03, "std {s}");
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut g = rng();
+        let d = Normal::new(5.0, 0.0);
+        assert!(d.sample_n(&mut g, 100).iter().all(|&x| x == 5.0));
+    }
+
+    #[test]
+    fn lognormal_from_mean_std_matches_target() {
+        let mut g = rng();
+        let d = LogNormal::from_mean_std(10.0, 3.0);
+        let xs = d.sample_n(&mut g, 200_000);
+        let (m, s) = mean_std(&xs);
+        assert!((m - 10.0).abs() < 0.1, "mean {m}");
+        assert!((s - 3.0).abs() < 0.1, "std {s}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut g = rng();
+        let d = Exponential::new(0.25);
+        let xs = d.sample_n(&mut g, 100_000);
+        let (m, _) = mean_std(&xs);
+        assert!((m - 4.0).abs() < 0.08, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_support() {
+        let mut g = rng();
+        let d = Pareto::new(2.0, 1.5);
+        let xs = d.sample_n(&mut g, 10_000);
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // Heavy tail: max should be much bigger than the min.
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 20.0, "max {max} suspiciously small for a Pareto");
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut g = rng();
+        let d = Bernoulli::new(0.3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| d.sample(&mut g)).count();
+        let f = hits as f64 / n as f64;
+        assert!((f - 0.3).abs() < 0.01, "freq {f}");
+    }
+
+    #[test]
+    fn categorical_pmf_normalized() {
+        let d = Categorical::new(&[2.0, 6.0, 2.0]);
+        assert!((d.pmf(0) - 0.2).abs() < 1e-12);
+        assert!((d.pmf(1) - 0.6).abs() < 1e-12);
+        assert!((d.pmf(2) - 0.2).abs() < 1e-12);
+        assert!((d.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_sampling_matches_pmf() {
+        let mut g = rng();
+        let d = Categorical::new(&[1.0, 2.0, 3.0, 4.0]);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[d.sample(&mut g)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let f = c as f64 / n as f64;
+            let p = d.pmf(i);
+            assert!((f - p).abs() < 0.01, "cat {i}: freq {f} vs pmf {p}");
+        }
+    }
+
+    #[test]
+    fn categorical_degenerate_weight() {
+        let mut g = rng();
+        let d = Categorical::new(&[0.0, 1.0, 0.0]);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut g), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn categorical_empty_panics() {
+        let _ = Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn categorical_zero_weights_panic() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Small dense linear algebra.
+//!
+//! Just enough matrix machinery for the hand-rolled ridge regression in
+//! `ddn-models`: row-major dense matrices, matrix/vector products, and a
+//! Cholesky solver for symmetric positive-definite systems (which is what
+//! `XᵀX + λI` always is for `λ > 0`).
+
+/// Alias for a dense vector.
+pub type Vector = Vec<f64>;
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `AᵀA` of this matrix (a `cols × cols` Gram matrix).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let xi = row[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    g[(i, j)] += xi * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..self.cols {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ y` for a vector `y` of length `rows`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn transpose_mul_vec(&self, y: &[f64]) -> Vector {
+        assert_eq!(y.len(), self.rows, "vector length must equal row count");
+        let mut out = vec![0.0; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x * yr;
+            }
+        }
+        out
+    }
+
+    /// `A x` for a vector `x` of length `cols`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn mul_vec(&self, x: &[f64]) -> Vector {
+        assert_eq!(x.len(), self.cols, "vector length must equal column count");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Adds `lambda` to every diagonal entry (in place). Used for ridge
+    /// regularization.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        assert_eq!(
+            self.rows, self.cols,
+            "add_diagonal requires a square matrix"
+        );
+        for i in 0..self.rows {
+            self[(i, i)] += lambda;
+        }
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky
+    /// decomposition. Returns `None` if the matrix is not (numerically)
+    /// positive definite.
+    ///
+    /// # Panics
+    /// Panics if `A` is not square or `b` has the wrong length.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Option<Vector> {
+        assert_eq!(self.rows, self.cols, "cholesky requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length must equal matrix size");
+        let n = self.rows;
+        // Lower-triangular factor L with A = L Lᵀ.
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return None;
+                    }
+                    l[i * n + j] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[i * n + k] * y[k];
+            }
+            y[i] = s / l[i * n + i];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= l[k * n + i] * x[k];
+            }
+            x[i] = s / l[i * n + i];
+        }
+        Some(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let a = Matrix::identity(3);
+        let x = a.cholesky_solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cholesky_known_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2].
+        let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let x = a.cholesky_solve(&[10.0, 9.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(a.cholesky_solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn gram_and_transpose_mul() {
+        // X = [[1,2],[3,4],[5,6]]
+        let x = Matrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = x.gram();
+        assert_eq!(g[(0, 0)], 35.0);
+        assert_eq!(g[(0, 1)], 44.0);
+        assert_eq!(g[(1, 0)], 44.0);
+        assert_eq!(g[(1, 1)], 56.0);
+        let xty = x.transpose_mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(xty, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0]);
+        let v = a.mul_vec(&[3.0, -1.0, 2.0]);
+        assert_eq!(v, vec![7.0, -4.0]);
+    }
+
+    #[test]
+    fn ridge_normal_equations_roundtrip() {
+        // Solve (XᵀX + λI) w = Xᵀ y for a known linear relationship
+        // y = 2*x0 - x1; with tiny λ the solution should be close.
+        let x = Matrix::from_rows(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]);
+        let y: Vec<f64> = (0..4).map(|r| 2.0 * x.row(r)[0] - x.row(r)[1]).collect();
+        let mut a = x.gram();
+        a.add_diagonal(1e-9);
+        let b = x.transpose_mul_vec(&y);
+        let w = a.cholesky_solve(&b).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+}

@@ -1,0 +1,173 @@
+//! Series utilities: correlation measures and exponential smoothing.
+//!
+//! [`pearson`]/[`spearman`] quantify relationships between experiment
+//! outputs (e.g. the second-order-bias ablation correlates DR error with
+//! the DM×IPS error product), and [`Ewma`] smooths noisy load proxies
+//! before change-point detection — raw per-request backlog series are
+//! integer-jumpy and benefit from light smoothing.
+
+/// Pearson (linear) correlation coefficient of two equal-length samples.
+///
+/// Returns `0.0` when either sample is constant (the coefficient is
+/// undefined there; zero is the conventional, safe value for ranking use).
+///
+/// # Panics
+/// Panics on length mismatch or fewer than two points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation length mismatch");
+    assert!(xs.len() >= 2, "correlation needs at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Average ranks, with ties sharing their mean rank.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on average ranks; ties get mean
+/// ranks). Robust to monotone but non-linear relationships — the right
+/// tool for "does DR error *increase with* the error product" claims.
+///
+/// # Panics
+/// Panics on length mismatch or fewer than two points.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]` (1 = no smoothing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates a smoother.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, state: None }
+    }
+
+    /// Feeds one observation, returning the updated smoothed value.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let next = match self.state {
+            None => x,
+            Some(s) => self.alpha * x + (1.0 - self.alpha) * s,
+        };
+        self.state = Some(next);
+        next
+    }
+
+    /// The current smoothed value, if any observation has been fed.
+    pub fn value(&self) -> Option<f64> {
+        self.state
+    }
+
+    /// Smooths an entire series.
+    pub fn smooth(alpha: f64, xs: &[f64]) -> Vec<f64> {
+        let mut e = Ewma::new(alpha);
+        xs.iter().map(|&x| e.update(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let cubes: Vec<f64> = xs.iter().map(|x: &f64| x.powi(3)).collect();
+        assert!((spearman(&xs, &cubes) - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for the same data.
+        assert!(pearson(&xs, &cubes) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 6.0, 7.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        // And ranks assign the tied pair its mean rank 1.5.
+        assert_eq!(ranks(&xs), vec![1.5, 1.5, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.3);
+        let mut last = 0.0;
+        for _ in 0..100 {
+            last = e.update(5.0);
+        }
+        assert!((last - 5.0).abs() < 1e-9);
+        assert_eq!(e.value(), Some(last));
+    }
+
+    #[test]
+    fn ewma_first_value_passthrough_and_smooths_jumps() {
+        let smoothed = Ewma::smooth(0.2, &[10.0, 0.0, 0.0, 0.0]);
+        assert_eq!(smoothed[0], 10.0);
+        assert!((smoothed[1] - 8.0).abs() < 1e-12);
+        assert!(smoothed[3] < smoothed[1]);
+        // alpha = 1 is the identity.
+        assert_eq!(Ewma::smooth(1.0, &[3.0, 7.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn zero_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+}

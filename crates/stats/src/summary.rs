@@ -1,0 +1,396 @@
+//! Streaming and batch summaries of sample collections.
+//!
+//! [`Welford`] accumulates mean/variance in one pass; [`Summary`] is its
+//! finished snapshot; [`ErrorReport`] is the min/mean/max triple that the
+//! paper's Figure 7 plots for each estimator; [`Histogram`] supports the
+//! weight-distribution diagnostics in `ddn-estimators`.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass streaming mean and variance (Welford's algorithm), plus
+/// min/max tracking.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every observation in `xs`.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; `0.0` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Finishes the accumulator into an immutable [`Summary`].
+    pub fn finish(&self) -> Summary {
+        Summary {
+            count: self.n,
+            mean: self.mean,
+            std: self.std(),
+            min: if self.n == 0 { f64::NAN } else { self.min },
+            max: if self.n == 0 { f64::NAN } else { self.max },
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel-combine form of
+    /// Welford, used when experiment runs are fanned out across threads).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Immutable snapshot of a sample's moments and extremes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased).
+    pub std: f64,
+    /// Minimum observation (`NaN` when empty).
+    pub min: f64,
+    /// Maximum observation (`NaN` when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice in one pass.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut w = Welford::new();
+        w.extend(xs.iter().copied());
+        w.finish()
+    }
+}
+
+/// The statistic the paper's Figure 7 plots per estimator: the mean,
+/// minimum and maximum of a set of relative evaluation errors (one per
+/// simulation run).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReport {
+    /// Mean relative error over runs.
+    pub mean: f64,
+    /// Smallest relative error observed.
+    pub min: f64,
+    /// Largest relative error observed.
+    pub max: f64,
+    /// Number of runs aggregated.
+    pub runs: u64,
+}
+
+impl ErrorReport {
+    /// Aggregates a slice of per-run relative errors.
+    ///
+    /// # Panics
+    /// Panics if `errors` is empty — an experiment with zero runs is a bug.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        assert!(!errors.is_empty(), "ErrorReport requires at least one run");
+        let s = Summary::of(errors);
+        Self {
+            mean: s.mean,
+            min: s.min,
+            max: s.max,
+            runs: s.count,
+        }
+    }
+
+    /// Relative improvement of `self` over `baseline` in mean error
+    /// (e.g. the paper's "DR's evaluation error is about 32% lower").
+    /// Positive means `self` is better (lower error).
+    pub fn improvement_over(&self, baseline: &ErrorReport) -> f64 {
+        if baseline.mean == 0.0 {
+            return 0.0;
+        }
+        (baseline.mean - self.mean) / baseline.mean
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `xs` using linear interpolation
+/// between order statistics (type-7, the numpy default).
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `\[0, 1\]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile q must be in [0,1], got {q}"
+    );
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fixed-width histogram over a closed range, with overflow/underflow bins.
+///
+/// Used to inspect the distribution of IPS importance weights — the
+/// heavy right tail of that distribution is exactly the variance pathology
+/// the paper describes in §2.2.2 and §4.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram requires lo < hi");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bucket counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Fraction of observations at or above the upper bound — the "tail
+    /// mass" diagnostic surfaced by the estimators.
+    pub fn tail_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0];
+        let mut w = Welford::new();
+        w.extend(xs.iter().copied());
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-9);
+        assert_eq!(w.min(), 1.0);
+        assert_eq!(w.max(), 100.0);
+        assert_eq!(w.count(), 6);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let mut w1 = Welford::new();
+        w1.push(7.0);
+        assert_eq!(w1.mean(), 7.0);
+        assert_eq!(w1.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        all.extend(xs.iter().copied());
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        a.extend(xs[..20].iter().copied());
+        b.extend(xs[20..].iter().copied());
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.extend([1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn error_report_aggregates() {
+        let r = ErrorReport::from_errors(&[0.1, 0.2, 0.3]);
+        assert!((r.mean - 0.2).abs() < 1e-12);
+        assert_eq!(r.min, 0.1);
+        assert_eq!(r.max, 0.3);
+        assert_eq!(r.runs, 3);
+    }
+
+    #[test]
+    fn error_report_improvement() {
+        let dr = ErrorReport::from_errors(&[0.068]);
+        let wise = ErrorReport::from_errors(&[0.1]);
+        let imp = dr.improvement_over(&wise);
+        assert!((imp - 0.32).abs() < 1e-9, "improvement {imp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn error_report_empty_panics() {
+        let _ = ErrorReport::from_errors(&[]);
+    }
+
+    #[test]
+    fn quantile_basic() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(10.0);
+        h.record(5.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 5);
+        assert!((h.tail_fraction() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Paired and two-sample t-tests.
+//!
+//! The Figure 7 experiments run every estimator on the *same* seeds, so
+//! "is DR actually better than WISE?" is a **paired** comparison — the
+//! per-run error differences are the sample, which removes the large
+//! between-seed variance component. This module implements the paired
+//! t-test (and Welch's unpaired variant) with an exact Student-t CDF via
+//! the regularized incomplete beta function, all hand-rolled.
+
+/// Outcome of a t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// Mean difference (first sample minus second).
+    pub mean_diff: f64,
+}
+
+impl TTest {
+    /// Whether the difference is significant at level `alpha` (two-sided).
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + 7.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Continued fraction for the regularized incomplete beta (Numerical
+/// Recipes `betacf`).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Two-sided p-value of a t statistic with `df` degrees of freedom:
+/// `P(|T| >= |t|)`.
+pub fn t_two_sided_p(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if !t.is_finite() {
+        return 0.0;
+    }
+    // P(|T| >= t) = I_{df/(df+t^2)}(df/2, 1/2).
+    incomplete_beta(df / 2.0, 0.5, df / (df + t * t)).clamp(0.0, 1.0)
+}
+
+/// Paired t-test of `a` vs `b` (same length, same experimental units —
+/// e.g. per-seed errors of two estimators).
+///
+/// # Panics
+/// Panics on length mismatch or fewer than two pairs.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTest {
+    assert_eq!(a.len(), b.len(), "paired test needs equal lengths");
+    assert!(a.len() >= 2, "paired test needs at least two pairs");
+    let n = a.len() as f64;
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let df = n - 1.0;
+    if var == 0.0 {
+        // All differences identical: either exactly zero (p = 1) or a
+        // deterministic nonzero shift (p -> 0).
+        let p = if mean == 0.0 { 1.0 } else { 0.0 };
+        return TTest {
+            t: if mean == 0.0 { 0.0 } else { f64::INFINITY },
+            df,
+            p_two_sided: p,
+            mean_diff: mean,
+        };
+    }
+    let t = mean / (var / n).sqrt();
+    TTest {
+        t,
+        df,
+        p_two_sided: t_two_sided_p(t, df),
+        mean_diff: mean,
+    }
+}
+
+/// Welch's unpaired two-sample t-test (unequal variances).
+///
+/// # Panics
+/// Panics if either sample has fewer than two points.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTest {
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "each sample needs at least two points"
+    );
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let ma = a.iter().sum::<f64>() / na;
+    let mb = b.iter().sum::<f64>() / nb;
+    let va = a.iter().map(|x| (x - ma).powi(2)).sum::<f64>() / (na - 1.0);
+    let vb = b.iter().map(|x| (x - mb).powi(2)).sum::<f64>() / (nb - 1.0);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        let diff = ma - mb;
+        let p = if diff == 0.0 { 1.0 } else { 0.0 };
+        return TTest {
+            t: if diff == 0.0 { 0.0 } else { f64::INFINITY },
+            df: na + nb - 2.0,
+            p_two_sided: p,
+            mean_diff: diff,
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    TTest {
+        t,
+        df,
+        p_two_sided: t_two_sided_p(t, df),
+        mean_diff: ma - mb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_reference_values() {
+        // I_x(1,1) = x (uniform CDF).
+        for x in [0.1, 0.5, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+        let v = incomplete_beta(2.5, 4.0, 0.3);
+        let w = 1.0 - incomplete_beta(4.0, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_cdf_reference_values() {
+        // df=1 (Cauchy): P(|T|>=1) = 0.5 exactly.
+        assert!((t_two_sided_p(1.0, 1.0) - 0.5).abs() < 1e-10);
+        // df=10, t=2.228...: the classic 0.05 two-sided critical value.
+        assert!((t_two_sided_p(2.228, 10.0) - 0.05).abs() < 5e-4);
+        // Large df approaches the normal: t=1.96 → ~0.05.
+        assert!((t_two_sided_p(1.96, 10_000.0) - 0.05).abs() < 2e-3);
+    }
+
+    #[test]
+    fn paired_test_detects_consistent_improvement() {
+        let mut g = Xoshiro256::seed_from(1);
+        let noise = Normal::new(0.0, 1.0);
+        // Same seeds, b consistently 0.5 worse than a.
+        let a: Vec<f64> = noise.sample_n(&mut g, 40);
+        let b: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
+        let t = paired_t_test(&a, &b);
+        assert!((t.mean_diff + 0.5).abs() < 1e-12);
+        assert!(
+            t.significant(0.001),
+            "a constant shift must be overwhelming: p={}",
+            t.p_two_sided
+        );
+        // Welch on the same data is far weaker: the shared noise dominates.
+        let w = welch_t_test(&a, &b);
+        assert!(w.p_two_sided > t.p_two_sided);
+    }
+
+    #[test]
+    fn paired_test_accepts_null() {
+        let mut g = Xoshiro256::seed_from(2);
+        let noise = Normal::new(0.0, 1.0);
+        let a: Vec<f64> = noise.sample_n(&mut g, 50);
+        let b: Vec<f64> = a.iter().map(|x| x + noise.sample(&mut g) * 0.5).collect();
+        let t = paired_t_test(&a, &b);
+        assert!(
+            t.p_two_sided > 0.01,
+            "pure noise should rarely look significant"
+        );
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let t = paired_t_test(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(t.p_two_sided, 1.0);
+        let t = paired_t_test(&[2.0, 3.0, 4.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(t.p_two_sided, 0.0);
+    }
+
+    #[test]
+    fn welch_separates_clearly_different_means() {
+        let mut g = Xoshiro256::seed_from(3);
+        let a = Normal::new(0.0, 1.0).sample_n(&mut g, 60);
+        let b = Normal::new(2.0, 1.5).sample_n(&mut g, 40);
+        let t = welch_t_test(&a, &b);
+        assert!(t.significant(1e-6));
+        assert!(t.mean_diff < -1.5);
+    }
+}

@@ -1,0 +1,153 @@
+//! Ergonomic trace construction.
+//!
+//! [`TraceBuilder`] removes the boilerplate of assembling record vectors:
+//! it carries the schema and decision space, offers a one-call
+//! [`TraceBuilder::log`] that samples a policy-like closure, records the
+//! propensity, and appends — the exact shape of a production logging
+//! hook — and validates once at [`TraceBuilder::finish`].
+
+use crate::context::{Context, ContextSchema};
+use crate::decision::{Decision, DecisionSpace};
+use crate::error::TraceError;
+use crate::record::{StateTag, TraceRecord};
+use crate::trace::Trace;
+
+/// Incremental builder for [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    schema: ContextSchema,
+    space: DecisionSpace,
+    records: Vec<TraceRecord>,
+}
+
+impl TraceBuilder {
+    /// Starts a builder for the given schema and decision space.
+    pub fn new(schema: ContextSchema, space: DecisionSpace) -> Self {
+        Self {
+            schema,
+            space,
+            records: Vec::new(),
+        }
+    }
+
+    /// The schema records must conform to.
+    pub fn schema(&self) -> &ContextSchema {
+        &self.schema
+    }
+
+    /// The decision space records must index into.
+    pub fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    /// Number of records buffered so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a fully formed record.
+    pub fn push(&mut self, record: TraceRecord) -> &mut Self {
+        self.records.push(record);
+        self
+    }
+
+    /// Appends the mandatory triple with no metadata.
+    pub fn observe(&mut self, ctx: Context, d: Decision, reward: f64) -> &mut Self {
+        self.push(TraceRecord::new(ctx, d, reward))
+    }
+
+    /// The production logging hook: takes the decision and its sampling
+    /// probability together (as returned by
+    /// `Policy::sample_with_prob`), plus the realized reward.
+    pub fn log(
+        &mut self,
+        ctx: Context,
+        decision_with_prob: (Decision, f64),
+        reward: f64,
+    ) -> &mut Self {
+        let (d, p) = decision_with_prob;
+        self.push(TraceRecord::new(ctx, d, reward).with_propensity(p))
+    }
+
+    /// Like [`TraceBuilder::log`] but also tagging the system state.
+    pub fn log_in_state(
+        &mut self,
+        ctx: Context,
+        decision_with_prob: (Decision, f64),
+        reward: f64,
+        state: StateTag,
+    ) -> &mut Self {
+        let (d, p) = decision_with_prob;
+        self.push(
+            TraceRecord::new(ctx, d, reward)
+                .with_propensity(p)
+                .with_state(state),
+        )
+    }
+
+    /// Validates everything and produces the trace.
+    pub fn finish(self) -> Result<Trace, TraceError> {
+        Trace::from_records(self.schema, self.space, self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts() -> (ContextSchema, DecisionSpace) {
+        (
+            ContextSchema::builder().numeric("x").build(),
+            DecisionSpace::of(&["a", "b"]),
+        )
+    }
+
+    fn ctx(schema: &ContextSchema, x: f64) -> Context {
+        Context::build(schema).set_numeric("x", x).finish()
+    }
+
+    #[test]
+    fn builds_a_valid_trace() {
+        let (schema, space) = parts();
+        let mut b = TraceBuilder::new(schema.clone(), space.clone());
+        assert!(b.is_empty());
+        b.observe(ctx(&schema, 1.0), space.decision(0), 2.0)
+            .log(ctx(&schema, 2.0), (space.decision(1), 0.5), 3.0)
+            .log_in_state(
+                ctx(&schema, 3.0),
+                (space.decision(0), 0.25),
+                4.0,
+                StateTag::HIGH_LOAD,
+            );
+        assert_eq!(b.len(), 3);
+        let t = b.finish().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records()[1].propensity, Some(0.5));
+        assert_eq!(t.records()[2].state, Some(StateTag::HIGH_LOAD));
+    }
+
+    #[test]
+    fn empty_builder_errors_at_finish() {
+        let (schema, space) = parts();
+        assert!(matches!(
+            TraceBuilder::new(schema, space).finish(),
+            Err(TraceError::Empty)
+        ));
+    }
+
+    #[test]
+    fn invalid_records_error_at_finish() {
+        let (schema, space) = parts();
+        let mut b = TraceBuilder::new(schema.clone(), space);
+        b.observe(ctx(&schema, 1.0), Decision::from_index(9), 1.0);
+        assert!(matches!(
+            b.finish(),
+            Err(TraceError::DecisionOutOfRange { index: 9, .. })
+        ));
+    }
+}

@@ -1,0 +1,237 @@
+//! Coverage diagnostics and empirical propensity estimation.
+//!
+//! Two of the paper's pitfalls are fundamentally *coverage* problems:
+//!
+//! - §2.2.1: "we have insufficient data to estimate a reliable model" for
+//!   some subpopulations (e.g. clients in city X using server Y in CDN Z);
+//! - §2.2.2: matching estimators (CFA) find few or no records whose logged
+//!   decision agrees with the new policy.
+//!
+//! [`CoverageReport`] quantifies both before any estimation happens, and
+//! [`EmpiricalPropensity`] estimates `μ_old(d | c)` from the trace itself
+//! when the logging policy is unknown (§2.1).
+
+use crate::context::ContextKey;
+use crate::trace::Trace;
+use std::collections::HashMap;
+
+/// Summary of how well a trace covers its context × decision space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Number of distinct contexts (by exact feature match).
+    pub distinct_contexts: usize,
+    /// Number of decisions that appear at least once.
+    pub decisions_seen: usize,
+    /// Total decisions in the space.
+    pub decisions_total: usize,
+    /// Count of records per decision index.
+    pub per_decision: Vec<usize>,
+    /// Number of (context, decision) cells observed.
+    pub cells_seen: usize,
+    /// Fraction of the `distinct_contexts × decisions_total` grid observed.
+    pub cell_fill: f64,
+    /// Size of the smallest non-empty per-decision count.
+    pub min_decision_count: usize,
+}
+
+impl CoverageReport {
+    /// Computes coverage over a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let k = trace.space().len();
+        let mut per_decision = vec![0usize; k];
+        let mut contexts: HashMap<ContextKey, ()> = HashMap::new();
+        let mut cells: HashMap<(ContextKey, usize), ()> = HashMap::new();
+        for r in trace.records() {
+            per_decision[r.decision.index()] += 1;
+            let key = r.context.key();
+            contexts.insert(key.clone(), ());
+            cells.insert((key, r.decision.index()), ());
+        }
+        let decisions_seen = per_decision.iter().filter(|&&c| c > 0).count();
+        let distinct_contexts = contexts.len();
+        let cells_seen = cells.len();
+        let grid = distinct_contexts * k;
+        let min_decision_count = per_decision
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .min()
+            .unwrap_or(0);
+        Self {
+            distinct_contexts,
+            decisions_seen,
+            decisions_total: k,
+            per_decision,
+            cells_seen,
+            cell_fill: if grid == 0 {
+                0.0
+            } else {
+                cells_seen as f64 / grid as f64
+            },
+            min_decision_count,
+        }
+    }
+
+    /// True when some decision never appears — IPS for a policy that picks
+    /// that decision is undefined (infinite-variance in the limit); paper
+    /// §4.1 "Coverage and randomness".
+    pub fn has_unseen_decisions(&self) -> bool {
+        self.decisions_seen < self.decisions_total
+    }
+}
+
+/// Empirical logging-policy estimate `μ̂_old(d | c)` from trace counts.
+///
+/// Per-context counts with add-λ (Laplace) smoothing, falling back to the
+/// marginal decision distribution for contexts never seen. This is the
+/// standard recourse when a production trace lacks logged propensities.
+#[derive(Debug, Clone)]
+pub struct EmpiricalPropensity {
+    per_context: HashMap<ContextKey, Vec<f64>>,
+    marginal: Vec<f64>,
+    decisions: usize,
+    smoothing: f64,
+}
+
+impl EmpiricalPropensity {
+    /// Fits propensities from a trace with add-`smoothing` regularization
+    /// (`smoothing > 0` guarantees every propensity is strictly positive,
+    /// which IPS needs).
+    ///
+    /// # Panics
+    /// Panics if `smoothing < 0`.
+    pub fn fit(trace: &Trace, smoothing: f64) -> Self {
+        assert!(smoothing >= 0.0, "smoothing must be non-negative");
+        let k = trace.space().len();
+        let mut counts: HashMap<ContextKey, Vec<f64>> = HashMap::new();
+        let mut marginal = vec![smoothing; k];
+        for r in trace.records() {
+            let entry = counts
+                .entry(r.context.key())
+                .or_insert_with(|| vec![smoothing; k]);
+            entry[r.decision.index()] += 1.0;
+            marginal[r.decision.index()] += 1.0;
+        }
+        let normalize = |v: &mut Vec<f64>| {
+            let total: f64 = v.iter().sum();
+            if total > 0.0 {
+                for x in v.iter_mut() {
+                    *x /= total;
+                }
+            }
+        };
+        let mut per_context = counts;
+        for v in per_context.values_mut() {
+            normalize(v);
+        }
+        normalize(&mut marginal);
+        Self {
+            per_context,
+            marginal,
+            decisions: k,
+            smoothing,
+        }
+    }
+
+    /// Estimated probability that the logging policy chose decision `d`
+    /// for context `c`.
+    pub fn prob(&self, c: &crate::context::Context, d: crate::decision::Decision) -> f64 {
+        let idx = d.index();
+        assert!(idx < self.decisions, "decision out of range");
+        match self.per_context.get(&c.key()) {
+            Some(p) => p[idx],
+            None => self.marginal[idx],
+        }
+    }
+
+    /// The marginal (context-free) decision distribution.
+    pub fn marginal(&self) -> &[f64] {
+        &self.marginal
+    }
+
+    /// The smoothing constant used at fit time.
+    pub fn smoothing(&self) -> f64 {
+        self.smoothing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{Context, ContextSchema};
+    use crate::decision::{Decision, DecisionSpace};
+    use crate::record::TraceRecord;
+
+    fn schema() -> ContextSchema {
+        ContextSchema::builder().categorical("g", 2).build()
+    }
+
+    fn make_trace(pairs: &[(u32, usize)]) -> Trace {
+        let s = schema();
+        let records = pairs
+            .iter()
+            .map(|&(g, d)| {
+                let c = Context::build(&s).set_cat("g", g).finish();
+                TraceRecord::new(c, Decision::from_index(d), 1.0)
+            })
+            .collect();
+        Trace::from_records(s, DecisionSpace::of(&["x", "y", "z"]), records).unwrap()
+    }
+
+    #[test]
+    fn coverage_counts() {
+        let t = make_trace(&[(0, 0), (0, 0), (0, 1), (1, 0)]);
+        let c = CoverageReport::of(&t);
+        assert_eq!(c.distinct_contexts, 2);
+        assert_eq!(c.decisions_seen, 2);
+        assert_eq!(c.decisions_total, 3);
+        assert!(c.has_unseen_decisions());
+        assert_eq!(c.per_decision, vec![3, 1, 0]);
+        assert_eq!(c.cells_seen, 3); // (0,d0) (0,d1) (1,d0)
+        assert!((c.cell_fill - 3.0 / 6.0).abs() < 1e-12);
+        assert_eq!(c.min_decision_count, 1);
+    }
+
+    #[test]
+    fn full_coverage_detected() {
+        let t = make_trace(&[(0, 0), (0, 1), (0, 2)]);
+        let c = CoverageReport::of(&t);
+        assert!(!c.has_unseen_decisions());
+        assert_eq!(c.cell_fill, 1.0);
+    }
+
+    #[test]
+    fn empirical_propensity_matches_frequencies() {
+        // Context g=0 logged: d0 ×3, d1 ×1. Unsmoothed: 0.75 / 0.25 / 0.
+        let t = make_trace(&[(0, 0), (0, 0), (0, 0), (0, 1)]);
+        let p = EmpiricalPropensity::fit(&t, 0.0);
+        let s = schema();
+        let c0 = Context::build(&s).set_cat("g", 0).finish();
+        assert!((p.prob(&c0, Decision::from_index(0)) - 0.75).abs() < 1e-12);
+        assert!((p.prob(&c0, Decision::from_index(1)) - 0.25).abs() < 1e-12);
+        assert_eq!(p.prob(&c0, Decision::from_index(2)), 0.0);
+    }
+
+    #[test]
+    fn smoothing_keeps_probabilities_positive() {
+        let t = make_trace(&[(0, 0)]);
+        let p = EmpiricalPropensity::fit(&t, 1.0);
+        let s = schema();
+        let c0 = Context::build(&s).set_cat("g", 0).finish();
+        for d in 0..3 {
+            assert!(p.prob(&c0, Decision::from_index(d)) > 0.0);
+        }
+        let total: f64 = (0..3).map(|d| p.prob(&c0, Decision::from_index(d))).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_context_falls_back_to_marginal() {
+        let t = make_trace(&[(0, 0), (0, 1)]);
+        let p = EmpiricalPropensity::fit(&t, 0.0);
+        let s = schema();
+        let c1 = Context::build(&s).set_cat("g", 1).finish();
+        assert!((p.prob(&c1, Decision::from_index(0)) - 0.5).abs() < 1e-12);
+        assert!((p.prob(&c1, Decision::from_index(1)) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Decision spaces and decisions (paper §2.1: "a set of possible decisions
+//! d ∈ D").
+//!
+//! Decisions are indices into a named, finite [`DecisionSpace`]. Networking
+//! decision spaces are usually small products (CDN × bitrate, FE × BE,
+//! direct-vs-relay), so the space also offers a cartesian-product
+//! constructor that keeps human-readable names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite, named set of decisions.
+///
+/// Cheap to clone (reference-counted).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionSpace {
+    names: Arc<Vec<String>>,
+}
+
+impl DecisionSpace {
+    /// Creates a decision space from decision names.
+    ///
+    /// # Panics
+    /// Panics if `names` is empty or contains duplicates.
+    pub fn new(names: Vec<String>) -> Self {
+        assert!(!names.is_empty(), "decision space must be non-empty");
+        for (i, n) in names.iter().enumerate() {
+            assert!(!names[..i].contains(n), "duplicate decision name {n:?}");
+        }
+        Self {
+            names: Arc::new(names),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn of(names: &[&str]) -> Self {
+        Self::new(names.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Cartesian product of two axes, producing names `"a/b"`.
+    ///
+    /// E.g. `product(&["cdn1","cdn2"], &["360p","720p"])` yields the
+    /// four CDN-and-bitrate decisions of the CFA scenario.
+    pub fn product(a: &[&str], b: &[&str]) -> Self {
+        assert!(
+            !a.is_empty() && !b.is_empty(),
+            "product axes must be non-empty"
+        );
+        let mut names = Vec::with_capacity(a.len() * b.len());
+        for x in a {
+            for y in b {
+                names.push(format!("{x}/{y}"));
+            }
+        }
+        Self::new(names)
+    }
+
+    /// Number of decisions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the space is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of decision `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// All decision names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of the decision with the given name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The decision with index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn decision(&self, i: usize) -> Decision {
+        assert!(
+            i < self.len(),
+            "decision index {i} out of range 0..{}",
+            self.len()
+        );
+        Decision(i as u32)
+    }
+
+    /// Iterates over all decisions in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Decision> + '_ {
+        (0..self.len()).map(|i| Decision(i as u32))
+    }
+}
+
+/// One decision: an index into a [`DecisionSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Decision(u32);
+
+impl Decision {
+    /// Creates a decision from a raw index. Prefer
+    /// [`DecisionSpace::decision`], which validates the range.
+    pub fn from_index(i: usize) -> Self {
+        Self(i as u32)
+    }
+
+    /// The decision's index.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let s = DecisionSpace::of(&["cdn-a", "cdn-b", "cdn-c"]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.name(1), "cdn-b");
+        assert_eq!(s.position("cdn-c"), Some(2));
+        assert_eq!(s.position("x"), None);
+        assert_eq!(s.decision(2).index(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_space_panics() {
+        let _ = DecisionSpace::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate decision name")]
+    fn duplicate_name_panics() {
+        let _ = DecisionSpace::of(&["a", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_decision_panics() {
+        let s = DecisionSpace::of(&["a"]);
+        let _ = s.decision(1);
+    }
+
+    #[test]
+    fn product_space() {
+        let s = DecisionSpace::product(&["cdn1", "cdn2"], &["360p", "720p", "1080p"]);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.name(0), "cdn1/360p");
+        assert_eq!(s.name(5), "cdn2/1080p");
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let s = DecisionSpace::of(&["a", "b"]);
+        let all: Vec<usize> = s.iter().map(|d| d.index()).collect();
+        assert_eq!(all, vec![0, 1]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = DecisionSpace::of(&["a", "b"]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DecisionSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

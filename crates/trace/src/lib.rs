@@ -1,0 +1,45 @@
+//! # ddn-trace — the trace data model
+//!
+//! Trace-driven evaluation (paper §2.1) operates on a *trace*: a sequence of
+//! tuples `(c_k, d_k, r_k)` of client-context, decision, and observed reward,
+//! logged while an **old** policy `μ_old` was making decisions. This crate
+//! defines that data model and everything needed to move traces around:
+//!
+//! - [`ContextSchema`] / [`Context`] — featurized client-contexts mixing
+//!   categorical features (ISP, CDN, device, NAT-ed?) and numeric features
+//!   (RTT, throughput, buffer level).
+//! - [`DecisionSpace`] / [`Decision`] — the finite decision set `D`
+//!   (which CDN, which bitrate, which relay, which frontend/backend).
+//! - [`TraceRecord`] — one logged tuple, optionally carrying the logging
+//!   propensity `μ_old(d_k | c_k)`, a system-state tag (paper §4.1/§4.3) and
+//!   a timestamp.
+//! - [`Trace`] — a validated collection of records with the schema and
+//!   decision space they conform to; JSONL (de)serialization so real
+//!   telemetry pipelines can feed the estimators.
+//! - [`coverage`] — subpopulation coverage statistics and empirical
+//!   propensity estimation for traces whose logging policy is unknown
+//!   (§2.1: "In practice, it may be necessary to estimate this probability
+//!   from the trace").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod context;
+pub mod coverage;
+pub mod decision;
+pub mod error;
+pub mod record;
+pub mod stats;
+pub mod trace;
+
+pub use builder::TraceBuilder;
+pub use context::{
+    Context, ContextBuilder, ContextKey, ContextSchema, FeatureKind, FeatureValue, SchemaBuilder,
+};
+pub use coverage::{CoverageReport, EmpiricalPropensity};
+pub use decision::{Decision, DecisionSpace};
+pub use error::TraceError;
+pub use record::{StateTag, TraceRecord};
+pub use stats::{DecisionSummary, TraceStats};
+pub use trace::Trace;

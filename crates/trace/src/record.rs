@@ -1,0 +1,171 @@
+//! Individual trace records: the `(c_k, d_k, r_k)` tuples of paper §2.1,
+//! extended with the metadata the paper's §4 extensions need.
+
+use crate::context::Context;
+use crate::decision::Decision;
+use serde::{Deserialize, Serialize};
+
+/// A coarse system-state label attached to a record (paper §4.1 "System
+/// state of the world", §4.3 "low load / high load / overload").
+///
+/// State-aware estimation only reuses records whose state matches the
+/// state being evaluated, or transports rewards across states through a
+/// transition model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateTag(pub u32);
+
+impl StateTag {
+    /// Conventional label for a lightly loaded system (e.g. early-morning
+    /// trace collection in the paper's server-selection example).
+    pub const LOW_LOAD: StateTag = StateTag(0);
+    /// Conventional label for a highly loaded system (peak hours).
+    pub const HIGH_LOAD: StateTag = StateTag(1);
+    /// Conventional label for an overloaded system.
+    pub const OVERLOAD: StateTag = StateTag(2);
+}
+
+/// One logged tuple: a client-context, the decision the old policy made for
+/// it, and the observed reward — plus optional logging metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The client-context `c_k`.
+    pub context: Context,
+    /// The decision `d_k` taken by the logging (old) policy.
+    pub decision: Decision,
+    /// The observed reward `r_k` (performance metric; higher is better).
+    pub reward: f64,
+    /// The logging propensity `μ_old(d_k | c_k)`, when known.
+    ///
+    /// `None` means the logging policy is unknown and must be estimated
+    /// from the trace (see `coverage::EmpiricalPropensity`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub propensity: Option<f64>,
+    /// System-state tag at logging time, when known.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub state: Option<StateTag>,
+    /// Logging timestamp (simulation seconds), when known. Records in a
+    /// trace are expected to be in non-decreasing timestamp order.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timestamp: Option<f64>,
+}
+
+impl TraceRecord {
+    /// Creates a record with the mandatory fields.
+    ///
+    /// # Panics
+    /// Panics if `reward` is non-finite.
+    pub fn new(context: Context, decision: Decision, reward: f64) -> Self {
+        assert!(reward.is_finite(), "reward must be finite, got {reward}");
+        Self {
+            context,
+            decision,
+            reward,
+            propensity: None,
+            state: None,
+            timestamp: None,
+        }
+    }
+
+    /// Attaches the logging propensity.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn with_propensity(mut self, p: f64) -> Self {
+        assert!(
+            p.is_finite() && p > 0.0 && p <= 1.0,
+            "propensity must be in (0, 1], got {p}"
+        );
+        self.propensity = Some(p);
+        self
+    }
+
+    /// Attaches a system-state tag.
+    pub fn with_state(mut self, state: StateTag) -> Self {
+        self.state = Some(state);
+        self
+    }
+
+    /// Attaches a timestamp.
+    ///
+    /// # Panics
+    /// Panics if `t` is non-finite or negative.
+    pub fn with_timestamp(mut self, t: f64) -> Self {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "timestamp must be finite and non-negative"
+        );
+        self.timestamp = Some(t);
+        self
+    }
+
+    /// The propensity, or an error message naming the record position.
+    /// Estimators that require propensities use this.
+    pub fn require_propensity(&self, k: usize) -> Result<f64, crate::TraceError> {
+        self.propensity
+            .ok_or(crate::TraceError::MissingPropensity { record: k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextSchema;
+
+    fn ctx() -> Context {
+        let s = ContextSchema::builder().numeric("x").build();
+        Context::build(&s).set_numeric("x", 1.0).finish()
+    }
+
+    #[test]
+    fn builder_chain() {
+        let r = TraceRecord::new(ctx(), Decision::from_index(2), 0.8)
+            .with_propensity(0.25)
+            .with_state(StateTag::HIGH_LOAD)
+            .with_timestamp(12.5);
+        assert_eq!(r.decision.index(), 2);
+        assert_eq!(r.reward, 0.8);
+        assert_eq!(r.propensity, Some(0.25));
+        assert_eq!(r.state, Some(StateTag::HIGH_LOAD));
+        assert_eq!(r.timestamp, Some(12.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "reward must be finite")]
+    fn nan_reward_panics() {
+        let _ = TraceRecord::new(ctx(), Decision::from_index(0), f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "propensity must be in (0, 1]")]
+    fn zero_propensity_panics() {
+        let _ = TraceRecord::new(ctx(), Decision::from_index(0), 1.0).with_propensity(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "propensity must be in (0, 1]")]
+    fn over_one_propensity_panics() {
+        let _ = TraceRecord::new(ctx(), Decision::from_index(0), 1.0).with_propensity(1.5);
+    }
+
+    #[test]
+    fn require_propensity_errors_when_missing() {
+        let r = TraceRecord::new(ctx(), Decision::from_index(0), 1.0);
+        let err = r.require_propensity(7).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::TraceError::MissingPropensity { record: 7 }
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_options() {
+        let r = TraceRecord::new(ctx(), Decision::from_index(1), 0.5).with_propensity(0.5);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("state"),
+            "unset options should be omitted: {json}"
+        );
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

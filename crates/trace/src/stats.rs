@@ -1,0 +1,172 @@
+//! Descriptive trace statistics.
+//!
+//! Before any off-policy math, an operator should be able to *look at*
+//! a trace: which decisions were taken how often, what rewards they drew,
+//! how propensities are distributed, whether states are balanced. This
+//! module renders that first glance.
+
+use crate::trace::Trace;
+use ddn_stats::summary::{Summary, Welford};
+
+/// Per-decision descriptive statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionSummary {
+    /// Decision name.
+    pub name: String,
+    /// Records taking this decision.
+    pub count: usize,
+    /// Reward summary for those records.
+    pub reward: Summary,
+    /// Mean logged propensity over those records (`None` when any record
+    /// lacks one).
+    pub mean_propensity: Option<f64>,
+}
+
+/// Whole-trace descriptive statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Per-decision rows in decision-index order.
+    pub per_decision: Vec<DecisionSummary>,
+    /// Overall reward summary.
+    pub reward: Summary,
+    /// Fraction of records carrying a state tag.
+    pub tagged_fraction: f64,
+    /// Fraction of records carrying a propensity.
+    pub propensity_fraction: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    pub fn of(trace: &Trace) -> Self {
+        let k = trace.space().len();
+        let mut counts = vec![0usize; k];
+        let mut rewards: Vec<Welford> = vec![Welford::new(); k];
+        let mut props = vec![(0.0f64, 0usize); k];
+        let mut overall = Welford::new();
+        let mut tagged = 0usize;
+        let mut with_prop = 0usize;
+        for r in trace.records() {
+            let d = r.decision.index();
+            counts[d] += 1;
+            rewards[d].push(r.reward);
+            overall.push(r.reward);
+            if let Some(p) = r.propensity {
+                props[d].0 += p;
+                props[d].1 += 1;
+                with_prop += 1;
+            }
+            if r.state.is_some() {
+                tagged += 1;
+            }
+        }
+        let per_decision = (0..k)
+            .map(|d| DecisionSummary {
+                name: trace.space().name(d).to_string(),
+                count: counts[d],
+                reward: rewards[d].finish(),
+                mean_propensity: (props[d].1 == counts[d] && counts[d] > 0)
+                    .then(|| props[d].0 / props[d].1 as f64),
+            })
+            .collect();
+        Self {
+            per_decision,
+            reward: overall.finish(),
+            tagged_fraction: tagged as f64 / trace.len() as f64,
+            propensity_fraction: with_prop as f64 / trace.len() as f64,
+        }
+    }
+
+    /// The decision with the most records.
+    pub fn modal_decision(&self) -> &DecisionSummary {
+        self.per_decision
+            .iter()
+            .max_by_key(|d| d.count)
+            .expect("decision space is non-empty")
+    }
+
+    /// Renders the statistics as aligned text.
+    pub fn render(&self) -> String {
+        let name_w = self
+            .per_decision
+            .iter()
+            .map(|d| d.name.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let mut out = format!(
+            "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}\n",
+            "decision", "count", "mean r", "std r", "mean prop"
+        );
+        for d in &self.per_decision {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>8}  {:>10.4}  {:>10.4}  {:>10}\n",
+                d.name,
+                d.count,
+                d.reward.mean,
+                d.reward.std,
+                d.mean_propensity
+                    .map(|p| format!("{p:.4}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ));
+        }
+        out.push_str(&format!(
+            "overall: {} records, mean reward {:.4}, {:.0}% with propensities, {:.0}% state-tagged\n",
+            self.reward.count,
+            self.reward.mean,
+            100.0 * self.propensity_fraction,
+            100.0 * self.tagged_fraction,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{Context, ContextSchema};
+    use crate::decision::{Decision, DecisionSpace};
+    use crate::record::{StateTag, TraceRecord};
+
+    fn trace() -> Trace {
+        let s = ContextSchema::builder().numeric("x").build();
+        let c = |x: f64| Context::build(&s).set_numeric("x", x).finish();
+        let recs = vec![
+            TraceRecord::new(c(1.0), Decision::from_index(0), 1.0).with_propensity(0.5),
+            TraceRecord::new(c(2.0), Decision::from_index(0), 3.0).with_propensity(0.7),
+            TraceRecord::new(c(3.0), Decision::from_index(1), 10.0)
+                .with_propensity(0.5)
+                .with_state(StateTag::LOW_LOAD),
+        ];
+        Trace::from_records(s, DecisionSpace::of(&["a", "b", "c"]), recs).unwrap()
+    }
+
+    #[test]
+    fn per_decision_rollups() {
+        let st = TraceStats::of(&trace());
+        assert_eq!(st.per_decision.len(), 3);
+        let a = &st.per_decision[0];
+        assert_eq!(a.count, 2);
+        assert!((a.reward.mean - 2.0).abs() < 1e-12);
+        assert_eq!(a.mean_propensity, Some(0.6));
+        let c = &st.per_decision[2];
+        assert_eq!(c.count, 0);
+        assert!(c.reward.mean.is_nan() || c.reward.count == 0);
+        assert_eq!(st.modal_decision().name, "a");
+    }
+
+    #[test]
+    fn fractions_computed() {
+        let st = TraceStats::of(&trace());
+        assert!((st.propensity_fraction - 1.0).abs() < 1e-12);
+        assert!((st.tagged_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!((st.reward.mean - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let text = TraceStats::of(&trace()).render();
+        assert!(text.contains("decision"));
+        assert!(text.contains("overall: 3 records"));
+        assert!(text.lines().count() >= 5);
+    }
+}

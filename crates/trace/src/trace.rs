@@ -1,0 +1,367 @@
+//! The [`Trace`] container: a validated sequence of records plus the schema
+//! and decision space they conform to, with JSONL persistence.
+
+use crate::context::{ContextSchema, FeatureKind, FeatureValue};
+use crate::decision::DecisionSpace;
+use crate::error::TraceError;
+use crate::record::TraceRecord;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A validated trace `T = {(c_k, d_k, r_k)}` (paper §2.1).
+///
+/// Construction validates every record against the schema and decision
+/// space, so downstream estimators can index without re-checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    schema: ContextSchema,
+    space: DecisionSpace,
+    records: Vec<TraceRecord>,
+}
+
+/// JSONL header line carrying the schema and decision space.
+#[derive(Serialize, Deserialize)]
+struct Header {
+    schema: ContextSchema,
+    space: DecisionSpace,
+}
+
+impl Trace {
+    /// Builds a trace from records, validating each against `schema` and
+    /// `space`.
+    pub fn from_records(
+        schema: ContextSchema,
+        space: DecisionSpace,
+        records: Vec<TraceRecord>,
+    ) -> Result<Self, TraceError> {
+        if records.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        let mut last_ts = f64::NEG_INFINITY;
+        for (k, r) in records.iter().enumerate() {
+            if r.decision.index() >= space.len() {
+                return Err(TraceError::DecisionOutOfRange {
+                    record: k,
+                    index: r.decision.index(),
+                    space: space.len(),
+                });
+            }
+            Self::check_context(k, r, &schema)?;
+            if let Some(p) = r.propensity {
+                if !(p > 0.0 && p <= 1.0 && p.is_finite()) {
+                    return Err(TraceError::InvalidPropensity {
+                        record: k,
+                        value: p,
+                    });
+                }
+            }
+            if let Some(t) = r.timestamp {
+                if t < last_ts {
+                    return Err(TraceError::UnorderedTimestamps { record: k });
+                }
+                last_ts = t;
+            }
+        }
+        Ok(Self {
+            schema,
+            space,
+            records,
+        })
+    }
+
+    fn check_context(k: usize, r: &TraceRecord, schema: &ContextSchema) -> Result<(), TraceError> {
+        let values = r.context.values();
+        if values.len() != schema.len() {
+            return Err(TraceError::SchemaMismatch {
+                record: k,
+                detail: format!("expected {} features, got {}", schema.len(), values.len()),
+            });
+        }
+        for (i, (v, kind)) in values.iter().zip(schema.kinds()).enumerate() {
+            let ok = match (v, kind) {
+                (FeatureValue::Cat(c), FeatureKind::Categorical { cardinality }) => c < cardinality,
+                (FeatureValue::Num(x), FeatureKind::Numeric) => x.is_finite(),
+                _ => false,
+            };
+            if !ok {
+                return Err(TraceError::SchemaMismatch {
+                    record: k,
+                    detail: format!("feature {:?} invalid", schema.names()[i]),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The context schema.
+    pub fn schema(&self) -> &ContextSchema {
+        &self.schema
+    }
+
+    /// The decision space.
+    pub fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    /// The records, in logging order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always false: traces are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean observed reward over the whole trace — the on-policy value of
+    /// the logging policy.
+    pub fn mean_reward(&self) -> f64 {
+        self.records.iter().map(|r| r.reward).sum::<f64>() / self.len() as f64
+    }
+
+    /// Whether every record carries a logging propensity.
+    pub fn has_propensities(&self) -> bool {
+        self.records.iter().all(|r| r.propensity.is_some())
+    }
+
+    /// Returns a trace containing only records satisfying `keep`.
+    /// Returns `Err(TraceError::Empty)` if nothing survives.
+    pub fn filtered(
+        &self,
+        mut keep: impl FnMut(&TraceRecord) -> bool,
+    ) -> Result<Trace, TraceError> {
+        let records: Vec<TraceRecord> = self.records.iter().filter(|r| keep(r)).cloned().collect();
+        Trace::from_records(self.schema.clone(), self.space.clone(), records)
+    }
+
+    /// Splits the trace at `at` into a (head, tail) pair, e.g. to fit a
+    /// reward model on one half and estimate on the other (avoiding the
+    /// own-data overfit that inflates DM optimism).
+    ///
+    /// # Panics
+    /// Panics unless `0 < at < len`.
+    pub fn split_at(&self, at: usize) -> (Trace, Trace) {
+        assert!(
+            at > 0 && at < self.len(),
+            "split point {at} must be inside (0, {})",
+            self.len()
+        );
+        let head = Trace {
+            schema: self.schema.clone(),
+            space: self.space.clone(),
+            records: self.records[..at].to_vec(),
+        };
+        let tail = Trace {
+            schema: self.schema.clone(),
+            space: self.space.clone(),
+            records: self.records[at..].to_vec(),
+        };
+        (head, tail)
+    }
+
+    /// Writes the trace as JSONL: one header line (schema + space) followed
+    /// by one line per record.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
+        let header = Header {
+            schema: self.schema.clone(),
+            space: self.space.clone(),
+        };
+        let line = serde_json::to_string(&header)
+            .map_err(|source| TraceError::Json { line: None, source })?;
+        writeln!(w, "{line}")?;
+        for r in &self.records {
+            let line = serde_json::to_string(r)
+                .map_err(|source| TraceError::Json { line: None, source })?;
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace previously written by [`Trace::write_jsonl`],
+    /// re-validating every record.
+    pub fn read_jsonl<R: Read>(r: R) -> Result<Trace, TraceError> {
+        let reader = BufReader::new(r);
+        let mut lines = reader.lines();
+        let header_line = lines.next().ok_or(TraceError::Empty)??;
+        let header: Header =
+            serde_json::from_str(&header_line).map_err(|source| TraceError::Json {
+                line: Some(1),
+                source,
+            })?;
+        let schema = header.schema.reindexed();
+        let mut records = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: TraceRecord =
+                serde_json::from_str(&line).map_err(|source| TraceError::Json {
+                    line: Some(i + 2),
+                    source,
+                })?;
+            records.push(rec);
+        }
+        Trace::from_records(schema, header.space, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::decision::Decision;
+    use crate::record::StateTag;
+
+    fn schema() -> ContextSchema {
+        ContextSchema::builder()
+            .categorical("isp", 2)
+            .numeric("rtt")
+            .build()
+    }
+
+    fn space() -> DecisionSpace {
+        DecisionSpace::of(&["a", "b", "c"])
+    }
+
+    fn rec(isp: u32, rtt: f64, d: usize, r: f64) -> TraceRecord {
+        let c = Context::build(&schema())
+            .set_cat("isp", isp)
+            .set_numeric("rtt", rtt)
+            .finish();
+        TraceRecord::new(c, Decision::from_index(d), r)
+    }
+
+    fn small_trace() -> Trace {
+        Trace::from_records(
+            schema(),
+            space(),
+            vec![
+                rec(0, 10.0, 0, 1.0),
+                rec(1, 20.0, 1, 0.5),
+                rec(0, 30.0, 2, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = small_trace();
+        assert_eq!(t.len(), 3);
+        assert!((t.mean_reward() - 0.5).abs() < 1e-12);
+        assert!(!t.has_propensities());
+        assert_eq!(t.space().len(), 3);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            Trace::from_records(schema(), space(), vec![]),
+            Err(TraceError::Empty)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_decision() {
+        let e = Trace::from_records(schema(), space(), vec![rec(0, 1.0, 5, 0.0)]).unwrap_err();
+        assert!(matches!(
+            e,
+            TraceError::DecisionOutOfRange {
+                index: 5,
+                space: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_schema_mismatch() {
+        let other = ContextSchema::builder().numeric("x").build();
+        let c = Context::build(&other).set_numeric("x", 1.0).finish();
+        let r = TraceRecord::new(c, Decision::from_index(0), 0.0);
+        let e = Trace::from_records(schema(), space(), vec![r]).unwrap_err();
+        assert!(matches!(e, TraceError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_unordered_timestamps() {
+        let r1 = rec(0, 1.0, 0, 0.0).with_timestamp(5.0);
+        let r2 = rec(0, 1.0, 0, 0.0).with_timestamp(3.0);
+        let e = Trace::from_records(schema(), space(), vec![r1, r2]).unwrap_err();
+        assert!(matches!(e, TraceError::UnorderedTimestamps { record: 1 }));
+    }
+
+    #[test]
+    fn filtered_keeps_matching() {
+        let t = small_trace();
+        let high = t.filtered(|r| r.reward > 0.25).unwrap();
+        assert_eq!(high.len(), 2);
+        assert!(matches!(t.filtered(|_| false), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn split_partitions() {
+        let t = small_trace();
+        let (head, tail) = t.split_at(1);
+        assert_eq!(head.len(), 1);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(head.records()[0], t.records()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be inside")]
+    fn split_at_bounds_panics() {
+        let t = small_trace();
+        let _ = t.split_at(3);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = Trace::from_records(
+            schema(),
+            space(),
+            vec![
+                rec(0, 10.0, 0, 1.0)
+                    .with_propensity(0.5)
+                    .with_state(StateTag::LOW_LOAD),
+                rec(1, 20.0, 1, 0.5)
+                    .with_propensity(0.25)
+                    .with_timestamp(1.0),
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.records(), t.records());
+        assert_eq!(back.space(), t.space());
+        assert_eq!(back.schema().position("rtt"), Some(1));
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage_line() {
+        let t = small_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        buf.extend_from_slice(b"{not json}\n");
+        let e = Trace::read_jsonl(&buf[..]).unwrap_err();
+        assert!(matches!(e, TraceError::Json { line: Some(5), .. }), "{e}");
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let t = small_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = Trace::read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Production trace ingestion: JSONL in, diagnostics, propensity repair,
+//! estimates out.
+//!
+//! Real telemetry rarely arrives as neat in-memory structs. This example
+//! round-trips a trace through the JSONL interchange format, inspects it
+//! with `TraceStats` and `CoverageReport`, repairs missing propensities
+//! with `EmpiricalPropensity`, and only then estimates.
+//!
+//! ```text
+//! cargo run --release --example trace_io
+//! ```
+
+use ddn::cdn::cfa::{CfaConfig, CfaWorld};
+use ddn::estimators::{DoublyRobust, Estimator};
+use ddn::models::{KnnConfig, KnnRegressor};
+use ddn::policy::UniformRandomPolicy;
+use ddn::stats::Xoshiro256;
+use ddn::trace::{CoverageReport, EmpiricalPropensity, Trace, TraceStats};
+
+fn main() {
+    // --- Produce a "telemetry file" ------------------------------------
+    let world = CfaWorld::new(CfaConfig::default(), 99);
+    let mut rng = Xoshiro256::seed_from(1);
+    let clients = world.sample_clients(1_500, &mut rng);
+    let old = UniformRandomPolicy::new(world.space().clone());
+    let original = world.log_trace(&clients, &old, 2);
+
+    let mut file = Vec::new();
+    original
+        .write_jsonl(&mut file)
+        .expect("serialization never fails on a valid trace");
+    println!(
+        "wrote {} records as {} KiB of JSONL\n",
+        original.len(),
+        file.len() / 1024
+    );
+
+    // --- Ingest it back -------------------------------------------------
+    let trace = Trace::read_jsonl(&file[..]).expect("well-formed JSONL");
+    assert_eq!(
+        trace.records(),
+        original.records(),
+        "round-trip is bit-exact"
+    );
+
+    // --- First look: descriptive statistics -----------------------------
+    println!("{}", TraceStats::of(&trace).render());
+
+    let coverage = CoverageReport::of(&trace);
+    println!(
+        "coverage: {} distinct clients, {}/{} decisions seen, cell fill {:.1}%\n",
+        coverage.distinct_contexts,
+        coverage.decisions_seen,
+        coverage.decisions_total,
+        100.0 * coverage.cell_fill
+    );
+
+    // --- Simulate a legacy trace with no propensities -------------------
+    let stripped_records: Vec<_> = trace
+        .records()
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.propensity = None;
+            r
+        })
+        .collect();
+    let legacy = Trace::from_records(
+        trace.schema().clone(),
+        trace.space().clone(),
+        stripped_records,
+    )
+    .unwrap();
+    println!(
+        "legacy trace has propensities: {}",
+        legacy.has_propensities()
+    );
+
+    // Estimate them from the data (add-0.5 smoothing keeps them positive).
+    let fitted = EmpiricalPropensity::fit(&legacy, 0.5);
+    let repaired_records: Vec<_> = legacy
+        .records()
+        .iter()
+        .map(|r| {
+            let p = fitted.prob(&r.context, r.decision).clamp(1e-6, 1.0);
+            let mut r = r.clone();
+            r.propensity = Some(p);
+            r
+        })
+        .collect();
+    let repaired = Trace::from_records(
+        legacy.schema().clone(),
+        legacy.space().clone(),
+        repaired_records,
+    )
+    .unwrap();
+    println!(
+        "repaired with empirical propensities (marginal: {:?})\n",
+        fitted
+            .marginal()
+            .iter()
+            .map(|p| (p * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+
+    // --- Estimate -------------------------------------------------------
+    let newp = world.greedy_policy();
+    let truth = world.true_value(&clients, &newp);
+    let knn = KnnRegressor::fit(&repaired, KnnConfig::default());
+    let dr = DoublyRobust::new(&knn).estimate(&repaired, &newp).unwrap();
+    println!(
+        "DR estimate from the repaired trace: {:.4} (truth {:.4})",
+        dr.value, truth
+    );
+    assert!((dr.value - truth).abs() / truth.abs() < 0.1);
+    println!("within 10% of truth despite the propensity repair — usable telemetry.");
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline for the HotNets'17 DR paper.
+# Everything is deterministic: same machine or not, same numbers.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build =="
+cargo build --workspace --release
+
+echo "== tests (unit + integration + property) =="
+cargo test --workspace --release
+
+echo "== figures: paper Figure 7a/7b/7c + ablations A-I (~1 min) =="
+cargo run --release -p ddn-bench --bin figures | tee figures_output.txt
+
+echo "== examples =="
+for e in quickstart abr_evaluation relay_selection cdn_whatif \
+         nonstationary_replay state_aware_evaluation policy_tournament trace_io; do
+  echo "--- example: $e ---"
+  cargo run --release --example "$e"
+done
+
+echo "== criterion benches (optional, slow) =="
+echo "run: cargo bench -p ddn-bench"
+echo
+echo "done; see EXPERIMENTS.md for the paper-vs-measured comparison."

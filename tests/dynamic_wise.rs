@@ -1,0 +1,129 @@
+//! The WISE pipeline over the *dynamic* two-tier world: instead of the
+//! paper's static response-time table, the (ISP, FE, BE) latencies emerge
+//! from real queueing in `ddn-netsim::topology`. The Figure 7a shape —
+//! a structure-learned CBN Direct Method beaten by DR — must survive the
+//! move from a synthetic table to an actual simulator, and the coupling
+//! detector must remain silent when the system is stable.
+
+use ddn::estimators::{CouplingDetector, CrossFitDr, DirectMethod, DoublyRobust, Estimator};
+use ddn::models::cbn::{CausalBayesNet, CbnConfig};
+use ddn::models::TabularMeanModel;
+use ddn::netsim::{wise_like_tiered, RateProfile, TieredWorld};
+use ddn::policy::{Policy, UniformRandomPolicy};
+use ddn::trace::{Context, Decision, DecisionSpace};
+
+/// A per-ISP categorical policy over the 4 FE×BE decisions (mirrors the
+/// skewed WISE logging pattern, but over the dynamic world).
+struct SkewedRouter {
+    space: DecisionSpace,
+    per_isp: Vec<Vec<f64>>,
+}
+
+impl Policy for SkewedRouter {
+    fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+    fn prob(&self, ctx: &Context, d: Decision) -> f64 {
+        self.per_isp[ctx.cat(0) as usize][d.index()]
+    }
+}
+
+fn skewed_old_policy(world: &TieredWorld) -> SkewedRouter {
+    // 500/5-style mass on the diagonal cells, per ISP.
+    let probs = vec![500.0 / 1010.0, 5.0 / 1010.0, 5.0 / 1010.0, 500.0 / 1010.0];
+    SkewedRouter {
+        space: world.space().clone(),
+        per_isp: vec![probs.clone(), probs],
+    }
+}
+
+fn new_policy(world: &TieredWorld) -> SkewedRouter {
+    // Move half of ISP-0's mass to fe1/be2 (index 1).
+    let old = skewed_old_policy(world);
+    let mut isp0: Vec<f64> = old.per_isp[0].iter().map(|p| 0.5 * p).collect();
+    isp0[1] += 0.5;
+    SkewedRouter {
+        space: world.space().clone(),
+        per_isp: vec![isp0, old.per_isp[1].clone()],
+    }
+}
+
+#[test]
+fn dr_survives_the_move_to_a_real_simulator() {
+    // Moderate load so be1 (12 req/s) hurts when the diagonal pins it.
+    let world = wise_like_tiered(RateProfile::Constant(8.0), 1500.0);
+    let old = skewed_old_policy(&world);
+    let newp = new_policy(&world);
+    let truth = world.true_value(&newp, 900, 3);
+
+    let mut wise_err = 0.0;
+    let mut dr_err = 0.0;
+    let runs = 6;
+    for seed in 0..runs {
+        let out = world.run(&old, 100 + seed);
+        let cbn = CausalBayesNet::fit(
+            &out.trace,
+            &CbnConfig {
+                decision_axes: Some(vec![2, 2]),
+                numeric_bins: 4,
+                max_parents: 4,
+            },
+        );
+        let wise = DirectMethod::new(cbn.clone())
+            .estimate(&out.trace, &newp)
+            .unwrap()
+            .value;
+        let dr = DoublyRobust::new(cbn)
+            .estimate(&out.trace, &newp)
+            .unwrap()
+            .value;
+        wise_err += (wise - truth).abs() / truth.abs();
+        dr_err += (dr - truth).abs() / truth.abs();
+    }
+    wise_err /= runs as f64;
+    dr_err /= runs as f64;
+    assert!(
+        dr_err <= wise_err * 1.05,
+        "dynamic world: DR ({dr_err}) should not trail the CBN DM ({wise_err})"
+    );
+    assert!(dr_err < 0.5, "DR should be in the right ballpark: {dr_err}");
+}
+
+#[test]
+fn coupling_detector_is_silent_on_a_stable_tiered_system() {
+    let world = wise_like_tiered(RateProfile::Constant(6.0), 600.0);
+    let uniform = UniformRandomPolicy::new(world.space().clone());
+    let out = world.run(&uniform, 7);
+    let report = CouplingDetector::new(200).analyze(&out.trace, &out.load_proxy);
+    assert!(
+        report.segments.len() <= 2,
+        "stable system should not fragment into regimes: {:?}",
+        report.changepoints
+    );
+}
+
+#[test]
+fn crossfit_dr_agrees_with_plain_dr_on_the_tiered_world() {
+    let world = wise_like_tiered(RateProfile::Constant(8.0), 800.0);
+    let old = skewed_old_policy(&world);
+    let newp = new_policy(&world);
+    let out = world.run(&old, 11);
+    let plain = DoublyRobust::new(TabularMeanModel::fit_trace(&out.trace, 1.0))
+        .estimate(&out.trace, &newp)
+        .unwrap()
+        .value;
+    let crossfit = CrossFitDr::new(5, |tr: &ddn::trace::Trace| {
+        TabularMeanModel::fit_trace(tr, 1.0)
+    })
+    .estimate(&out.trace, &newp)
+    .unwrap()
+    .value;
+    let truth = world.true_value(&newp, 500, 3);
+    for (name, v) in [("plain", plain), ("crossfit", crossfit)] {
+        let rel = (v - truth).abs() / truth.abs();
+        assert!(
+            rel < 0.6,
+            "{name} DR estimate {v} vs truth {truth} (rel {rel})"
+        );
+    }
+}

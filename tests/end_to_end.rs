@@ -1,0 +1,285 @@
+//! Cross-crate integration tests: full pipelines from world simulation
+//! through trace serialization to estimation, spanning every crate in the
+//! workspace.
+
+use ddn::cdn::cfa::{CfaConfig, CfaWorld};
+use ddn::cdn::wise::{WiseConfig, WiseWorld};
+use ddn::estimators::{
+    DirectMethod, DoublyRobust, Estimator, Ips, MatchingEstimator, SelfNormalizedIps,
+};
+use ddn::models::{CausalBayesNet, CbnConfig, KnnConfig, KnnRegressor, TabularMeanModel};
+use ddn::netsim::{small_world, RateProfile};
+use ddn::policy::{EpsilonSmoothedPolicy, LookupPolicy, UniformRandomPolicy};
+use ddn::relay::{RelayConfig, RelayWorld};
+use ddn::stats::Xoshiro256;
+use ddn::trace::{CoverageReport, EmpiricalPropensity, Trace};
+
+/// The full CFA pipeline: world → trace → JSONL → reload → estimate.
+/// Serialization must not change any estimate.
+#[test]
+fn serialization_roundtrip_preserves_estimates() {
+    let world = CfaWorld::new(CfaConfig::default(), 42);
+    let mut rng = Xoshiro256::seed_from(1);
+    let clients = world.sample_clients(400, &mut rng);
+    let old = UniformRandomPolicy::new(world.space().clone());
+    let trace = world.log_trace(&clients, &old, 2);
+    let newp = world.greedy_policy();
+
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).unwrap();
+    let reloaded = Trace::read_jsonl(&buf[..]).unwrap();
+    assert_eq!(trace.len(), reloaded.len());
+
+    let knn_a = KnnRegressor::fit(&trace, KnnConfig::default());
+    let knn_b = KnnRegressor::fit(&reloaded, KnnConfig::default());
+    for (est_a, est_b) in [
+        (
+            DoublyRobust::new(&knn_a).estimate(&trace, &newp).unwrap(),
+            DoublyRobust::new(&knn_b)
+                .estimate(&reloaded, &newp)
+                .unwrap(),
+        ),
+        (
+            Ips::new().estimate(&trace, &newp).unwrap(),
+            Ips::new().estimate(&reloaded, &newp).unwrap(),
+        ),
+        (
+            MatchingEstimator::new().estimate(&trace, &newp).unwrap(),
+            MatchingEstimator::new().estimate(&reloaded, &newp).unwrap(),
+        ),
+    ] {
+        assert_eq!(est_a.value, est_b.value);
+        assert_eq!(est_a.per_record, est_b.per_record);
+    }
+}
+
+/// All estimators agree (approximately) on a well-posed problem with ample
+/// randomization, and all land near the analytic ground truth.
+#[test]
+fn estimators_concur_on_well_posed_problem() {
+    let world = CfaWorld::new(CfaConfig::default(), 7);
+    let mut rng = Xoshiro256::seed_from(3);
+    let clients = world.sample_clients(6_000, &mut rng);
+    let old = UniformRandomPolicy::new(world.space().clone());
+    let trace = world.log_trace(&clients, &old, 4);
+    let newp = world.greedy_policy();
+    let truth = world.true_value(&clients, &newp);
+
+    let knn = KnnRegressor::fit(&trace, KnnConfig::default());
+    let estimates = [
+        (
+            "DM",
+            DirectMethod::new(&knn)
+                .estimate(&trace, &newp)
+                .unwrap()
+                .value,
+        ),
+        ("IPS", Ips::new().estimate(&trace, &newp).unwrap().value),
+        (
+            "SNIPS",
+            SelfNormalizedIps::new()
+                .estimate(&trace, &newp)
+                .unwrap()
+                .value,
+        ),
+        (
+            "DR",
+            DoublyRobust::new(&knn)
+                .estimate(&trace, &newp)
+                .unwrap()
+                .value,
+        ),
+        (
+            "CFA",
+            MatchingEstimator::new()
+                .estimate(&trace, &newp)
+                .unwrap()
+                .value,
+        ),
+    ];
+    for (name, v) in estimates {
+        let rel = (v - truth).abs() / truth.abs();
+        assert!(
+            rel < 0.1,
+            "{name} estimate {v} too far from truth {truth} (rel {rel})"
+        );
+    }
+}
+
+/// Estimating the logging policy itself (on-policy) must agree with the
+/// trace's empirical mean for IPS-family estimators.
+#[test]
+fn on_policy_estimation_recovers_trace_mean() {
+    let world = RelayWorld::new(RelayConfig::default(), 5);
+    let mut rng = Xoshiro256::seed_from(6);
+    let calls = world.sample_calls(2_000, &mut rng);
+    let old = UniformRandomPolicy::new(world.space().clone());
+    let trace = world.log_trace(&calls, &old, 7);
+
+    let ips = Ips::new().estimate(&trace, &old).unwrap().value;
+    let snips = SelfNormalizedIps::new()
+        .estimate(&trace, &old)
+        .unwrap()
+        .value;
+    assert!((ips - trace.mean_reward()).abs() < 1e-9);
+    assert!((snips - trace.mean_reward()).abs() < 1e-9);
+}
+
+/// When the logging policy is unknown, EmpiricalPropensity recovers usable
+/// propensities and IPS built on them still de-biases the estimate.
+#[test]
+fn estimated_propensities_rescue_an_unlabelled_trace() {
+    let world = RelayWorld::new(RelayConfig::default(), 8);
+    let mut rng = Xoshiro256::seed_from(9);
+    let calls = world.sample_calls(8_000, &mut rng);
+    let old = world.nat_only_relay_policy(0.25);
+    let labelled = world.log_trace(&calls, &old, 10);
+
+    // Strip the propensities (simulating a production trace without them).
+    let stripped_records: Vec<_> = labelled
+        .records()
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.propensity = None;
+            r
+        })
+        .collect();
+    let stripped = Trace::from_records(
+        labelled.schema().clone(),
+        labelled.space().clone(),
+        stripped_records,
+    )
+    .unwrap();
+
+    // Re-estimate them from the trace.
+    let fitted = EmpiricalPropensity::fit(&stripped, 0.5);
+    let refilled_records: Vec<_> = stripped
+        .records()
+        .iter()
+        .map(|r| {
+            let p = fitted.prob(&r.context, r.decision).clamp(1e-6, 1.0);
+            let mut r = r.clone();
+            r.propensity = Some(p);
+            r
+        })
+        .collect();
+    let refilled = Trace::from_records(
+        stripped.schema().clone(),
+        stripped.space().clone(),
+        refilled_records,
+    )
+    .unwrap();
+
+    let relay_all = LookupPolicy::constant(world.space().clone(), 1);
+    let truth = world.true_value(&calls, &relay_all);
+    let ips = Ips::new().estimate(&refilled, &relay_all).unwrap().value;
+    let naive = {
+        let matched: Vec<f64> = refilled
+            .records()
+            .iter()
+            .filter(|r| r.decision.index() == 1)
+            .map(|r| r.reward)
+            .collect();
+        matched.iter().sum::<f64>() / matched.len() as f64
+    };
+    assert!(
+        (ips - truth).abs() < (naive - truth).abs(),
+        "IPS with estimated propensities ({ips}) should beat the naive average ({naive}), truth {truth}"
+    );
+}
+
+/// The netsim → trace → model → estimator pipeline: evaluate a policy on
+/// simulated telemetry and check the estimate against a fresh deployment.
+#[test]
+fn netsim_pipeline_estimates_deployment_value() {
+    let world = small_world(RateProfile::Constant(8.0), 600.0);
+    let old = EpsilonSmoothedPolicy::new(
+        Box::new(LookupPolicy::constant(world.space().clone(), 1)),
+        0.3,
+    );
+    let newp = LookupPolicy::constant(world.space().clone(), 0);
+    let out = world.run(&old, 11);
+    let model = TabularMeanModel::fit_trace(&out.trace, 1.0);
+    let estimate = DoublyRobust::new(model)
+        .estimate(&out.trace, &newp)
+        .unwrap()
+        .value;
+    let truth = world.true_value(&newp, 500, 5);
+    let rel = (estimate - truth).abs() / truth.abs();
+    assert!(
+        rel < 0.25,
+        "DR estimate {estimate} vs deployment truth {truth} (rel {rel})"
+    );
+}
+
+/// The WISE world's CBN + DR pipeline holds together end to end, and the
+/// coverage report flags the skew that drives the pitfall.
+#[test]
+fn wise_pipeline_and_coverage_diagnostics() {
+    let world = WiseWorld::new(WiseConfig {
+        long_ms: 900.0,
+        short_ms: 300.0,
+        noise_std: 350.0,
+        clients_per_arrow: 500,
+        clients_per_rare_cell: 5,
+    });
+    let pop = world.population();
+    let trace = world.log_trace(&pop, &world.old_policy(), 12);
+
+    let coverage = CoverageReport::of(&trace);
+    assert_eq!(coverage.decisions_total, 4);
+    assert!(
+        !coverage.has_unseen_decisions(),
+        "even rare cells have ~5 observations"
+    );
+    // The skew: the most-logged decision dwarfs the least-logged.
+    let max = *coverage.per_decision.iter().max().unwrap();
+    let min = *coverage.per_decision.iter().min().unwrap();
+    assert!(
+        max > 20 * min,
+        "expected heavy skew, got {:?}",
+        coverage.per_decision
+    );
+
+    let cbn = CausalBayesNet::fit(
+        &trace,
+        &CbnConfig {
+            decision_axes: Some(vec![2, 2]),
+            numeric_bins: 4,
+            max_parents: 4,
+        },
+    );
+    let newp = world.new_policy();
+    let truth = world.true_value(&pop, &newp);
+    let wise = DirectMethod::new(cbn.clone())
+        .estimate(&trace, &newp)
+        .unwrap()
+        .value;
+    let dr = DoublyRobust::new(cbn)
+        .estimate(&trace, &newp)
+        .unwrap()
+        .value;
+    assert!(
+        (dr - truth).abs() <= (wise - truth).abs() + 30.0,
+        "DR ({dr}) should not be much worse than WISE ({wise}); truth {truth}"
+    );
+}
+
+/// Decision-space mismatches are rejected uniformly across estimators.
+#[test]
+fn space_mismatch_rejected_everywhere() {
+    let world = CfaWorld::new(CfaConfig::default(), 13);
+    let mut rng = Xoshiro256::seed_from(14);
+    let clients = world.sample_clients(50, &mut rng);
+    let old = UniformRandomPolicy::new(world.space().clone());
+    let trace = world.log_trace(&clients, &old, 15);
+    let wrong = UniformRandomPolicy::new(ddn::trace::DecisionSpace::of(&["just-one"]));
+
+    assert!(Ips::new().estimate(&trace, &wrong).is_err());
+    assert!(SelfNormalizedIps::new().estimate(&trace, &wrong).is_err());
+    assert!(MatchingEstimator::new().estimate(&trace, &wrong).is_err());
+    let knn = KnnRegressor::fit(&trace, KnnConfig::default());
+    assert!(DirectMethod::new(&knn).estimate(&trace, &wrong).is_err());
+    assert!(DoublyRobust::new(&knn).estimate(&trace, &wrong).is_err());
+}

@@ -1,0 +1,389 @@
+//! Property-based tests (proptest) for the DESIGN.md invariant list:
+//! policy normalization, the DR special cases, serialization stability,
+//! simulator determinism, and statistics-substrate identities — all over
+//! randomized inputs.
+
+use ddn::abr::throughput::{Bandwidth, ThroughputDiscount};
+use ddn::abr::{BitrateLadder, QoeModel, Session, SessionConfig};
+use ddn::estimators::{CrossFitDr, DirectMethod, DoublyRobust, Estimator, Ips, OverlapReport};
+use ddn::models::{ConstantModel, FnModel};
+use ddn::netsim::{small_world, RateProfile};
+use ddn::policy::{
+    EpsilonSmoothedPolicy, GreedyPolicy, LookupPolicy, MixturePolicy, Policy, SoftmaxPolicy,
+    UniformRandomPolicy,
+};
+use ddn::relay::{emodel_mos, PathMetrics};
+use ddn::stats::changepoint::{pelt, segments, CostModel, Penalty};
+use ddn::stats::summary::{quantile, Summary, Welford};
+use ddn::stats::ttest::{paired_t_test, t_two_sided_p, welch_t_test};
+use ddn::stats::{Categorical, Distribution, Rng, Xoshiro256};
+use ddn::trace::{
+    Context, ContextSchema, Decision, DecisionSpace, EmpiricalPropensity, Trace, TraceRecord,
+};
+use proptest::prelude::*;
+
+fn schema() -> ContextSchema {
+    ContextSchema::builder()
+        .categorical("g", 3)
+        .numeric("x")
+        .build()
+}
+
+fn space() -> DecisionSpace {
+    DecisionSpace::of(&["a", "b", "c"])
+}
+
+fn ctx(g: u32, x: f64) -> Context {
+    Context::build(&schema())
+        .set_cat("g", g)
+        .set_numeric("x", x)
+        .finish()
+}
+
+/// Strategy: a random logged record as (g, x, decision, reward, propensity).
+fn record_strategy() -> impl Strategy<Value = (u32, f64, usize, f64, f64)> {
+    (
+        0u32..3,
+        -100.0..100.0f64,
+        0usize..3,
+        -50.0..50.0f64,
+        0.05..1.0f64,
+    )
+}
+
+fn build_trace(rows: &[(u32, f64, usize, f64, f64)]) -> Trace {
+    let records = rows
+        .iter()
+        .map(|&(g, x, d, r, p)| {
+            TraceRecord::new(ctx(g, x), Decision::from_index(d), r).with_propensity(p)
+        })
+        .collect();
+    Trace::from_records(schema(), space(), records).expect("valid random trace")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- Invariant 1: policies are probability distributions ----------
+
+    #[test]
+    fn softmax_probabilities_normalized(tau in 0.05..10.0f64, s1 in -5.0..5.0f64, s2 in -5.0..5.0f64, s3 in -5.0..5.0f64) {
+        let scores = [s1, s2, s3];
+        let p = SoftmaxPolicy::new(space(), tau, move |_c: &Context, d: Decision| scores[d.index()]);
+        let probs = p.probabilities(&ctx(0, 0.0));
+        let total: f64 = probs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(probs.iter().all(|&q| (0.0..=1.0).contains(&q)));
+    }
+
+    #[test]
+    fn epsilon_smoothing_normalized_and_floored(eps in 0.0..1.0f64, base in 0usize..3) {
+        let p = EpsilonSmoothedPolicy::new(Box::new(LookupPolicy::constant(space(), base)), eps);
+        let c = ctx(1, 3.0);
+        let probs = p.probabilities(&c);
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for &q in &probs {
+            prop_assert!(q + 1e-12 >= p.propensity_floor());
+        }
+    }
+
+    #[test]
+    fn mixture_normalized(w1 in 0.01..10.0f64, w2 in 0.01..10.0f64) {
+        let m = MixturePolicy::new(vec![
+            (w1, Box::new(LookupPolicy::constant(space(), 0)) as Box<dyn Policy + Send + Sync>),
+            (w2, Box::new(UniformRandomPolicy::new(space()))),
+        ]);
+        let probs = m.probabilities(&ctx(2, -1.0));
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_follows_probabilities(seed in 0u64..1_000) {
+        let p = SoftmaxPolicy::new(space(), 1.0, |_c: &Context, d: Decision| d.index() as f64);
+        let c = ctx(0, 0.0);
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..50 {
+            let (d, q) = p.sample_with_prob(&c, &mut rng);
+            prop_assert!((q - p.prob(&c, d)).abs() < 1e-12);
+            prop_assert!(q > 0.0);
+        }
+    }
+
+    // ---- Invariants 2-4: estimator identities --------------------------
+
+    #[test]
+    fn dr_with_zero_model_is_ips(rows in prop::collection::vec(record_strategy(), 1..40)) {
+        let trace = build_trace(&rows);
+        let newp = LookupPolicy::constant(space(), 1);
+        let dr = DoublyRobust::new(ConstantModel::zero()).estimate(&trace, &newp).unwrap();
+        let ips = Ips::new().estimate(&trace, &newp).unwrap();
+        prop_assert!((dr.value - ips.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dr_with_perfect_model_is_dm(rows in prop::collection::vec(record_strategy(), 1..40)) {
+        // Build a trace whose rewards follow a known function exactly,
+        // then hand DR that exact function as its model.
+        let records: Vec<TraceRecord> = rows
+            .iter()
+            .map(|&(g, x, d, _, p)| {
+                let reward = g as f64 * 2.0 + d as f64 - 0.01 * x;
+                TraceRecord::new(ctx(g, x), Decision::from_index(d), reward).with_propensity(p)
+            })
+            .collect();
+        let trace = Trace::from_records(schema(), space(), records).unwrap();
+        let model = FnModel::new(|c: &Context, d: Decision| {
+            c.cat(0) as f64 * 2.0 + d.index() as f64 - 0.01 * c.num(1)
+        });
+        let newp = UniformRandomPolicy::new(space());
+        let dr = DoublyRobust::new(&model).estimate(&trace, &newp).unwrap();
+        let dm = DirectMethod::new(&model).estimate(&trace, &newp).unwrap();
+        prop_assert!((dr.value - dm.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn on_policy_ips_is_trace_mean(rows in prop::collection::vec(record_strategy(), 1..40), seed in 0u64..100) {
+        // Log under a uniform policy with correct propensities: IPS of the
+        // same uniform policy equals the empirical mean exactly.
+        let mut rng = Xoshiro256::seed_from(seed);
+        let old = UniformRandomPolicy::new(space());
+        let records: Vec<TraceRecord> = rows
+            .iter()
+            .map(|&(g, x, _, r, _)| {
+                let c = ctx(g, x);
+                let (d, p) = old.sample_with_prob(&c, &mut rng);
+                TraceRecord::new(c, d, r).with_propensity(p)
+            })
+            .collect();
+        let trace = Trace::from_records(schema(), space(), records).unwrap();
+        let v = Ips::new().estimate(&trace, &old).unwrap().value;
+        prop_assert!((v - trace.mean_reward()).abs() < 1e-9);
+    }
+
+    // ---- Invariant: serialization stability ----------------------------
+
+    #[test]
+    fn jsonl_roundtrip_is_identity(rows in prop::collection::vec(record_strategy(), 1..30)) {
+        let trace = build_trace(&rows);
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(&buf[..]).unwrap();
+        prop_assert_eq!(trace.records(), back.records());
+        prop_assert_eq!(trace.space(), back.space());
+    }
+
+    // ---- Invariant: empirical propensities are distributions -----------
+
+    #[test]
+    fn empirical_propensity_normalized(rows in prop::collection::vec(record_strategy(), 1..40), smoothing in 0.0..2.0f64) {
+        let trace = build_trace(&rows);
+        let fitted = EmpiricalPropensity::fit(&trace, smoothing);
+        for r in trace.records() {
+            let total: f64 = (0..3)
+                .map(|d| fitted.prob(&r.context, Decision::from_index(d)))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    // ---- Invariant 6: simulator determinism -----------------------------
+
+    #[test]
+    fn netsim_deterministic_in_seed(seed in 0u64..50) {
+        let world = small_world(RateProfile::Constant(5.0), 60.0);
+        let policy = UniformRandomPolicy::new(world.space().clone());
+        let a = world.run(&policy, seed);
+        let b = world.run(&policy, seed);
+        prop_assert_eq!(a.trace.records(), b.trace.records());
+        prop_assert_eq!(a.load_proxy, b.load_proxy);
+    }
+
+    // ---- Invariant 7: ABR buffer dynamics -------------------------------
+
+    #[test]
+    fn abr_buffer_bounded(bandwidth in 300.0..5_000.0f64, level in 0usize..5, seed in 0u64..50) {
+        let mut session = Session::new(
+            BitrateLadder::five_level(),
+            SessionConfig { chunks: 30, ..Default::default() },
+            QoeModel::default(),
+            Bandwidth::Constant(bandwidth),
+            ThroughputDiscount::paper_default(),
+        );
+        let mut rng = Xoshiro256::seed_from(seed);
+        while !session.finished() {
+            let st = session.state();
+            prop_assert!(st.buffer_secs >= 0.0);
+            prop_assert!(st.buffer_secs <= 30.0 + 1e-9);
+            let out = session.download(level, &mut rng);
+            prop_assert!(out.rebuffer_secs >= 0.0);
+            prop_assert!(out.observed_kbps <= bandwidth + 1e-9);
+            prop_assert!(out.observed_kbps > 0.0);
+        }
+    }
+
+    // ---- Invariant 9: change-point structure ----------------------------
+
+    #[test]
+    fn pelt_changepoints_well_formed(xs in prop::collection::vec(-10.0..10.0f64, 20..120)) {
+        let cps = pelt(&xs, CostModel::NormalMean, Penalty::Bic, 5);
+        // Sorted, in range, respecting min_seg.
+        let mut prev = 0usize;
+        for &cp in &cps {
+            prop_assert!(cp > prev);
+            prop_assert!(cp < xs.len());
+            prop_assert!(cp - prev >= 5);
+            prev = cp;
+        }
+        if !cps.is_empty() {
+            prop_assert!(xs.len() - prev >= 5);
+        }
+        // segments() partitions the series.
+        let segs = segments(xs.len(), &cps);
+        prop_assert_eq!(segs.first().unwrap().0, 0);
+        prop_assert_eq!(segs.last().unwrap().1, xs.len());
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    // ---- Statistics substrate identities --------------------------------
+
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e4..1e4f64, 2..200)) {
+        let mut w = Welford::new();
+        w.extend(xs.iter().copied());
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() < 1e-6 * (1.0 + var));
+        let s = Summary::of(&xs);
+        prop_assert_eq!(s.count, xs.len() as u64);
+    }
+
+    #[test]
+    fn quantile_bounded_and_monotone(xs in prop::collection::vec(-1e3..1e3f64, 1..100), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v1 = quantile(&xs, q1);
+        prop_assert!(v1 >= lo - 1e-12 && v1 <= hi + 1e-12);
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, qa) <= quantile(&xs, qb) + 1e-12);
+    }
+
+    #[test]
+    fn categorical_pmf_normalized(weights in prop::collection::vec(0.0..10.0f64, 1..20)) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let c = Categorical::new(&weights);
+        prop_assert!((c.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mut rng = Xoshiro256::seed_from(1);
+        for _ in 0..20 {
+            let i = c.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(c.pmf(i) > 0.0, "sampled a zero-probability category");
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in 0u64..10_000) {
+        let mut a = Xoshiro256::seed_from(seed);
+        let mut b = Xoshiro256::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    // ---- New-module invariants ------------------------------------------
+
+    #[test]
+    fn t_test_p_values_are_probabilities(t in -50.0..50.0f64, df in 1.0..500.0f64) {
+        let p = t_two_sided_p(t, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Symmetry in |t| and monotone decrease in |t|.
+        prop_assert!((t_two_sided_p(-t, df) - p).abs() < 1e-12);
+        prop_assert!(t_two_sided_p(t.abs() + 1.0, df) <= p + 1e-12);
+    }
+
+    #[test]
+    fn paired_and_welch_agree_on_direction(shift in -5.0..5.0f64, seed in 0u64..100) {
+        let mut g = Xoshiro256::seed_from(seed);
+        let a: Vec<f64> = (0..30).map(|_| g.range_f64(-1.0, 1.0)).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let pt = paired_t_test(&a, &b);
+        let wt = welch_t_test(&a, &b);
+        prop_assert!((pt.mean_diff + shift).abs() < 1e-9);
+        prop_assert!((wt.mean_diff + shift).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&pt.p_two_sided));
+        prop_assert!((0.0..=1.0).contains(&wt.p_two_sided));
+    }
+
+    #[test]
+    fn emodel_mos_bounded_and_monotone(lat in 0.0..1_000.0f64, jit in 0.0..50.0f64, loss in 0.0..30.0f64) {
+        let m = PathMetrics { latency_ms: lat, jitter_ms: jit, loss_pct: loss };
+        let mos = emodel_mos(&m);
+        prop_assert!((1.0..=5.0).contains(&mos));
+        // More loss can never help; more latency can never help.
+        let worse_loss = emodel_mos(&PathMetrics { loss_pct: loss + 5.0, ..m });
+        let worse_lat = emodel_mos(&PathMetrics { latency_ms: lat + 100.0, ..m });
+        prop_assert!(worse_loss <= mos + 1e-9);
+        prop_assert!(worse_lat <= mos + 1e-9);
+    }
+
+    #[test]
+    fn overlap_report_consistent(rows in prop::collection::vec(record_strategy(), 2..40)) {
+        let trace = build_trace(&rows);
+        let policy = UniformRandomPolicy::new(space());
+        let r = OverlapReport::analyze(&trace, &policy).unwrap();
+        prop_assert_eq!(r.n, trace.len());
+        prop_assert!(r.effective_sample_size >= 0.0);
+        prop_assert!(r.effective_sample_size <= trace.len() as f64 + 1e-9);
+        prop_assert!(r.max_weight >= r.median_weight - 1e-12);
+        prop_assert!(r.p99_weight <= r.max_weight + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r.zero_weight_fraction));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.unsupported_mass));
+    }
+
+    #[test]
+    fn crossfit_equals_plain_dr_for_data_independent_model(rows in prop::collection::vec(record_strategy(), 6..40)) {
+        let trace = build_trace(&rows);
+        let policy = LookupPolicy::constant(space(), 2);
+        let cf = CrossFitDr::new(3, |_: &ddn::trace::Trace| ddn::models::ConstantModel::new(1.5));
+        let plain = DoublyRobust::new(ddn::models::ConstantModel::new(1.5));
+        let a = cf.estimate(&trace, &policy).unwrap().value;
+        let b = plain.estimate(&trace, &policy).unwrap().value;
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    // ---- Robustness: hostile inputs never panic --------------------------
+
+    #[test]
+    fn jsonl_reader_never_panics_on_garbage(garbage in "[ -~\n]{0,400}") {
+        // Arbitrary printable bytes: the reader must return Ok or Err,
+        // never panic.
+        let _ = Trace::read_jsonl(garbage.as_bytes());
+    }
+
+    #[test]
+    fn jsonl_reader_rejects_truncated_valid_traces(rows in prop::collection::vec(record_strategy(), 2..10), cut in 1usize..200) {
+        let trace = build_trace(&rows);
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        let cut = cut.min(buf.len().saturating_sub(1)).max(1);
+        let truncated = &buf[..buf.len() - cut];
+        // Must not panic; may parse a prefix or error.
+        let _ = Trace::read_jsonl(truncated);
+    }
+
+    // ---- Greedy policy determinism over arbitrary scores ----------------
+
+    #[test]
+    fn greedy_is_deterministic_distribution(s1 in -10.0..10.0f64, s2 in -10.0..10.0f64, s3 in -10.0..10.0f64) {
+        let scores = [s1, s2, s3];
+        let p = GreedyPolicy::new(space(), move |_c: &Context, d: Decision| scores[d.index()]);
+        let c = ctx(0, 0.0);
+        let probs = p.probabilities(&c);
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(probs.iter().filter(|&&q| q == 1.0).count(), 1);
+        prop_assert!(p.is_deterministic_at(&c));
+    }
+}
