@@ -1,75 +1,37 @@
-//! Criterion benchmarks for the ablation studies (reduced run counts).
+//! Benchmarks for the ablation studies (reduced run counts). Timings land
+//! in `BENCH_ablations.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ddn_bench::Suite;
 use ddn_scenarios::ablations;
-use std::hint::black_box;
 
-fn bench_randomness(c: &mut Criterion) {
-    c.bench_function("ablation_a_randomness/3runs", |b| {
-        b.iter(|| black_box(ablations::ablation_randomness(&[0.05, 0.5], 3, 91_001)))
+fn main() {
+    let mut suite = Suite::new("ablations");
+    suite.bench("ablation_a_randomness/3runs", || {
+        ablations::ablation_randomness(&[0.05, 0.5], 3, 91_001)
     });
-}
-
-fn bench_trace_size(c: &mut Criterion) {
-    c.bench_function("ablation_b_trace_size/3runs", |b| {
-        b.iter(|| black_box(ablations::ablation_trace_size(&[0.5, 2.0], 3, 91_002)))
+    suite.bench("ablation_b_trace_size/3runs", || {
+        ablations::ablation_trace_size(&[0.5, 2.0], 3, 91_002)
     });
-}
-
-fn bench_dimensionality(c: &mut Criterion) {
-    c.bench_function("ablation_c_dimensionality/3runs", |b| {
-        b.iter(|| black_box(ablations::ablation_dimensionality(&[0, 4], 3, 91_003)))
+    suite.bench("ablation_c_dimensionality/3runs", || {
+        ablations::ablation_dimensionality(&[0, 4], 3, 91_003)
     });
-}
-
-fn bench_nonstationary(c: &mut Criterion) {
-    c.bench_function("ablation_d_nonstationary/3runs", |b| {
-        b.iter(|| black_box(ablations::ablation_nonstationary(3, 91_004)))
+    suite.bench("ablation_d_nonstationary/3runs", || {
+        ablations::ablation_nonstationary(3, 91_004)
     });
-}
-
-fn bench_state(c: &mut Criterion) {
-    c.bench_function("ablation_e_state/2runs", |b| {
-        b.iter(|| black_box(ablations::ablation_state(2, 91_005)))
+    suite.bench("ablation_e_state/2runs", || {
+        ablations::ablation_state(2, 91_005)
     });
-}
-
-fn bench_coupling(c: &mut Criterion) {
-    c.bench_function("ablation_f_coupling/2runs", |b| {
-        b.iter(|| black_box(ablations::ablation_coupling(2, 91_006)))
+    suite.bench("ablation_f_coupling/2runs", || {
+        ablations::ablation_coupling(2, 91_006)
     });
-}
-
-fn bench_second_order(c: &mut Criterion) {
-    c.bench_function("ablation_g_second_order/3runs", |b| {
-        b.iter(|| {
-            black_box(ablations::ablation_second_order(
-                &[0.0, 3.0],
-                &[0.0, 0.8],
-                3,
-                91_007,
-            ))
-        })
+    suite.bench("ablation_g_second_order/3runs", || {
+        ablations::ablation_second_order(&[0.0, 3.0], &[0.0, 0.8], 3, 91_007)
     });
-}
-
-fn bench_selection(c: &mut Criterion) {
-    c.bench_function("ablation_h_selection/3runs", |b| {
-        b.iter(|| black_box(ablations::ablation_selection(&[200], 3, 91_008)))
+    suite.bench("ablation_h_selection/3runs", || {
+        ablations::ablation_selection(&[200], 3, 91_008)
     });
-}
-
-fn bench_calibration(c: &mut Criterion) {
-    c.bench_function("ablation_i_calibration/3runs", |b| {
-        b.iter(|| black_box(ablations::ablation_calibration(&[0.5], 3, 91_009)))
+    suite.bench("ablation_i_calibration/3runs", || {
+        ablations::ablation_calibration(&[0.5], 3, 91_009)
     });
+    suite.finish();
 }
-
-criterion_group! {
-    name = ablation_benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_randomness, bench_trace_size, bench_dimensionality,
-        bench_nonstationary, bench_state, bench_coupling, bench_second_order,
-        bench_selection, bench_calibration
-}
-criterion_main!(ablation_benches);

@@ -1,55 +1,38 @@
-//! Criterion benchmarks for the three Figure 7 panels.
+//! Benchmarks for the three Figure 7 panels.
 //!
 //! Each benchmark runs a reduced-run version of the corresponding
 //! experiment (the statistical reproduction itself lives in the `figures`
 //! binary at the full 50-run protocol; here we measure how fast the
-//! pipeline is so regressions in the substrates show up).
+//! pipeline is so regressions in the substrates show up). Timings land in
+//! `BENCH_figure7.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ddn_bench::Suite;
 use ddn_scenarios::figure7a::{figure7a_with, Figure7aConfig};
 use ddn_scenarios::figure7b::{figure7b_with, Figure7bConfig};
 use ddn_scenarios::figure7c::{figure7c_with, Figure7cConfig};
-use std::hint::black_box;
 
-fn bench_figure7a(c: &mut Criterion) {
-    c.bench_function("figure7a/5runs", |b| {
-        b.iter(|| {
-            let cfg = Figure7aConfig {
-                runs: 5,
-                ..Default::default()
-            };
-            black_box(figure7a_with(&cfg))
-        })
+fn main() {
+    let mut suite = Suite::new("figure7");
+    suite.bench("figure7a/5runs", || {
+        let cfg = Figure7aConfig {
+            runs: 5,
+            ..Default::default()
+        };
+        figure7a_with(&cfg)
     });
-}
-
-fn bench_figure7b(c: &mut Criterion) {
-    c.bench_function("figure7b/5runs", |b| {
-        b.iter(|| {
-            let cfg = Figure7bConfig {
-                runs: 5,
-                ..Default::default()
-            };
-            black_box(figure7b_with(&cfg))
-        })
+    suite.bench("figure7b/5runs", || {
+        let cfg = Figure7bConfig {
+            runs: 5,
+            ..Default::default()
+        };
+        figure7b_with(&cfg)
     });
-}
-
-fn bench_figure7c(c: &mut Criterion) {
-    c.bench_function("figure7c/5runs", |b| {
-        b.iter(|| {
-            let cfg = Figure7cConfig {
-                runs: 5,
-                ..Default::default()
-            };
-            black_box(figure7c_with(&cfg))
-        })
+    suite.bench("figure7c/5runs", || {
+        let cfg = Figure7cConfig {
+            runs: 5,
+            ..Default::default()
+        };
+        figure7c_with(&cfg)
     });
+    suite.finish();
 }
-
-criterion_group! {
-    name = figure7;
-    config = Criterion::default().sample_size(10);
-    targets = bench_figure7a, bench_figure7b, bench_figure7c
-}
-criterion_main!(figure7);

@@ -1,8 +1,9 @@
 //! Microbenchmarks of the building blocks: estimator throughput versus
 //! trace size, reward-model fit/predict, discrete-event simulator
-//! throughput, and change-point detection.
+//! throughput, and change-point detection. Timings land in
+//! `BENCH_perf.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ddn_bench::Suite;
 use ddn_estimators::{CrossFitDr, DoublyRobust, Estimator, Ips};
 use ddn_models::{ForestConfig, ForestRegressor, KnnConfig, KnnRegressor, TabularMeanModel};
 use ddn_netsim::{small_world, wise_like_tiered, EventQueue, RateProfile, SimTime};
@@ -11,7 +12,6 @@ use ddn_stats::changepoint::{pelt, CostModel, Penalty};
 use ddn_stats::dist::{Distribution, Normal};
 use ddn_stats::rng::{Rng, Xoshiro256};
 use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, Trace, TraceRecord};
-use std::hint::black_box;
 
 fn synthetic_trace(n: usize, seed: u64) -> Trace {
     let schema = ContextSchema::builder()
@@ -36,115 +36,95 @@ fn synthetic_trace(n: usize, seed: u64) -> Trace {
     Trace::from_records(schema, space, records).unwrap()
 }
 
-fn bench_estimators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("estimator_throughput");
+fn bench_estimators(suite: &mut Suite) {
     for &n in &[1_000usize, 10_000, 100_000] {
         let trace = synthetic_trace(n, 42);
         let policy = LookupPolicy::constant(trace.space().clone(), 2);
         let model = TabularMeanModel::fit_trace(&trace, 1.0);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("ips", n), &n, |b, _| {
-            b.iter(|| black_box(Ips::new().estimate(&trace, &policy).unwrap().value))
+        suite.bench_throughput(&format!("estimator/ips/{n}"), n as u64, || {
+            Ips::new().estimate(&trace, &policy).unwrap().value
         });
-        group.bench_with_input(BenchmarkId::new("dr_tabular", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    DoublyRobust::new(&model)
-                        .estimate(&trace, &policy)
-                        .unwrap()
-                        .value,
-                )
-            })
+        suite.bench_throughput(&format!("estimator/dr_tabular/{n}"), n as u64, || {
+            DoublyRobust::new(&model)
+                .estimate(&trace, &policy)
+                .unwrap()
+                .value
         });
         if n <= 10_000 {
-            group.bench_with_input(BenchmarkId::new("crossfit_dr_tabular", n), &n, |b, _| {
-                b.iter(|| {
-                    let est = CrossFitDr::new(5, |tr: &ddn_trace::Trace| {
-                        TabularMeanModel::fit_trace(tr, 1.0)
-                    });
-                    black_box(est.estimate(&trace, &policy).unwrap().value)
-                })
+            suite.bench_throughput(&format!("estimator/crossfit_dr_tabular/{n}"), n as u64, || {
+                let est = CrossFitDr::new(5, |tr: &ddn_trace::Trace| {
+                    TabularMeanModel::fit_trace(tr, 1.0)
+                });
+                est.estimate(&trace, &policy).unwrap().value
             });
         }
     }
-    group.finish();
 }
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_fit");
+fn bench_models(suite: &mut Suite) {
     for &n in &[1_000usize, 10_000] {
         let trace = synthetic_trace(n, 43);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("tabular", n), &n, |b, _| {
-            b.iter(|| black_box(TabularMeanModel::fit_trace(&trace, 1.0)))
+        suite.bench_throughput(&format!("model_fit/tabular/{n}"), n as u64, || {
+            TabularMeanModel::fit_trace(&trace, 1.0)
         });
-        group.bench_with_input(BenchmarkId::new("knn_fit", n), &n, |b, _| {
-            b.iter(|| black_box(KnnRegressor::fit(&trace, KnnConfig::default())))
+        suite.bench_throughput(&format!("model_fit/knn_fit/{n}"), n as u64, || {
+            KnnRegressor::fit(&trace, KnnConfig::default())
         });
         if n <= 1_000 {
-            group.bench_with_input(BenchmarkId::new("forest_fit_10trees", n), &n, |b, _| {
-                b.iter(|| {
-                    black_box(ForestRegressor::fit(
-                        &trace,
-                        ForestConfig {
-                            trees: 10,
-                            ..Default::default()
-                        },
-                    ))
-                })
+            suite.bench_throughput(&format!("model_fit/forest_fit_10trees/{n}"), n as u64, || {
+                ForestRegressor::fit(
+                    &trace,
+                    ForestConfig {
+                        trees: 10,
+                        ..Default::default()
+                    },
+                )
             });
         }
     }
-    group.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netsim");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("event_queue_100k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = Xoshiro256::seed_from(7);
-            for i in 0..100_000u64 {
-                q.schedule(SimTime::new(rng.next_f64() * 1e6 + i as f64), i);
-            }
-            let mut count = 0u64;
-            while q.pop().is_some() {
-                count += 1;
-            }
-            black_box(count)
-        })
+fn bench_event_queue(suite: &mut Suite) {
+    suite.bench_throughput("netsim/event_queue_100k", 100_000, || {
+        let mut q = EventQueue::new();
+        let mut rng = Xoshiro256::seed_from(7);
+        for i in 0..100_000u64 {
+            q.schedule(SimTime::new(rng.next_f64() * 1e6 + i as f64), i);
+        }
+        let mut count = 0u64;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        count
     });
-    group.bench_function("world_run_2k_requests", |b| {
-        let world = small_world(RateProfile::Constant(10.0), 200.0);
-        let policy = UniformRandomPolicy::new(world.space().clone());
-        b.iter(|| black_box(world.run(&policy, 9).trace.len()))
+    let world = small_world(RateProfile::Constant(10.0), 200.0);
+    let policy = UniformRandomPolicy::new(world.space().clone());
+    suite.bench("netsim/world_run_2k_requests", || {
+        world.run(&policy, 9).trace.len()
     });
-    group.bench_function("tiered_world_run_2k_requests", |b| {
-        let world = wise_like_tiered(RateProfile::Constant(10.0), 200.0);
-        let policy = UniformRandomPolicy::new(world.space().clone());
-        b.iter(|| black_box(world.run(&policy, 9).trace.len()))
+    let tiered = wise_like_tiered(RateProfile::Constant(10.0), 200.0);
+    let tiered_policy = UniformRandomPolicy::new(tiered.space().clone());
+    suite.bench("netsim/tiered_world_run_2k_requests", || {
+        tiered.run(&tiered_policy, 9).trace.len()
     });
-    group.finish();
 }
 
-fn bench_changepoint(c: &mut Criterion) {
-    let mut group = c.benchmark_group("changepoint");
+fn bench_changepoint(suite: &mut Suite) {
     for &n in &[500usize, 5_000] {
         let mut rng = Xoshiro256::seed_from(11);
         let mut series = Normal::new(0.0, 1.0).sample_n(&mut rng, n / 2);
         series.extend(Normal::new(4.0, 1.0).sample_n(&mut rng, n / 2));
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("pelt", n), &n, |b, _| {
-            b.iter(|| black_box(pelt(&series, CostModel::NormalMean, Penalty::Bic, 10)))
+        suite.bench_throughput(&format!("changepoint/pelt/{n}"), n as u64, || {
+            pelt(&series, CostModel::NormalMean, Penalty::Bic, 10)
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = perf;
-    config = Criterion::default().sample_size(10);
-    targets = bench_estimators, bench_models, bench_event_queue, bench_changepoint
+fn main() {
+    let mut suite = Suite::new("perf");
+    bench_estimators(&mut suite);
+    bench_models(&mut suite);
+    bench_event_queue(&mut suite);
+    bench_changepoint(&mut suite);
+    suite.finish();
 }
-criterion_main!(perf);

@@ -5,19 +5,25 @@
 //! - `cargo run --release -p ddn-bench --bin figures` — regenerates every
 //!   figure and ablation table of the reproduction as text (the same
 //!   rows/series the paper reports), at the paper's full 50-run protocol.
-//! - `cargo bench -p ddn-bench` — Criterion benchmarks:
-//!   - `figure7` — one benchmark per Figure 7 panel (reduced run counts so
-//!     Criterion iterations stay tractable);
+//! - `cargo bench -p ddn-bench` — benchmarks on the in-repo [`runner`]
+//!   (the hermetic-build policy forbids Criterion), each writing a
+//!   `BENCH_<suite>.json` timing file:
+//!   - `figure7` — one benchmark per Figure 7 panel (reduced run counts
+//!     so iterations stay tractable);
 //!   - `ablations` — one benchmark per ablation;
 //!   - `perf` — microbenchmarks of the building blocks (estimator
 //!     throughput vs. trace size, simulator events/sec, model fit/predict,
 //!     change-point detection).
 //!
-//! This crate's library surface is the small set of shared helpers the
-//! binary and benches use.
+//! This crate's library surface is the bench [`runner`] plus the small set
+//! of shared helpers the binary and benches use.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{BenchConfig, BenchResult, Suite};
 
 use ddn_estimators::ErrorTable;
 

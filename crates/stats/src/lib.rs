@@ -19,6 +19,10 @@
 //!   self-induced system-state changes (paper §4.3, refs \[23, 26\]).
 //! - [`linalg`] — small dense matrix helpers (Cholesky solve) backing the
 //!   hand-rolled ridge regression in `ddn-models`.
+//! - [`json`] — a minimal JSON document model, parser and writer; the
+//!   workspace builds hermetically with zero crates.io dependencies, so
+//!   trace persistence and bench telemetry serialize through this module
+//!   instead of serde.
 //!
 //! Nothing here is networking-specific; the crate is the "math library"
 //! substrate named in DESIGN.md.
@@ -29,6 +33,7 @@
 pub mod bootstrap;
 pub mod changepoint;
 pub mod dist;
+pub mod json;
 pub mod linalg;
 pub mod rng;
 pub mod series;
@@ -40,6 +45,7 @@ pub use changepoint::{binary_segmentation, pelt, CostModel, Penalty};
 pub use dist::{
     Bernoulli, Categorical, Distribution, Exponential, LogNormal, Normal, Pareto, Uniform,
 };
+pub use json::{Json, JsonError};
 pub use linalg::{Matrix, Vector};
 pub use rng::{Rng, SplitMix64, Xoshiro256};
 pub use series::{pearson, spearman, Ewma};

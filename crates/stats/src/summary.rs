@@ -5,7 +5,7 @@
 //! paper's Figure 7 plots for each estimator; [`Histogram`] supports the
 //! weight-distribution diagnostics in `ddn-estimators`.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 
 /// One-pass streaming mean and variance (Welford's algorithm), plus
 /// min/max tracking.
@@ -115,7 +115,7 @@ impl Welford {
 }
 
 /// Immutable snapshot of a sample's moments and extremes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: u64,
@@ -136,12 +136,38 @@ impl Summary {
         w.extend(xs.iter().copied());
         w.finish()
     }
+
+    /// Serializes to a JSON object (field order: count, mean, std, min,
+    /// max — the old serde wire layout).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("count", Json::Int(self.count as i64)),
+            ("mean", Json::Num(self.mean)),
+            ("std", Json::Num(self.std)),
+            ("min", Json::Num(self.min)),
+            ("max", Json::Num(self.max)),
+        ])
+    }
+
+    /// Parses the representation written by [`Summary::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            count: v
+                .field("count")?
+                .as_u64()
+                .ok_or_else(|| JsonError::msg("expected u64 for count"))?,
+            mean: v.field("mean")?.expect_f64("mean")?,
+            std: v.field("std")?.expect_f64("std")?,
+            min: v.field("min")?.expect_f64("min")?,
+            max: v.field("max")?.expect_f64("max")?,
+        })
+    }
 }
 
 /// The statistic the paper's Figure 7 plots per estimator: the mean,
 /// minimum and maximum of a set of relative evaluation errors (one per
 /// simulation run).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorReport {
     /// Mean relative error over runs.
     pub mean: f64,
@@ -178,6 +204,29 @@ impl ErrorReport {
         }
         (baseline.mean - self.mean) / baseline.mean
     }
+
+    /// Serializes to a JSON object (field order: mean, min, max, runs).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("mean", Json::Num(self.mean)),
+            ("min", Json::Num(self.min)),
+            ("max", Json::Num(self.max)),
+            ("runs", Json::Int(self.runs as i64)),
+        ])
+    }
+
+    /// Parses the representation written by [`ErrorReport::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            mean: v.field("mean")?.expect_f64("mean")?,
+            min: v.field("min")?.expect_f64("min")?,
+            max: v.field("max")?.expect_f64("max")?,
+            runs: v
+                .field("runs")?
+                .as_u64()
+                .ok_or_else(|| JsonError::msg("expected u64 for runs"))?,
+        })
+    }
 }
 
 /// Returns the `q`-quantile (0 ≤ q ≤ 1) of `xs` using linear interpolation
@@ -209,7 +258,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 /// Used to inspect the distribution of IPS importance weights — the
 /// heavy right tail of that distribution is exactly the variance pathology
 /// the paper describes in §2.2.2 and §4.1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -338,6 +387,21 @@ mod tests {
         let mut e = Welford::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn summary_json_roundtrip() {
+        let s = Summary::of(&[1.0, 2.0, 3.5]);
+        let back = Summary::from_json(&Json::parse(&s.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn error_report_json_roundtrip() {
+        let r = ErrorReport::from_errors(&[0.1, 0.25, 0.3]);
+        let v = Json::parse(&r.to_json().to_string()).unwrap();
+        assert_eq!(ErrorReport::from_json(&v).unwrap(), r);
+        assert!(ErrorReport::from_json(&Json::Null).is_err());
     }
 
     #[test]

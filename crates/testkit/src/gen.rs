@@ -1,0 +1,393 @@
+//! Composable random-value generators with shrinking.
+//!
+//! A [`Gen`] produces values from a deterministic RNG and, when a property
+//! fails, proposes *smaller* candidate values via [`Gen::shrink`] so the
+//! runner can report a minimal counterexample. Ranges of the primitive
+//! numeric types implement [`Gen`] directly, so `0u32..3` or
+//! `-100.0..100.0f64` read exactly like the bounds they are; tuples of
+//! generators generate tuples, [`vecs`] generates vectors, and
+//! [`strings_from`] generates strings over an alphabet.
+
+use ddn_stats::rng::{Rng, Xoshiro256};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A generator of random test inputs.
+///
+/// `generate` must be a pure function of the RNG state: the runner relies
+/// on this to replay failures from a seed.
+pub trait Gen {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Xoshiro256) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidate values derived from a failing
+    /// input. Candidates must stay inside the generator's domain; the
+    /// default proposes nothing (no shrinking).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+impl<G: Gen + ?Sized> Gen for &G {
+    type Value = G::Value;
+    fn generate(&self, rng: &mut Xoshiro256) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+// ---- numeric ranges -----------------------------------------------------
+
+impl Gen for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> f64 {
+        assert!(self.start < self.end, "empty f64 range {self:?}");
+        let v = rng.range_f64(self.start, self.end);
+        // Guard the half-open bound against rounding at the top.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut push = |c: f64| {
+            if c != *value && self.contains(&c) && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        push(self.start);
+        push(0.0);
+        push((self.start + *value) / 2.0);
+        push(value.trunc());
+        out
+    }
+}
+
+macro_rules! int_range_gen {
+    ($($t:ty),+) => {$(
+        impl Gen for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "empty range {self:?}");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.next_below(span) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let mut push = |c: $t| {
+                    if c != *value && self.contains(&c) && !out.contains(&c) {
+                        out.push(c);
+                    }
+                };
+                push(self.start);
+                push(self.start + (*value - self.start) / 2);
+                if *value > self.start {
+                    push(*value - 1);
+                }
+                out
+            }
+        }
+    )+};
+}
+
+int_range_gen!(u32, u64, usize);
+
+// ---- tuples -------------------------------------------------------------
+
+macro_rules! tuple_gen {
+    ($(($($g:ident / $v:ident / $i:tt),+);)+) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Xoshiro256) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$i.shrink(&value.$i) {
+                        let mut next = value.clone();
+                        next.$i = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_gen! {
+    (A/a/0);
+    (A/a/0, B/b/1);
+    (A/a/0, B/b/1, C/c/2);
+    (A/a/0, B/b/1, C/c/2, D/d/3);
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4);
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4, F/f/5);
+}
+
+// ---- collections ----------------------------------------------------------
+
+/// Generator of `Vec<T>` with a length drawn from `len` (half-open, like
+/// proptest's `vec(elem, 1..40)`).
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    len: Range<usize>,
+}
+
+/// Vectors of values from `elem`, with length in `len`.
+pub fn vecs<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "empty length range {len:?}");
+    VecGen { elem, len }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> Self::Value {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = Vec::new();
+        let min = self.len.start;
+        // Structural shrinks first: drop a chunk, then single elements.
+        if value.len() > min {
+            let half = (value.len() / 2).max(min);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            let mut tail = value.clone();
+            tail.pop();
+            out.push(tail);
+            let mut head = value.clone();
+            head.remove(0);
+            out.push(head);
+        }
+        // Then element-wise shrinks, one position at a time.
+        for (i, v) in value.iter().enumerate() {
+            for candidate in self.elem.shrink(v) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+// ---- strings --------------------------------------------------------------
+
+/// Generator of `String`s over a fixed alphabet; see [`strings_from`].
+#[derive(Debug, Clone)]
+pub struct StringGen {
+    alphabet: Vec<char>,
+    len: Range<usize>,
+}
+
+/// Strings of length drawn from `len`, each char drawn uniformly from
+/// `alphabet`. `strings_from("ab\n", 0..10)` stands in for the regex-class
+/// strategies of proptest (`"[ab\n]{0,9}"`).
+pub fn strings_from(alphabet: &str, len: Range<usize>) -> StringGen {
+    let alphabet: Vec<char> = alphabet.chars().collect();
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    assert!(len.start < len.end, "empty length range {len:?}");
+    StringGen { alphabet, len }
+}
+
+impl Gen for StringGen {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> String {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| *rng.choose(&self.alphabet)).collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let mut out = Vec::new();
+        let min = self.len.start;
+        if chars.len() > min {
+            let half = (chars.len() / 2).max(min);
+            if half < chars.len() {
+                out.push(chars[..half].iter().collect());
+            }
+            out.push(chars[..chars.len() - 1].iter().collect());
+            out.push(chars[1..].iter().collect());
+        }
+        // Simplify one char at a time toward the first alphabet char.
+        let simplest = self.alphabet[0];
+        for (i, &c) in chars.iter().enumerate() {
+            if c != simplest {
+                let mut next = chars.clone();
+                next[i] = simplest;
+                out.push(next.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+// ---- adapters --------------------------------------------------------------
+
+/// Always generates the same value; never shrinks.
+#[derive(Debug, Clone)]
+pub struct JustGen<T>(T);
+
+/// A constant generator.
+pub fn just<T: Clone + Debug>(value: T) -> JustGen<T> {
+    JustGen(value)
+}
+
+impl<T: Clone + Debug> Gen for JustGen<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Xoshiro256) -> T {
+        self.0.clone()
+    }
+}
+
+/// Maps generated values through a function; see [`map`].
+#[derive(Clone)]
+pub struct MapGen<G, F> {
+    base: G,
+    f: F,
+}
+
+/// Applies `f` to every generated value. The mapped generator does not
+/// shrink (the mapping is not invertible); prefer mapping *inside* the
+/// property when shrinking matters.
+pub fn map<G, F, T>(base: G, f: F) -> MapGen<G, F>
+where
+    G: Gen,
+    F: Fn(G::Value) -> T,
+    T: Clone + Debug,
+{
+    MapGen { base, f }
+}
+
+impl<G, F, T> Gen for MapGen<G, F>
+where
+    G: Gen,
+    F: Fn(G::Value) -> T,
+    T: Clone + Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut Xoshiro256) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from(7)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut g = rng();
+        for _ in 0..2_000 {
+            let x = (-2.0..3.0f64).generate(&mut g);
+            assert!((-2.0..3.0).contains(&x));
+            let u = (1u32..5).generate(&mut g);
+            assert!((1..5).contains(&u));
+            let n = (0usize..3).generate(&mut g);
+            assert!(n < 3);
+        }
+    }
+
+    #[test]
+    fn range_generation_is_deterministic() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_stay_in_range_and_differ() {
+        for v in [2u32, 7, 9] {
+            for c in (2u32..10).shrink(&v) {
+                assert!((2..10).contains(&c));
+                assert_ne!(c, v);
+            }
+        }
+        for c in (-5.0..5.0f64).shrink(&4.5) {
+            assert!((-5.0..5.0).contains(&c));
+            assert_ne!(c, 4.5);
+        }
+        // The range start has no candidates below it.
+        assert!((3u32..10).shrink(&3).is_empty());
+    }
+
+    #[test]
+    fn tuple_generates_and_shrinks_componentwise() {
+        let g = (0u32..4, -1.0..1.0f64);
+        let mut r = rng();
+        let v = g.generate(&mut r);
+        assert!(v.0 < 4 && (-1.0..1.0).contains(&v.1));
+        let shrunk = g.shrink(&(3, 0.9));
+        assert!(!shrunk.is_empty());
+        for (a, b) in &shrunk {
+            // Exactly one component changes per candidate.
+            let changed = usize::from(*a != 3) + usize::from(*b != 0.9);
+            assert_eq!(changed, 1, "candidate ({a}, {b})");
+            assert!(*a < 4 && (-1.0..1.0).contains(b));
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let g = vecs(0u32..10, 2..6);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+        for c in g.shrink(&vec![5, 6, 7, 8, 9]) {
+            assert!(c.len() >= 2, "shrink went below min len: {c:?}");
+        }
+    }
+
+    #[test]
+    fn string_alphabet_respected() {
+        let g = strings_from("ab\n", 0..20);
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = g.generate(&mut r);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b' || c == '\n'));
+            assert!(s.chars().count() < 20);
+        }
+        for c in g.shrink(&"bb".to_string()) {
+            assert!(c.chars().all(|ch| "ab\n".contains(ch)));
+        }
+    }
+
+    #[test]
+    fn just_and_map() {
+        let mut r = rng();
+        assert_eq!(just(42u8).generate(&mut r), 42);
+        let doubled = map(0u32..5, |x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(doubled.generate(&mut r) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The property-check runner: case generation, discard accounting,
+//! panic capture, and greedy shrinking of failing inputs.
+
+use crate::gen::Gen;
+use ddn_stats::rng::{SplitMix64, Xoshiro256};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+/// Outcome of one property evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestResult {
+    /// The property held for this input.
+    Pass,
+    /// The input did not satisfy a precondition (`prop_assume!`); the case
+    /// is not counted and a replacement is generated.
+    Discard,
+    /// The property failed, with a human-readable reason.
+    Fail(String),
+}
+
+impl TestResult {
+    /// Convenience constructor for [`TestResult::Fail`].
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestResult::Fail(msg.into())
+    }
+}
+
+/// Runner configuration.
+///
+/// [`Config::default`] reads two environment variables so CI can turn the
+/// crank without code changes: `DDN_TESTKIT_CASES` overrides `cases` and
+/// `DDN_TESTKIT_SEED` overrides `seed`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of non-discarded cases each property must pass.
+    pub cases: u32,
+    /// Base seed; combined with the property name so distinct properties
+    /// see distinct (but fixed) streams.
+    pub seed: u64,
+    /// Upper bound on property evaluations spent shrinking a failure.
+    pub max_shrink_iters: u32,
+}
+
+/// The workspace's fixed default seed (see DESIGN.md's determinism
+/// contract: every test run draws the same cases on every platform).
+pub const DEFAULT_SEED: u64 = 0xDD17_B1A5_E5EE_D001;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("DDN_TESTKIT_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        let seed = std::env::var("DDN_TESTKIT_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        Self {
+            cases,
+            seed,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+thread_local! {
+    static SILENCE_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" stderr chatter while the runner is probing a property
+/// with `catch_unwind`, and defers to the previous hook otherwise. Without
+/// this, shrinking a panicking property would print dozens of spurious
+/// backtrace headers.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCE_PANICS.with(|s| s.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+fn eval<V, P>(prop: &P, value: &V) -> TestResult
+where
+    P: Fn(&V) -> TestResult,
+{
+    let was_silenced = SILENCE_PANICS.with(|s| s.replace(true));
+    let result = catch_unwind(AssertUnwindSafe(|| prop(value)));
+    SILENCE_PANICS.with(|s| s.set(was_silenced));
+    match result {
+        Ok(r) => r,
+        Err(payload) => TestResult::Fail(panic_message(payload)),
+    }
+}
+
+/// FNV-1a over the property name: mixes the name into the seed so each
+/// property draws an independent, *fixed* stream.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Checks `prop` against [`Config::default`]-many generated cases.
+/// Panics (failing the enclosing `#[test]`) on the first — shrunk —
+/// counterexample.
+pub fn check<G, P>(name: &str, gen: &G, prop: P)
+where
+    G: Gen,
+    P: Fn(&G::Value) -> TestResult,
+{
+    check_with(&Config::default(), name, gen, prop);
+}
+
+/// [`check`] with an explicit configuration.
+///
+/// # Panics
+/// Panics with a report naming the minimal failing input, the seed, and a
+/// reproduction hint if any case fails; also panics if more than
+/// `10 × cases` inputs are discarded (a sign the precondition is too
+/// strict to ever satisfy).
+pub fn check_with<G, P>(cfg: &Config, name: &str, gen: &G, prop: P)
+where
+    G: Gen,
+    P: Fn(&G::Value) -> TestResult,
+{
+    assert!(cfg.cases > 0, "config needs at least one case");
+    install_quiet_hook();
+    let seed = cfg.seed ^ name_hash(name);
+    let mut seeder = SplitMix64::new(seed);
+    let mut passed = 0u32;
+    let mut discarded = 0u32;
+    let discard_limit = cfg.cases.saturating_mul(10);
+    while passed < cfg.cases {
+        let case_seed = seeder.split();
+        let mut rng = Xoshiro256::seed_from(case_seed);
+        let value = gen.generate(&mut rng);
+        match eval(&prop, &value) {
+            TestResult::Pass => passed += 1,
+            TestResult::Discard => {
+                discarded += 1;
+                assert!(
+                    discarded <= discard_limit,
+                    "[ddn-testkit] property `{name}`: {discarded} inputs discarded \
+                     against {passed} passed — precondition rejects nearly everything"
+                );
+            }
+            TestResult::Fail(msg) => {
+                let (minimal, reason, steps) = shrink_failure(cfg, gen, &prop, value, msg);
+                panic!(
+                    "[ddn-testkit] property `{name}` failed\n\
+                     minimal input (after {steps} shrink steps): {minimal:?}\n\
+                     reason: {reason}\n\
+                     cases passed before failure: {passed}\n\
+                     reproduce with: DDN_TESTKIT_SEED={} (base seed)\n",
+                    cfg.seed,
+                );
+            }
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly replace the failing input with its first
+/// still-failing shrink candidate until no candidate fails or the budget
+/// runs out. Returns the minimal input, its failure reason, and the number
+/// of successful shrink steps.
+fn shrink_failure<G, P>(
+    cfg: &Config,
+    gen: &G,
+    prop: &P,
+    value: G::Value,
+    msg: String,
+) -> (G::Value, String, u32)
+where
+    G: Gen,
+    P: Fn(&G::Value) -> TestResult,
+{
+    let mut best = value;
+    let mut reason = msg;
+    let mut budget = cfg.max_shrink_iters;
+    let mut steps = 0u32;
+    'outer: while budget > 0 {
+        for candidate in gen.shrink(&best) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let TestResult::Fail(m) = eval(prop, &candidate) {
+                best = candidate;
+                reason = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, reason, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::vecs;
+
+    fn cfg(cases: u32) -> Config {
+        Config {
+            cases,
+            seed: DEFAULT_SEED,
+            max_shrink_iters: 1024,
+        }
+    }
+
+    /// Runs `f`, which must panic, and returns the panic message without
+    /// letting the default hook print it (these panics are expected).
+    fn expect_panic(f: impl FnOnce()) -> String {
+        install_quiet_hook();
+        SILENCE_PANICS.with(|s| s.set(true));
+        let caught = catch_unwind(AssertUnwindSafe(f));
+        SILENCE_PANICS.with(|s| s.set(false));
+        panic_message(caught.expect_err("expected a panic"))
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check_with(&cfg(64), "always_pass", &(0u32..10), |_| {
+            counter.set(counter.get() + 1);
+            TestResult::Pass
+        });
+        seen += counter.get();
+        assert_eq!(seen, 64);
+    }
+
+    #[test]
+    fn same_seed_same_cases() {
+        let collect = || {
+            let seen = std::cell::RefCell::new(Vec::new());
+            check_with(&cfg(32), "determinism_probe", &(0u64..1_000_000), |&v| {
+                seen.borrow_mut().push(v);
+                TestResult::Pass
+            });
+            seen.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn different_properties_draw_different_streams() {
+        let collect = |name: &str| {
+            let seen = std::cell::RefCell::new(Vec::new());
+            check_with(&cfg(16), name, &(0u64..1_000_000), |&v| {
+                seen.borrow_mut().push(v);
+                TestResult::Pass
+            });
+            seen.into_inner()
+        };
+        assert_ne!(collect("stream_a"), collect("stream_b"));
+    }
+
+    #[test]
+    fn failure_shrinks_to_minimal_counterexample() {
+        // Fails for any value >= 100: the minimal failing input is 100.
+        let msg = expect_panic(|| {
+            check_with(&cfg(64), "shrinks_to_boundary", &(0u32..1_000), |&v| {
+                if v >= 100 {
+                    TestResult::fail(format!("{v} too big"))
+                } else {
+                    TestResult::Pass
+                }
+            });
+        });
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(msg.contains(": 100"), "did not shrink to 100: {msg}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_structurally() {
+        // Fails whenever the vec contains an 8; minimal case is one element.
+        let msg = expect_panic(|| {
+            check_with(
+                &cfg(64),
+                "vec_shrink",
+                &vecs(0u32..10, 1..30),
+                |v: &Vec<u32>| {
+                    if v.contains(&8) {
+                        TestResult::fail("contains 8")
+                    } else {
+                        TestResult::Pass
+                    }
+                },
+            );
+        });
+        assert!(msg.contains("[8]"), "expected minimal [8], got: {msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_and_reported() {
+        let msg = expect_panic(|| {
+            check_with(&cfg(8), "panicking_prop", &(0u32..4), |&v| {
+                panic!("boom at {v}");
+            });
+        });
+        assert!(msg.contains("panicked: boom"), "{msg}");
+    }
+
+    #[test]
+    fn discard_limit_reported() {
+        let msg = expect_panic(|| {
+            check_with(&cfg(8), "discard_everything", &(0u32..4), |_| {
+                TestResult::Discard
+            });
+        });
+        assert!(msg.contains("discarded"), "{msg}");
+    }
+}

@@ -8,13 +8,13 @@
 //! estimators can group identical clients (numeric values compare by bit
 //! pattern, which is exact for the deterministic simulators here).
 
-use serde::{Deserialize, Serialize};
+use ddn_stats::{Json, JsonError};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// The kind of one feature in a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FeatureKind {
     /// Categorical feature with the given number of levels (codes
     /// `0..cardinality`).
@@ -31,17 +31,47 @@ pub enum FeatureKind {
 ///
 /// Schemas are reference-counted: cloning is cheap and contexts referencing
 /// the same schema share it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContextSchema {
     inner: Arc<SchemaInner>,
 }
 
-#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq)]
 struct SchemaInner {
     names: Vec<String>,
     kinds: Vec<FeatureKind>,
-    #[serde(skip)]
+    // Not serialized; rebuilt via `reindexed` after deserialization.
     index: HashMap<String, usize>,
+}
+
+impl FeatureKind {
+    /// Serializes in the wire format of the original serde derive:
+    /// externally tagged, so `{"Categorical":{"cardinality":3}}` or the
+    /// bare string `"Numeric"`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            FeatureKind::Categorical { cardinality } => Json::object(vec![(
+                "Categorical",
+                Json::object(vec![("cardinality", Json::Int(i64::from(*cardinality)))]),
+            )]),
+            FeatureKind::Numeric => Json::str("Numeric"),
+        }
+    }
+
+    /// Parses the wire format of [`FeatureKind::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "Numeric" => Ok(FeatureKind::Numeric),
+                other => Err(JsonError::msg(format!("unknown feature kind {other:?}"))),
+            };
+        }
+        let cardinality = v
+            .field("Categorical")?
+            .field("cardinality")?
+            .expect_u32("cardinality")?;
+        Ok(FeatureKind::Categorical { cardinality })
+    }
 }
 
 impl ContextSchema {
@@ -81,6 +111,58 @@ impl ContextSchema {
         } else {
             self.inner.index.get(name).copied()
         }
+    }
+
+    /// Serializes in the wire format of the original serde derive: the
+    /// `Arc` is transparent, so `{"inner":{"names":[...],"kinds":[...]}}`
+    /// with the name index skipped.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![(
+            "inner",
+            Json::object(vec![
+                (
+                    "names",
+                    Json::Array(self.inner.names.iter().map(Json::str).collect()),
+                ),
+                (
+                    "kinds",
+                    Json::Array(self.inner.kinds.iter().map(FeatureKind::to_json).collect()),
+                ),
+            ]),
+        )])
+    }
+
+    /// Parses the wire format of [`ContextSchema::to_json`]. Like the old
+    /// serde path, the name index is left empty; call
+    /// [`ContextSchema::reindexed`] to populate it.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let inner = v.field("inner")?;
+        let names = inner
+            .field("names")?
+            .expect_array("schema names")?
+            .iter()
+            .map(|n| n.expect_str("feature name").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        let kinds = inner
+            .field("kinds")?
+            .expect_array("schema kinds")?
+            .iter()
+            .map(FeatureKind::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if names.len() != kinds.len() {
+            return Err(JsonError::msg(format!(
+                "schema has {} names but {} kinds",
+                names.len(),
+                kinds.len()
+            )));
+        }
+        Ok(ContextSchema {
+            inner: Arc::new(SchemaInner {
+                names,
+                kinds,
+                index: HashMap::new(),
+            }),
+        })
     }
 
     /// Rebuilds a schema after deserialization so the name index is
@@ -155,8 +237,11 @@ impl SchemaBuilder {
 }
 
 /// One feature value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+///
+/// On the wire this is untagged: categorical codes are integer literals
+/// (`3`), numeric values are floats (`3.0`) — the writer and parser keep
+/// that distinction via [`Json::Int`] vs [`Json::Num`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FeatureValue {
     /// Categorical code.
     Cat(u32),
@@ -189,10 +274,30 @@ impl FeatureValue {
             FeatureValue::Num(x) => *x,
         }
     }
+
+    /// Serializes untagged: `Cat(3)` → `3`, `Num(3.0)` → `3.0`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            FeatureValue::Cat(c) => Json::Int(i64::from(*c)),
+            FeatureValue::Num(x) => Json::Num(*x),
+        }
+    }
+
+    /// Parses the untagged wire format: an integer literal that fits `u32`
+    /// is a categorical code (serde's untagged derive tried `u32` first);
+    /// any other number is numeric.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(i) = v.as_i64() {
+            if let Ok(c) = u32::try_from(i) {
+                return Ok(FeatureValue::Cat(c));
+            }
+        }
+        v.expect_f64("feature value").map(FeatureValue::Num)
+    }
 }
 
 /// A client-context: one feature value per schema feature.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Context {
     values: Vec<FeatureValue>,
 }
@@ -272,6 +377,26 @@ impl Context {
     /// models.
     pub fn dense(&self) -> Vec<f64> {
         self.values.iter().map(FeatureValue::to_f64).collect()
+    }
+
+    /// Serializes as `{"values":[...]}` in the old serde wire format.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![(
+            "values",
+            Json::Array(self.values.iter().map(FeatureValue::to_json).collect()),
+        )])
+    }
+
+    /// Parses the wire format of [`Context::to_json`]. Schema conformance
+    /// is checked later, by [`crate::Trace::from_records`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let values = v
+            .field("values")?
+            .expect_array("context values")?
+            .iter()
+            .map(FeatureValue::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Context { values })
     }
 
     /// A hashable key identifying this exact feature combination.
@@ -515,10 +640,41 @@ mod tests {
     #[test]
     fn reindexed_schema_finds_names() {
         let s = schema();
-        let json = serde_json::to_string(&s).unwrap();
-        let loaded: ContextSchema = serde_json::from_str(&json).unwrap();
+        let json = s.to_json().to_string();
+        let loaded = ContextSchema::from_json(&Json::parse(&json).unwrap()).unwrap();
+        // Even before reindexing, position() falls back to a scan.
+        assert_eq!(loaded.position("rtt_ms"), Some(1));
         let fixed = loaded.reindexed();
         assert_eq!(fixed.position("nat"), Some(2));
         assert_eq!(fixed, s);
+    }
+
+    #[test]
+    fn schema_wire_format_matches_serde() {
+        // Pinned against what the serde derives wrote before the hermetic
+        // JSON module replaced them.
+        let s = ContextSchema::builder()
+            .categorical("isp", 3)
+            .numeric("rtt_ms")
+            .build();
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"inner":{"names":["isp","rtt_ms"],"kinds":[{"Categorical":{"cardinality":3}},"Numeric"]}}"#
+        );
+    }
+
+    #[test]
+    fn feature_value_untagged_roundtrip() {
+        // Integer literal => categorical; float literal => numeric.
+        let cat = FeatureValue::from_json(&Json::parse("3").unwrap()).unwrap();
+        assert_eq!(cat, FeatureValue::Cat(3));
+        let num = FeatureValue::from_json(&Json::parse("3.0").unwrap()).unwrap();
+        assert_eq!(num, FeatureValue::Num(3.0));
+        // Negative / oversized integers cannot be codes; they fall back to
+        // numeric exactly like serde's untagged derive did.
+        let neg = FeatureValue::from_json(&Json::parse("-1").unwrap()).unwrap();
+        assert_eq!(neg, FeatureValue::Num(-1.0));
+        assert_eq!(FeatureValue::Cat(3).to_json().to_string(), "3");
+        assert_eq!(FeatureValue::Num(3.0).to_json().to_string(), "3.0");
     }
 }

@@ -6,14 +6,14 @@
 //! direct-vs-relay), so the space also offers a cartesian-product
 //! constructor that keeps human-readable names.
 
-use serde::{Deserialize, Serialize};
+use ddn_stats::{Json, JsonError};
 use std::fmt;
 use std::sync::Arc;
 
 /// A finite, named set of decisions.
 ///
 /// Cheap to clone (reference-counted).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecisionSpace {
     names: Arc<Vec<String>>,
 }
@@ -101,10 +101,40 @@ impl DecisionSpace {
     pub fn iter(&self) -> impl Iterator<Item = Decision> + '_ {
         (0..self.len()).map(|i| Decision(i as u32))
     }
+
+    /// Serializes in the old serde wire format: the `Arc` is transparent,
+    /// so `{"names":["a","b"]}`.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![(
+            "names",
+            Json::Array(self.names.iter().map(Json::str).collect()),
+        )])
+    }
+
+    /// Parses the wire format of [`DecisionSpace::to_json`]. Like the old
+    /// serde path, this does not re-run the constructor's duplicate check;
+    /// [`crate::Trace::from_records`] validates decisions against the space.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let names = v
+            .field("names")?
+            .expect_array("decision names")?
+            .iter()
+            .map(|n| n.expect_str("decision name").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        if names.is_empty() {
+            return Err(JsonError::msg("decision space must be non-empty"));
+        }
+        Ok(Self {
+            names: Arc::new(names),
+        })
+    }
 }
 
 /// One decision: an index into a [`DecisionSpace`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+///
+/// Serializes transparently as its index (newtype structs have no wrapper
+/// on the wire): `Decision(2)` → `2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Decision(u32);
 
 impl Decision {
@@ -117,6 +147,16 @@ impl Decision {
     /// The decision's index.
     pub fn index(&self) -> usize {
         self.0 as usize
+    }
+
+    /// Serializes as the bare index.
+    pub fn to_json(&self) -> Json {
+        Json::Int(i64::from(self.0))
+    }
+
+    /// Parses a bare index.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.expect_u32("decision index").map(Decision)
     }
 }
 
@@ -175,10 +215,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = DecisionSpace::of(&["a", "b"]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: DecisionSpace = serde_json::from_str(&json).unwrap();
+        let json = s.to_json().to_string();
+        assert_eq!(json, r#"{"names":["a","b"]}"#);
+        let back = DecisionSpace::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(s, back);
+        // Decisions serialize as bare indices.
+        assert_eq!(s.decision(1).to_json().to_string(), "1");
+        assert_eq!(
+            Decision::from_json(&Json::parse("1").unwrap()).unwrap(),
+            s.decision(1)
+        );
     }
 }

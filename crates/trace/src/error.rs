@@ -47,8 +47,8 @@ pub enum TraceError {
     Json {
         /// 1-based line number, when applicable.
         line: Option<usize>,
-        /// Underlying serde_json error.
-        source: serde_json::Error,
+        /// Underlying JSON parse/shape error.
+        source: ddn_stats::JsonError,
     },
 }
 

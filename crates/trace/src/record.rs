@@ -3,7 +3,7 @@
 
 use crate::context::Context;
 use crate::decision::Decision;
-use serde::{Deserialize, Serialize};
+use ddn_stats::{Json, JsonError};
 
 /// A coarse system-state label attached to a record (paper §4.1 "System
 /// state of the world", §4.3 "low load / high load / overload").
@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// State-aware estimation only reuses records whose state matches the
 /// state being evaluated, or transports rewards across states through a
 /// transition model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StateTag(pub u32);
 
 impl StateTag {
@@ -26,7 +26,11 @@ impl StateTag {
 
 /// One logged tuple: a client-context, the decision the old policy made for
 /// it, and the observed reward — plus optional logging metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// On the wire, unset optional fields are omitted entirely (the old serde
+/// derives used `skip_serializing_if = "Option::is_none"`), so minimal
+/// records are three fields and fully annotated records are six.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// The client-context `c_k`.
     pub context: Context,
@@ -38,14 +42,11 @@ pub struct TraceRecord {
     ///
     /// `None` means the logging policy is unknown and must be estimated
     /// from the trace (see `coverage::EmpiricalPropensity`).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub propensity: Option<f64>,
     /// System-state tag at logging time, when known.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub state: Option<StateTag>,
     /// Logging timestamp (simulation seconds), when known. Records in a
     /// trace are expected to be in non-decreasing timestamp order.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub timestamp: Option<f64>,
 }
 
@@ -104,6 +105,57 @@ impl TraceRecord {
         self.propensity
             .ok_or(crate::TraceError::MissingPropensity { record: k })
     }
+
+    /// Serializes in the old serde wire format; unset optional fields are
+    /// omitted.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("context", self.context.to_json()),
+            ("decision", self.decision.to_json()),
+            ("reward", Json::Num(self.reward)),
+        ];
+        if let Some(p) = self.propensity {
+            fields.push(("propensity", Json::Num(p)));
+        }
+        if let Some(StateTag(s)) = self.state {
+            fields.push(("state", Json::Int(i64::from(s))));
+        }
+        if let Some(t) = self.timestamp {
+            fields.push(("timestamp", Json::Num(t)));
+        }
+        Json::object(fields)
+    }
+
+    /// Parses the wire format of [`TraceRecord::to_json`]. Absent optional
+    /// fields default to `None`; unknown fields are ignored. Range checks
+    /// (propensity in `(0, 1]`, timestamp ordering) are applied by
+    /// [`crate::Trace::from_records`], matching the old serde behavior of
+    /// validating after deserialization.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let context = Context::from_json(v.field("context")?)?;
+        let decision = Decision::from_json(v.field("decision")?)?;
+        let reward = v.field("reward")?.expect_f64("reward")?;
+        let propensity = v
+            .get("propensity")
+            .map(|p| p.expect_f64("propensity"))
+            .transpose()?;
+        let state = v
+            .get("state")
+            .map(|s| s.expect_u32("state tag").map(StateTag))
+            .transpose()?;
+        let timestamp = v
+            .get("timestamp")
+            .map(|t| t.expect_f64("timestamp"))
+            .transpose()?;
+        Ok(Self {
+            context,
+            decision,
+            reward,
+            propensity,
+            state,
+            timestamp,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -158,14 +210,28 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_preserves_options() {
+    fn json_roundtrip_preserves_options() {
         let r = TraceRecord::new(ctx(), Decision::from_index(1), 0.5).with_propensity(0.5);
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json().to_string();
         assert!(
             !json.contains("state"),
             "unset options should be omitted: {json}"
         );
-        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        let back = TraceRecord::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn record_wire_format_matches_serde() {
+        // Pinned against the old serde output so traces written before the
+        // hermetic JSON module stay loadable.
+        let r = TraceRecord::new(ctx(), Decision::from_index(1), 0.5)
+            .with_propensity(0.25)
+            .with_state(StateTag::HIGH_LOAD)
+            .with_timestamp(12.5);
+        assert_eq!(
+            r.to_json().to_string(),
+            r#"{"context":{"values":[1.0]},"decision":1,"reward":0.5,"propensity":0.25,"state":1,"timestamp":12.5}"#
+        );
     }
 }

@@ -5,8 +5,9 @@ use crate::context::{ContextSchema, FeatureKind, FeatureValue};
 use crate::decision::DecisionSpace;
 use crate::error::TraceError;
 use crate::record::TraceRecord;
-use serde::{Deserialize, Serialize};
+use ddn_stats::{Json, JsonError};
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 /// A validated trace `T = {(c_k, d_k, r_k)}` (paper §2.1).
 ///
@@ -20,10 +21,25 @@ pub struct Trace {
 }
 
 /// JSONL header line carrying the schema and decision space.
-#[derive(Serialize, Deserialize)]
 struct Header {
     schema: ContextSchema,
     space: DecisionSpace,
+}
+
+impl Header {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema", self.schema.to_json()),
+            ("space", self.space.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Header {
+            schema: ContextSchema::from_json(v.field("schema")?)?,
+            space: DecisionSpace::from_json(v.field("space")?)?,
+        })
+    }
 }
 
 impl Trace {
@@ -171,13 +187,9 @@ impl Trace {
             schema: self.schema.clone(),
             space: self.space.clone(),
         };
-        let line = serde_json::to_string(&header)
-            .map_err(|source| TraceError::Json { line: None, source })?;
-        writeln!(w, "{line}")?;
+        writeln!(w, "{}", header.to_json().to_string())?;
         for r in &self.records {
-            let line = serde_json::to_string(r)
-                .map_err(|source| TraceError::Json { line: None, source })?;
-            writeln!(w, "{line}")?;
+            writeln!(w, "{}", r.to_json().to_string())?;
         }
         Ok(())
     }
@@ -188,8 +200,9 @@ impl Trace {
         let reader = BufReader::new(r);
         let mut lines = reader.lines();
         let header_line = lines.next().ok_or(TraceError::Empty)??;
-        let header: Header =
-            serde_json::from_str(&header_line).map_err(|source| TraceError::Json {
+        let header = Json::parse(&header_line)
+            .and_then(|v| Header::from_json(&v))
+            .map_err(|source| TraceError::Json {
                 line: Some(1),
                 source,
             })?;
@@ -200,14 +213,28 @@ impl Trace {
             if line.trim().is_empty() {
                 continue;
             }
-            let rec: TraceRecord =
-                serde_json::from_str(&line).map_err(|source| TraceError::Json {
+            let rec = Json::parse(&line)
+                .and_then(|v| TraceRecord::from_json(&v))
+                .map_err(|source| TraceError::Json {
                     line: Some(i + 2),
                     source,
                 })?;
             records.push(rec);
         }
         Trace::from_records(schema, header.space, records)
+    }
+
+    /// Writes the trace to a JSONL file at `path` (see
+    /// [`Trace::write_jsonl`]).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let file = std::fs::File::create(path)?;
+        self.write_jsonl(std::io::BufWriter::new(file))
+    }
+
+    /// Reads a trace from a JSONL file written by [`Trace::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
+        let file = std::fs::File::open(path)?;
+        Trace::read_jsonl(BufReader::new(file))
     }
 }
 

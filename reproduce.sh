@@ -1,8 +1,23 @@
 #!/usr/bin/env bash
 # Full reproduction pipeline for the HotNets'17 DR paper.
 # Everything is deterministic: same machine or not, same numbers.
+#
+# Usage:
+#   ./reproduce.sh       — full pipeline (build, tests, figures, examples)
+#   ./reproduce.sh ci    — hermetic CI check only: offline release build +
+#                          offline test suite, proving the workspace needs
+#                          nothing from crates.io
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "ci" ]]; then
+  echo "== ci: hermetic offline build =="
+  cargo build --workspace --release --offline
+  echo "== ci: hermetic offline tests =="
+  cargo test --workspace -q --offline
+  echo "ci ok: built and tested with zero external dependencies"
+  exit 0
+fi
 
 echo "== build =="
 cargo build --workspace --release
@@ -20,7 +35,7 @@ for e in quickstart abr_evaluation relay_selection cdn_whatif \
   cargo run --release --example "$e"
 done
 
-echo "== criterion benches (optional, slow) =="
+echo "== benches (optional, slow; write BENCH_*.json) =="
 echo "run: cargo bench -p ddn-bench"
 echo
 echo "done; see EXPERIMENTS.md for the paper-vs-measured comparison."

@@ -1,7 +1,11 @@
-//! Property-based tests (proptest) for the DESIGN.md invariant list:
+//! Property-based tests (ddn-testkit) for the DESIGN.md invariant list:
 //! policy normalization, the DR special cases, serialization stability,
 //! simulator determinism, and statistics-substrate identities — all over
 //! randomized inputs.
+//!
+//! Every property runs 64 cases (ddn-testkit's default) drawn from a fixed
+//! per-property seed, so the whole suite is reproducible bit-for-bit;
+//! `DDN_TESTKIT_CASES` / `DDN_TESTKIT_SEED` crank the volume or reseed.
 
 use ddn::abr::throughput::{Bandwidth, ThroughputDiscount};
 use ddn::abr::{BitrateLadder, QoeModel, Session, SessionConfig};
@@ -20,7 +24,7 @@ use ddn::stats::{Categorical, Distribution, Rng, Xoshiro256};
 use ddn::trace::{
     Context, ContextSchema, Decision, DecisionSpace, EmpiricalPropensity, Trace, TraceRecord,
 };
-use proptest::prelude::*;
+use ddn_testkit::{prop, prop_assert, prop_assert_eq, prop_assume, strings_from, vecs, Gen};
 
 fn schema() -> ContextSchema {
     ContextSchema::builder()
@@ -40,8 +44,8 @@ fn ctx(g: u32, x: f64) -> Context {
         .finish()
 }
 
-/// Strategy: a random logged record as (g, x, decision, reward, propensity).
-fn record_strategy() -> impl Strategy<Value = (u32, f64, usize, f64, f64)> {
+/// Generator: a random logged record as (g, x, decision, reward, propensity).
+fn record_gen() -> impl Gen<Value = (u32, f64, usize, f64, f64)> {
     (
         0u32..3,
         -100.0..100.0f64,
@@ -49,6 +53,14 @@ fn record_strategy() -> impl Strategy<Value = (u32, f64, usize, f64, f64)> {
         -50.0..50.0f64,
         0.05..1.0f64,
     )
+}
+
+/// The printable-ASCII-plus-newline alphabet the garbage-input properties
+/// draw from (the old proptest regex class `[ -~\n]`).
+fn printable() -> String {
+    let mut a: String = (' '..='~').collect();
+    a.push('\n');
+    a
 }
 
 fn build_trace(rows: &[(u32, f64, usize, f64, f64)]) -> Trace {
@@ -61,12 +73,9 @@ fn build_trace(rows: &[(u32, f64, usize, f64, f64)]) -> Trace {
     Trace::from_records(schema(), space(), records).expect("valid random trace")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+prop! {
     // ---- Invariant 1: policies are probability distributions ----------
 
-    #[test]
     fn softmax_probabilities_normalized(tau in 0.05..10.0f64, s1 in -5.0..5.0f64, s2 in -5.0..5.0f64, s3 in -5.0..5.0f64) {
         let scores = [s1, s2, s3];
         let p = SoftmaxPolicy::new(space(), tau, move |_c: &Context, d: Decision| scores[d.index()]);
@@ -76,7 +85,6 @@ proptest! {
         prop_assert!(probs.iter().all(|&q| (0.0..=1.0).contains(&q)));
     }
 
-    #[test]
     fn epsilon_smoothing_normalized_and_floored(eps in 0.0..1.0f64, base in 0usize..3) {
         let p = EpsilonSmoothedPolicy::new(Box::new(LookupPolicy::constant(space(), base)), eps);
         let c = ctx(1, 3.0);
@@ -87,7 +95,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn mixture_normalized(w1 in 0.01..10.0f64, w2 in 0.01..10.0f64) {
         let m = MixturePolicy::new(vec![
             (w1, Box::new(LookupPolicy::constant(space(), 0)) as Box<dyn Policy + Send + Sync>),
@@ -97,7 +104,6 @@ proptest! {
         prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
-    #[test]
     fn sampling_follows_probabilities(seed in 0u64..1_000) {
         let p = SoftmaxPolicy::new(space(), 1.0, |_c: &Context, d: Decision| d.index() as f64);
         let c = ctx(0, 0.0);
@@ -111,8 +117,7 @@ proptest! {
 
     // ---- Invariants 2-4: estimator identities --------------------------
 
-    #[test]
-    fn dr_with_zero_model_is_ips(rows in prop::collection::vec(record_strategy(), 1..40)) {
+    fn dr_with_zero_model_is_ips(rows in vecs(record_gen(), 1..40)) {
         let trace = build_trace(&rows);
         let newp = LookupPolicy::constant(space(), 1);
         let dr = DoublyRobust::new(ConstantModel::zero()).estimate(&trace, &newp).unwrap();
@@ -120,8 +125,7 @@ proptest! {
         prop_assert!((dr.value - ips.value).abs() < 1e-9);
     }
 
-    #[test]
-    fn dr_with_perfect_model_is_dm(rows in prop::collection::vec(record_strategy(), 1..40)) {
+    fn dr_with_perfect_model_is_dm(rows in vecs(record_gen(), 1..40)) {
         // Build a trace whose rewards follow a known function exactly,
         // then hand DR that exact function as its model.
         let records: Vec<TraceRecord> = rows
@@ -141,8 +145,7 @@ proptest! {
         prop_assert!((dr.value - dm.value).abs() < 1e-9);
     }
 
-    #[test]
-    fn on_policy_ips_is_trace_mean(rows in prop::collection::vec(record_strategy(), 1..40), seed in 0u64..100) {
+    fn on_policy_ips_is_trace_mean(rows in vecs(record_gen(), 1..40), seed in 0u64..100) {
         // Log under a uniform policy with correct propensities: IPS of the
         // same uniform policy equals the empirical mean exactly.
         let mut rng = Xoshiro256::seed_from(seed);
@@ -162,8 +165,7 @@ proptest! {
 
     // ---- Invariant: serialization stability ----------------------------
 
-    #[test]
-    fn jsonl_roundtrip_is_identity(rows in prop::collection::vec(record_strategy(), 1..30)) {
+    fn jsonl_roundtrip_is_identity(rows in vecs(record_gen(), 1..30)) {
         let trace = build_trace(&rows);
         let mut buf = Vec::new();
         trace.write_jsonl(&mut buf).unwrap();
@@ -174,8 +176,7 @@ proptest! {
 
     // ---- Invariant: empirical propensities are distributions -----------
 
-    #[test]
-    fn empirical_propensity_normalized(rows in prop::collection::vec(record_strategy(), 1..40), smoothing in 0.0..2.0f64) {
+    fn empirical_propensity_normalized(rows in vecs(record_gen(), 1..40), smoothing in 0.0..2.0f64) {
         let trace = build_trace(&rows);
         let fitted = EmpiricalPropensity::fit(&trace, smoothing);
         for r in trace.records() {
@@ -188,7 +189,6 @@ proptest! {
 
     // ---- Invariant 6: simulator determinism -----------------------------
 
-    #[test]
     fn netsim_deterministic_in_seed(seed in 0u64..50) {
         let world = small_world(RateProfile::Constant(5.0), 60.0);
         let policy = UniformRandomPolicy::new(world.space().clone());
@@ -200,7 +200,6 @@ proptest! {
 
     // ---- Invariant 7: ABR buffer dynamics -------------------------------
 
-    #[test]
     fn abr_buffer_bounded(bandwidth in 300.0..5_000.0f64, level in 0usize..5, seed in 0u64..50) {
         let mut session = Session::new(
             BitrateLadder::five_level(),
@@ -223,8 +222,7 @@ proptest! {
 
     // ---- Invariant 9: change-point structure ----------------------------
 
-    #[test]
-    fn pelt_changepoints_well_formed(xs in prop::collection::vec(-10.0..10.0f64, 20..120)) {
+    fn pelt_changepoints_well_formed(xs in vecs(-10.0..10.0f64, 20..120)) {
         let cps = pelt(&xs, CostModel::NormalMean, Penalty::Bic, 5);
         // Sorted, in range, respecting min_seg.
         let mut prev = 0usize;
@@ -248,8 +246,7 @@ proptest! {
 
     // ---- Statistics substrate identities --------------------------------
 
-    #[test]
-    fn welford_matches_two_pass(xs in prop::collection::vec(-1e4..1e4f64, 2..200)) {
+    fn welford_matches_two_pass(xs in vecs(-1e4..1e4f64, 2..200)) {
         let mut w = Welford::new();
         w.extend(xs.iter().copied());
         let n = xs.len() as f64;
@@ -261,8 +258,7 @@ proptest! {
         prop_assert_eq!(s.count, xs.len() as u64);
     }
 
-    #[test]
-    fn quantile_bounded_and_monotone(xs in prop::collection::vec(-1e3..1e3f64, 1..100), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+    fn quantile_bounded_and_monotone(xs in vecs(-1e3..1e3f64, 1..100), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let v1 = quantile(&xs, q1);
@@ -271,8 +267,7 @@ proptest! {
         prop_assert!(quantile(&xs, qa) <= quantile(&xs, qb) + 1e-12);
     }
 
-    #[test]
-    fn categorical_pmf_normalized(weights in prop::collection::vec(0.0..10.0f64, 1..20)) {
+    fn categorical_pmf_normalized(weights in vecs(0.0..10.0f64, 1..20)) {
         prop_assume!(weights.iter().sum::<f64>() > 0.0);
         let c = Categorical::new(&weights);
         prop_assert!((c.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -284,7 +279,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn rng_streams_reproducible(seed in 0u64..10_000) {
         let mut a = Xoshiro256::seed_from(seed);
         let mut b = Xoshiro256::seed_from(seed);
@@ -295,7 +289,6 @@ proptest! {
 
     // ---- New-module invariants ------------------------------------------
 
-    #[test]
     fn t_test_p_values_are_probabilities(t in -50.0..50.0f64, df in 1.0..500.0f64) {
         let p = t_two_sided_p(t, df);
         prop_assert!((0.0..=1.0).contains(&p));
@@ -304,7 +297,6 @@ proptest! {
         prop_assert!(t_two_sided_p(t.abs() + 1.0, df) <= p + 1e-12);
     }
 
-    #[test]
     fn paired_and_welch_agree_on_direction(shift in -5.0..5.0f64, seed in 0u64..100) {
         let mut g = Xoshiro256::seed_from(seed);
         let a: Vec<f64> = (0..30).map(|_| g.range_f64(-1.0, 1.0)).collect();
@@ -317,7 +309,6 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&wt.p_two_sided));
     }
 
-    #[test]
     fn emodel_mos_bounded_and_monotone(lat in 0.0..1_000.0f64, jit in 0.0..50.0f64, loss in 0.0..30.0f64) {
         let m = PathMetrics { latency_ms: lat, jitter_ms: jit, loss_pct: loss };
         let mos = emodel_mos(&m);
@@ -329,8 +320,7 @@ proptest! {
         prop_assert!(worse_lat <= mos + 1e-9);
     }
 
-    #[test]
-    fn overlap_report_consistent(rows in prop::collection::vec(record_strategy(), 2..40)) {
+    fn overlap_report_consistent(rows in vecs(record_gen(), 2..40)) {
         let trace = build_trace(&rows);
         let policy = UniformRandomPolicy::new(space());
         let r = OverlapReport::analyze(&trace, &policy).unwrap();
@@ -343,8 +333,7 @@ proptest! {
         prop_assert!((0.0..=1.0 + 1e-9).contains(&r.unsupported_mass));
     }
 
-    #[test]
-    fn crossfit_equals_plain_dr_for_data_independent_model(rows in prop::collection::vec(record_strategy(), 6..40)) {
+    fn crossfit_equals_plain_dr_for_data_independent_model(rows in vecs(record_gen(), 6..40)) {
         let trace = build_trace(&rows);
         let policy = LookupPolicy::constant(space(), 2);
         let cf = CrossFitDr::new(3, |_: &ddn::trace::Trace| ddn::models::ConstantModel::new(1.5));
@@ -356,15 +345,13 @@ proptest! {
 
     // ---- Robustness: hostile inputs never panic --------------------------
 
-    #[test]
-    fn jsonl_reader_never_panics_on_garbage(garbage in "[ -~\n]{0,400}") {
+    fn jsonl_reader_never_panics_on_garbage(garbage in strings_from(&printable(), 0..401)) {
         // Arbitrary printable bytes: the reader must return Ok or Err,
         // never panic.
         let _ = Trace::read_jsonl(garbage.as_bytes());
     }
 
-    #[test]
-    fn jsonl_reader_rejects_truncated_valid_traces(rows in prop::collection::vec(record_strategy(), 2..10), cut in 1usize..200) {
+    fn jsonl_reader_rejects_truncated_valid_traces(rows in vecs(record_gen(), 2..10), cut in 1usize..200) {
         let trace = build_trace(&rows);
         let mut buf = Vec::new();
         trace.write_jsonl(&mut buf).unwrap();
@@ -376,7 +363,6 @@ proptest! {
 
     // ---- Greedy policy determinism over arbitrary scores ----------------
 
-    #[test]
     fn greedy_is_deterministic_distribution(s1 in -10.0..10.0f64, s2 in -10.0..10.0f64, s3 in -10.0..10.0f64) {
         let scores = [s1, s2, s3];
         let p = GreedyPolicy::new(space(), move |_c: &Context, d: Decision| scores[d.index()]);
