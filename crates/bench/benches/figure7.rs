@@ -8,8 +8,9 @@
 
 use ddn_bench::Suite;
 use ddn_scenarios::figure7a::{figure7a_with, Figure7aConfig};
-use ddn_scenarios::figure7b::{figure7b_with, Figure7bConfig};
+use ddn_scenarios::figure7b::{figure7b_instrumented, figure7b_with, Figure7bConfig};
 use ddn_scenarios::figure7c::{figure7c_with, Figure7cConfig};
+use ddn_telemetry::TelemetrySnapshot;
 
 fn main() {
     let mut suite = Suite::new("figure7");
@@ -27,6 +28,18 @@ fn main() {
         };
         figure7b_with(&cfg)
     });
+    // The instrumented variant doubles as the telemetry source for the
+    // suite JSON (and as a plain-vs-instrumented timing comparison).
+    let mut snapshot: Option<TelemetrySnapshot> = None;
+    suite.bench("figure7b/5runs_instrumented", || {
+        let cfg = Figure7bConfig {
+            runs: 5,
+            ..Default::default()
+        };
+        let (table, snap) = figure7b_instrumented(&cfg);
+        snapshot = Some(snap);
+        table
+    });
     suite.bench("figure7c/5runs", || {
         let cfg = Figure7cConfig {
             runs: 5,
@@ -34,5 +47,8 @@ fn main() {
         };
         figure7c_with(&cfg)
     });
+    if let Some(snap) = snapshot {
+        suite.attach_telemetry(snap.to_json());
+    }
     suite.finish();
 }

@@ -120,11 +120,48 @@ fn bench_changepoint(suite: &mut Suite) {
     }
 }
 
+/// Telemetry cost, both ways: the *disabled* path (no collector — what
+/// every other benchmark in this suite pays, budgeted at <2% overhead)
+/// versus the *enabled* path (collector installed, health recorded per
+/// estimate). Returns a health snapshot for attachment to the suite JSON.
+fn bench_telemetry(suite: &mut Suite) -> ddn_stats::Json {
+    let n = 10_000usize;
+    let trace = synthetic_trace(n, 44);
+    let policy = LookupPolicy::constant(trace.space().clone(), 2);
+    let model = TabularMeanModel::fit_trace(&trace, 1.0);
+    suite.bench_throughput(&format!("telemetry/dr_disabled/{n}"), n as u64, || {
+        DoublyRobust::new(&model)
+            .estimate(&trace, &policy)
+            .unwrap()
+            .value
+    });
+    suite.bench_throughput(&format!("telemetry/dr_collected/{n}"), n as u64, || {
+        let (v, _collector) = ddn_telemetry::collect(|| {
+            DoublyRobust::new(&model)
+                .estimate(&trace, &policy)
+                .unwrap()
+                .value
+        });
+        v
+    });
+
+    let ((), collector) = ddn_telemetry::collect(|| {
+        let _span = ddn_telemetry::span("bench");
+        Ips::new().estimate(&trace, &policy).unwrap();
+        DoublyRobust::new(&model).estimate(&trace, &policy).unwrap();
+    });
+    let mut snap = ddn_telemetry::TelemetrySnapshot::from_runs(&[collector]);
+    snap.set_threads(1);
+    snap.to_json()
+}
+
 fn main() {
     let mut suite = Suite::new("perf");
     bench_estimators(&mut suite);
     bench_models(&mut suite);
     bench_event_queue(&mut suite);
     bench_changepoint(&mut suite);
+    let health = bench_telemetry(&mut suite);
+    suite.attach_telemetry(health);
     suite.finish();
 }

@@ -92,6 +92,7 @@ pub struct Suite {
     name: String,
     cfg: BenchConfig,
     results: Vec<BenchResult>,
+    telemetry: Option<Json>,
 }
 
 impl Suite {
@@ -106,7 +107,15 @@ impl Suite {
             name: name.to_string(),
             cfg,
             results: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry snapshot (e.g. `TelemetrySnapshot::to_json()`)
+    /// to the suite, so `BENCH_<suite>.json` carries the estimator-health
+    /// and span-timing context the timings were produced under.
+    pub fn attach_telemetry(&mut self, snapshot: Json) {
+        self.telemetry = Some(snapshot);
     }
 
     /// Runs one benchmark: warmup, then timed iterations.
@@ -152,14 +161,18 @@ impl Suite {
 
     /// Serializes the whole suite for the `BENCH_*.json` trajectory.
     pub fn to_json(&self) -> Json {
-        Json::object(vec![
+        let mut fields = vec![
             ("suite", Json::str(self.name.clone())),
             ("warmup_iters", Json::Int(i64::from(self.cfg.warmup_iters))),
             (
                 "results",
                 Json::Array(self.results.iter().map(BenchResult::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry", t.clone()));
+        }
+        Json::object(fields)
     }
 
     /// Writes `BENCH_<suite>.json` and prints the output path; call this
@@ -245,6 +258,17 @@ mod tests {
         // The document parses back.
         let text = j.to_string();
         assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn attached_telemetry_lands_in_json() {
+        let mut suite = Suite::with_config("unit_telemetry", quick_cfg());
+        suite.bench("noop", || ());
+        suite.attach_telemetry(Json::object(vec![("runs", Json::Int(3))]));
+        let j = suite.to_json();
+        let t = j.get("telemetry").expect("telemetry field present");
+        assert_eq!(t.get("runs").unwrap().as_i64(), Some(3));
+        assert!(Json::parse(&j.to_string()).is_ok());
     }
 
     #[test]

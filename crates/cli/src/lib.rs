@@ -27,13 +27,19 @@
 #![warn(missing_docs)]
 
 use ddn_estimators::{
-    DirectMethod, DoublyRobust, Estimate, Estimator, Ips, MatchingEstimator, OverlapReport,
-    PolicyComparator, SelfNormalizedIps,
+    DirectMethod, DoublyRobust, ErrorTable, Estimate, Estimator, Ips, MatchingEstimator,
+    OverlapReport, PolicyComparator, SelfNormalizedIps,
 };
 use ddn_models::{KnnConfig, KnnRegressor, RewardModel, TabularMeanModel};
 use ddn_policy::{LookupPolicy, Policy};
+use ddn_scenarios::figure7a::{figure7a_instrumented, figure7a_with, Figure7aConfig};
+use ddn_scenarios::figure7b::{figure7b_instrumented, figure7b_with, Figure7bConfig};
+use ddn_scenarios::figure7c::{figure7c_instrumented, figure7c_with, Figure7cConfig};
+use ddn_scenarios::health::{health_suite_with, HealthConfig};
 use ddn_stats::bootstrap::bootstrap_ci;
 use ddn_stats::rng::Xoshiro256;
+use ddn_stats::Json;
+use ddn_telemetry::TelemetrySnapshot;
 use ddn_trace::{CoverageReport, EmpiricalPropensity, Trace, TraceStats};
 use std::fmt;
 use std::fs::File;
@@ -50,6 +56,19 @@ pub enum CliError {
     Estimator(ddn_estimators::EstimatorError),
     /// Filesystem error.
     Io(std::io::Error),
+    /// A telemetry file failed validation (bad JSON or missing health keys).
+    Telemetry(String),
+}
+
+impl CliError {
+    /// Process exit code for this error: usage mistakes exit 2, runtime
+    /// failures (I/O, bad traces, estimation, telemetry validation) exit 1.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -59,6 +78,7 @@ impl fmt::Display for CliError {
             CliError::Trace(e) => write!(f, "trace error: {e}"),
             CliError::Estimator(e) => write!(f, "estimation error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Telemetry(m) => write!(f, "telemetry error: {m}"),
         }
     }
 }
@@ -88,10 +108,18 @@ USAGE:
   ddn stats    <trace.jsonl>
   ddn evaluate <trace.jsonl> --decision <name> [--estimator dr|dm|ips|snips|matching]
                              [--model tabular|knn] [--confidence 0.95]
+                             [--telemetry <out.json>]
   ddn compare  <trace.jsonl> [--estimator dr|dm|ips|snips|matching] [--model tabular|knn]
   ddn overlap  <trace.jsonl> --decision <name>
   ddn repair   <in.jsonl> <out.jsonl> [--smoothing 0.5]
   ddn generate <out.jsonl> --world cfa|wise|relay|netsim [--n 1000] [--seed 7]
+  ddn figure7  [7a|7b|7c|all] [--runs 50] [--telemetry <out.json>]
+  ddn selftest [--runs 16] [--telemetry <out.json>]
+  ddn telemetry-check <telemetry.json>   (expects a full-menu snapshot,
+                                          i.e. one written by selftest)
+
+With --telemetry, the full snapshot (estimator health, span timings) is
+written as JSON to the given path and a summary table goes to stderr.
 ";
 
 /// Parsed flag set (very small; hand-rolled on purpose — no CLI deps).
@@ -194,6 +222,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "overlap" => cmd_overlap(rest),
         "repair" => cmd_repair(rest),
         "generate" => cmd_generate(rest),
+        "figure7" => cmd_figure7(rest),
+        "selftest" => cmd_selftest(rest),
+        "telemetry-check" => cmd_telemetry_check(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n\n{USAGE}"
@@ -254,7 +285,18 @@ fn cmd_evaluate(args: &[String]) -> Result<String, CliError> {
     })?;
     let policy = LookupPolicy::constant(trace.space().clone(), idx);
     let model = fit_model(&trace, model_name)?;
-    let est = estimate_with(estimator, &trace, &policy, &model)?;
+    let est = if let Some(telemetry_path) = flags.get("telemetry") {
+        let (est, collector) = ddn_telemetry::collect(|| {
+            let _span = ddn_telemetry::span("evaluate");
+            estimate_with(estimator, &trace, &policy, &model)
+        });
+        let mut snap = TelemetrySnapshot::from_runs(std::slice::from_ref(&collector));
+        snap.set_threads(1);
+        write_telemetry(telemetry_path, &snap)?;
+        est?
+    } else {
+        estimate_with(estimator, &trace, &policy, &model)?
+    };
     let mut rng = Xoshiro256::seed_from(0xDDCC);
     let ci = bootstrap_ci(&est.per_record, confidence, 2_000, &mut rng);
     Ok(format!(
@@ -484,6 +526,201 @@ fn cmd_generate(args: &[String]) -> Result<String, CliError> {
          decisions: {:?}\n",
         trace.len(),
         trace.space().names(),
+    ))
+}
+
+/// Writes the telemetry snapshot as JSON to `path` and prints the
+/// human-readable summary table to stderr (results stay on stdout).
+fn write_telemetry(path: &str, snap: &TelemetrySnapshot) -> Result<(), CliError> {
+    let mut body = snap.to_json().to_string();
+    body.push('\n');
+    std::fs::write(path, body)?;
+    eprint!("{}", snap.render());
+    Ok(())
+}
+
+/// Runs one Figure 7 panel, instrumented or plain.
+fn run_panel(panel: &str, runs: usize, with_telemetry: bool) -> (ErrorTable, Option<TelemetrySnapshot>) {
+    match panel {
+        "7a" => {
+            let cfg = Figure7aConfig {
+                runs,
+                ..Default::default()
+            };
+            if with_telemetry {
+                let (t, s) = figure7a_instrumented(&cfg);
+                (t, Some(s))
+            } else {
+                (figure7a_with(&cfg), None)
+            }
+        }
+        "7b" => {
+            let cfg = Figure7bConfig {
+                runs,
+                ..Default::default()
+            };
+            if with_telemetry {
+                let (t, s) = figure7b_instrumented(&cfg);
+                (t, Some(s))
+            } else {
+                (figure7b_with(&cfg), None)
+            }
+        }
+        _ => {
+            let cfg = Figure7cConfig {
+                runs,
+                ..Default::default()
+            };
+            if with_telemetry {
+                let (t, s) = figure7c_instrumented(&cfg);
+                (t, Some(s))
+            } else {
+                (figure7c_with(&cfg), None)
+            }
+        }
+    }
+}
+
+fn cmd_figure7(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let panel = flags
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all");
+    let panels: &[&str] = match panel {
+        "7a" => &["7a"],
+        "7b" => &["7b"],
+        "7c" => &["7c"],
+        "all" => &["7a", "7b", "7c"],
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown panel {other:?} (expected 7a|7b|7c|all)\n\n{USAGE}"
+            )))
+        }
+    };
+    let runs: usize = flags
+        .get("runs")
+        .unwrap_or("50")
+        .parse()
+        .map_err(|_| CliError::Usage("runs must be a positive integer".into()))?;
+    if runs == 0 {
+        return Err(CliError::Usage("runs must be at least 1".into()));
+    }
+    let telemetry_path = flags.get("telemetry");
+
+    let mut out = String::new();
+    let mut merged: Option<TelemetrySnapshot> = None;
+    for p in panels {
+        let (table, snap) = run_panel(p, runs, telemetry_path.is_some());
+        out.push_str(&table.render(&format!("Figure {p} — relative error ({runs} runs)")));
+        out.push('\n');
+        if let Some(snap) = snap {
+            match &mut merged {
+                Some(m) => m.merge(&snap),
+                None => merged = Some(snap),
+            }
+        }
+    }
+    if let (Some(path), Some(snap)) = (telemetry_path, &merged) {
+        write_telemetry(path, snap)?;
+    }
+    Ok(out)
+}
+
+fn cmd_selftest(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let runs: usize = flags
+        .get("runs")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| CliError::Usage("runs must be a positive integer".into()))?;
+    if runs == 0 {
+        return Err(CliError::Usage("runs must be at least 1".into()));
+    }
+    let cfg = HealthConfig {
+        runs,
+        ..Default::default()
+    };
+    let (table, snap) = health_suite_with(&cfg);
+    // The suite's contract: every estimator family reports its signature
+    // diagnostic. A miss means the observability layer regressed.
+    let mut missing = Vec::new();
+    for (source, metric) in REQUIRED_HEALTH {
+        if snap.health_metric(source, metric).is_none() {
+            missing.push(format!("{source}/{metric}"));
+        }
+    }
+    if !missing.is_empty() {
+        return Err(CliError::Telemetry(format!(
+            "selftest missing health metrics: {}",
+            missing.join(", ")
+        )));
+    }
+    if let Some(path) = flags.get("telemetry") {
+        write_telemetry(path, &snap)?;
+    }
+    let mut out = table.render(&format!(
+        "estimator health suite — relative error vs truth {} ({runs} runs)",
+        ddn_scenarios::health::HEALTH_TRUTH
+    ));
+    out.push_str(&format!(
+        "selftest ok: {} health sources, every signature metric present\n",
+        snap.health_sources().len()
+    ));
+    Ok(out)
+}
+
+/// The health metrics a well-formed telemetry file must carry — one
+/// signature diagnostic per estimator family.
+const REQUIRED_HEALTH: &[(&str, &str)] = &[
+    ("IPS", "ess"),
+    ("ClippedIPS", "clip_rate"),
+    ("Replay", "acceptance_rate"),
+    ("CFA", "coverage"),
+];
+
+fn cmd_telemetry_check(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "telemetry-check needs exactly one telemetry JSON path\n\n{USAGE}"
+        )));
+    };
+    let body = std::fs::read_to_string(path)?;
+    let json =
+        Json::parse(&body).map_err(|e| CliError::Telemetry(format!("{path}: bad JSON: {e:?}")))?;
+    for key in ["version", "runs", "health", "counters", "timings"] {
+        if json.get(key).is_none() {
+            return Err(CliError::Telemetry(format!("{path}: missing {key:?} section")));
+        }
+    }
+    let health = json.get("health").expect("checked above");
+    let sources = health
+        .as_object()
+        .ok_or_else(|| CliError::Telemetry(format!("{path}: health must be an object")))?;
+    let mut missing = Vec::new();
+    for (source, metric) in REQUIRED_HEALTH {
+        let present = health
+            .get(source)
+            .and_then(|m| m.get(metric))
+            .and_then(|agg| agg.get("mean"))
+            .and_then(Json::as_f64)
+            .is_some();
+        if !present {
+            missing.push(format!("{source}/{metric}"));
+        }
+    }
+    if !missing.is_empty() {
+        return Err(CliError::Telemetry(format!(
+            "{path}: missing required health metrics: {}",
+            missing.join(", ")
+        )));
+    }
+    Ok(format!(
+        "{path}: ok — {} runs, {} health sources, all required metrics present\n",
+        json.get("runs").and_then(Json::as_i64).unwrap_or(0),
+        sources.len(),
     ))
 }
 

@@ -5,8 +5,10 @@ fn main() {
     match ddn_cli::run(&args) {
         Ok(output) => print!("{output}"),
         Err(e) => {
+            // Diagnostics go to stderr so stdout stays parseable; usage
+            // mistakes exit 2, runtime failures exit 1.
             eprintln!("{e}");
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -1,0 +1,85 @@
+//! Exit-code and stream-discipline contract of the `ddn` binary: usage
+//! mistakes exit 2, runtime failures exit 1, diagnostics go to stderr
+//! (never stdout), and the telemetry round-trip (selftest → file →
+//! telemetry-check) holds end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ddn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ddn"))
+        .args(args)
+        .output()
+        .expect("ddn binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ddn-exit-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn usage_errors_exit_2_with_stderr_only() {
+    for args in [
+        &[][..],
+        &["bogus"][..],
+        &["figure7", "7z"][..],
+        &["telemetry-check"][..],
+        &["selftest", "--runs", "zero"][..],
+    ] {
+        let out = ddn(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(out.stdout.is_empty(), "stdout must stay clean for {args:?}");
+        assert!(
+            !out.stderr.is_empty(),
+            "the diagnostic must land on stderr for {args:?}"
+        );
+    }
+}
+
+#[test]
+fn runtime_failures_exit_1_with_stderr_only() {
+    let missing = tmp("does-not-exist.jsonl");
+    let out = ddn(&["stats", missing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "missing trace is a runtime error");
+    assert!(out.stdout.is_empty());
+    assert!(!out.stderr.is_empty());
+
+    // A present-but-invalid telemetry file is a runtime failure too.
+    let bad = tmp("bad-telemetry.json");
+    std::fs::write(&bad, "{\"version\":1}").unwrap();
+    let out = ddn(&["telemetry-check", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("telemetry error"), "stderr: {err}");
+    std::fs::remove_file(bad).ok();
+}
+
+#[test]
+fn selftest_telemetry_round_trips_through_check() {
+    let path = tmp("selftest-telemetry.json");
+    let out = ddn(&["selftest", "--runs", "2", "--telemetry", path.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("selftest ok"), "{stdout}");
+    // The summary table goes to stderr, the results to stdout.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("telemetry:"), "{stderr}");
+    assert!(!stdout.contains("telemetry:"), "{stdout}");
+
+    let out = ddn(&["telemetry-check", path.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("ok"), "{report}");
+    std::fs::remove_file(path).ok();
+}

@@ -93,11 +93,13 @@ impl CouplingDetector {
         if proxy.len() < 2 * self.min_segment {
             // Too short to ever split: single regime.
             let mean = proxy.iter().sum::<f64>() / proxy.len() as f64;
-            return CouplingReport {
+            let report = CouplingReport {
                 changepoints: vec![],
                 segments: vec![(0, proxy.len())],
                 segment_means: vec![mean],
             };
+            Self::emit_health(&report);
+            return report;
         }
         let cps = pelt(proxy, CostModel::NormalMean, self.penalty, self.min_segment);
         let segs = segments(proxy.len(), &cps);
@@ -105,11 +107,28 @@ impl CouplingDetector {
             .iter()
             .map(|&(a, b)| proxy[a..b].iter().sum::<f64>() / (b - a) as f64)
             .collect();
-        CouplingReport {
+        let report = CouplingReport {
             changepoints: cps,
             segments: segs,
             segment_means: means,
+        };
+        Self::emit_health(&report);
+        report
+    }
+
+    /// Reports segment structure as telemetry (no-op when disabled).
+    fn emit_health(report: &CouplingReport) {
+        if !ddn_telemetry::enabled() {
+            return;
         }
+        ddn_telemetry::record_health(
+            "CouplingDetector",
+            &[
+                ("segments", report.segments.len() as f64),
+                ("changepoints", report.changepoints.len() as f64),
+                ("coupled", if report.coupled() { 1.0 } else { 0.0 }),
+            ],
+        );
     }
 
     /// Returns the sub-trace belonging to regime `segment` of `report`.

@@ -13,7 +13,9 @@
 //! K model fits but keeps both DR guarantees while being honest about
 //! model error.
 
-use crate::estimate::{check_space, Estimate, Estimator, EstimatorError, WeightDiagnostics};
+use crate::estimate::{
+    check_space, emit_weight_health, Estimate, Estimator, EstimatorError, WeightDiagnostics,
+};
 use ddn_models::RewardModel;
 use ddn_policy::Policy;
 use ddn_trace::{Trace, TraceRecord};
@@ -102,6 +104,7 @@ where
             }
         }
         let diagnostics = WeightDiagnostics::from_weights(&weights);
+        emit_weight_health(self.name(), &diagnostics, &[("folds", self.folds as f64)]);
         Ok(Estimate::from_contributions(per_record, diagnostics))
     }
 }

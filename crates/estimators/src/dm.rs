@@ -1,6 +1,8 @@
 //! The Direct Method estimator (paper §3).
 
-use crate::estimate::{check_space, Estimate, Estimator, EstimatorError, WeightDiagnostics};
+use crate::estimate::{
+    check_space, emit_weight_health, Estimate, Estimator, EstimatorError, WeightDiagnostics,
+};
 use ddn_models::RewardModel;
 use ddn_policy::Policy;
 use ddn_trace::Trace;
@@ -52,10 +54,9 @@ impl<M: RewardModel> Estimator for DirectMethod<M> {
                     .sum()
             })
             .collect();
-        Ok(Estimate::from_contributions(
-            per_record,
-            WeightDiagnostics::uniform(trace.len()),
-        ))
+        let diagnostics = WeightDiagnostics::uniform(trace.len());
+        emit_weight_health(self.name(), &diagnostics, &[]);
+        Ok(Estimate::from_contributions(per_record, diagnostics))
     }
 }
 

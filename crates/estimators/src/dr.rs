@@ -1,6 +1,8 @@
 //! The Doubly Robust estimator (paper §3, Eq. 1/2) and the SWITCH variant.
 
-use crate::estimate::{check_space, Estimate, Estimator, EstimatorError, WeightDiagnostics};
+use crate::estimate::{
+    check_space, emit_weight_health, Estimate, Estimator, EstimatorError, WeightDiagnostics,
+};
 use crate::ips::importance_weights;
 use ddn_models::RewardModel;
 use ddn_policy::Policy;
@@ -77,6 +79,7 @@ impl<M: RewardModel> Estimator for DoublyRobust<M> {
         check_space(trace, new_policy)?;
         let weights = importance_weights(trace, new_policy)?;
         let space = trace.space();
+        let mut abs_residual_sum = 0.0;
         let per_record: Vec<f64> = trace
             .records()
             .iter()
@@ -88,10 +91,16 @@ impl<M: RewardModel> Estimator for DoublyRobust<M> {
                     .map(|d| probs[d.index()] * self.model.predict(&rec.context, d))
                     .sum();
                 let residual = rec.reward - self.model.predict(&rec.context, rec.decision);
+                abs_residual_sum += residual.abs();
                 dm_term + w * residual
             })
             .collect();
         let diagnostics = WeightDiagnostics::from_weights(&weights);
+        emit_weight_health(
+            self.name(),
+            &diagnostics,
+            &[("mean_abs_residual", abs_residual_sum / trace.len() as f64)],
+        );
         Ok(Estimate::from_contributions(per_record, diagnostics))
     }
 }
@@ -137,10 +146,12 @@ impl<M: RewardModel> Estimator for SwitchDr<M> {
         check_space(trace, new_policy)?;
         let weights = importance_weights(trace, new_policy)?;
         let space = trace.space();
+        let switched = weights.iter().filter(|&&w| w > self.tau).count();
         let effective: Vec<f64> = weights
             .iter()
             .map(|&w| if w <= self.tau { w } else { 0.0 })
             .collect();
+        let mut abs_residual_sum = 0.0;
         let per_record: Vec<f64> = trace
             .records()
             .iter()
@@ -152,10 +163,19 @@ impl<M: RewardModel> Estimator for SwitchDr<M> {
                     .map(|d| probs[d.index()] * self.model.predict(&rec.context, d))
                     .sum();
                 let residual = rec.reward - self.model.predict(&rec.context, rec.decision);
+                abs_residual_sum += residual.abs();
                 dm_term + w * residual
             })
             .collect();
         let diagnostics = WeightDiagnostics::from_weights(&effective);
+        emit_weight_health(
+            self.name(),
+            &diagnostics,
+            &[
+                ("clip_rate", switched as f64 / weights.len().max(1) as f64),
+                ("mean_abs_residual", abs_residual_sum / trace.len() as f64),
+            ],
+        );
         Ok(Estimate::from_contributions(per_record, diagnostics))
     }
 }

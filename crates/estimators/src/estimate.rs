@@ -152,6 +152,30 @@ pub trait Estimator {
     fn estimate(&self, trace: &Trace, new_policy: &dyn Policy) -> Result<Estimate, EstimatorError>;
 }
 
+/// Emits an estimator's weight diagnostics (plus estimator-specific
+/// `extras` such as clip rate or residual magnitude) as telemetry health
+/// metrics. No-op — including the metric assembly — when no telemetry
+/// collector is installed, so un-instrumented callers pay one
+/// thread-local check.
+pub(crate) fn emit_weight_health(
+    source: &str,
+    diagnostics: &WeightDiagnostics,
+    extras: &[(&'static str, f64)],
+) {
+    if !ddn_telemetry::enabled() {
+        return;
+    }
+    let mut metrics: Vec<(&'static str, f64)> = vec![
+        ("n", diagnostics.n as f64),
+        ("ess", diagnostics.effective_sample_size),
+        ("max_weight", diagnostics.max_weight),
+        ("mean_weight", diagnostics.mean_weight),
+        ("zero_weight_fraction", diagnostics.zero_weight_fraction),
+    ];
+    metrics.extend_from_slice(extras);
+    ddn_telemetry::record_health(source, &metrics);
+}
+
 /// Validates that the policy and trace agree on the decision space size.
 /// All estimators call this first.
 pub(crate) fn check_space(trace: &Trace, policy: &dyn Policy) -> Result<(), EstimatorError> {

@@ -4,9 +4,41 @@
 
 use ddn_stats::summary::ErrorReport;
 use ddn_stats::ttest::{paired_t_test, TTest};
+use ddn_telemetry::{Collector, TelemetrySnapshot};
 
 /// One run's raw output: the ground truth and named estimates.
 type RunOutput = (f64, Vec<(String, f64)>);
+
+/// Aggregates run outputs (in seed order) into an [`ErrorTable`].
+///
+/// # Panics
+/// Panics if runs disagree on estimator names or a ground truth is
+/// zero/non-finite.
+fn tabulate(outputs: impl IntoIterator<Item = RunOutput>, runs: usize) -> ErrorTable {
+    let mut names: Vec<String> = Vec::new();
+    let mut errors: Vec<Vec<f64>> = Vec::new();
+    for (i, (truth, estimates)) in outputs.into_iter().enumerate() {
+        if i == 0 {
+            names = estimates.iter().map(|(n, _)| n.clone()).collect();
+            errors = vec![Vec::with_capacity(runs); names.len()];
+        } else {
+            let got: Vec<&String> = estimates.iter().map(|(n, _)| n).collect();
+            assert!(
+                got.iter().zip(&names).all(|(a, b)| **a == *b),
+                "estimator names changed between runs: {got:?} vs {names:?}"
+            );
+        }
+        for (j, (_, est)) in estimates.iter().enumerate() {
+            errors[j].push(relative_error(truth, *est));
+        }
+    }
+    let rows = names
+        .into_iter()
+        .zip(errors.iter())
+        .map(|(n, e)| (n, ErrorReport::from_errors(e)))
+        .collect();
+    ErrorTable { rows, raw: errors }
+}
 
 /// The paper's error metric: `|V − V̂| / |V|` (§4.2, "relative error
 /// between actual average reward V (ground truth) and its estimate V̂").
@@ -158,31 +190,51 @@ impl ExperimentRunner {
     where
         F: FnMut(u64) -> (f64, Vec<(String, f64)>),
     {
-        let mut names: Vec<String> = Vec::new();
-        let mut errors: Vec<Vec<f64>> = Vec::new();
+        let outputs: Vec<RunOutput> = (0..self.runs)
+            .map(|i| run(self.base_seed + i as u64))
+            .collect();
+        tabulate(outputs, self.runs)
+    }
+
+    /// Like [`Self::run`], but with a telemetry collector installed for
+    /// each seed: estimator health diagnostics and spans recorded by the
+    /// closure are aggregated (in seed order) into a
+    /// [`TelemetrySnapshot`] alongside the error table.
+    pub fn run_instrumented<F>(&self, mut run: F) -> (ErrorTable, TelemetrySnapshot)
+    where
+        F: FnMut(u64) -> (f64, Vec<(String, f64)>),
+    {
+        let started = std::time::Instant::now();
+        let mut outputs: Vec<RunOutput> = Vec::with_capacity(self.runs);
+        let mut collectors: Vec<Collector> = Vec::with_capacity(self.runs);
         for i in 0..self.runs {
             let seed = self.base_seed + i as u64;
-            let (truth, estimates) = run(seed);
-            if i == 0 {
-                names = estimates.iter().map(|(n, _)| n.clone()).collect();
-                errors = vec![Vec::with_capacity(self.runs); names.len()];
-            } else {
-                let got: Vec<&String> = estimates.iter().map(|(n, _)| n).collect();
-                assert!(
-                    got.iter().zip(&names).all(|(a, b)| **a == *b),
-                    "estimator names changed between runs: {got:?} vs {names:?}"
-                );
-            }
-            for (j, (_, est)) in estimates.iter().enumerate() {
-                errors[j].push(relative_error(truth, *est));
-            }
+            let (out, collector) = ddn_telemetry::collect(|| {
+                let _run_span = ddn_telemetry::span("run");
+                run(seed)
+            });
+            outputs.push(out);
+            collectors.push(collector);
         }
-        let rows = names
-            .into_iter()
-            .zip(errors.iter())
-            .map(|(n, e)| (n, ErrorReport::from_errors(e)))
-            .collect();
-        ErrorTable { rows, raw: errors }
+        let mut snapshot = TelemetrySnapshot::from_runs(&collectors);
+        snapshot.set_threads(1);
+        snapshot.add_timing("experiment", started.elapsed().as_nanos() as u64);
+        (tabulate(outputs, self.runs), snapshot)
+    }
+
+    /// The machine's available parallelism (with a single-thread fallback
+    /// when it cannot be determined), recorded as the
+    /// `experiment.default_threads` gauge in the global telemetry
+    /// registry. Scenario crates use this instead of each reimplementing
+    /// the fallback.
+    pub fn default_threads() -> usize {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ddn_telemetry::Registry::global()
+            .gauge("experiment.default_threads")
+            .set(threads as f64);
+        threads
     }
 }
 
@@ -202,10 +254,53 @@ impl ExperimentRunner {
     where
         F: Fn(u64) -> (f64, Vec<(String, f64)>) + Sync,
     {
+        let outputs = self.fan_out(threads, |seed| run(seed));
+        tabulate(outputs, self.runs)
+    }
+
+    /// Parallel counterpart of [`Self::run_instrumented`]. Each worker
+    /// collects its seeds' telemetry independently; the finished
+    /// collectors are slotted by seed index and aggregated in seed order
+    /// after the join, so the snapshot (float accumulation included) is
+    /// bit-identical to the serial instrumented run for any `threads` —
+    /// the same guarantee [`Self::run_parallel`] gives the error table.
+    /// Wall-clock span durations still vary run to run; compare
+    /// [`TelemetrySnapshot::to_json_deterministic`] forms, not raw
+    /// timings.
+    pub fn run_parallel_instrumented<F>(
+        &self,
+        threads: usize,
+        run: F,
+    ) -> (ErrorTable, TelemetrySnapshot)
+    where
+        F: Fn(u64) -> (f64, Vec<(String, f64)>) + Sync,
+    {
+        let started = std::time::Instant::now();
+        let results = self.fan_out(threads, |seed| {
+            ddn_telemetry::collect(|| {
+                let _run_span = ddn_telemetry::span("run");
+                run(seed)
+            })
+        });
+        let (outputs, collectors): (Vec<RunOutput>, Vec<Collector>) =
+            results.into_iter().unzip();
+        let mut snapshot = TelemetrySnapshot::from_runs(&collectors);
+        snapshot.set_threads(threads);
+        snapshot.add_timing("experiment", started.elapsed().as_nanos() as u64);
+        (tabulate(outputs, self.runs), snapshot)
+    }
+
+    /// Shared fan-out machinery: runs `work` for every seed on a pool of
+    /// `threads` scoped workers and returns the outputs in seed order.
+    fn fan_out<T, W>(&self, threads: usize, work: W) -> Vec<T>
+    where
+        T: Send,
+        W: Fn(u64) -> T + Sync,
+    {
         assert!(threads > 0, "need at least one thread");
         let runs = self.runs;
         let base = self.base_seed;
-        let mut results: Vec<Option<RunOutput>> = vec![None; runs];
+        let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots = std::sync::Mutex::new(&mut results);
         std::thread::scope(|scope| {
@@ -215,36 +310,15 @@ impl ExperimentRunner {
                     if i >= runs {
                         break;
                     }
-                    let out = run(base + i as u64);
+                    let out = work(base + i as u64);
                     slots.lock().expect("no poisoned workers")[i] = Some(out);
                 });
             }
         });
-
-        let mut names: Vec<String> = Vec::new();
-        let mut errors: Vec<Vec<f64>> = Vec::new();
-        for (i, slot) in results.into_iter().enumerate() {
-            let (truth, estimates) = slot.expect("every seed produced a result");
-            if i == 0 {
-                names = estimates.iter().map(|(n, _)| n.clone()).collect();
-                errors = vec![Vec::with_capacity(runs); names.len()];
-            } else {
-                let got: Vec<&String> = estimates.iter().map(|(n, _)| n).collect();
-                assert!(
-                    got.iter().zip(&names).all(|(a, b)| **a == *b),
-                    "estimator names changed between runs: {got:?} vs {names:?}"
-                );
-            }
-            for (j, (_, est)) in estimates.iter().enumerate() {
-                errors[j].push(relative_error(truth, *est));
-            }
-        }
-        let rows = names
+        results
             .into_iter()
-            .zip(errors.iter())
-            .map(|(n, e)| (n, ErrorReport::from_errors(e)))
-            .collect();
-        ErrorTable { rows, raw: errors }
+            .map(|slot| slot.expect("every seed produced a result"))
+            .collect()
     }
 }
 

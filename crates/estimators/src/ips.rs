@@ -1,6 +1,8 @@
 //! Inverse Propensity Scoring estimators (paper §3).
 
-use crate::estimate::{check_space, Estimate, Estimator, EstimatorError, WeightDiagnostics};
+use crate::estimate::{
+    check_space, emit_weight_health, Estimate, Estimator, EstimatorError, WeightDiagnostics,
+};
 use ddn_policy::Policy;
 use ddn_trace::Trace;
 
@@ -56,6 +58,7 @@ impl Estimator for Ips {
             .map(|(w, rec)| w * rec.reward)
             .collect();
         let diagnostics = WeightDiagnostics::from_weights(&weights);
+        emit_weight_health(self.name(), &diagnostics, &[]);
         Ok(Estimate::from_contributions(per_record, diagnostics))
     }
 }
@@ -99,6 +102,7 @@ impl Estimator for SelfNormalizedIps {
             .map(|(w, rec)| n * w * rec.reward / wsum)
             .collect();
         let diagnostics = WeightDiagnostics::from_weights(&weights);
+        emit_weight_health(self.name(), &diagnostics, &[]);
         Ok(Estimate::from_contributions(per_record, diagnostics))
     }
 }
@@ -138,16 +142,20 @@ impl Estimator for ClippedIps {
 
     fn estimate(&self, trace: &Trace, new_policy: &dyn Policy) -> Result<Estimate, EstimatorError> {
         check_space(trace, new_policy)?;
-        let weights: Vec<f64> = importance_weights(trace, new_policy)?
-            .into_iter()
-            .map(|w| w.min(self.max_weight))
-            .collect();
+        let raw = importance_weights(trace, new_policy)?;
+        let clipped = raw.iter().filter(|&&w| w > self.max_weight).count();
+        let weights: Vec<f64> = raw.into_iter().map(|w| w.min(self.max_weight)).collect();
         let per_record: Vec<f64> = weights
             .iter()
             .zip(trace.records())
             .map(|(w, rec)| w * rec.reward)
             .collect();
         let diagnostics = WeightDiagnostics::from_weights(&weights);
+        emit_weight_health(
+            self.name(),
+            &diagnostics,
+            &[("clip_rate", clipped as f64 / weights.len().max(1) as f64)],
+        );
         Ok(Estimate::from_contributions(per_record, diagnostics))
     }
 }

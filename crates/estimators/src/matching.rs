@@ -14,7 +14,9 @@
 //! policy is unbiased but could lead to low coverage and statistical
 //! significance" — which is exactly the variance Figure 7c quantifies.
 
-use crate::estimate::{check_space, Estimate, Estimator, EstimatorError, WeightDiagnostics};
+use crate::estimate::{
+    check_space, emit_weight_health, Estimate, Estimator, EstimatorError, WeightDiagnostics,
+};
 use ddn_policy::Policy;
 use ddn_trace::Trace;
 
@@ -72,6 +74,14 @@ impl Estimator for MatchingEstimator {
             .map(|(r, w)| n * r * w / wsum)
             .collect();
         let diagnostics = WeightDiagnostics::from_weights(&weights);
+        emit_weight_health(
+            self.name(),
+            &diagnostics,
+            &[
+                ("coverage", matched.len() as f64 / trace.len() as f64),
+                ("match_count", matched.len() as f64),
+            ],
+        );
         Ok(Estimate {
             value,
             per_record,

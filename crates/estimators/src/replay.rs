@@ -36,7 +36,7 @@
 //! old-policy distribution, which §2.1 assumes known ("we assume that the
 //! policy μ_old is known").
 
-use crate::estimate::{Estimate, EstimatorError, WeightDiagnostics};
+use crate::estimate::{emit_weight_health, Estimate, EstimatorError, WeightDiagnostics};
 use ddn_models::RewardModel;
 use ddn_policy::{HistoryPolicy, Policy};
 use ddn_stats::rng::Rng;
@@ -160,11 +160,21 @@ impl<M: RewardModel> ReplayEvaluator<M> {
         }
         let diagnostics = WeightDiagnostics::from_weights(&weights);
         let accepted = contributions.len();
-        Ok(ReplayOutcome {
+        let outcome = ReplayOutcome {
             estimate: Estimate::from_contributions(contributions, diagnostics),
             accepted,
             rejected,
-        })
+        };
+        emit_weight_health(
+            "Replay",
+            &diagnostics,
+            &[
+                ("acceptance_rate", outcome.acceptance_rate()),
+                ("accepted", accepted as f64),
+                ("rejected", rejected as f64),
+            ],
+        );
+        Ok(outcome)
     }
 }
 

@@ -17,7 +17,7 @@
 //!    record contributes like a matched one but through the adjusted
 //!    reward.
 
-use crate::estimate::{check_space, Estimate, EstimatorError, WeightDiagnostics};
+use crate::estimate::{check_space, emit_weight_health, Estimate, EstimatorError, WeightDiagnostics};
 use crate::ips::importance_weights;
 use ddn_models::RewardModel;
 use ddn_policy::Policy;
@@ -187,6 +187,14 @@ impl<M: RewardModel, T: TransitionModel> StateAwareDr<M, T> {
             return Err(EstimatorError::NoUsableRecords);
         }
         let diagnostics = WeightDiagnostics::from_weights(&used_weights);
+        emit_weight_health(
+            "StateAwareDR",
+            &diagnostics,
+            &[
+                ("coverage", contributions.len() as f64 / trace.len() as f64),
+                ("match_count", contributions.len() as f64),
+            ],
+        );
         Ok(Estimate::from_contributions(contributions, diagnostics))
     }
 }

@@ -18,6 +18,7 @@
 use ddn_cdn::wise::{WiseConfig, WiseWorld};
 use ddn_estimators::{DirectMethod, DoublyRobust, ErrorTable, Estimator, ExperimentRunner, Ips};
 use ddn_models::cbn::{CausalBayesNet, CbnConfig};
+use ddn_telemetry::TelemetrySnapshot;
 
 /// Configuration knobs for the experiment.
 #[derive(Debug, Clone)]
@@ -51,8 +52,16 @@ impl Default for Figure7aConfig {
     }
 }
 
-/// Runs the Figure 7a experiment with custom configuration.
-pub fn figure7a_with(config: &Figure7aConfig) -> ErrorTable {
+/// Builds the shared per-seed work for Figure 7a: the fixed world is
+/// constructed once, each seed logs its own skewed trace, fits the CBN,
+/// and runs the three estimators. The phase spans are inert unless a
+/// telemetry collector is installed.
+fn prepared(
+    config: &Figure7aConfig,
+) -> (
+    ExperimentRunner,
+    impl Fn(u64) -> (f64, Vec<(String, f64)>) + Sync,
+) {
     let world = WiseWorld::new(config.world.clone());
     let population = world.population();
     let old_policy = world.old_policy();
@@ -65,12 +74,17 @@ pub fn figure7a_with(config: &Figure7aConfig) -> ErrorTable {
         max_parents: 4,
     };
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    ExperimentRunner::new(config.runs, config.base_seed).run_parallel(threads, |seed| {
-        let trace = world.log_trace(&population, &old_policy, seed);
-        let cbn = CausalBayesNet::fit(&trace, &cbn_config);
+    let runner = ExperimentRunner::new(config.runs, config.base_seed);
+    let work = move |seed: u64| {
+        let trace = {
+            let _span = ddn_telemetry::span("simulate");
+            world.log_trace(&population, &old_policy, seed)
+        };
+        let cbn = {
+            let _span = ddn_telemetry::span("fit");
+            CausalBayesNet::fit(&trace, &cbn_config)
+        };
+        let _span = ddn_telemetry::span("estimate");
         let wise = DirectMethod::new(cbn.clone())
             .estimate(&trace, &new_policy)
             .expect("WISE DM always estimates")
@@ -91,7 +105,22 @@ pub fn figure7a_with(config: &Figure7aConfig) -> ErrorTable {
                 ("DR".to_string(), dr),
             ],
         )
-    })
+    };
+    (runner, work)
+}
+
+/// Runs the Figure 7a experiment with custom configuration.
+pub fn figure7a_with(config: &Figure7aConfig) -> ErrorTable {
+    let (runner, work) = prepared(config);
+    runner.run_parallel(ExperimentRunner::default_threads(), work)
+}
+
+/// Runs Figure 7a with telemetry: same numbers as [`figure7a_with`]
+/// (bit-identical, regardless of thread count) plus per-run spans and the
+/// estimators' health diagnostics.
+pub fn figure7a_instrumented(config: &Figure7aConfig) -> (ErrorTable, TelemetrySnapshot) {
+    let (runner, work) = prepared(config);
+    runner.run_parallel_instrumented(ExperimentRunner::default_threads(), work)
 }
 
 /// Runs Figure 7a with the paper's protocol (50 runs).

@@ -16,6 +16,7 @@ use ddn_estimators::{
 use ddn_models::{KnnConfig, KnnRegressor};
 use ddn_policy::UniformRandomPolicy;
 use ddn_stats::rng::Xoshiro256;
+use ddn_telemetry::TelemetrySnapshot;
 
 /// Configuration knobs for the experiment.
 #[derive(Debug, Clone)]
@@ -58,8 +59,14 @@ impl Default for Figure7cConfig {
     }
 }
 
-/// Runs the Figure 7c experiment with custom configuration.
-pub fn figure7c_with(cfg: &Figure7cConfig) -> ErrorTable {
+/// Builds the shared per-seed work for Figure 7c. The phase spans are
+/// inert unless a telemetry collector is installed.
+fn prepared(
+    cfg: &Figure7cConfig,
+) -> (
+    ExperimentRunner,
+    impl Fn(u64) -> (f64, Vec<(String, f64)>) + Sync + '_,
+) {
     let world = CfaWorld::new(cfg.world.clone(), cfg.world_seed);
     let old_policy = UniformRandomPolicy::new(world.space().clone());
     let new_policy = world.greedy_policy();
@@ -69,20 +76,28 @@ pub fn figure7c_with(cfg: &Figure7cConfig) -> ErrorTable {
         match_decision: true,
     };
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    ExperimentRunner::new(cfg.runs, cfg.base_seed).run_parallel(threads, |seed| {
-        let mut rng = Xoshiro256::seed_from(seed);
-        let clients = world.sample_clients(cfg.clients, &mut rng);
-        let truth = world.true_value(&clients, &new_policy);
-        let trace = world.log_trace(&clients, &old_policy, seed.wrapping_mul(31).wrapping_add(7));
+    let runner = ExperimentRunner::new(cfg.runs, cfg.base_seed);
+    let work = move |seed: u64| {
+        let (truth, trace) = {
+            let _span = ddn_telemetry::span("simulate");
+            let mut rng = Xoshiro256::seed_from(seed);
+            let clients = world.sample_clients(cfg.clients, &mut rng);
+            let truth = world.true_value(&clients, &new_policy);
+            let trace =
+                world.log_trace(&clients, &old_policy, seed.wrapping_mul(31).wrapping_add(7));
+            (truth, trace)
+        };
 
+        let knn = {
+            let _span = ddn_telemetry::span("fit");
+            KnnRegressor::fit(&trace, knn_cfg)
+        };
+
+        let _span = ddn_telemetry::span("estimate");
         let cfa = MatchingEstimator::new()
             .estimate(&trace, &new_policy)
             .expect("uniform logging always yields matches at this scale")
             .value;
-        let knn = KnnRegressor::fit(&trace, knn_cfg);
         let dm = DirectMethod::new(&knn)
             .estimate(&trace, &new_policy)
             .expect("DM always estimates")
@@ -100,7 +115,23 @@ pub fn figure7c_with(cfg: &Figure7cConfig) -> ErrorTable {
                 ("DR".to_string(), dr),
             ],
         )
-    })
+    };
+    (runner, work)
+}
+
+/// Runs the Figure 7c experiment with custom configuration.
+pub fn figure7c_with(cfg: &Figure7cConfig) -> ErrorTable {
+    let (runner, work) = prepared(cfg);
+    runner.run_parallel(ExperimentRunner::default_threads(), work)
+}
+
+/// Runs Figure 7c with telemetry: same numbers as [`figure7c_with`]
+/// (bit-identical, regardless of thread count) plus per-run spans and the
+/// estimators' health diagnostics — including CFA's coverage, the Figure 5
+/// sparsity made visible.
+pub fn figure7c_instrumented(cfg: &Figure7cConfig) -> (ErrorTable, TelemetrySnapshot) {
+    let (runner, work) = prepared(cfg);
+    runner.run_parallel_instrumented(ExperimentRunner::default_threads(), work)
 }
 
 /// Runs Figure 7c with the paper's protocol (50 runs).

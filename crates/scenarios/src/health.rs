@@ -1,0 +1,274 @@
+//! Estimator-health suite — a synthetic scenario whose purpose is the
+//! *telemetry*, not the headline numbers.
+//!
+//! The paper's §4 recommendations (randomize a little, check coverage,
+//! watch for coupling) only work if the pipeline can *see* the relevant
+//! diagnostics: effective sample size, clip rates, replay acceptance,
+//! match coverage, regime counts. This module runs every estimator in the
+//! crate over one deliberately stressed world — skewed logging (weight 4
+//! on the target decision), a mid-trace load shift, state-tagged halves —
+//! so a single run exercises every health metric the observability layer
+//! defines. The CLI's `selftest` subcommand and `reproduce.sh ci` both
+//! lean on it as the telemetry smoke test.
+//!
+//! The world is analytically simple: contexts carry one binary feature
+//! `g`, rewards are `2 + g + 3·d` exactly, and the evaluated policy always
+//! plays `d = 1`, so the true value is `2 + E[g] + 3 = 5.5`.
+
+use ddn_estimators::state_aware::MatchOnly;
+use ddn_estimators::{
+    ClippedIps, CouplingDetector, CrossFitDr, DirectMethod, DoublyRobust, ErrorTable, Estimator,
+    ExperimentRunner, Ips, MatchingEstimator, ReplayEvaluator, SelfNormalizedIps, StateAwareDr,
+    SwitchDr,
+};
+use ddn_models::TabularMeanModel;
+use ddn_policy::{EpsilonSmoothedPolicy, LookupPolicy, Policy, StationaryAsHistory};
+use ddn_stats::rng::{Rng, Xoshiro256};
+use ddn_telemetry::TelemetrySnapshot;
+use ddn_trace::{Context, ContextSchema, StateTag, Trace, TraceRecord};
+
+/// True value of the always-`d1` policy in the suite's world.
+pub const HEALTH_TRUTH: f64 = 5.5;
+
+/// Configuration knobs for the health suite.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Records per logged trace. The proxy's load shift sits at the
+    /// midpoint; keep this ≥ 2 × the detector's 20-record minimum segment.
+    pub records: usize,
+    /// Number of seeded runs.
+    pub runs: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            records: 240,
+            runs: 16,
+            base_seed: 90_001,
+        }
+    }
+}
+
+fn schema() -> ContextSchema {
+    ContextSchema::builder().categorical("g", 2).build()
+}
+
+fn space() -> ddn_trace::DecisionSpace {
+    ddn_trace::DecisionSpace::of(&["d0", "d1"])
+}
+
+/// Logging policy: ε-smoothed "always d0" with ε = 0.5, so the target
+/// decision `d1` is logged with propensity 0.25 — weight 4 under the
+/// evaluated policy, enough to trip a clip threshold of 2.
+fn logger() -> EpsilonSmoothedPolicy {
+    EpsilonSmoothedPolicy::new(Box::new(LookupPolicy::constant(space(), 0)), 0.5)
+}
+
+/// Logs one stressed trace: skewed propensities, state tags split at the
+/// midpoint (low load first, high load after — the same instant the proxy
+/// series shifts).
+fn log_trace(cfg: &HealthConfig, rng: &mut Xoshiro256) -> Trace {
+    let s = schema();
+    let logging = logger();
+    let recs = (0..cfg.records)
+        .map(|i| {
+            let g = rng.index(2) as u32;
+            let c = Context::build(&s).set_cat("g", g).finish();
+            let (d, p) = logging.sample_with_prob(&c, rng);
+            let reward = 2.0 + g as f64 + 3.0 * d.index() as f64;
+            TraceRecord::new(c, d, reward).with_propensity(p).with_state(
+                if i < cfg.records / 2 {
+                    StateTag::LOW_LOAD
+                } else {
+                    StateTag::HIGH_LOAD
+                },
+            )
+        })
+        .collect();
+    Trace::from_records(s, space(), recs).expect("suite trace is well-formed")
+}
+
+/// Per-seed work: run the full estimator menu over one stressed trace.
+fn run_seed(cfg: &HealthConfig, seed: u64) -> (f64, Vec<(String, f64)>) {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let trace = {
+        let _span = ddn_telemetry::span("log");
+        log_trace(cfg, &mut rng)
+    };
+    let target = LookupPolicy::constant(space(), 1);
+
+    let _span = ddn_telemetry::span("estimate");
+    let model = TabularMeanModel::fit_trace(&trace, 1.0);
+    let fit = |tr: &Trace| TabularMeanModel::fit_trace(tr, 1.0);
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: &str, value: f64| rows.push((name.to_string(), value));
+
+    push(
+        "DM",
+        DirectMethod::new(&model)
+            .estimate(&trace, &target)
+            .expect("DM always estimates")
+            .value,
+    );
+    push(
+        "IPS",
+        Ips::new().estimate(&trace, &target).expect("IPS").value,
+    );
+    push(
+        "SNIPS",
+        SelfNormalizedIps::new()
+            .estimate(&trace, &target)
+            .expect("SNIPS")
+            .value,
+    );
+    push(
+        "ClippedIPS",
+        ClippedIps::new(2.0)
+            .estimate(&trace, &target)
+            .expect("ClippedIPS")
+            .value,
+    );
+    push(
+        "DR",
+        DoublyRobust::new(&model)
+            .estimate(&trace, &target)
+            .expect("DR")
+            .value,
+    );
+    push(
+        "SwitchDR",
+        SwitchDr::new(&model, 2.0)
+            .estimate(&trace, &target)
+            .expect("SwitchDR")
+            .value,
+    );
+    push(
+        "CrossFitDR",
+        CrossFitDr::new(3, fit)
+            .estimate(&trace, &target)
+            .expect("CrossFitDR")
+            .value,
+    );
+    push(
+        "CFA",
+        MatchingEstimator::new()
+            .estimate(&trace, &target)
+            .expect("ε-smoothed logging always yields matches at this scale")
+            .value,
+    );
+    push(
+        "StateAwareDR",
+        StateAwareDr::new(&model, MatchOnly, StateTag::HIGH_LOAD)
+            .estimate(&trace, &target)
+            .expect("StateAwareDR")
+            .value,
+    );
+
+    // Replay drives the target as a (degenerate) history policy so the
+    // acceptance-rate diagnostic gets exercised too.
+    let mut history = StationaryAsHistory::new(LookupPolicy::constant(space(), 1));
+    let mut replay_rng = rng.fork();
+    let replay = ReplayEvaluator::new(&model)
+        .evaluate(&trace, &logger(), &mut history, &mut replay_rng)
+        .expect("skewed logging still accepts ~1/4 of tuples");
+    push("Replay", replay.estimate.value);
+
+    // The proxy load shifts with the state tags: the detector should see
+    // exactly two regimes and report them as health telemetry.
+    let proxy: Vec<f64> = (0..trace.len())
+        .map(|i| if i < trace.len() / 2 { 1.0 } else { 3.0 })
+        .collect();
+    CouplingDetector::new(20).analyze(&trace, &proxy);
+
+    (HEALTH_TRUTH, rows)
+}
+
+/// Runs the health suite with custom configuration, returning the error
+/// table and the telemetry snapshot that is the suite's real output.
+pub fn health_suite_with(cfg: &HealthConfig) -> (ErrorTable, TelemetrySnapshot) {
+    ExperimentRunner::new(cfg.runs, cfg.base_seed)
+        .run_parallel_instrumented(ExperimentRunner::default_threads(), |seed| {
+            run_seed(cfg, seed)
+        })
+}
+
+/// Runs the health suite with default configuration.
+pub fn health_suite() -> (ErrorTable, TelemetrySnapshot) {
+    health_suite_with(&HealthConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_emits_every_signature_health_metric() {
+        let cfg = HealthConfig {
+            runs: 3,
+            ..Default::default()
+        };
+        let (table, snap) = health_suite_with(&cfg);
+        assert_eq!(snap.runs(), 3);
+        // Every estimator family's signature diagnostic is present.
+        for (source, metric) in [
+            ("DM", "ess"),
+            ("IPS", "ess"),
+            ("SNIPS", "ess"),
+            ("ClippedIPS", "clip_rate"),
+            ("DR", "mean_abs_residual"),
+            ("SwitchDR", "clip_rate"),
+            ("CrossFitDR", "folds"),
+            ("CFA", "coverage"),
+            ("StateAwareDR", "coverage"),
+            ("Replay", "acceptance_rate"),
+            ("CouplingDetector", "segments"),
+        ] {
+            let agg = snap
+                .health_metric(source, metric)
+                .unwrap_or_else(|| panic!("{source}/{metric} missing"));
+            assert_eq!(agg.count, 3, "{source}/{metric}");
+        }
+        // The stress dials actually bit.
+        let clip = snap.health_metric("ClippedIPS", "clip_rate").unwrap();
+        assert!(clip.mean() > 0.1, "weight-4 records must clip: {}", clip.mean());
+        let acc = snap.health_metric("Replay", "acceptance_rate").unwrap();
+        assert!(
+            (0.1..0.5).contains(&acc.mean()),
+            "deterministic d1 over 0.25-propensity logging accepts ~1/4, got {}",
+            acc.mean()
+        );
+        let segs = snap.health_metric("CouplingDetector", "segments").unwrap();
+        assert_eq!(segs.mean(), 2.0, "the load shift must split the proxy");
+        // And the world is calibrated: the unbiased estimators land near
+        // the analytic truth.
+        assert!(table.get("DR").unwrap().mean < 0.15);
+        assert!(table.get("IPS").unwrap().mean < 0.3);
+    }
+
+    #[test]
+    fn suite_rows_cover_the_full_menu() {
+        let cfg = HealthConfig {
+            runs: 2,
+            ..Default::default()
+        };
+        let (table, _snap) = health_suite_with(&cfg);
+        for name in [
+            "DM",
+            "IPS",
+            "SNIPS",
+            "ClippedIPS",
+            "DR",
+            "SwitchDR",
+            "CrossFitDR",
+            "CFA",
+            "StateAwareDR",
+            "Replay",
+        ] {
+            assert!(table.get(name).is_some(), "{name} row missing");
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`ablations::second_order`] | §3 second-order bias | DR error tracks the *product* of DM and IPS error dials |
 //! | [`ablations::selection`] | the Figure 1 question itself | DR ranks candidate policies at least as well as the baselines |
 //! | [`ablations::calibration`] | §2.2.1 scale-shaped model bias | isotonic calibration fixes it without propensities |
+//! | [`health`](mod@health) | §4's diagnostics, end to end | every estimator emits its telemetry health metrics |
 //!
 //! The absolute numbers will not match the paper (different substrate,
 //! different noise); the *shape* — who wins, by roughly what factor —
@@ -31,10 +32,12 @@ pub mod ablations;
 pub mod figure7a;
 pub mod figure7b;
 pub mod figure7c;
+pub mod health;
 
 pub use figure7a::figure7a;
 pub use figure7b::figure7b;
 pub use figure7c::figure7c;
+pub use health::health_suite;
 
 /// Number of runs the paper uses per experiment.
 pub const PAPER_RUNS: usize = 50;

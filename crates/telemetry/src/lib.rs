@@ -1,0 +1,61 @@
+//! # ddn-telemetry — hermetic observability for the evaluation pipeline
+//!
+//! The paper's central warning is that off-policy estimates fail
+//! *silently*: IPS variance explodes when importance weights concentrate
+//! on a few records, replay throws away most of the trace, matching
+//! collapses as the context space grows. A bare point estimate shows
+//! none of that. This crate gives every layer of the workspace a way to
+//! surface those failure signals without taking on a dependency:
+//!
+//! - **Spans** ([`span`]): RAII-timed hierarchical regions using
+//!   [`std::time::Instant`] (monotonic — never wall-clock), recorded
+//!   into the run-local collector as paths like `"run/fit"`.
+//! - **Health diagnostics** ([`record_health`]): estimator-attributed
+//!   metric batches — effective sample size, max weight, clip rate,
+//!   acceptance rate, coverage — emitted by every evaluator in
+//!   `ddn-estimators` whenever a collector is installed.
+//! - **Registry** ([`Registry`]): process-wide atomic counters, gauges,
+//!   and log-bucketed [`Histogram`]s for cross-run facts (chosen thread
+//!   count, cumulative run durations) that don't need determinism.
+//! - **Snapshots** ([`TelemetrySnapshot`]): per-seed collectors merged
+//!   *in seed order*, so the parallel-vs-serial bit-identity guarantee
+//!   of `ExperimentRunner` extends to telemetry. Exported as JSON via
+//!   the in-repo `ddn_stats::Json` writer and rendered as a summary
+//!   table for stderr.
+//!
+//! ## Determinism contract
+//!
+//! [`TelemetrySnapshot::to_json_deterministic`] is bit-identical across
+//! thread counts: health aggregates and counters accumulate in seed
+//! order, span *counts* are structural, and every nanosecond field is
+//! zeroed (the full [`TelemetrySnapshot::to_json`] keeps real timings
+//! and the thread count).
+//!
+//! ## Zero cost when off
+//!
+//! All free functions check one thread-local and no-op when no
+//! [`collect`] scope is active; [`span`] doesn't even read the clock.
+//! Callers computing anything non-trivial for a health record should
+//! gate on [`enabled`] first.
+//!
+//! ```
+//! let ((), run) = ddn_telemetry::collect(|| {
+//!     let _outer = ddn_telemetry::span("run");
+//!     ddn_telemetry::record_health("IPS", &[("ess", 37.5), ("max_weight", 4.0)]);
+//!     ddn_telemetry::add_count("records", 200);
+//! });
+//! let snap = ddn_telemetry::TelemetrySnapshot::from_runs(&[run]);
+//! assert_eq!(snap.health_metric("IPS", "ess").unwrap().mean(), 37.5);
+//! assert!(snap.to_json().to_string().contains("\"ess\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod metrics;
+pub mod snapshot;
+
+pub use collector::{add_count, collect, enabled, record_health, span, Collector, Span};
+pub use metrics::{Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use snapshot::{MetricAgg, TelemetrySnapshot, TimingAgg};

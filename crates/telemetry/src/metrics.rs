@@ -1,0 +1,335 @@
+//! Process-wide metric primitives: atomic counters, gauges, log-bucketed
+//! histograms, and a thread-safe [`Registry`] that owns named instances.
+//!
+//! These are the *cross-run*, *cross-thread* side of telemetry — cheap
+//! enough to leave compiled into hot paths (one relaxed atomic op per
+//! update, no locks after handle acquisition). The per-run deterministic
+//! side lives in [`crate::collector`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ddn_stats::Json;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (stored as `f64` bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: one zero bucket plus one per
+/// power of two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Fixed-size log2-bucketed histogram of `u64` samples (typically
+/// nanoseconds or byte counts).
+///
+/// Bucket 0 holds exactly the value `0`; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)` (the last bucket's upper bound saturates at
+/// `u64::MAX`). Recording is a single relaxed `fetch_add`, so histograms
+/// can sit on hot paths shared across threads without a lock.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        // 0 has 64 leading zeros -> bucket 0; 2^k has 63-k -> bucket k+1.
+        64 - value.leading_zeros() as usize
+    }
+
+    /// Inclusive `(low, high)` value range covered by bucket `index`.
+    ///
+    /// Panics if `index >= HISTOGRAM_BUCKETS`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.counts[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Per-bucket counts, in bucket order.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow, like the adds).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Adds every sample of `other` into `self`, bucket by bucket.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// JSON snapshot: total count, sum, and the non-empty buckets as
+    /// `{"le": inclusive_upper_bound, "count": n}` in bucket order.
+    pub fn to_json(&self) -> Json {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let (_, hi) = Self::bucket_bounds(i);
+                Some(Json::object(vec![
+                    ("le", Json::Int(hi.min(i64::MAX as u64) as i64)),
+                    ("count", Json::Int(n as i64)),
+                ]))
+            })
+            .collect();
+        Json::object(vec![
+            ("count", Json::Int(self.total() as i64)),
+            ("sum", Json::Int(self.sum().min(i64::MAX as u64) as i64)),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+}
+
+/// Thread-safe name → metric map. Handles are `Arc`s, so callers fetch
+/// once and update lock-free afterwards.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+fn get_or_insert<T: Default>(list: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
+    let mut guard = list.lock().expect("telemetry registry poisoned");
+    if let Some((_, v)) = guard.iter().find(|(n, _)| n == name) {
+        return Arc::clone(v);
+    }
+    let v = Arc::new(T::default());
+    guard.push((name.to_string(), Arc::clone(&v)));
+    v
+}
+
+impl Registry {
+    /// Creates an empty registry (tests; production code uses [`Registry::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::default)
+    }
+
+    /// Fetches (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Fetches (creating on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// Fetches (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// True when no metric has ever been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.lock().expect("poisoned").is_empty()
+            && self.gauges.lock().expect("poisoned").is_empty()
+            && self.histograms.lock().expect("poisoned").is_empty()
+    }
+
+    /// JSON snapshot of every registered metric, names sorted so the
+    /// output is independent of registration order.
+    pub fn to_json(&self) -> Json {
+        fn sorted<T, F: Fn(&T) -> Json>(
+            list: &Mutex<Vec<(String, Arc<T>)>>,
+            render: F,
+        ) -> Json {
+            let mut entries: Vec<(String, Json)> = list
+                .lock()
+                .expect("poisoned")
+                .iter()
+                .map(|(n, v)| (n.clone(), render(v)))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Json::Object(entries)
+        }
+        Json::object(vec![
+            (
+                "counters",
+                sorted(&self.counters, |c: &Counter| Json::Int(c.get() as i64)),
+            ),
+            ("gauges", sorted(&self.gauges, |g: &Gauge| Json::Num(g.get()))),
+            (
+                "histograms",
+                sorted(&self.histograms, |h: &Histogram| h.to_json()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("events");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("events").get(), 5);
+        let g = r.gauge("threads");
+        g.set(8.0);
+        assert_eq!(r.gauge("threads").get(), 8.0);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn histogram_bucket_indexing() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.sum(), 1010);
+        let counts = h.counts();
+        assert_eq!(counts[0], 1); // 0
+        assert_eq!(counts[1], 1); // 1
+        assert_eq!(counts[2], 2); // 2,3
+        assert_eq!(counts[3], 1); // 4
+        assert_eq!(counts[10], 1); // 1000 in [512,1024)
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(900);
+        a.merge_from(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts()[3], 2);
+    }
+
+    #[test]
+    fn registry_json_is_name_sorted() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        let j = r.to_json();
+        let counters = j.get("counters").unwrap().as_object().unwrap();
+        assert_eq!(counters[0].0, "alpha");
+        assert_eq!(counters[1].0, "zeta");
+    }
+}

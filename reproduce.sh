@@ -15,7 +15,18 @@ if [[ "${1:-}" == "ci" ]]; then
   cargo build --workspace --release --offline
   echo "== ci: hermetic offline tests =="
   cargo test --workspace -q --offline
-  echo "ci ok: built and tested with zero external dependencies"
+  echo "== ci: telemetry smoke (selftest --telemetry + telemetry-check) =="
+  # One small instrumented scenario: the health suite exercises every
+  # estimator, writes a telemetry snapshot, and telemetry-check re-parses
+  # it with the in-repo JSON parser and asserts the required health keys
+  # (ess, clip_rate, acceptance_rate, coverage) are present.
+  telemetry_file="$(mktemp -t ddn-telemetry-XXXXXX.json)"
+  trap 'rm -f "$telemetry_file"' EXIT
+  cargo run --release --offline -p ddn-cli --bin ddn -- \
+    selftest --runs 3 --telemetry "$telemetry_file" > /dev/null
+  cargo run --release --offline -p ddn-cli --bin ddn -- \
+    telemetry-check "$telemetry_file"
+  echo "ci ok: built, tested, and telemetry-smoked with zero external dependencies"
   exit 0
 fi
 

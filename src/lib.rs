@@ -73,6 +73,7 @@ pub use ddn_policy as policy;
 pub use ddn_relay as relay;
 pub use ddn_scenarios as scenarios;
 pub use ddn_stats as stats;
+pub use ddn_telemetry as telemetry;
 pub use ddn_trace as trace;
 
 /// Convenient glob-import surface covering the common workflow:

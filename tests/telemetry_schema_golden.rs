@@ -1,0 +1,210 @@
+//! Golden test pinning the telemetry JSON *schema* — the key set and
+//! nesting, not the values. `--telemetry` files are consumed by outside
+//! tooling (`reproduce.sh ci` runs `ddn telemetry-check`, dashboards parse
+//! `BENCH_*.json`), so renaming a health metric or restructuring an
+//! aggregate is a breaking change that must be made deliberately, here.
+//!
+//! The document under test comes from the health suite, which exercises
+//! every estimator family and therefore every health key the workspace
+//! can emit.
+
+use ddn::scenarios::health::{health_suite_with, HealthConfig};
+use ddn::stats::Json;
+
+/// Pinned schema: every health source the suite emits, with its exact
+/// metric key set (sorted).
+const GOLDEN_HEALTH: &[(&str, &[&str])] = &[
+    (
+        "CFA",
+        &[
+            "coverage",
+            "ess",
+            "match_count",
+            "max_weight",
+            "mean_weight",
+            "n",
+            "zero_weight_fraction",
+        ],
+    ),
+    (
+        "ClippedIPS",
+        &[
+            "clip_rate",
+            "ess",
+            "max_weight",
+            "mean_weight",
+            "n",
+            "zero_weight_fraction",
+        ],
+    ),
+    ("CouplingDetector", &["changepoints", "coupled", "segments"]),
+    (
+        "CrossFitDR",
+        &[
+            "ess",
+            "folds",
+            "max_weight",
+            "mean_weight",
+            "n",
+            "zero_weight_fraction",
+        ],
+    ),
+    (
+        "DM",
+        &["ess", "max_weight", "mean_weight", "n", "zero_weight_fraction"],
+    ),
+    (
+        "DR",
+        &[
+            "ess",
+            "max_weight",
+            "mean_abs_residual",
+            "mean_weight",
+            "n",
+            "zero_weight_fraction",
+        ],
+    ),
+    (
+        "IPS",
+        &["ess", "max_weight", "mean_weight", "n", "zero_weight_fraction"],
+    ),
+    (
+        "Replay",
+        &[
+            "acceptance_rate",
+            "accepted",
+            "ess",
+            "max_weight",
+            "mean_weight",
+            "n",
+            "rejected",
+            "zero_weight_fraction",
+        ],
+    ),
+    (
+        "SNIPS",
+        &["ess", "max_weight", "mean_weight", "n", "zero_weight_fraction"],
+    ),
+    (
+        "StateAwareDR",
+        &[
+            "coverage",
+            "ess",
+            "match_count",
+            "max_weight",
+            "mean_weight",
+            "n",
+            "zero_weight_fraction",
+        ],
+    ),
+    (
+        "SwitchDR",
+        &[
+            "clip_rate",
+            "ess",
+            "max_weight",
+            "mean_abs_residual",
+            "mean_weight",
+            "n",
+            "zero_weight_fraction",
+        ],
+    ),
+];
+
+/// Pinned aggregate shapes.
+const METRIC_AGG_KEYS: &[&str] = &["runs", "mean", "min", "max"];
+const TIMING_AGG_KEYS: &[&str] = &["count", "total_ns", "mean_ns", "min_ns", "max_ns"];
+
+/// Pinned span paths the instrumented runner produces for this suite.
+const GOLDEN_TIMINGS: &[&str] = &["experiment", "run", "run/estimate", "run/log"];
+
+fn keys(obj: &Json) -> Vec<String> {
+    obj.as_object()
+        .expect("expected a JSON object")
+        .iter()
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+#[test]
+fn telemetry_json_schema_is_pinned() {
+    let (_, snap) = health_suite_with(&HealthConfig {
+        runs: 2,
+        ..Default::default()
+    });
+    let doc = snap.to_json();
+    // Round-trip through the wire form, since that is what consumers see.
+    let doc = Json::parse(&doc.to_string()).expect("telemetry JSON parses");
+
+    assert_eq!(
+        keys(&doc),
+        ["version", "runs", "threads", "health", "counters", "timings"],
+        "top-level key set/order changed"
+    );
+    assert_eq!(doc.get("version").unwrap().as_i64(), Some(1));
+
+    let health = doc.get("health").unwrap();
+    assert_eq!(
+        sorted(keys(health)),
+        GOLDEN_HEALTH.iter().map(|(s, _)| s.to_string()).collect::<Vec<_>>(),
+        "health source set changed"
+    );
+    for (source, metrics) in GOLDEN_HEALTH {
+        let got = health.get(source).unwrap();
+        assert_eq!(
+            sorted(keys(got)),
+            metrics.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+            "metric key set changed for {source}"
+        );
+        for (metric, agg) in got.as_object().unwrap() {
+            assert_eq!(
+                keys(agg),
+                METRIC_AGG_KEYS,
+                "aggregate shape changed for {source}/{metric}"
+            );
+        }
+    }
+
+    let timings = doc.get("timings").unwrap();
+    assert_eq!(
+        sorted(keys(timings)),
+        GOLDEN_TIMINGS,
+        "span path set changed"
+    );
+    for (path, agg) in timings.as_object().unwrap() {
+        assert_eq!(keys(agg), TIMING_AGG_KEYS, "timing shape changed for {path}");
+    }
+}
+
+#[test]
+fn deterministic_form_differs_only_by_threads_and_zeroed_times() {
+    let (_, snap) = health_suite_with(&HealthConfig {
+        runs: 2,
+        ..Default::default()
+    });
+    let det = Json::parse(&snap.to_json_deterministic().to_string()).unwrap();
+    assert_eq!(
+        keys(&det),
+        ["version", "runs", "health", "counters", "timings"],
+        "deterministic form must drop exactly the threads field"
+    );
+    for (path, agg) in det.get("timings").unwrap().as_object().unwrap() {
+        assert_eq!(keys(agg), TIMING_AGG_KEYS);
+        for ns_key in ["total_ns", "mean_ns", "min_ns", "max_ns"] {
+            assert_eq!(
+                agg.get(ns_key).unwrap().as_f64(),
+                Some(0.0),
+                "{path}/{ns_key} must be zeroed in the deterministic form"
+            );
+        }
+        assert!(
+            agg.get("count").unwrap().as_i64().unwrap() > 0,
+            "{path} span count must survive"
+        );
+    }
+}
