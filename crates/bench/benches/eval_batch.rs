@@ -1,0 +1,16 @@
+//! Standalone batched-vs-unbatched comparison, writing
+//! `BENCH_eval_batch.json` with the `eval_batch` summary section
+//! (speedup ratio, thread count, raw means). `reproduce.sh ci` runs this
+//! target with reduced iteration counts as the shared-score smoke test;
+//! the full-size numbers also land in `BENCH_perf.json` via the `perf`
+//! target.
+
+use ddn_bench::eval_batch::bench_eval_batch;
+use ddn_bench::Suite;
+
+fn main() {
+    let mut suite = Suite::new("eval_batch");
+    let summary = bench_eval_batch(&mut suite);
+    suite.attach_section("eval_batch", summary);
+    suite.finish();
+}

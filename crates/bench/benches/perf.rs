@@ -163,5 +163,9 @@ fn main() {
     bench_changepoint(&mut suite);
     let health = bench_telemetry(&mut suite);
     suite.attach_telemetry(health);
+    // Shared-score batching: pin the batched-vs-unbatched figure7-suite
+    // speedup into BENCH_perf.json alongside the raw timings.
+    let eval_batch = ddn_bench::eval_batch::bench_eval_batch(&mut suite);
+    suite.attach_section("eval_batch", eval_batch);
     suite.finish();
 }

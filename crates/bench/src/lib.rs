@@ -13,7 +13,10 @@
 //!   - `ablations` — one benchmark per ablation;
 //!   - `perf` — microbenchmarks of the building blocks (estimator
 //!     throughput vs. trace size, simulator events/sec, model fit/predict,
-//!     change-point detection).
+//!     change-point detection), plus the batched-vs-unbatched
+//!     [`eval_batch`] comparison whose speedup is pinned in the JSON;
+//!   - `eval_batch` — the same comparison as a standalone target, sized
+//!     for CI smoke runs (`reproduce.sh ci`).
 //!
 //! This crate's library surface is the bench [`runner`] plus the small set
 //! of shared helpers the binary and benches use.
@@ -21,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eval_batch;
 pub mod runner;
 
 pub use runner::{BenchConfig, BenchResult, Suite};

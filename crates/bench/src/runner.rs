@@ -93,6 +93,7 @@ pub struct Suite {
     cfg: BenchConfig,
     results: Vec<BenchResult>,
     telemetry: Option<Json>,
+    sections: Vec<(String, Json)>,
 }
 
 impl Suite {
@@ -108,6 +109,7 @@ impl Suite {
             cfg,
             results: Vec::new(),
             telemetry: None,
+            sections: Vec::new(),
         }
     }
 
@@ -116,6 +118,14 @@ impl Suite {
     /// and span-timing context the timings were produced under.
     pub fn attach_telemetry(&mut self, snapshot: Json) {
         self.telemetry = Some(snapshot);
+    }
+
+    /// Attaches an arbitrary named JSON section to the suite document —
+    /// derived summaries (e.g. a batched-vs-unbatched speedup ratio) that
+    /// belong in `BENCH_<suite>.json` next to the raw timings they were
+    /// computed from.
+    pub fn attach_section(&mut self, name: &str, value: Json) {
+        self.sections.push((name.to_string(), value));
     }
 
     /// Runs one benchmark: warmup, then timed iterations.
@@ -171,6 +181,9 @@ impl Suite {
         ];
         if let Some(t) = &self.telemetry {
             fields.push(("telemetry", t.clone()));
+        }
+        for (name, value) in &self.sections {
+            fields.push((name.as_str(), value.clone()));
         }
         Json::object(fields)
     }
@@ -268,6 +281,17 @@ mod tests {
         let j = suite.to_json();
         let t = j.get("telemetry").expect("telemetry field present");
         assert_eq!(t.get("runs").unwrap().as_i64(), Some(3));
+        assert!(Json::parse(&j.to_string()).is_ok());
+    }
+
+    #[test]
+    fn attached_sections_land_in_json() {
+        let mut suite = Suite::with_config("unit_sections", quick_cfg());
+        suite.bench("noop", || ());
+        suite.attach_section("eval_batch", Json::object(vec![("speedup", Json::Num(1.8))]));
+        let j = suite.to_json();
+        let s = j.get("eval_batch").expect("section present");
+        assert_eq!(s.get("speedup").unwrap().as_f64(), Some(1.8));
         assert!(Json::parse(&j.to_string()).is_ok());
     }
 

@@ -113,28 +113,41 @@ USAGE:
   ddn overlap  <trace.jsonl> --decision <name>
   ddn repair   <in.jsonl> <out.jsonl> [--smoothing 0.5]
   ddn generate <out.jsonl> --world cfa|wise|relay|netsim [--n 1000] [--seed 7]
-  ddn figure7  [7a|7b|7c|all] [--runs 50] [--telemetry <out.json>]
+  ddn figure7  [7a|7b|7c|all] [--runs 50] [--no-batch] [--telemetry <out.json>]
   ddn selftest [--runs 16] [--telemetry <out.json>]
   ddn telemetry-check <telemetry.json>   (expects a full-menu snapshot,
                                           i.e. one written by selftest)
 
 With --telemetry, the full snapshot (estimator health, span timings) is
 written as JSON to the given path and a summary table goes to stderr.
+--no-batch disables the shared-score evaluation batch (per-estimator
+scoring, the pre-batching code path) for A/B timing; the estimates are
+bit-identical either way. 7b replays sessions chunk-by-chunk and has no
+batch to disable.
 ";
+
+/// Flags that stand alone (no value follows them).
+const BOOL_FLAGS: &[&str] = &["no-batch"];
 
 /// Parsed flag set (very small; hand-rolled on purpose — no CLI deps).
 struct Flags {
     positional: Vec<String>,
     pairs: Vec<(String, String)>,
+    switches: Vec<String>,
 }
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut positional = Vec::new();
         let mut pairs = Vec::new();
+        let mut switches = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&name) {
+                    switches.push(name.to_string());
+                    continue;
+                }
                 let value = it.next().ok_or_else(|| {
                     CliError::Usage(format!("flag --{name} needs a value\n\n{USAGE}"))
                 })?;
@@ -143,7 +156,11 @@ impl Flags {
                 positional.push(a.clone());
             }
         }
-        Ok(Self { positional, pairs })
+        Ok(Self {
+            positional,
+            pairs,
+            switches,
+        })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -151,6 +168,10 @@ impl Flags {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|n| n == name)
     }
 }
 
@@ -539,12 +560,20 @@ fn write_telemetry(path: &str, snap: &TelemetrySnapshot) -> Result<(), CliError>
     Ok(())
 }
 
-/// Runs one Figure 7 panel, instrumented or plain.
-fn run_panel(panel: &str, runs: usize, with_telemetry: bool) -> (ErrorTable, Option<TelemetrySnapshot>) {
+/// Runs one Figure 7 panel, instrumented or plain. `use_batch: false`
+/// is the `--no-batch` escape hatch (a documented no-op for 7b, whose
+/// session replay has no shared batch).
+fn run_panel(
+    panel: &str,
+    runs: usize,
+    with_telemetry: bool,
+    use_batch: bool,
+) -> (ErrorTable, Option<TelemetrySnapshot>) {
     match panel {
         "7a" => {
             let cfg = Figure7aConfig {
                 runs,
+                use_batch,
                 ..Default::default()
             };
             if with_telemetry {
@@ -569,6 +598,7 @@ fn run_panel(panel: &str, runs: usize, with_telemetry: bool) -> (ErrorTable, Opt
         _ => {
             let cfg = Figure7cConfig {
                 runs,
+                use_batch,
                 ..Default::default()
             };
             if with_telemetry {
@@ -608,11 +638,12 @@ fn cmd_figure7(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::Usage("runs must be at least 1".into()));
     }
     let telemetry_path = flags.get("telemetry");
+    let use_batch = !flags.has("no-batch");
 
     let mut out = String::new();
     let mut merged: Option<TelemetrySnapshot> = None;
     for p in panels {
-        let (table, snap) = run_panel(p, runs, telemetry_path.is_some());
+        let (table, snap) = run_panel(p, runs, telemetry_path.is_some(), use_batch);
         out.push_str(&table.render(&format!("Figure {p} — relative error ({runs} runs)")));
         out.push('\n');
         if let Some(snap) = snap {
@@ -857,6 +888,17 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn figure7_no_batch_is_a_standalone_switch() {
+        // --no-batch must not swallow the following token: here it sits
+        // right before --runs, which still has to parse.
+        let batched = run(&args(&["figure7", "7c", "--runs", "1"])).unwrap();
+        let plain = run(&args(&["figure7", "7c", "--no-batch", "--runs", "1"])).unwrap();
+        assert!(plain.contains("Figure 7c"), "{plain}");
+        // Bit-identical numbers → identical rendered tables.
+        assert_eq!(batched, plain);
     }
 
     #[test]

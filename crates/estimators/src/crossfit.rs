@@ -13,6 +13,7 @@
 //! K model fits but keeps both DR guarantees while being honest about
 //! model error.
 
+use crate::batch::{note_reuse, BatchEstimator, EvalBatch};
 use crate::estimate::{
     check_space, emit_weight_health, Estimate, Estimator, EstimatorError, WeightDiagnostics,
 };
@@ -104,6 +105,64 @@ where
             }
         }
         let diagnostics = WeightDiagnostics::from_weights(&weights);
+        emit_weight_health(self.name(), &diagnostics, &[("folds", self.folds as f64)]);
+        Ok(Estimate::from_contributions(per_record, diagnostics))
+    }
+}
+
+impl<M, F> BatchEstimator for CrossFitDr<M, F>
+where
+    M: RewardModel,
+    F: Fn(&Trace) -> M,
+{
+    /// Batched cross-fitting reuses the shared importance weights and
+    /// probability rows, but deliberately **ignores** any cached model
+    /// scores: the whole point of cross-fitting is that each held-out
+    /// record is scored by a fold-local, out-of-fold model.
+    fn estimate_batch(
+        &self,
+        trace: &Trace,
+        batch: &EvalBatch,
+    ) -> Result<Estimate, EstimatorError> {
+        batch.check_trace(trace);
+        let n = trace.len();
+        if n < self.folds {
+            return Err(EstimatorError::NoUsableRecords);
+        }
+        let weights = batch.weights()?;
+        note_reuse(self.name(), 2 * n as u64, n as u64);
+        let records = trace.records();
+        let space = trace.space();
+        let mut per_record = vec![0.0; n];
+
+        for f in 0..self.folds {
+            let lo = f * n / self.folds;
+            let hi = (f + 1) * n / self.folds;
+            if lo == hi {
+                continue;
+            }
+            let train: Vec<TraceRecord> = records[..lo]
+                .iter()
+                .chain(&records[hi..])
+                .cloned()
+                .collect();
+            let train_trace =
+                Trace::from_records(trace.schema().clone(), trace.space().clone(), train)
+                    .map_err(EstimatorError::Trace)?;
+            let model = (self.fit)(&train_trace);
+            for (k, rec) in records[lo..hi].iter().enumerate() {
+                let idx = lo + k;
+                let w = weights[idx];
+                let probs = batch.probs_row(idx);
+                let dm_term: f64 = space
+                    .iter()
+                    .map(|d| probs[d.index()] * model.predict(&rec.context, d))
+                    .sum();
+                let residual = rec.reward - model.predict(&rec.context, rec.decision);
+                per_record[idx] = dm_term + w * residual;
+            }
+        }
+        let diagnostics = WeightDiagnostics::from_weights(weights);
         emit_weight_health(self.name(), &diagnostics, &[("folds", self.folds as f64)]);
         Ok(Estimate::from_contributions(per_record, diagnostics))
     }

@@ -12,12 +12,17 @@ type RunOutput = (f64, Vec<(String, f64)>);
 /// Aggregates run outputs (in seed order) into an [`ErrorTable`].
 ///
 /// # Panics
-/// Panics if runs disagree on estimator names or a ground truth is
-/// zero/non-finite.
+/// Panics if runs disagree on estimator names, a ground truth is
+/// zero/non-finite, or the number of outputs differs from `runs` — a
+/// scenario closure that under- or over-produces would otherwise yield
+/// a table silently averaged over the wrong number of seeds while still
+/// claiming `runs` repetitions in every report.
 fn tabulate(outputs: impl IntoIterator<Item = RunOutput>, runs: usize) -> ErrorTable {
     let mut names: Vec<String> = Vec::new();
     let mut errors: Vec<Vec<f64>> = Vec::new();
+    let mut produced = 0usize;
     for (i, (truth, estimates)) in outputs.into_iter().enumerate() {
+        produced = i + 1;
         if i == 0 {
             names = estimates.iter().map(|(n, _)| n.clone()).collect();
             errors = vec![Vec::with_capacity(runs); names.len()];
@@ -32,6 +37,10 @@ fn tabulate(outputs: impl IntoIterator<Item = RunOutput>, runs: usize) -> ErrorT
             errors[j].push(relative_error(truth, *est));
         }
     }
+    assert_eq!(
+        produced, runs,
+        "experiment produced {produced} run outputs but was configured for {runs} runs"
+    );
     let rows = names
         .into_iter()
         .zip(errors.iter())
@@ -222,18 +231,32 @@ impl ExperimentRunner {
         (tabulate(outputs, self.runs), snapshot)
     }
 
-    /// The machine's available parallelism (with a single-thread fallback
-    /// when it cannot be determined), recorded as the
-    /// `experiment.default_threads` gauge in the global telemetry
-    /// registry. Scenario crates use this instead of each reimplementing
-    /// the fallback.
+    /// The worker-thread count scenario crates should default to: the
+    /// `DDN_THREADS` environment variable when set to a positive
+    /// integer, otherwise the machine's available parallelism (with a
+    /// single-thread fallback when it cannot be determined).
+    ///
+    /// The chosen count is recorded as the `experiment.default_threads`
+    /// gauge in the global telemetry registry exactly once per process —
+    /// earlier versions wrote it on every call, so concurrently running
+    /// experiments (tier-1 tests in particular) kept overwriting each
+    /// other's value mid-read.
     pub fn default_threads() -> usize {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        ddn_telemetry::Registry::global()
-            .gauge("experiment.default_threads")
-            .set(threads as f64);
+        static GAUGE_ONCE: std::sync::Once = std::sync::Once::new();
+        let threads = std::env::var("DDN_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        GAUGE_ONCE.call_once(|| {
+            ddn_telemetry::Registry::global()
+                .gauge("experiment.default_threads")
+                .set(threads as f64);
+        });
         threads
     }
 }
@@ -290,8 +313,18 @@ impl ExperimentRunner {
         (tabulate(outputs, self.runs), snapshot)
     }
 
-    /// Shared fan-out machinery: runs `work` for every seed on a pool of
-    /// `threads` scoped workers and returns the outputs in seed order.
+    /// Shared fan-out machinery: a fixed channel-based worker pool.
+    ///
+    /// All seed indices are queued up front on a shared job channel
+    /// (std's mpsc receiver behind a mutex acts as the single work
+    /// queue); `threads.min(runs)` scoped workers pull whatever index is
+    /// next — idle workers steal the remaining work instead of being
+    /// assigned a static share — and send `(index, output)` back on a
+    /// results channel. The main thread slots results by index while the
+    /// pool drains, so the merged output is in seed order and
+    /// bit-identical to serial execution regardless of thread count or
+    /// scheduling. A worker panic drops its result sender; the scope
+    /// join then re-raises the panic.
     fn fan_out<T, W>(&self, threads: usize, work: W) -> Vec<T>
     where
         T: Send,
@@ -300,19 +333,34 @@ impl ExperimentRunner {
         assert!(threads > 0, "need at least one thread");
         let runs = self.runs;
         let base = self.base_seed;
+        let workers = threads.min(runs);
+        let (job_tx, job_rx) = std::sync::mpsc::channel::<usize>();
+        for i in 0..runs {
+            job_tx.send(i).expect("job queue open while filling");
+        }
+        drop(job_tx); // Workers see Disconnected once the queue drains.
+        let job_rx = std::sync::Mutex::new(job_rx);
+        let (result_tx, result_rx) = std::sync::mpsc::channel::<(usize, T)>();
         let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots = std::sync::Mutex::new(&mut results);
+        let work = &work;
         std::thread::scope(|scope| {
-            for _ in 0..threads.min(runs) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= runs {
+            for _ in 0..workers {
+                let job_rx = &job_rx;
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    // The queue is pre-filled, so holding the lock across
+                    // recv never blocks on a producer.
+                    let job = job_rx.lock().expect("no poisoned workers").recv();
+                    let Ok(i) = job else { break };
+                    let out = work(base + i as u64);
+                    if result_tx.send((i, out)).is_err() {
                         break;
                     }
-                    let out = work(base + i as u64);
-                    slots.lock().expect("no poisoned workers")[i] = Some(out);
                 });
+            }
+            drop(result_tx);
+            while let Ok((i, out)) = result_rx.recv() {
+                results[i] = Some(out);
             }
         });
         results
@@ -394,6 +442,25 @@ mod tests {
             let name = if flip { "a" } else { "b" };
             (1.0, vec![(name.to_string(), 1.0)])
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "run outputs")]
+    fn under_produced_outputs_panic() {
+        // A closure that filters/fails a seed used to yield a table
+        // quietly averaged over fewer runs than configured.
+        let outputs = vec![
+            (1.0, vec![("e".to_string(), 0.9)]),
+            (1.0, vec![("e".to_string(), 1.1)]),
+        ];
+        let _ = tabulate(outputs, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "run outputs")]
+    fn over_produced_outputs_panic() {
+        let outputs = vec![(1.0, vec![("e".to_string(), 0.9)]); 4];
+        let _ = tabulate(outputs, 3);
     }
 
     #[test]

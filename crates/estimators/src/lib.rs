@@ -39,10 +39,20 @@
 //! [`experiment`] provides the paper's evaluation protocol: run an
 //! estimator across seeded simulations, compute the relative error
 //! `|V − V̂| / |V|` per run, and aggregate mean/min/max (Figure 7's bars).
+//!
+//! ## Shared-score batching
+//!
+//! [`EvalBatch`] precomputes, once per (seed, trace), the per-record
+//! scores the whole menu shares — logged propensities, target-policy
+//! probability rows, reward-model predictions — in contiguous columnar
+//! arrays; every estimator exposes a batched path ([`BatchEstimator`],
+//! plus inherent `estimate_batch` methods on the replay and state-aware
+//! evaluators) that is bit-identical to the unbatched one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod coupling;
 pub mod crossfit;
 pub mod dm;
@@ -57,6 +67,7 @@ pub mod replay;
 pub mod selection;
 pub mod state_aware;
 
+pub use batch::{BatchEstimator, EvalBatch, ModelScores};
 pub use coupling::{CouplingDetector, CouplingReport};
 pub use crossfit::CrossFitDr;
 pub use dm::DirectMethod;

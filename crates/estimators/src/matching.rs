@@ -14,6 +14,7 @@
 //! policy is unbiased but could lead to low coverage and statistical
 //! significance" — which is exactly the variance Figure 7c quantifies.
 
+use crate::batch::{note_reuse, BatchEstimator, EvalBatch};
 use crate::estimate::{
     check_space, emit_weight_health, Estimate, Estimator, EstimatorError, WeightDiagnostics,
 };
@@ -60,6 +61,55 @@ impl Estimator for MatchingEstimator {
         }
         // Probability-weighted mean (reduces to the plain mean for
         // deterministic new policies).
+        let wsum: f64 = weights.iter().sum();
+        let value: f64 = matched
+            .iter()
+            .zip(&weights)
+            .map(|(r, w)| r * w)
+            .sum::<f64>()
+            / wsum;
+        let n = matched.len() as f64;
+        let per_record: Vec<f64> = matched
+            .iter()
+            .zip(&weights)
+            .map(|(r, w)| n * r * w / wsum)
+            .collect();
+        let diagnostics = WeightDiagnostics::from_weights(&weights);
+        emit_weight_health(
+            self.name(),
+            &diagnostics,
+            &[
+                ("coverage", matched.len() as f64 / trace.len() as f64),
+                ("match_count", matched.len() as f64),
+            ],
+        );
+        Ok(Estimate {
+            value,
+            per_record,
+            diagnostics,
+        })
+    }
+}
+
+impl BatchEstimator for MatchingEstimator {
+    fn estimate_batch(
+        &self,
+        trace: &Trace,
+        batch: &EvalBatch,
+    ) -> Result<Estimate, EstimatorError> {
+        batch.check_trace(trace);
+        note_reuse(self.name(), trace.len() as u64, 0);
+        let mut matched = Vec::new();
+        let mut weights = Vec::new();
+        for (&r, &p) in batch.rewards().iter().zip(batch.p_logged()) {
+            if p > 0.0 {
+                matched.push(r);
+                weights.push(p);
+            }
+        }
+        if matched.is_empty() {
+            return Err(EstimatorError::NoUsableRecords);
+        }
         let wsum: f64 = weights.iter().sum();
         let value: f64 = matched
             .iter()

@@ -36,6 +36,7 @@
 //! old-policy distribution, which §2.1 assumes known ("we assume that the
 //! policy μ_old is known").
 
+use crate::batch::{note_reuse, EvalBatch};
 use crate::estimate::{emit_weight_health, Estimate, EstimatorError, WeightDiagnostics};
 use ddn_models::RewardModel;
 use ddn_policy::{HistoryPolicy, Policy};
@@ -160,6 +161,112 @@ impl<M: RewardModel> ReplayEvaluator<M> {
         }
         let diagnostics = WeightDiagnostics::from_weights(&weights);
         let accepted = contributions.len();
+        let outcome = ReplayOutcome {
+            estimate: Estimate::from_contributions(contributions, diagnostics),
+            accepted,
+            rejected,
+        };
+        emit_weight_health(
+            "Replay",
+            &diagnostics,
+            &[
+                ("acceptance_rate", outcome.acceptance_rate()),
+                ("accepted", accepted as f64),
+                ("rejected", rejected as f64),
+            ],
+        );
+        Ok(outcome)
+    }
+
+    /// Batched counterpart of [`ReplayEvaluator::evaluate`]: `old_batch`
+    /// must be built from the same trace with the *old* (logging)
+    /// policy — its probability rows replace the per-record
+    /// `old_policy.probabilities` calls, and its model scores (when
+    /// built with this evaluator's model) replace the per-record
+    /// predictions. The new policy's probabilities stay live because
+    /// they depend on the replay history; the RNG consumption and all
+    /// float arithmetic are identical to the unbatched path.
+    pub fn evaluate_batch(
+        &self,
+        trace: &Trace,
+        old_batch: &EvalBatch,
+        new_policy: &mut dyn HistoryPolicy,
+        rng: &mut dyn Rng,
+    ) -> Result<ReplayOutcome, EstimatorError> {
+        if trace.space().len() != new_policy.space().len() {
+            return Err(EstimatorError::SpaceMismatch {
+                trace: trace.space().len(),
+                policy: new_policy.space().len(),
+            });
+        }
+        old_batch.check_trace(trace);
+        new_policy.reset();
+        let space = trace.space();
+        let scores = old_batch.model_scores();
+        let mut contributions = Vec::new();
+        let mut weights = Vec::new();
+        let mut rejected = 0usize;
+
+        for (i, rec) in trace.records().iter().enumerate() {
+            let probs_new = new_policy.probabilities(&rec.context);
+            let u = rng.next_f64();
+            let mut acc = 0.0;
+            let mut sampled = probs_new.len() - 1;
+            for (j, &p) in probs_new.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    sampled = j;
+                    break;
+                }
+            }
+            if sampled != rec.decision.index() {
+                rejected += 1;
+                continue;
+            }
+            let probs_old = old_batch.probs_row(i);
+            let p_old = probs_old[rec.decision.index()];
+            if p_old <= 0.0 {
+                rejected += 1;
+                continue;
+            }
+            let z: f64 = probs_old.iter().zip(&probs_new).map(|(a, b)| a * b).sum();
+            let w = z / p_old;
+            let (dm_term, q_logged) = match scores {
+                Some(s) => {
+                    // The cached q row is the old-policy batch's, but q̂
+                    // depends only on (context, decision), not on which
+                    // policy the batch was built for.
+                    let q = s.q_row(i, space.len());
+                    let dm: f64 = space
+                        .iter()
+                        .map(|d| probs_new[d.index()] * q[d.index()])
+                        .sum();
+                    (dm, s.q_logged()[i])
+                }
+                None => {
+                    let dm: f64 = space
+                        .iter()
+                        .map(|d| probs_new[d.index()] * self.model.predict(&rec.context, d))
+                        .sum();
+                    (dm, self.model.predict(&rec.context, rec.decision))
+                }
+            };
+            let residual = rec.reward - q_logged;
+            contributions.push(dm_term + w * residual);
+            weights.push(w);
+            new_policy.observe(&rec.context, rec.decision, rec.reward);
+        }
+
+        if contributions.is_empty() {
+            note_reuse("Replay", trace.len() as u64, 0);
+            return Err(EstimatorError::NoUsableRecords);
+        }
+        let accepted = contributions.len();
+        match scores {
+            Some(_) => note_reuse("Replay", (trace.len() + 2 * accepted) as u64, 0),
+            None => note_reuse("Replay", trace.len() as u64, 2 * accepted as u64),
+        }
+        let diagnostics = WeightDiagnostics::from_weights(&weights);
         let outcome = ReplayOutcome {
             estimate: Estimate::from_contributions(contributions, diagnostics),
             accepted,

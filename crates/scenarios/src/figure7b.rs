@@ -23,6 +23,13 @@
 //! decision) pair — a chunk and its bitrate — rather than of the whole
 //! trajectory. The ABR *policies* remain stateful (buffer- and
 //! history-driven); only the per-chunk quality metric is local.
+//!
+//! **Shared-score batching:** this scenario replays bespoke
+//! [`SessionTrace`]s chunk-by-chunk (both policies are stateful), so the
+//! columnar [`ddn_estimators::EvalBatch`] does not apply; there is
+//! nothing scored twice to share. `figure7 --no-batch` is therefore a
+//! documented no-op for 7b — it still benefits from the worker-pool
+//! parallel runner like every other panel.
 
 use ddn_abr::policies::AbrPolicy;
 use ddn_abr::session::ChunkState;

@@ -11,7 +11,8 @@
 
 use ddn_cdn::cfa::{CfaConfig, CfaWorld};
 use ddn_estimators::{
-    DirectMethod, DoublyRobust, ErrorTable, Estimator, ExperimentRunner, MatchingEstimator,
+    BatchEstimator, DirectMethod, DoublyRobust, ErrorTable, Estimator, EvalBatch,
+    ExperimentRunner, MatchingEstimator,
 };
 use ddn_models::{KnnConfig, KnnRegressor};
 use ddn_policy::UniformRandomPolicy;
@@ -33,6 +34,11 @@ pub struct Figure7cConfig {
     pub runs: usize,
     /// Base seed.
     pub base_seed: u64,
+    /// Share one [`EvalBatch`] of policy/model scores across the
+    /// estimator menu (default). Disable (`figure7 --no-batch`) to rerun
+    /// the original per-estimator scoring for A/B timing; the estimates
+    /// are bit-identical either way.
+    pub use_batch: bool,
 }
 
 impl Default for Figure7cConfig {
@@ -55,6 +61,7 @@ impl Default for Figure7cConfig {
             knn_k: 5,
             runs: 50,
             base_seed: 70_003,
+            use_batch: true,
         }
     }
 }
@@ -94,18 +101,39 @@ fn prepared(
         };
 
         let _span = ddn_telemetry::span("estimate");
-        let cfa = MatchingEstimator::new()
-            .estimate(&trace, &new_policy)
-            .expect("uniform logging always yields matches at this scale")
-            .value;
-        let dm = DirectMethod::new(&knn)
-            .estimate(&trace, &new_policy)
-            .expect("DM always estimates")
-            .value;
-        let dr = DoublyRobust::new(&knn)
-            .estimate(&trace, &new_policy)
-            .expect("trace has propensities")
-            .value;
+        let (cfa, dm, dr) = if cfg.use_batch {
+            // One columnar scoring pass — k-NN predictions are the
+            // expensive part here — shared by the whole menu.
+            let batch = EvalBatch::with_model(&trace, &new_policy, &knn)
+                .expect("policy shares the trace's decision space");
+            let cfa = MatchingEstimator::new()
+                .estimate_batch(&trace, &batch)
+                .expect("uniform logging always yields matches at this scale")
+                .value;
+            let dm = DirectMethod::new(&knn)
+                .estimate_batch(&trace, &batch)
+                .expect("DM always estimates")
+                .value;
+            let dr = DoublyRobust::new(&knn)
+                .estimate_batch(&trace, &batch)
+                .expect("trace has propensities")
+                .value;
+            (cfa, dm, dr)
+        } else {
+            let cfa = MatchingEstimator::new()
+                .estimate(&trace, &new_policy)
+                .expect("uniform logging always yields matches at this scale")
+                .value;
+            let dm = DirectMethod::new(&knn)
+                .estimate(&trace, &new_policy)
+                .expect("DM always estimates")
+                .value;
+            let dr = DoublyRobust::new(&knn)
+                .estimate(&trace, &new_policy)
+                .expect("trace has propensities")
+                .value;
+            (cfa, dm, dr)
+        };
 
         (
             truth,
@@ -158,6 +186,28 @@ mod tests {
             dr.mean,
             cfa.mean
         );
+    }
+
+    #[test]
+    fn batched_matches_unbatched_bit_for_bit() {
+        let batched = figure7c_with(&Figure7cConfig {
+            runs: 3,
+            clients: 400,
+            ..Default::default()
+        });
+        let plain = figure7c_with(&Figure7cConfig {
+            runs: 3,
+            clients: 400,
+            use_batch: false,
+            ..Default::default()
+        });
+        for name in ["CFA", "DM", "DR"] {
+            let a = batched.get(name).unwrap();
+            let b = plain.get(name).unwrap();
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{name} mean");
+            assert_eq!(a.min.to_bits(), b.min.to_bits(), "{name} min");
+            assert_eq!(a.max.to_bits(), b.max.to_bits(), "{name} max");
+        }
     }
 
     #[test]

@@ -17,9 +17,9 @@
 
 use ddn_estimators::state_aware::MatchOnly;
 use ddn_estimators::{
-    ClippedIps, CouplingDetector, CrossFitDr, DirectMethod, DoublyRobust, ErrorTable, Estimator,
-    ExperimentRunner, Ips, MatchingEstimator, ReplayEvaluator, SelfNormalizedIps, StateAwareDr,
-    SwitchDr,
+    BatchEstimator, ClippedIps, CouplingDetector, CrossFitDr, DirectMethod, DoublyRobust,
+    ErrorTable, Estimator, EvalBatch, ExperimentRunner, Ips, MatchingEstimator, ReplayEvaluator,
+    SelfNormalizedIps, StateAwareDr, SwitchDr,
 };
 use ddn_models::TabularMeanModel;
 use ddn_policy::{EpsilonSmoothedPolicy, LookupPolicy, Policy, StationaryAsHistory};
@@ -40,6 +40,11 @@ pub struct HealthConfig {
     pub runs: usize,
     /// Base seed.
     pub base_seed: u64,
+    /// Share [`EvalBatch`]es of policy/model scores across the menu
+    /// (default): one batch scored under the target policy for the
+    /// stationary estimators, one under the logging policy for Replay.
+    /// Disable to rerun per-estimator scoring; bit-identical either way.
+    pub use_batch: bool,
 }
 
 impl Default for HealthConfig {
@@ -48,6 +53,7 @@ impl Default for HealthConfig {
             records: 240,
             runs: 16,
             base_seed: 90_001,
+            use_batch: true,
         }
     }
 }
@@ -107,75 +113,156 @@ fn run_seed(cfg: &HealthConfig, seed: u64) -> (f64, Vec<(String, f64)>) {
     let mut rows: Vec<(String, f64)> = Vec::new();
     let mut push = |name: &str, value: f64| rows.push((name.to_string(), value));
 
-    push(
-        "DM",
-        DirectMethod::new(&model)
-            .estimate(&trace, &target)
-            .expect("DM always estimates")
-            .value,
-    );
-    push(
-        "IPS",
-        Ips::new().estimate(&trace, &target).expect("IPS").value,
-    );
-    push(
-        "SNIPS",
-        SelfNormalizedIps::new()
-            .estimate(&trace, &target)
-            .expect("SNIPS")
-            .value,
-    );
-    push(
-        "ClippedIPS",
-        ClippedIps::new(2.0)
-            .estimate(&trace, &target)
-            .expect("ClippedIPS")
-            .value,
-    );
-    push(
-        "DR",
-        DoublyRobust::new(&model)
-            .estimate(&trace, &target)
-            .expect("DR")
-            .value,
-    );
-    push(
-        "SwitchDR",
-        SwitchDr::new(&model, 2.0)
-            .estimate(&trace, &target)
-            .expect("SwitchDR")
-            .value,
-    );
-    push(
-        "CrossFitDR",
-        CrossFitDr::new(3, fit)
-            .estimate(&trace, &target)
-            .expect("CrossFitDR")
-            .value,
-    );
-    push(
-        "CFA",
-        MatchingEstimator::new()
-            .estimate(&trace, &target)
-            .expect("ε-smoothed logging always yields matches at this scale")
-            .value,
-    );
-    push(
-        "StateAwareDR",
-        StateAwareDr::new(&model, MatchOnly, StateTag::HIGH_LOAD)
-            .estimate(&trace, &target)
-            .expect("StateAwareDR")
-            .value,
-    );
+    if cfg.use_batch {
+        // Shared-score path: score every record once under the target
+        // policy (probabilities, weights, model predictions) and let the
+        // nine stationary estimators read the same columnar batch.
+        let batch = EvalBatch::with_model(&trace, &target, &model)
+            .expect("target shares the trace's decision space");
+        push(
+            "DM",
+            DirectMethod::new(&model)
+                .estimate_batch(&trace, &batch)
+                .expect("DM always estimates")
+                .value,
+        );
+        push(
+            "IPS",
+            Ips::new().estimate_batch(&trace, &batch).expect("IPS").value,
+        );
+        push(
+            "SNIPS",
+            SelfNormalizedIps::new()
+                .estimate_batch(&trace, &batch)
+                .expect("SNIPS")
+                .value,
+        );
+        push(
+            "ClippedIPS",
+            ClippedIps::new(2.0)
+                .estimate_batch(&trace, &batch)
+                .expect("ClippedIPS")
+                .value,
+        );
+        push(
+            "DR",
+            DoublyRobust::new(&model)
+                .estimate_batch(&trace, &batch)
+                .expect("DR")
+                .value,
+        );
+        push(
+            "SwitchDR",
+            SwitchDr::new(&model, 2.0)
+                .estimate_batch(&trace, &batch)
+                .expect("SwitchDR")
+                .value,
+        );
+        push(
+            "CrossFitDR",
+            CrossFitDr::new(3, fit)
+                .estimate_batch(&trace, &batch)
+                .expect("CrossFitDR")
+                .value,
+        );
+        push(
+            "CFA",
+            MatchingEstimator::new()
+                .estimate_batch(&trace, &batch)
+                .expect("ε-smoothed logging always yields matches at this scale")
+                .value,
+        );
+        push(
+            "StateAwareDR",
+            StateAwareDr::new(&model, MatchOnly, StateTag::HIGH_LOAD)
+                .estimate_batch(&trace, &batch)
+                .expect("StateAwareDR")
+                .value,
+        );
 
-    // Replay drives the target as a (degenerate) history policy so the
-    // acceptance-rate diagnostic gets exercised too.
-    let mut history = StationaryAsHistory::new(LookupPolicy::constant(space(), 1));
-    let mut replay_rng = rng.fork();
-    let replay = ReplayEvaluator::new(&model)
-        .evaluate(&trace, &logger(), &mut history, &mut replay_rng)
-        .expect("skewed logging still accepts ~1/4 of tuples");
-    push("Replay", replay.estimate.value);
+        // Replay reads the *logging* policy's probability rows (it
+        // reweights by the old policy), so it gets its own batch; the
+        // model scores are shared because predictions depend only on
+        // (context, decision), not on which policy scored the batch.
+        let logger_batch = EvalBatch::with_model(&trace, &logger(), &model)
+            .expect("logger shares the trace's decision space");
+        let mut history = StationaryAsHistory::new(LookupPolicy::constant(space(), 1));
+        let mut replay_rng = rng.fork();
+        let replay = ReplayEvaluator::new(&model)
+            .evaluate_batch(&trace, &logger_batch, &mut history, &mut replay_rng)
+            .expect("skewed logging still accepts ~1/4 of tuples");
+        push("Replay", replay.estimate.value);
+    } else {
+        push(
+            "DM",
+            DirectMethod::new(&model)
+                .estimate(&trace, &target)
+                .expect("DM always estimates")
+                .value,
+        );
+        push(
+            "IPS",
+            Ips::new().estimate(&trace, &target).expect("IPS").value,
+        );
+        push(
+            "SNIPS",
+            SelfNormalizedIps::new()
+                .estimate(&trace, &target)
+                .expect("SNIPS")
+                .value,
+        );
+        push(
+            "ClippedIPS",
+            ClippedIps::new(2.0)
+                .estimate(&trace, &target)
+                .expect("ClippedIPS")
+                .value,
+        );
+        push(
+            "DR",
+            DoublyRobust::new(&model)
+                .estimate(&trace, &target)
+                .expect("DR")
+                .value,
+        );
+        push(
+            "SwitchDR",
+            SwitchDr::new(&model, 2.0)
+                .estimate(&trace, &target)
+                .expect("SwitchDR")
+                .value,
+        );
+        push(
+            "CrossFitDR",
+            CrossFitDr::new(3, fit)
+                .estimate(&trace, &target)
+                .expect("CrossFitDR")
+                .value,
+        );
+        push(
+            "CFA",
+            MatchingEstimator::new()
+                .estimate(&trace, &target)
+                .expect("ε-smoothed logging always yields matches at this scale")
+                .value,
+        );
+        push(
+            "StateAwareDR",
+            StateAwareDr::new(&model, MatchOnly, StateTag::HIGH_LOAD)
+                .estimate(&trace, &target)
+                .expect("StateAwareDR")
+                .value,
+        );
+
+        // Replay drives the target as a (degenerate) history policy so the
+        // acceptance-rate diagnostic gets exercised too.
+        let mut history = StationaryAsHistory::new(LookupPolicy::constant(space(), 1));
+        let mut replay_rng = rng.fork();
+        let replay = ReplayEvaluator::new(&model)
+            .evaluate(&trace, &logger(), &mut history, &mut replay_rng)
+            .expect("skewed logging still accepts ~1/4 of tuples");
+        push("Replay", replay.estimate.value);
+    }
 
     // The proxy load shifts with the state tags: the detector should see
     // exactly two regimes and report them as health telemetry.
@@ -247,6 +334,51 @@ mod tests {
         // the analytic truth.
         assert!(table.get("DR").unwrap().mean < 0.15);
         assert!(table.get("IPS").unwrap().mean < 0.3);
+    }
+
+    #[test]
+    fn batched_matches_unbatched_bit_for_bit() {
+        let cfg = HealthConfig {
+            runs: 3,
+            ..Default::default()
+        };
+        let (batched, batched_snap) = health_suite_with(&cfg);
+        let (plain, plain_snap) = health_suite_with(&HealthConfig {
+            use_batch: false,
+            ..cfg
+        });
+        for name in [
+            "DM",
+            "IPS",
+            "SNIPS",
+            "ClippedIPS",
+            "DR",
+            "SwitchDR",
+            "CrossFitDR",
+            "CFA",
+            "StateAwareDR",
+            "Replay",
+        ] {
+            let a = batched.get(name).unwrap();
+            let b = plain.get(name).unwrap();
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{name} mean");
+            assert_eq!(a.min.to_bits(), b.min.to_bits(), "{name} min");
+            assert_eq!(a.max.to_bits(), b.max.to_bits(), "{name} max");
+        }
+        // The health diagnostics are identical too — the batch changes
+        // where scores come from, never what the estimators report.
+        for (source, metric) in [
+            ("ClippedIPS", "clip_rate"),
+            ("Replay", "acceptance_rate"),
+            ("CFA", "coverage"),
+        ] {
+            let a = batched_snap.health_metric(source, metric).unwrap();
+            let b = plain_snap.health_metric(source, metric).unwrap();
+            assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "{source}/{metric}");
+        }
+        // Only the batched run counts score reuse.
+        assert!(batched_snap.counter("batch.hit").unwrap_or(0) > 0);
+        assert_eq!(plain_snap.counter("batch.hit"), None);
     }
 
     #[test]

@@ -198,9 +198,22 @@ impl ErrorReport {
     /// Relative improvement of `self` over `baseline` in mean error
     /// (e.g. the paper's "DR's evaluation error is about 32% lower").
     /// Positive means `self` is better (lower error).
+    ///
+    /// ## Degenerate baseline convention
+    ///
+    /// A zero-mean-error baseline admits no relative improvement:
+    /// matching it exactly (`self.mean == 0.0`) reports `0.0` (parity),
+    /// while any positive error against a perfect baseline reports
+    /// `f64::NEG_INFINITY` — an unboundedly bad regression, which is
+    /// what "relative to zero" means. Earlier versions returned `0.0`
+    /// in both cases, misreporting a strict regression as parity.
     pub fn improvement_over(&self, baseline: &ErrorReport) -> f64 {
         if baseline.mean == 0.0 {
-            return 0.0;
+            return if self.mean == 0.0 {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            };
         }
         (baseline.mean - self.mean) / baseline.mean
     }
@@ -419,6 +432,20 @@ mod tests {
         let wise = ErrorReport::from_errors(&[0.1]);
         let imp = dr.improvement_over(&wise);
         assert!((imp - 0.32).abs() < 1e-9, "improvement {imp}");
+    }
+
+    #[test]
+    fn improvement_over_zero_baseline_convention() {
+        let perfect = ErrorReport::from_errors(&[0.0, 0.0]);
+        let also_perfect = ErrorReport::from_errors(&[0.0]);
+        let worse = ErrorReport::from_errors(&[0.3, 0.5]);
+        // Matching a perfect baseline exactly is parity.
+        assert_eq!(also_perfect.improvement_over(&perfect), 0.0);
+        // Any positive error against a perfect baseline is an unbounded
+        // regression — previously misreported as 0.0 (parity).
+        assert_eq!(worse.improvement_over(&perfect), f64::NEG_INFINITY);
+        // A perfect estimator against a fallible baseline is a full win.
+        assert_eq!(perfect.improvement_over(&worse), 1.0);
     }
 
     #[test]

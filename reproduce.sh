@@ -26,7 +26,31 @@ if [[ "${1:-}" == "ci" ]]; then
     selftest --runs 3 --telemetry "$telemetry_file" > /dev/null
   cargo run --release --offline -p ddn-cli --bin ddn -- \
     telemetry-check "$telemetry_file"
-  echo "ci ok: built, tested, and telemetry-smoked with zero external dependencies"
+  echo "== ci: shared-score batching (batched == unbatched, bench smoke) =="
+  # The batched path must print the exact same tables as --no-batch: the
+  # EvalBatch contract is bit-identity, so a plain text diff is a full
+  # equivalence check over every estimator in the 7c panel.
+  batched_out="$(cargo run --release --offline -p ddn-cli --bin ddn -- \
+    figure7 7c --runs 3)"
+  plain_out="$(cargo run --release --offline -p ddn-cli --bin ddn -- \
+    figure7 7c --runs 3 --no-batch)"
+  if [[ "$batched_out" != "$plain_out" ]]; then
+    echo "FAIL: figure7 7c output differs between batched and --no-batch" >&2
+    diff <(printf '%s\n' "$batched_out") <(printf '%s\n' "$plain_out") >&2 || true
+    exit 1
+  fi
+  # Tiny eval_batch bench smoke: one warmup-free iteration, sized down,
+  # writing BENCH_eval_batch.json into a scratch dir. This checks the
+  # timing harness end-to-end, not the speedup ratio (CI boxes are noisy;
+  # the pinned ratio lives in BENCH_perf.json from full bench runs).
+  bench_dir="$(mktemp -d -t ddn-bench-XXXXXX)"
+  trap 'rm -f "$telemetry_file"; rm -rf "$bench_dir"' EXIT
+  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_BENCH_DIR="$bench_dir" \
+  DDN_EVAL_BATCH_RUNS=1 DDN_EVAL_BATCH_CLIENTS=100 \
+    cargo bench --offline -p ddn-bench --bench eval_batch
+  test -s "$bench_dir/BENCH_eval_batch.json"
+  grep -q '"speedup"' "$bench_dir/BENCH_eval_batch.json"
+  echo "ci ok: built, tested, telemetry-smoked, and batch-equivalence-checked with zero external dependencies"
   exit 0
 fi
 

@@ -9,12 +9,17 @@
 
 use ddn::abr::throughput::{Bandwidth, ThroughputDiscount};
 use ddn::abr::{BitrateLadder, QoeModel, Session, SessionConfig};
-use ddn::estimators::{CrossFitDr, DirectMethod, DoublyRobust, Estimator, Ips, OverlapReport};
-use ddn::models::{ConstantModel, FnModel};
+use ddn::estimators::state_aware::MatchOnly;
+use ddn::estimators::{
+    BatchEstimator, ClippedIps, CrossFitDr, DirectMethod, DoublyRobust, Estimator, EvalBatch,
+    Ips, MatchingEstimator, OverlapReport, ReplayEvaluator, SelfNormalizedIps, StateAwareDr,
+    SwitchDr,
+};
+use ddn::models::{ConstantModel, FnModel, TabularMeanModel};
 use ddn::netsim::{small_world, RateProfile};
 use ddn::policy::{
     EpsilonSmoothedPolicy, GreedyPolicy, LookupPolicy, MixturePolicy, Policy, SoftmaxPolicy,
-    UniformRandomPolicy,
+    StationaryAsHistory, UniformRandomPolicy,
 };
 use ddn::relay::{emodel_mos, PathMetrics};
 use ddn::stats::changepoint::{pelt, segments, CostModel, Penalty};
@@ -22,7 +27,8 @@ use ddn::stats::summary::{quantile, Summary, Welford};
 use ddn::stats::ttest::{paired_t_test, t_two_sided_p, welch_t_test};
 use ddn::stats::{Categorical, Distribution, Rng, Xoshiro256};
 use ddn::trace::{
-    Context, ContextSchema, Decision, DecisionSpace, EmpiricalPropensity, Trace, TraceRecord,
+    Context, ContextSchema, Decision, DecisionSpace, EmpiricalPropensity, StateTag, Trace,
+    TraceError, TraceRecord,
 };
 use ddn_testkit::{prop, prop_assert, prop_assert_eq, prop_assume, strings_from, vecs, Gen};
 
@@ -71,6 +77,85 @@ fn build_trace(rows: &[(u32, f64, usize, f64, f64)]) -> Trace {
         })
         .collect();
     Trace::from_records(schema(), space(), records).expect("valid random trace")
+}
+
+/// Shared reward model for the batch-parity properties: depends on both
+/// context fields and the decision, so cached scores genuinely vary.
+fn parity_score(c: &Context, d: Decision) -> f64 {
+    c.cat(0) as f64 * 1.3 + 0.7 * d.index() as f64 - 0.01 * c.num(1)
+}
+
+fn parity_model() -> FnModel<fn(&Context, Decision) -> f64> {
+    FnModel::new(parity_score as fn(&Context, Decision) -> f64)
+}
+
+/// Checks that `estimate` and `estimate_batch` agree bit-for-bit — same
+/// value bits, same per-record bits, or the same error.
+fn check_batch_parity(
+    est: &dyn BatchEstimator,
+    trace: &Trace,
+    policy: &dyn Policy,
+    batch: &EvalBatch,
+) -> Result<(), String> {
+    let plain = est.estimate(trace, policy);
+    let batched = est.estimate_batch(trace, batch);
+    match (plain, batched) {
+        (Ok(a), Ok(b)) => {
+            if a.value.to_bits() != b.value.to_bits() {
+                return Err(format!(
+                    "{}: value {} (batched {}) differ",
+                    est.name(),
+                    a.value,
+                    b.value
+                ));
+            }
+            if a.per_record.len() != b.per_record.len() {
+                return Err(format!("{}: per_record lengths differ", est.name()));
+            }
+            for (i, (x, y)) in a.per_record.iter().zip(&b.per_record).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    return Err(format!(
+                        "{}: per_record[{i}] {x} (batched {y}) differ",
+                        est.name()
+                    ));
+                }
+            }
+            Ok(())
+        }
+        (Err(a), Err(b)) => {
+            let (a, b) = (format!("{a:?}"), format!("{b:?}"));
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!("{}: errors differ: {a} vs {b}", est.name()))
+            }
+        }
+        (Ok(_), Err(e)) => Err(format!("{}: plain Ok, batched Err {e:?}", est.name())),
+        (Err(e), Ok(_)) => Err(format!("{}: plain Err {e:?}, batched Ok", est.name())),
+    }
+}
+
+/// Runs the whole stationary estimator menu through [`check_batch_parity`]
+/// against one shared batch.
+fn menu_batch_parity(trace: &Trace, policy: &dyn Policy) -> Result<(), String> {
+    let model = parity_model();
+    let batch = EvalBatch::with_model(trace, policy, &model)
+        .map_err(|e| format!("batch build failed: {e:?}"))?;
+    let fit = |tr: &Trace| TabularMeanModel::fit_trace(tr, 1.0);
+    let menu: Vec<Box<dyn BatchEstimator>> = vec![
+        Box::new(Ips::new()),
+        Box::new(SelfNormalizedIps::new()),
+        Box::new(ClippedIps::new(2.0)),
+        Box::new(DirectMethod::new(&model)),
+        Box::new(DoublyRobust::new(&model)),
+        Box::new(SwitchDr::new(&model, 2.0)),
+        Box::new(MatchingEstimator::new()),
+        Box::new(CrossFitDr::new(3, fit)),
+    ];
+    for est in &menu {
+        check_batch_parity(est.as_ref(), trace, policy, &batch)?;
+    }
+    Ok(())
 }
 
 prop! {
@@ -371,5 +456,140 @@ prop! {
         prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         prop_assert_eq!(probs.iter().filter(|&&q| q == 1.0).count(), 1);
         prop_assert!(p.is_deterministic_at(&c));
+    }
+
+    // ---- Shared-score batching: batched ≡ unbatched, bit for bit --------
+
+    fn batched_menu_matches_unbatched_bit_for_bit(rows in vecs(record_gen(), 1..50), target in 0usize..3, eps in 0.0..1.0f64) {
+        // Random trace, randomized target policy: every stationary
+        // estimator must produce the same bits through the shared batch
+        // as through its own scoring loop.
+        let trace = build_trace(&rows);
+        let policy =
+            EpsilonSmoothedPolicy::new(Box::new(LookupPolicy::constant(space(), target)), eps);
+        let r = menu_batch_parity(&trace, &policy);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    fn batched_menu_parity_under_zero_overlap(rows in vecs(record_gen(), 1..30), target in 0usize..3) {
+        // Degenerate case: a deterministic policy that disagrees with
+        // every logged decision → all importance weights are zero. IPS
+        // returns 0, SNIPS and matching error with NoUsableRecords —
+        // batched and unbatched must agree on all of it.
+        let logged = (target + 1) % 3;
+        let records: Vec<TraceRecord> = rows
+            .iter()
+            .map(|&(g, x, _, r, p)| {
+                TraceRecord::new(ctx(g, x), Decision::from_index(logged), r).with_propensity(p)
+            })
+            .collect();
+        let trace = Trace::from_records(schema(), space(), records).unwrap();
+        let policy = LookupPolicy::constant(space(), target);
+        let r = menu_batch_parity(&trace, &policy);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    fn batched_menu_parity_with_missing_propensity(rows in vecs(record_gen(), 2..30), hole in 0usize..100) {
+        // One record lacks its propensity: weight-based estimators must
+        // report MissingPropensity with the same record index both ways,
+        // and DM must keep estimating both ways.
+        let hole = hole % rows.len();
+        let records: Vec<TraceRecord> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(g, x, d, r, p))| {
+                let rec = TraceRecord::new(ctx(g, x), Decision::from_index(d), r);
+                if i == hole { rec } else { rec.with_propensity(p) }
+            })
+            .collect();
+        let trace = Trace::from_records(schema(), space(), records).unwrap();
+        let policy =
+            EpsilonSmoothedPolicy::new(Box::new(LookupPolicy::constant(space(), 0)), 0.3);
+        let r = menu_batch_parity(&trace, &policy);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    fn state_aware_batched_parity(rows in vecs(record_gen(), 1..40), target in 0usize..3) {
+        // StateAwareDR's inherent estimate/estimate_batch pair over a
+        // trace whose records alternate between the two load states.
+        let records: Vec<TraceRecord> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(g, x, d, r, p))| {
+                TraceRecord::new(ctx(g, x), Decision::from_index(d), r)
+                    .with_propensity(p)
+                    .with_state(if i % 2 == 0 { StateTag::LOW_LOAD } else { StateTag::HIGH_LOAD })
+            })
+            .collect();
+        let trace = Trace::from_records(schema(), space(), records).unwrap();
+        let policy = LookupPolicy::constant(space(), target);
+        let model = parity_model();
+        let batch = EvalBatch::with_model(&trace, &policy, &model).unwrap();
+        let est = StateAwareDr::new(&model, MatchOnly, StateTag::HIGH_LOAD);
+        let plain = est.estimate(&trace, &policy);
+        let batched = est.estimate_batch(&trace, &batch);
+        match (plain, batched) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+                prop_assert_eq!(a.per_record.len(), b.per_record.len());
+                for (x, y) in a.per_record.iter().zip(&b.per_record) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            (a, b) => prop_assert!(false, "Ok/Err disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    fn replay_batched_parity(rows in vecs(record_gen(), 1..40), target in 0usize..3, seed in 0u64..500) {
+        // Replay consumes RNG draws record-by-record; the batched path
+        // must accept/reject the same tuples and produce the same bits.
+        let trace = build_trace(&rows);
+        let old = EpsilonSmoothedPolicy::new(Box::new(LookupPolicy::constant(space(), 0)), 0.5);
+        let model = parity_model();
+        let batch = EvalBatch::with_model(&trace, &old, &model).unwrap();
+        let evaluator = ReplayEvaluator::new(&model);
+        let mut h_plain = StationaryAsHistory::new(LookupPolicy::constant(space(), target));
+        let mut rng_plain = Xoshiro256::seed_from(seed);
+        let plain = evaluator.evaluate(&trace, &old, &mut h_plain, &mut rng_plain);
+        let mut h_batch = StationaryAsHistory::new(LookupPolicy::constant(space(), target));
+        let mut rng_batch = Xoshiro256::seed_from(seed);
+        let batched = evaluator.evaluate_batch(&trace, &batch, &mut h_batch, &mut rng_batch);
+        match (plain, batched) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.accepted, b.accepted);
+                prop_assert_eq!(a.rejected, b.rejected);
+                prop_assert_eq!(a.estimate.value.to_bits(), b.estimate.value.to_bits());
+                for (x, y) in a.estimate.per_record.iter().zip(&b.estimate.per_record) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            (a, b) => prop_assert!(false, "Ok/Err disagree: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+// ---- Pinned degenerate-input behavior (not property-sized) -------------
+
+/// A trace can never be empty, so `EvalBatch` (and every estimator) is
+/// guaranteed at least one record: the constructor rejects emptiness.
+#[test]
+fn empty_trace_is_rejected_before_batching() {
+    let err = Trace::from_records(schema(), space(), Vec::new());
+    assert!(matches!(err, Err(TraceError::Empty)), "{err:?}");
+}
+
+/// Zero (and out-of-range) propensities are rejected when the record is
+/// built, so "all-zero propensities" cannot reach the estimators; the
+/// reachable degenerate case is all-zero *weights*, covered by
+/// `batched_menu_parity_under_zero_overlap`.
+#[test]
+fn zero_propensity_is_rejected_before_batching() {
+    for bad in [0.0, -0.25, 1.5, f64::NAN] {
+        let attach = std::panic::catch_unwind(|| {
+            TraceRecord::new(ctx(0, 0.0), Decision::from_index(0), 1.0).with_propensity(bad)
+        });
+        assert!(attach.is_err(), "propensity {bad} should be rejected");
     }
 }

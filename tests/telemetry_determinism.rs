@@ -71,6 +71,34 @@ fn instrumented_serial_matches_instrumented_parallel() {
     );
 }
 
+/// `DDN_THREADS` steers [`ExperimentRunner::default_threads`], invalid
+/// values fall back to machine parallelism, and the
+/// `experiment.default_threads` gauge is written exactly once per
+/// process (so concurrent experiments can't flap it mid-read). One test
+/// owns the variable for the whole binary — nothing else here reads it.
+#[test]
+fn ddn_threads_env_overrides_default_thread_count() {
+    std::env::set_var("DDN_THREADS", "3");
+    assert_eq!(ExperimentRunner::default_threads(), 3);
+    let gauge = ddn::telemetry::Registry::global().gauge("experiment.default_threads");
+    assert_eq!(gauge.get(), 3.0, "first call records the gauge");
+
+    // Invalid overrides fall back to the machine's parallelism.
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for junk in ["0", "-2", "many"] {
+        std::env::set_var("DDN_THREADS", junk);
+        assert_eq!(ExperimentRunner::default_threads(), machine, "{junk:?}");
+    }
+    std::env::remove_var("DDN_THREADS");
+    assert_eq!(ExperimentRunner::default_threads(), machine);
+
+    // Later calls saw different thread counts, but the gauge keeps the
+    // first write — once per process, never flapping.
+    assert_eq!(gauge.get(), 3.0, "gauge must not be rewritten");
+}
+
 #[test]
 fn full_json_reports_thread_count_but_deterministic_form_drops_it() {
     let runner = ExperimentRunner::new(3, 9);

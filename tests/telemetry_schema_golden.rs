@@ -116,7 +116,16 @@ const METRIC_AGG_KEYS: &[&str] = &["runs", "mean", "min", "max"];
 const TIMING_AGG_KEYS: &[&str] = &["count", "total_ns", "mean_ns", "min_ns", "max_ns"];
 
 /// Pinned span paths the instrumented runner produces for this suite.
-const GOLDEN_TIMINGS: &[&str] = &["experiment", "run", "run/estimate", "run/log"];
+/// `run/estimate/batch_build` is the shared-score [`EvalBatch`]
+/// construction (two per run: target-policy and logger-policy batches);
+/// it disappears when the suite runs with `use_batch: false`.
+const GOLDEN_TIMINGS: &[&str] = &[
+    "experiment",
+    "run",
+    "run/estimate",
+    "run/estimate/batch_build",
+    "run/log",
+];
 
 fn keys(obj: &Json) -> Vec<String> {
     obj.as_object()
