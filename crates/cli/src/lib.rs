@@ -58,6 +58,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// A telemetry file failed validation (bad JSON or missing health keys).
     Telemetry(String),
+    /// The streaming evaluation service (or its client) failed.
+    Serve(String),
 }
 
 impl CliError {
@@ -79,6 +81,7 @@ impl fmt::Display for CliError {
             CliError::Estimator(e) => write!(f, "estimation error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Telemetry(m) => write!(f, "telemetry error: {m}"),
+            CliError::Serve(m) => write!(f, "serve error: {m}"),
         }
     }
 }
@@ -117,17 +120,30 @@ USAGE:
   ddn selftest [--runs 16] [--telemetry <out.json>]
   ddn telemetry-check <telemetry.json>   (expects a full-menu snapshot,
                                           i.e. one written by selftest)
+  ddn serve    [--addr 127.0.0.1:0] [--shards 4] [--queue 256]
+               [--port-file <path>]
+  ddn replay-to <trace.jsonl> --addr <host:port> --decision <name>
+               [--estimator ips|snips|clipped|dm|dr] [--session replay]
+               [--batch 256] [--model-value 0] [--window <n>] [--shutdown]
 
 With --telemetry, the full snapshot (estimator health, span timings) is
 written as JSON to the given path and a summary table goes to stderr.
 --no-batch disables the shared-score evaluation batch (per-estimator
 scoring, the pre-batching code path) for A/B timing; the estimates are
-bit-identical either way. 7b replays sessions chunk-by-chunk and has no
-batch to disable.
+bit-identical either way. For 7b, --no-batch is accepted but is a
+documented no-op: 7b replays sessions chunk-by-chunk and has no shared
+batch to disable, so it always runs the same code path.
+
+serve starts the streaming evaluation service (DESIGN.md §10): it prints
+the bound address to stderr (and to --port-file, if given) and blocks
+until a client sends the shutdown verb. replay-to streams an existing
+JSONL trace into a running server without ever loading the whole file,
+then asks for the online estimate; with --shutdown it stops the server
+afterwards.
 ";
 
 /// Flags that stand alone (no value follows them).
-const BOOL_FLAGS: &[&str] = &["no-batch"];
+const BOOL_FLAGS: &[&str] = &["no-batch", "shutdown"];
 
 /// Parsed flag set (very small; hand-rolled on purpose — no CLI deps).
 struct Flags {
@@ -246,6 +262,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "figure7" => cmd_figure7(rest),
         "selftest" => cmd_selftest(rest),
         "telemetry-check" => cmd_telemetry_check(rest),
+        "serve" => cmd_serve(rest),
+        "replay-to" => cmd_replay_to(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n\n{USAGE}"
@@ -755,6 +773,158 @@ fn cmd_telemetry_check(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "serve takes no positional arguments\n\n{USAGE}"
+        )));
+    }
+    let mut config = ddn_serve::ServeConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(shards) = flags.get("shards") {
+        config.shards = shards
+            .parse()
+            .ok()
+            .filter(|&s: &usize| s > 0)
+            .ok_or_else(|| CliError::Usage("shards must be a positive integer".into()))?;
+    }
+    if let Some(queue) = flags.get("queue") {
+        config.queue_capacity = queue
+            .parse()
+            .ok()
+            .filter(|&q: &usize| q > 0)
+            .ok_or_else(|| CliError::Usage("queue must be a positive integer".into()))?;
+    }
+    let handle = ddn_serve::serve(&config).map_err(CliError::Io)?;
+    let addr = handle.local_addr();
+    if let Some(port_file) = flags.get("port-file") {
+        std::fs::write(port_file, format!("{addr}\n"))?;
+    }
+    eprintln!("ddn-serve listening on {addr} (send the shutdown verb to stop)");
+    handle.join();
+    Ok(format!("server on {addr} shut down cleanly\n"))
+}
+
+fn cmd_replay_to(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "replay-to needs exactly one trace path\n\n{USAGE}"
+        )));
+    };
+    let addr = flags
+        .get("addr")
+        .ok_or_else(|| CliError::Usage(format!("replay-to needs --addr <host:port>\n\n{USAGE}")))?;
+    let decision = flags
+        .get("decision")
+        .ok_or_else(|| CliError::Usage(format!("replay-to needs --decision <name>\n\n{USAGE}")))?;
+    let estimator = flags.get("estimator").unwrap_or("ips");
+    let session = flags.get("session").unwrap_or("replay");
+    let batch: usize = flags
+        .get("batch")
+        .unwrap_or("256")
+        .parse()
+        .ok()
+        .filter(|&b| b > 0)
+        .ok_or_else(|| CliError::Usage("batch must be a positive integer".into()))?;
+    let model_value: f64 = flags
+        .get("model-value")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| CliError::Usage("model-value must be a number".into()))?;
+    let window: Option<usize> = match flags.get("window") {
+        None => None,
+        Some(w) => Some(
+            w.parse()
+                .ok()
+                .filter(|&w: &usize| w > 0)
+                .ok_or_else(|| CliError::Usage("window must be a positive integer".into()))?,
+        ),
+    };
+
+    // Stream the file: the full trace is never resident — only one
+    // `--batch`-sized chunk at a time.
+    let mut stream = Trace::stream_file(path)?;
+    let serve_err = |e: ddn_serve::ClientError| CliError::Serve(e.to_string());
+    let mut client = ddn_serve::ServeClient::connect(addr).map_err(serve_err)?;
+    client
+        .init(
+            session,
+            stream.schema(),
+            stream.space(),
+            &[estimator],
+            decision,
+            model_value,
+            window,
+        )
+        .map_err(serve_err)?;
+
+    let mut chunk = Vec::with_capacity(batch);
+    let mut sent = 0usize;
+    loop {
+        chunk.clear();
+        for rec in &mut stream {
+            chunk.push(rec?);
+            if chunk.len() == batch {
+                break;
+            }
+        }
+        if chunk.is_empty() {
+            break;
+        }
+        client.ingest(session, &chunk).map_err(serve_err)?;
+        sent += chunk.len();
+    }
+
+    let resp = client.estimate(session).map_err(serve_err)?;
+    let body = resp
+        .get("estimates")
+        .and_then(|e| e.get(estimator))
+        .ok_or_else(|| CliError::Serve(format!("response lacks estimate for {estimator:?}")))?;
+    let mut out = format!("policy: always {decision}\nestimator: {estimator} (online)\n");
+    match body.get("value").and_then(Json::as_f64) {
+        Some(value) => {
+            out.push_str(&format!("estimate: {value:.6}\n"));
+            if let (Some(ess), Some(max_w)) = (
+                body.get("ess").and_then(Json::as_f64),
+                body.get("max_weight").and_then(Json::as_f64),
+            ) {
+                out.push_str(&format!(
+                    "effective sample size: {ess:.0} of {sent} | max weight {max_w:.2}\n"
+                ));
+            }
+        }
+        None => {
+            let msg = body
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("estimator produced no value");
+            return Err(CliError::Serve(msg.to_string()));
+        }
+    }
+    if let Some(coupling) = resp.get("coupling") {
+        if coupling.get("coupled") == Some(&Json::Bool(true)) {
+            out.push_str(&format!(
+                "WARNING: coupling detected — {} change point(s) in the trailing reward window\n",
+                coupling
+                    .get("changepoints")
+                    .and_then(Json::as_array)
+                    .map(|c| c.len())
+                    .unwrap_or(0),
+            ));
+        }
+    }
+    out.push_str(&format!("streamed {sent} records\n"));
+    if flags.has("shutdown") {
+        client.shutdown().map_err(serve_err)?;
+        out.push_str("server shutdown requested\n");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -899,6 +1069,110 @@ mod tests {
         assert!(plain.contains("Figure 7c"), "{plain}");
         // Bit-identical numbers → identical rendered tables.
         assert_eq!(batched, plain);
+    }
+
+    #[test]
+    fn serve_and_replay_to_match_offline_evaluate() {
+        let trace_path = write_temp_trace("serve", true);
+        let port_file = std::env::temp_dir()
+            .join(format!("ddn-cli-test-port-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+
+        let pf = port_file.clone();
+        let server = std::thread::spawn(move || run(&args(&["serve", "--port-file", &pf])));
+
+        // Wait for the server to write its bound address.
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&port_file) {
+                    let s = s.trim().to_string();
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 100, "server never wrote {port_file}");
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        };
+
+        let online = run(&args(&[
+            "replay-to",
+            &trace_path,
+            "--addr",
+            &addr,
+            "--decision",
+            "beta",
+            "--estimator",
+            "ips",
+            "--batch",
+            "64",
+            "--shutdown",
+        ]))
+        .unwrap();
+        let offline = run(&args(&[
+            "evaluate",
+            &trace_path,
+            "--decision",
+            "beta",
+            "--estimator",
+            "ips",
+        ]))
+        .unwrap();
+
+        let pick = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("estimate:"))
+                .map(str::to_string)
+                .unwrap_or_else(|| panic!("no estimate line in:\n{out}"))
+        };
+        // The streamed online estimate renders the exact same line as the
+        // offline batch path — this is the contract the CI smoke diffs.
+        assert_eq!(pick(&online), pick(&offline), "online:\n{online}\noffline:\n{offline}");
+        assert!(online.contains("streamed 400 records"), "{online}");
+        assert!(online.contains("server shutdown requested"), "{online}");
+
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("shut down cleanly"), "{served}");
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_file(port_file).ok();
+    }
+
+    #[test]
+    fn replay_to_usage_errors() {
+        assert!(matches!(
+            run(&args(&["replay-to", "x.jsonl"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["replay-to", "x.jsonl", "--addr", "127.0.0.1:1"])),
+            Err(CliError::Usage(_))
+        ));
+        // With flags present but no server listening, the failure is a
+        // serve error (exit 1), not a usage error.
+        let path = write_temp_trace("rt-usage", true);
+        let e = run(&args(&[
+            "replay-to",
+            &path,
+            "--addr",
+            "127.0.0.1:1",
+            "--decision",
+            "beta",
+        ]))
+        .unwrap_err();
+        assert!(matches!(e, CliError::Serve(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn usage_text_documents_the_7b_no_batch_no_op() {
+        let help = run(&args(&["help"])).unwrap();
+        assert!(help.contains("no-op"), "{help}");
+        assert!(help.contains("serve"), "{help}");
+        assert!(help.contains("replay-to"), "{help}");
     }
 
     #[test]

@@ -48,6 +48,15 @@
 //! arrays; every estimator exposes a batched path ([`BatchEstimator`],
 //! plus inherent `estimate_batch` methods on the replay and state-aware
 //! evaluators) that is bit-identical to the unbatched one.
+//!
+//! ## Online (streaming) estimation
+//!
+//! [`online`] provides `push(record)`/`estimate()` counterparts of the
+//! stationary menu ([`OnlineDm`], [`OnlineIps`], [`OnlineSnips`],
+//! [`OnlineClippedIps`], [`OnlineDr`]) that are bit-identical to the batch
+//! engine when a trace is replayed in order, plus a [`SlidingWindow`]
+//! variant for non-stationary streams. The `ddn-serve` crate builds its
+//! ingest service on this layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,6 +70,7 @@ pub mod estimate;
 pub mod experiment;
 pub mod ips;
 pub mod matching;
+pub mod online;
 pub mod optimize;
 pub mod overlap;
 pub mod replay;
@@ -76,6 +86,10 @@ pub use estimate::{Estimate, Estimator, EstimatorError, WeightDiagnostics};
 pub use experiment::{relative_error, ErrorTable, ExperimentRunner};
 pub use ips::{ClippedIps, Ips, SelfNormalizedIps};
 pub use matching::MatchingEstimator;
+pub use online::{
+    OnlineClippedIps, OnlineDm, OnlineDr, OnlineEstimate, OnlineEstimator, OnlineIps,
+    OnlineSnips, SlidingWindow, StreamingMoments,
+};
 pub use optimize::{dm_greedy_policy, dr_select, SearchResult};
 pub use overlap::OverlapReport;
 pub use replay::{ReplayEvaluator, ReplayOutcome};

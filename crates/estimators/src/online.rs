@@ -1,0 +1,1032 @@
+//! Online (streaming) counterparts of the stationary estimator menu.
+//!
+//! The batch estimators of §3 are all per-record sums, so they admit an
+//! incremental form: [`OnlineDm`], [`OnlineIps`], [`OnlineSnips`],
+//! [`OnlineClippedIps`] and [`OnlineDr`] accept records one at a time via
+//! `push` and produce an estimate at any point via `estimate`. The design
+//! contract — property-tested in `tests/online_parity.rs` — is
+//! **bit-identity with the batch engine**: replaying a full trace in order
+//! through an online estimator yields exactly the bits that
+//! [`crate::Estimator::estimate`] / [`crate::BatchEstimator::estimate_batch`]
+//! produce, including the [`WeightDiagnostics`] and the error surface
+//! (first missing propensity, SNIPS with zero weight mass).
+//!
+//! How bit-identity is achieved:
+//!
+//! - `Estimate::from_contributions` divides a *left-to-right* fold of the
+//!   per-record contributions by `n`; a running `sum += contribution` in
+//!   push order reproduces that fold exactly. DM, IPS, clipped IPS and DR
+//!   contributions are final the moment the record arrives, so those four
+//!   estimators keep O(1) state.
+//! - [`WeightDiagnostics::from_weights`] is likewise a set of left folds
+//!   (`Σw`, `Σw²`, zero count, running max), mirrored by [`WeightAcc`].
+//! - SNIPS is the exception: its per-record term `n·w_k·r_k / Σw` embeds
+//!   end-of-stream quantities inside non-associative float operations, so
+//!   [`OnlineSnips`] retains the `(w_k, r_k)` pairs (O(n) state) and
+//!   replays the exact batch loop at `estimate` time.
+//!
+//! Beyond the bit-identical estimate, every online estimator maintains
+//! Welford-style streaming moments of its contributions
+//! ([`StreamingMoments`]) — the variance early-warning the §2.2.2
+//! discussion asks for, available *during* ingest instead of after the
+//! trace closes — surfaced through `health_metrics` along with the
+//! running ESS / max-weight diagnostics.
+//!
+//! For non-stationarity (§4.1), [`SlidingWindow`] bounds any online
+//! estimator to the last `capacity` records: the windowed estimate equals
+//! the batch estimate over exactly those records.
+
+use crate::estimate::{EstimatorError, WeightDiagnostics};
+use ddn_models::RewardModel;
+use ddn_policy::Policy;
+use ddn_trace::{DecisionSpace, TraceRecord};
+use std::collections::VecDeque;
+
+/// Welford-style streaming mean/variance of per-record contributions.
+///
+/// This is health telemetry, not part of the bit-identity contract: the
+/// estimate itself comes from the plain left-fold sum (matching the batch
+/// engine), while these moments give an any-time view of estimator
+/// variance — `variance / n` approximates the squared standard error.
+#[derive(Debug, Clone)]
+pub struct StreamingMoments {
+    inner: ddn_stats::Welford,
+}
+
+impl StreamingMoments {
+    fn new() -> Self {
+        Self {
+            inner: ddn_stats::Welford::new(),
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.inner.push(x);
+    }
+
+    /// Number of contributions observed.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// Running mean contribution.
+    pub fn mean(&self) -> f64 {
+        self.inner.mean()
+    }
+
+    /// Unbiased sample variance of the contributions.
+    pub fn variance(&self) -> f64 {
+        self.inner.variance()
+    }
+
+    /// Standard error of the value estimate implied by the running
+    /// variance: `sqrt(variance / n)`; `0.0` before two observations.
+    pub fn standard_error(&self) -> f64 {
+        let n = self.inner.count();
+        if n < 2 {
+            0.0
+        } else {
+            (self.inner.variance() / n as f64).sqrt()
+        }
+    }
+}
+
+/// Running importance-weight accumulators replicating
+/// [`WeightDiagnostics::from_weights`] bit-for-bit: each field is the same
+/// left fold the batch version computes over the full weight vector.
+#[derive(Debug, Clone)]
+struct WeightAcc {
+    n: usize,
+    sum: f64,
+    sum_sq: f64,
+    zeros: usize,
+    max: f64,
+}
+
+impl WeightAcc {
+    fn new() -> Self {
+        // std's float `Sum` folds from -0.0, so the batch sums start
+        // there; matching the identity keeps the running sums
+        // bit-identical even when every term is a signed zero.
+        Self {
+            n: 0,
+            sum: -0.0,
+            sum_sq: -0.0,
+            zeros: 0,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn push(&mut self, w: f64) {
+        self.n += 1;
+        self.sum += w;
+        self.sum_sq += w * w;
+        if w == 0.0 {
+            self.zeros += 1;
+        }
+        self.max = f64::max(self.max, w);
+    }
+
+    fn diagnostics(&self) -> WeightDiagnostics {
+        WeightDiagnostics {
+            n: self.n,
+            mean_weight: self.sum / self.n as f64,
+            max_weight: self.max,
+            effective_sample_size: if self.sum_sq > 0.0 {
+                self.sum * self.sum / self.sum_sq
+            } else {
+                0.0
+            },
+            zero_weight_fraction: self.zeros as f64 / self.n as f64,
+        }
+    }
+}
+
+/// The output of an online estimator: the batch-identical value and
+/// diagnostics, without the O(n) per-record vector an offline
+/// [`crate::Estimate`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineEstimate {
+    /// The estimated expected reward `V̂(μ_new)` — bit-identical to the
+    /// batch [`crate::Estimate::value`] over the same records in the same
+    /// order.
+    pub value: f64,
+    /// Number of records pushed so far.
+    pub n: usize,
+    /// Importance-weight diagnostics, bit-identical to the batch path.
+    pub diagnostics: WeightDiagnostics,
+}
+
+/// The streaming-estimator interface shared by the online menu, designed
+/// to be object-safe so a serving layer can hold a heterogeneous bank of
+/// `Box<dyn OnlineEstimator>` per session.
+pub trait OnlineEstimator {
+    /// Short name matching the batch twin ("DM", "IPS", "SNIPS", …).
+    fn name(&self) -> &str;
+
+    /// Ingests one record. Errors (e.g. a missing propensity) reject the
+    /// record *without* corrupting accumulated state: a failed push leaves
+    /// the estimator exactly as it was.
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError>;
+
+    /// The estimate over everything pushed so far.
+    /// `Err(NoUsableRecords)` before the first record (and, for SNIPS,
+    /// whenever the weight mass is not positive — same as the batch).
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError>;
+
+    /// Number of records accepted so far.
+    fn len(&self) -> usize;
+
+    /// Whether no records have been accepted yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears accumulated records/statistics, keeping the configuration
+    /// (policy, model, thresholds). [`SlidingWindow`] relies on this.
+    fn reset(&mut self);
+
+    /// Streaming health metrics: the running weight diagnostics plus the
+    /// Welford contribution moments. Safe to call at any time, including
+    /// before the first record (returns `n = 0` only).
+    fn health_metrics(&self) -> Vec<(&'static str, f64)>;
+}
+
+impl<E: OnlineEstimator + ?Sized> OnlineEstimator for Box<E> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        (**self).push(rec)
+    }
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        (**self).estimate()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        (**self).health_metrics()
+    }
+}
+
+fn common_health(
+    n: usize,
+    acc: Option<&WeightAcc>,
+    moments: &StreamingMoments,
+) -> Vec<(&'static str, f64)> {
+    let mut m: Vec<(&'static str, f64)> = vec![("n", n as f64)];
+    if n == 0 {
+        return m;
+    }
+    let diag = match acc {
+        Some(acc) => acc.diagnostics(),
+        None => WeightDiagnostics::uniform(n),
+    };
+    m.push(("ess", diag.effective_sample_size));
+    m.push(("max_weight", diag.max_weight));
+    m.push(("mean_weight", diag.mean_weight));
+    m.push(("zero_weight_fraction", diag.zero_weight_fraction));
+    m.push(("contribution_mean", moments.mean()));
+    m.push(("contribution_variance", moments.variance()));
+    m.push(("standard_error", moments.standard_error()));
+    m
+}
+
+fn check_policy_space(
+    space: &DecisionSpace,
+    policy: &dyn Policy,
+) -> Result<(), EstimatorError> {
+    if space.len() != policy.space().len() {
+        return Err(EstimatorError::SpaceMismatch {
+            trace: space.len(),
+            policy: policy.space().len(),
+        });
+    }
+    Ok(())
+}
+
+/// The importance weight for the record at stream position `k`, with the
+/// batch path's error surface (`MissingPropensity { record: k }`).
+fn weight_at(
+    policy: &dyn Policy,
+    rec: &TraceRecord,
+    k: usize,
+) -> Result<f64, EstimatorError> {
+    let p_old = rec.require_propensity(k)?;
+    let p_new = policy.prob(&rec.context, rec.decision);
+    Ok(p_new / p_old)
+}
+
+/// Streaming Direct Method: `push` folds `Σ_d μ_new(d|c_k)·r̂(c_k,d)` into
+/// a running sum. O(1) state; never needs propensities.
+pub struct OnlineDm {
+    space: DecisionSpace,
+    policy: Box<dyn Policy + Send + Sync>,
+    model: Box<dyn RewardModel + Send + Sync>,
+    n: usize,
+    contribution_sum: f64,
+    moments: StreamingMoments,
+}
+
+impl OnlineDm {
+    /// Creates a streaming DM over `space`, evaluating `policy` through
+    /// `model`. Fails like the batch path when the policy's decision space
+    /// does not match the trace's.
+    pub fn new(
+        space: DecisionSpace,
+        policy: Box<dyn Policy + Send + Sync>,
+        model: Box<dyn RewardModel + Send + Sync>,
+    ) -> Result<Self, EstimatorError> {
+        check_policy_space(&space, policy.as_ref())?;
+        Ok(Self {
+            space,
+            policy,
+            model,
+            n: 0,
+            contribution_sum: -0.0,
+            moments: StreamingMoments::new(),
+        })
+    }
+}
+
+impl OnlineEstimator for OnlineDm {
+    fn name(&self) -> &str {
+        "DM"
+    }
+
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        let probs = self.policy.probabilities(&rec.context);
+        let contribution: f64 = self
+            .space
+            .iter()
+            .map(|d| probs[d.index()] * self.model.predict(&rec.context, d))
+            .sum();
+        self.contribution_sum += contribution;
+        self.moments.push(contribution);
+        self.n += 1;
+        Ok(())
+    }
+
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        if self.n == 0 {
+            return Err(EstimatorError::NoUsableRecords);
+        }
+        Ok(OnlineEstimate {
+            value: self.contribution_sum / self.n as f64,
+            n: self.n,
+            diagnostics: WeightDiagnostics::uniform(self.n),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.contribution_sum = -0.0;
+        self.moments = StreamingMoments::new();
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        common_health(self.n, None, &self.moments)
+    }
+}
+
+/// Streaming plain IPS: running `Σ w_k·r_k` plus weight accumulators.
+/// O(1) state.
+pub struct OnlineIps {
+    policy: Box<dyn Policy + Send + Sync>,
+    n: usize,
+    contribution_sum: f64,
+    acc: WeightAcc,
+    moments: StreamingMoments,
+}
+
+impl OnlineIps {
+    /// Creates a streaming IPS evaluator of `policy` over `space`.
+    pub fn new(space: DecisionSpace, policy: Box<dyn Policy + Send + Sync>) -> Result<Self, EstimatorError> {
+        check_policy_space(&space, policy.as_ref())?;
+        Ok(Self {
+            policy,
+            n: 0,
+            contribution_sum: -0.0,
+            acc: WeightAcc::new(),
+            moments: StreamingMoments::new(),
+        })
+    }
+}
+
+impl OnlineEstimator for OnlineIps {
+    fn name(&self) -> &str {
+        "IPS"
+    }
+
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        let w = weight_at(self.policy.as_ref(), rec, self.n)?;
+        let contribution = w * rec.reward;
+        self.contribution_sum += contribution;
+        self.acc.push(w);
+        self.moments.push(contribution);
+        self.n += 1;
+        Ok(())
+    }
+
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        if self.n == 0 {
+            return Err(EstimatorError::NoUsableRecords);
+        }
+        Ok(OnlineEstimate {
+            value: self.contribution_sum / self.n as f64,
+            n: self.n,
+            diagnostics: self.acc.diagnostics(),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.contribution_sum = -0.0;
+        self.acc = WeightAcc::new();
+        self.moments = StreamingMoments::new();
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        common_health(self.n, Some(&self.acc), &self.moments)
+    }
+}
+
+/// Streaming self-normalized IPS.
+///
+/// SNIPS cannot be O(1): its per-record term `n·w_k·r_k / Σw` places the
+/// final count and weight sum *inside* each term's non-associative float
+/// expression, so `estimate` must replay the exact batch loop. The
+/// retained state is the `(w_k, r_k)` pairs — two f64 per record.
+pub struct OnlineSnips {
+    policy: Box<dyn Policy + Send + Sync>,
+    pairs: Vec<(f64, f64)>,
+    acc: WeightAcc,
+    moments: StreamingMoments,
+}
+
+impl OnlineSnips {
+    /// Creates a streaming SNIPS evaluator of `policy` over `space`.
+    pub fn new(space: DecisionSpace, policy: Box<dyn Policy + Send + Sync>) -> Result<Self, EstimatorError> {
+        check_policy_space(&space, policy.as_ref())?;
+        Ok(Self {
+            policy,
+            pairs: Vec::new(),
+            acc: WeightAcc::new(),
+            moments: StreamingMoments::new(),
+        })
+    }
+}
+
+impl OnlineEstimator for OnlineSnips {
+    fn name(&self) -> &str {
+        "SNIPS"
+    }
+
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        let w = weight_at(self.policy.as_ref(), rec, self.pairs.len())?;
+        self.pairs.push((w, rec.reward));
+        self.acc.push(w);
+        // The moments track the *unnormalized* w·r terms: the normalized
+        // contributions are not knowable until the stream ends.
+        self.moments.push(w * rec.reward);
+        Ok(())
+    }
+
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        // Same order of checks and float operations as the batch path:
+        // wsum is a left fold over the weights, each contribution is
+        // ((n·w)·r)/wsum, and the value is their left-fold mean.
+        let wsum: f64 = self.pairs.iter().map(|(w, _)| *w).sum();
+        if wsum <= 0.0 {
+            return Err(EstimatorError::NoUsableRecords);
+        }
+        let n = self.pairs.len() as f64;
+        let mut contribution_sum = -0.0;
+        for (w, r) in &self.pairs {
+            contribution_sum += n * w * r / wsum;
+        }
+        Ok(OnlineEstimate {
+            value: contribution_sum / n,
+            n: self.pairs.len(),
+            diagnostics: self.acc.diagnostics(),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn reset(&mut self) {
+        self.pairs.clear();
+        self.acc = WeightAcc::new();
+        self.moments = StreamingMoments::new();
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        common_health(self.pairs.len(), Some(&self.acc), &self.moments)
+    }
+}
+
+/// Streaming weight-clipped IPS: weights are capped at `max_weight` before
+/// they enter the running sums, exactly as [`crate::ClippedIps`] caps the
+/// full vector. O(1) state.
+pub struct OnlineClippedIps {
+    policy: Box<dyn Policy + Send + Sync>,
+    max_weight: f64,
+    n: usize,
+    clipped: usize,
+    contribution_sum: f64,
+    acc: WeightAcc,
+    moments: StreamingMoments,
+}
+
+impl OnlineClippedIps {
+    /// Creates a streaming clipped-IPS evaluator with the given weight cap.
+    ///
+    /// # Panics
+    /// Panics unless `max_weight > 0` and finite, like
+    /// [`crate::ClippedIps::new`].
+    pub fn new(
+        space: DecisionSpace,
+        policy: Box<dyn Policy + Send + Sync>,
+        max_weight: f64,
+    ) -> Result<Self, EstimatorError> {
+        assert!(
+            max_weight > 0.0 && max_weight.is_finite(),
+            "max_weight must be positive, got {max_weight}"
+        );
+        check_policy_space(&space, policy.as_ref())?;
+        Ok(Self {
+            policy,
+            max_weight,
+            n: 0,
+            clipped: 0,
+            contribution_sum: -0.0,
+            acc: WeightAcc::new(),
+            moments: StreamingMoments::new(),
+        })
+    }
+
+    /// Fraction of records whose raw weight exceeded the cap.
+    pub fn clip_rate(&self) -> f64 {
+        self.clipped as f64 / self.n.max(1) as f64
+    }
+}
+
+impl OnlineEstimator for OnlineClippedIps {
+    fn name(&self) -> &str {
+        "ClippedIPS"
+    }
+
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        let raw = weight_at(self.policy.as_ref(), rec, self.n)?;
+        if raw > self.max_weight {
+            self.clipped += 1;
+        }
+        let w = raw.min(self.max_weight);
+        let contribution = w * rec.reward;
+        self.contribution_sum += contribution;
+        self.acc.push(w);
+        self.moments.push(contribution);
+        self.n += 1;
+        Ok(())
+    }
+
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        if self.n == 0 {
+            return Err(EstimatorError::NoUsableRecords);
+        }
+        Ok(OnlineEstimate {
+            value: self.contribution_sum / self.n as f64,
+            n: self.n,
+            diagnostics: self.acc.diagnostics(),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.clipped = 0;
+        self.contribution_sum = -0.0;
+        self.acc = WeightAcc::new();
+        self.moments = StreamingMoments::new();
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        let mut m = common_health(self.n, Some(&self.acc), &self.moments);
+        if self.n > 0 {
+            m.push(("clip_rate", self.clip_rate()));
+        }
+        m
+    }
+}
+
+/// Streaming Doubly Robust: running sum of
+/// `dm_term_k + w_k·(r_k − r̂(c_k, d_k))`, in the exact expression shape of
+/// the batch path. O(1) state.
+pub struct OnlineDr {
+    space: DecisionSpace,
+    policy: Box<dyn Policy + Send + Sync>,
+    model: Box<dyn RewardModel + Send + Sync>,
+    n: usize,
+    contribution_sum: f64,
+    abs_residual_sum: f64,
+    acc: WeightAcc,
+    moments: StreamingMoments,
+}
+
+impl OnlineDr {
+    /// Creates a streaming DR evaluator of `policy` over `space` with the
+    /// given (pre-fitted) reward model.
+    pub fn new(
+        space: DecisionSpace,
+        policy: Box<dyn Policy + Send + Sync>,
+        model: Box<dyn RewardModel + Send + Sync>,
+    ) -> Result<Self, EstimatorError> {
+        check_policy_space(&space, policy.as_ref())?;
+        Ok(Self {
+            space,
+            policy,
+            model,
+            n: 0,
+            contribution_sum: -0.0,
+            abs_residual_sum: 0.0,
+            acc: WeightAcc::new(),
+            moments: StreamingMoments::new(),
+        })
+    }
+
+    /// Running mean absolute model residual at the logged decisions — the
+    /// DM half's calibration check.
+    pub fn mean_abs_residual(&self) -> f64 {
+        self.abs_residual_sum / self.n.max(1) as f64
+    }
+}
+
+impl OnlineEstimator for OnlineDr {
+    fn name(&self) -> &str {
+        "DR"
+    }
+
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        let w = weight_at(self.policy.as_ref(), rec, self.n)?;
+        let probs = self.policy.probabilities(&rec.context);
+        let dm_term: f64 = self
+            .space
+            .iter()
+            .map(|d| probs[d.index()] * self.model.predict(&rec.context, d))
+            .sum();
+        let residual = rec.reward - self.model.predict(&rec.context, rec.decision);
+        let contribution = dm_term + w * residual;
+        self.contribution_sum += contribution;
+        self.abs_residual_sum += residual.abs();
+        self.acc.push(w);
+        self.moments.push(contribution);
+        self.n += 1;
+        Ok(())
+    }
+
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        if self.n == 0 {
+            return Err(EstimatorError::NoUsableRecords);
+        }
+        Ok(OnlineEstimate {
+            value: self.contribution_sum / self.n as f64,
+            n: self.n,
+            diagnostics: self.acc.diagnostics(),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.contribution_sum = -0.0;
+        self.abs_residual_sum = 0.0;
+        self.acc = WeightAcc::new();
+        self.moments = StreamingMoments::new();
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        let mut m = common_health(self.n, Some(&self.acc), &self.moments);
+        if self.n > 0 {
+            m.push(("mean_abs_residual", self.mean_abs_residual()));
+        }
+        m
+    }
+}
+
+/// Bounds any online estimator to the most recent `capacity` records —
+/// the streaming answer to §4.1 non-stationarity: when the logged world
+/// drifts, only the recent regime should vote.
+///
+/// `push` is O(1) (it only maintains the window); `estimate` replays the
+/// window through the inner estimator, so the windowed estimate is exactly
+/// the batch estimate over the window's records. `estimate` therefore
+/// takes `&mut self` here — it is not part of [`OnlineEstimator`].
+pub struct SlidingWindow<E: OnlineEstimator> {
+    inner: E,
+    window: VecDeque<TraceRecord>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl<E: OnlineEstimator> SlidingWindow<E> {
+    /// Wraps `inner`, keeping at most `capacity` records.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(inner: E, capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            inner,
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Name of the wrapped estimator.
+    pub fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Appends a record, evicting the oldest when the window is full.
+    pub fn push(&mut self, rec: &TraceRecord) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+            self.evicted += 1;
+        }
+        self.window.push_back(rec.clone());
+    }
+
+    /// Estimate over exactly the windowed records, computed by replaying
+    /// them through the inner estimator (after a reset). Equal to the
+    /// batch estimate over the same records.
+    pub fn estimate(&mut self) -> Result<OnlineEstimate, EstimatorError> {
+        self.inner.reset();
+        for rec in &self.window {
+            self.inner.push(rec)?;
+        }
+        self.inner.estimate()
+    }
+
+    /// Records currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records evicted so far (total pushed − window size).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClippedIps, DirectMethod, DoublyRobust, Estimator, Ips, SelfNormalizedIps};
+    use ddn_models::FnModel;
+    use ddn_policy::{EpsilonSmoothedPolicy, LookupPolicy, UniformRandomPolicy};
+    use ddn_stats::rng::{Rng, Xoshiro256};
+    use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, Trace, TraceRecord};
+
+    fn schema() -> ContextSchema {
+        ContextSchema::builder().categorical("g", 2).build()
+    }
+
+    fn space() -> DecisionSpace {
+        DecisionSpace::of(&["a", "b"])
+    }
+
+    fn skewed_trace(n: usize, seed: u64) -> Trace {
+        let s = schema();
+        let logger =
+            EpsilonSmoothedPolicy::new(Box::new(LookupPolicy::constant(space(), 0)), 0.5);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let recs = (0..n)
+            .map(|_| {
+                let g = rng.index(2) as u32;
+                let c = Context::build(&s).set_cat("g", g).finish();
+                let (d, p) = logger.sample_with_prob(&c, &mut rng);
+                let r = 2.0 + g as f64 + 3.0 * d.index() as f64;
+                TraceRecord::new(c, d, r).with_propensity(p)
+            })
+            .collect();
+        Trace::from_records(s, space(), recs).unwrap()
+    }
+
+    fn model() -> FnModel<fn(&Context, Decision) -> f64> {
+        fn f(c: &Context, d: Decision) -> f64 {
+            1.5 + c.cat(0) as f64 + 2.0 * d.index() as f64
+        }
+        FnModel::new(f)
+    }
+
+    fn target() -> LookupPolicy {
+        LookupPolicy::constant(space(), 1)
+    }
+
+    fn replay<E: OnlineEstimator>(online: &mut E, trace: &Trace) {
+        for rec in trace.records() {
+            online.push(rec).unwrap();
+        }
+    }
+
+    #[test]
+    fn ips_replay_is_bit_identical() {
+        let t = skewed_trace(300, 7);
+        let batch = Ips::new().estimate(&t, &target()).unwrap();
+        let mut online = OnlineIps::new(space(), Box::new(target())).unwrap();
+        replay(&mut online, &t);
+        let e = online.estimate().unwrap();
+        assert_eq!(e.value.to_bits(), batch.value.to_bits());
+        assert_eq!(e.diagnostics, batch.diagnostics);
+    }
+
+    #[test]
+    fn snips_replay_is_bit_identical() {
+        let t = skewed_trace(300, 8);
+        let batch = SelfNormalizedIps::new().estimate(&t, &target()).unwrap();
+        let mut online = OnlineSnips::new(space(), Box::new(target())).unwrap();
+        replay(&mut online, &t);
+        let e = online.estimate().unwrap();
+        assert_eq!(e.value.to_bits(), batch.value.to_bits());
+        assert_eq!(e.diagnostics, batch.diagnostics);
+    }
+
+    #[test]
+    fn clipped_ips_replay_is_bit_identical() {
+        let t = skewed_trace(300, 9);
+        let batch = ClippedIps::new(2.0).estimate(&t, &target()).unwrap();
+        let mut online = OnlineClippedIps::new(space(), Box::new(target()), 2.0).unwrap();
+        replay(&mut online, &t);
+        let e = online.estimate().unwrap();
+        assert_eq!(e.value.to_bits(), batch.value.to_bits());
+        assert_eq!(e.diagnostics, batch.diagnostics);
+        assert!(online.clip_rate() > 0.0, "weight-4 records must clip");
+    }
+
+    #[test]
+    fn dm_and_dr_replay_are_bit_identical() {
+        let t = skewed_trace(300, 10);
+        let batch_dm = DirectMethod::new(model()).estimate(&t, &target()).unwrap();
+        let mut online_dm =
+            OnlineDm::new(space(), Box::new(target()), Box::new(model())).unwrap();
+        replay(&mut online_dm, &t);
+        let e = online_dm.estimate().unwrap();
+        assert_eq!(e.value.to_bits(), batch_dm.value.to_bits());
+
+        let batch_dr = DoublyRobust::new(model()).estimate(&t, &target()).unwrap();
+        let mut online_dr = OnlineDr::new(space(), Box::new(target()), Box::new(model())).unwrap();
+        replay(&mut online_dr, &t);
+        let e = online_dr.estimate().unwrap();
+        assert_eq!(e.value.to_bits(), batch_dr.value.to_bits());
+        assert_eq!(e.diagnostics, batch_dr.diagnostics);
+    }
+
+    #[test]
+    fn missing_propensity_fails_at_the_offending_record() {
+        let s = schema();
+        let good = TraceRecord::new(
+            Context::build(&s).set_cat("g", 0).finish(),
+            Decision::from_index(0),
+            1.0,
+        )
+        .with_propensity(0.5);
+        let bad = TraceRecord::new(
+            Context::build(&s).set_cat("g", 1).finish(),
+            Decision::from_index(1),
+            2.0,
+        );
+        let mut online = OnlineIps::new(space(), Box::new(target())).unwrap();
+        online.push(&good).unwrap();
+        let err = online.push(&bad).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EstimatorError::Trace(ddn_trace::TraceError::MissingPropensity { record: 1 })
+            ),
+            "{err:?}"
+        );
+        // The failed push left state untouched: the estimator still
+        // reports exactly one record.
+        assert_eq!(online.len(), 1);
+        assert!(online.estimate().is_ok());
+    }
+
+    #[test]
+    fn empty_stream_has_no_estimate() {
+        let online = OnlineIps::new(space(), Box::new(target())).unwrap();
+        assert!(matches!(
+            online.estimate(),
+            Err(EstimatorError::NoUsableRecords)
+        ));
+        let health = online.health_metrics();
+        assert_eq!(health, vec![("n", 0.0)]);
+    }
+
+    #[test]
+    fn snips_zero_weight_mass_errors() {
+        let s = schema();
+        let rec = TraceRecord::new(
+            Context::build(&s).set_cat("g", 0).finish(),
+            Decision::from_index(0),
+            1.0,
+        )
+        .with_propensity(0.5);
+        let mut online = OnlineSnips::new(space(), Box::new(target())).unwrap();
+        online.push(&rec).unwrap();
+        assert!(matches!(
+            online.estimate(),
+            Err(EstimatorError::NoUsableRecords)
+        ));
+        // Plain IPS over the same stream is defined (value 0).
+        let mut ips = OnlineIps::new(space(), Box::new(target())).unwrap();
+        ips.push(&rec).unwrap();
+        let e = ips.estimate().unwrap();
+        assert_eq!(e.value, 0.0);
+        assert_eq!(e.diagnostics.zero_weight_fraction, 1.0);
+    }
+
+    #[test]
+    fn space_mismatch_rejected_at_construction() {
+        let wide = DecisionSpace::of(&["a", "b", "c"]);
+        let err = match OnlineIps::new(wide, Box::new(target())) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched space must be rejected"),
+        };
+        assert!(matches!(
+            err,
+            EstimatorError::SpaceMismatch {
+                trace: 3,
+                policy: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn health_metrics_stream_with_the_records() {
+        let t = skewed_trace(100, 11);
+        let mut online = OnlineIps::new(space(), Box::new(target())).unwrap();
+        replay(&mut online, &t);
+        let metrics = online.health_metrics();
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(get("n"), 100.0);
+        assert!(get("ess") > 0.0 && get("ess") <= 100.0);
+        assert_eq!(get("max_weight"), 4.0);
+        assert!(get("standard_error") > 0.0);
+    }
+
+    #[test]
+    fn sliding_window_matches_batch_over_the_window() {
+        let t = skewed_trace(200, 12);
+        let mut window =
+            SlidingWindow::new(OnlineIps::new(space(), Box::new(target())).unwrap(), 50);
+        for rec in t.records() {
+            window.push(rec);
+        }
+        assert_eq!(window.len(), 50);
+        assert_eq!(window.evicted(), 150);
+        let windowed = window.estimate().unwrap();
+        // The window is the last 50 records: estimate equals the batch
+        // estimate over exactly that sub-trace.
+        let tail = Trace::from_records(
+            t.schema().clone(),
+            t.space().clone(),
+            t.records()[150..].to_vec(),
+        )
+        .unwrap();
+        let batch = Ips::new().estimate(&tail, &target()).unwrap();
+        assert_eq!(windowed.value.to_bits(), batch.value.to_bits());
+        assert_eq!(windowed.diagnostics, batch.diagnostics);
+    }
+
+    #[test]
+    fn sliding_window_tracks_regime_change() {
+        // Reward doubles mid-stream: the windowed estimate follows the new
+        // regime while the unwindowed estimate stays blended.
+        let s = schema();
+        let mk = |r: f64| {
+            TraceRecord::new(
+                Context::build(&s).set_cat("g", 0).finish(),
+                Decision::from_index(1),
+                r,
+            )
+            .with_propensity(0.5)
+        };
+        let mut full = OnlineIps::new(space(), Box::new(UniformRandomPolicy::new(space())))
+            .unwrap();
+        let mut window = SlidingWindow::new(
+            OnlineIps::new(space(), Box::new(UniformRandomPolicy::new(space()))).unwrap(),
+            40,
+        );
+        for _ in 0..100 {
+            let rec = mk(1.0);
+            full.push(&rec).unwrap();
+            window.push(&rec);
+        }
+        for _ in 0..40 {
+            let rec = mk(2.0);
+            full.push(&rec).unwrap();
+            window.push(&rec);
+        }
+        let blended = full.estimate().unwrap().value;
+        let recent = window.estimate().unwrap().value;
+        assert!((recent - 2.0).abs() < 1e-12, "window sees only the new regime");
+        assert!(blended < recent, "full stream stays blended: {blended}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_window_panics() {
+        let _ = SlidingWindow::new(OnlineIps::new(space(), Box::new(target())).unwrap(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_config() {
+        let t = skewed_trace(50, 13);
+        let mut online = OnlineClippedIps::new(space(), Box::new(target()), 2.0).unwrap();
+        replay(&mut online, &t);
+        assert_eq!(online.len(), 50);
+        online.reset();
+        assert_eq!(online.len(), 0);
+        replay(&mut online, &t);
+        let again = online.estimate().unwrap();
+        let batch = ClippedIps::new(2.0).estimate(&t, &target()).unwrap();
+        assert_eq!(again.value.to_bits(), batch.value.to_bits());
+    }
+}

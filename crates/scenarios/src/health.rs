@@ -18,7 +18,8 @@
 use ddn_estimators::state_aware::MatchOnly;
 use ddn_estimators::{
     BatchEstimator, ClippedIps, CouplingDetector, CrossFitDr, DirectMethod, DoublyRobust,
-    ErrorTable, Estimator, EvalBatch, ExperimentRunner, Ips, MatchingEstimator, ReplayEvaluator,
+    ErrorTable, Estimator, EvalBatch, ExperimentRunner, Ips, MatchingEstimator, OnlineClippedIps,
+    OnlineDm, OnlineDr, OnlineEstimator, OnlineIps, OnlineSnips, ReplayEvaluator,
     SelfNormalizedIps, StateAwareDr, SwitchDr,
 };
 use ddn_models::TabularMeanModel;
@@ -274,6 +275,78 @@ fn run_seed(cfg: &HealthConfig, seed: u64) -> (f64, Vec<(String, f64)>) {
     (HEALTH_TRUTH, rows)
 }
 
+/// Cross-checks the streaming layer against the suite's batch menu: every
+/// seeded stressed trace is replayed record-by-record through the online
+/// estimators (as the ddn-serve ingest path would), and each resulting
+/// estimate must be **bit-identical** to its batch twin over the same
+/// trace. Returns the first discrepancy as an error message; `Ok(())`
+/// means the online and offline engines cannot drift apart on the worlds
+/// this suite monitors.
+pub fn online_offline_cross_check(cfg: &HealthConfig) -> Result<(), String> {
+    for run in 0..cfg.runs {
+        let seed = cfg.base_seed + run as u64;
+        let mut rng = Xoshiro256::seed_from(seed);
+        let trace = log_trace(cfg, &mut rng);
+        let target = LookupPolicy::constant(space(), 1);
+        let model = TabularMeanModel::fit_trace(&trace, 1.0);
+
+        let newp =
+            || -> Box<dyn Policy + Send + Sync> { Box::new(LookupPolicy::constant(space(), 1)) };
+        let offline = |est: &dyn Estimator| -> Result<f64, String> {
+            Ok(est
+                .estimate(&trace, &target)
+                .map_err(|e| format!("seed {seed}: batch {} failed: {e:?}", est.name()))?
+                .value)
+        };
+        let mut menu: Vec<(Box<dyn OnlineEstimator>, f64)> = vec![
+            (
+                Box::new(OnlineIps::new(space(), newp()).expect("spaces match")),
+                offline(&Ips::new())?,
+            ),
+            (
+                Box::new(OnlineSnips::new(space(), newp()).expect("spaces match")),
+                offline(&SelfNormalizedIps::new())?,
+            ),
+            (
+                Box::new(OnlineClippedIps::new(space(), newp(), 2.0).expect("spaces match")),
+                offline(&ClippedIps::new(2.0))?,
+            ),
+            (
+                Box::new(
+                    OnlineDm::new(space(), newp(), Box::new(model.clone()))
+                        .expect("spaces match"),
+                ),
+                offline(&DirectMethod::new(&model))?,
+            ),
+            (
+                Box::new(
+                    OnlineDr::new(space(), newp(), Box::new(model.clone()))
+                        .expect("spaces match"),
+                ),
+                offline(&DoublyRobust::new(&model))?,
+            ),
+        ];
+        for (online, batch_value) in &mut menu {
+            let name = online.name().to_string();
+            for rec in trace.records() {
+                online
+                    .push(rec)
+                    .map_err(|e| format!("seed {seed}: online {name} push failed: {e:?}"))?;
+            }
+            let got = online
+                .estimate()
+                .map_err(|e| format!("seed {seed}: online {name} estimate failed: {e:?}"))?
+                .value;
+            if got.to_bits() != batch_value.to_bits() {
+                return Err(format!(
+                    "seed {seed}: {name} online {got} != batch {batch_value}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs the health suite with custom configuration, returning the error
 /// table and the telemetry snapshot that is the suite's real output.
 pub fn health_suite_with(cfg: &HealthConfig) -> (ErrorTable, TelemetrySnapshot) {
@@ -379,6 +452,15 @@ mod tests {
         // Only the batched run counts score reuse.
         assert!(batched_snap.counter("batch.hit").unwrap_or(0) > 0);
         assert_eq!(plain_snap.counter("batch.hit"), None);
+    }
+
+    #[test]
+    fn online_replay_matches_the_batch_menu_bit_for_bit() {
+        online_offline_cross_check(&HealthConfig {
+            runs: 3,
+            ..Default::default()
+        })
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! A small blocking client for the serve protocol, used by the CLI
+//! (`ddn replay-to`) and the end-to-end tests.
+
+use crate::protocol::DEFAULT_MAX_WEIGHT;
+use ddn_stats::Json;
+use ddn_trace::{ContextSchema, DecisionSpace, TraceRecord};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server closed the connection or answered with something that
+    /// is not a JSON object.
+    Protocol(String),
+    /// The server answered `{"ok":false,...}`; carries the message.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve client I/O error: {e}"),
+            ClientError::Protocol(m) => write!(f, "serve protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client speaking one request/response pair at a time.
+pub struct ServeClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response over small lines: disable Nagle so each
+        // request leaves immediately instead of waiting on a delayed ACK.
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one request object and waits for the one-line response.
+    /// Returns the response body on `{"ok":true}`, [`ClientError::Server`]
+    /// otherwise.
+    pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{}", req.to_string())?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let resp = Json::parse(line.trim())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        match resp.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(resp),
+            Some(false) => Err(ClientError::Server(
+                resp.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol(
+                "response is missing \"ok\"".into(),
+            )),
+        }
+    }
+
+    /// Creates a session evaluating the constant policy `always
+    /// <decision>` (by name) with the given estimators.
+    #[allow(clippy::too_many_arguments)]
+    pub fn init(
+        &mut self,
+        session: &str,
+        schema: &ContextSchema,
+        space: &DecisionSpace,
+        estimators: &[&str],
+        decision: &str,
+        model_value: f64,
+        window: Option<usize>,
+    ) -> Result<Json, ClientError> {
+        let mut fields = vec![
+            ("verb", Json::str("init")),
+            ("session", Json::str(session)),
+            ("schema", schema.to_json()),
+            ("space", space.to_json()),
+            (
+                "estimators",
+                Json::Array(estimators.iter().map(|e| Json::str(*e)).collect()),
+            ),
+            (
+                "policy",
+                Json::object(vec![
+                    ("kind", Json::str("constant")),
+                    ("decision", Json::str(decision)),
+                ]),
+            ),
+            ("model_value", Json::Num(model_value)),
+            ("max_weight", Json::Num(DEFAULT_MAX_WEIGHT)),
+        ];
+        if let Some(w) = window {
+            fields.push(("window", Json::Int(w as i64)));
+        }
+        self.request(&Json::object(fields))
+    }
+
+    /// Feeds a batch of records into a session.
+    pub fn ingest(
+        &mut self,
+        session: &str,
+        records: &[TraceRecord],
+    ) -> Result<Json, ClientError> {
+        self.request(&Json::object(vec![
+            ("verb", Json::str("ingest")),
+            ("session", Json::str(session)),
+            (
+                "records",
+                Json::Array(records.iter().map(TraceRecord::to_json).collect()),
+            ),
+        ]))
+    }
+
+    /// Asks for the session's current estimates.
+    pub fn estimate(&mut self, session: &str) -> Result<Json, ClientError> {
+        self.request(&Json::object(vec![
+            ("verb", Json::str("estimate")),
+            ("session", Json::str(session)),
+        ]))
+    }
+
+    /// Asks for the server-wide telemetry snapshot.
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::object(vec![("verb", Json::str("health"))]))
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::object(vec![("verb", Json::str("shutdown"))]))
+    }
+}

@@ -1,0 +1,525 @@
+//! Session state and request handling, independent of the transport.
+//!
+//! Each shard worker owns one [`Engine`]: a map from session id to
+//! [`Session`], where a session holds a bank of online estimators (one
+//! per requested protocol name), the schema/space its records must
+//! conform to, and a [`CouplingMonitor`] running §4.3 change-point
+//! detection over the live reward stream.
+
+use crate::protocol::{ok_response, InitSpec, PolicySpec};
+use ddn_estimators::{
+    OnlineClippedIps, OnlineDm, OnlineDr, OnlineEstimator, OnlineIps, OnlineSnips, SlidingWindow,
+};
+use ddn_models::ConstantModel;
+use ddn_policy::{LookupPolicy, Policy, UniformRandomPolicy};
+use ddn_stats::changepoint::{pelt, CostModel, Penalty};
+use ddn_stats::Json;
+use ddn_telemetry::Collector;
+use ddn_trace::{DecisionSpace, Trace, TraceRecord};
+use std::collections::{HashMap, VecDeque};
+
+/// How many of the most recent rewards the coupling monitor keeps. The
+/// server must stay O(1) per session in the stream length, so change
+/// points are detected over a bounded trailing window rather than the
+/// full history.
+pub const COUPLING_WINDOW: usize = 2048;
+
+/// Minimum segment length for the online change-point scan — matches the
+/// offline `CouplingDetector` used by the health suite.
+pub const COUPLING_MIN_SEGMENT: usize = 20;
+
+/// Online §4.3 coupling detection: keeps a bounded trailing window of
+/// observed rewards and, on demand, runs PELT (normal-mean cost, BIC
+/// penalty) over it to flag decision–reward coupling regimes live.
+pub struct CouplingMonitor {
+    window: VecDeque<f64>,
+    capacity: usize,
+    min_segment: usize,
+    seen: u64,
+}
+
+impl CouplingMonitor {
+    /// A monitor keeping the most recent `capacity` rewards.
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `min_segment` is zero.
+    pub fn new(capacity: usize, min_segment: usize) -> Self {
+        assert!(capacity > 0, "coupling window capacity must be positive");
+        assert!(min_segment > 0, "min_segment must be positive");
+        Self {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            min_segment,
+            seen: 0,
+        }
+    }
+
+    /// Records one observed reward, evicting the oldest when full.
+    pub fn push(&mut self, reward: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(reward);
+        self.seen += 1;
+    }
+
+    /// Change points (window-relative indices) over the trailing window.
+    /// Empty until the window holds at least two minimum segments.
+    pub fn changepoints(&self) -> Vec<usize> {
+        if self.window.len() < 2 * self.min_segment {
+            return Vec::new();
+        }
+        let xs: Vec<f64> = self.window.iter().copied().collect();
+        pelt(&xs, CostModel::NormalMean, Penalty::Bic, self.min_segment)
+    }
+
+    /// Total rewards ever pushed (including evicted ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The report as a JSON object for the `estimate` response.
+    pub fn to_json(&self) -> Json {
+        let cps = self.changepoints();
+        Json::object(vec![
+            ("coupled", Json::Bool(!cps.is_empty())),
+            ("segments", Json::Int(cps.len() as i64 + 1)),
+            (
+                "changepoints",
+                Json::Array(cps.into_iter().map(|c| Json::Int(c as i64)).collect()),
+            ),
+            ("window", Json::Int(self.window.len() as i64)),
+            ("seen", Json::Int(self.seen as i64)),
+        ])
+    }
+}
+
+/// One estimator slot: either a cumulative online estimator or a
+/// sliding-window wrapper around one.
+enum BankEntry {
+    Plain(Box<dyn OnlineEstimator + Send>),
+    Windowed(SlidingWindow<Box<dyn OnlineEstimator + Send>>),
+}
+
+impl BankEntry {
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), ddn_estimators::EstimatorError> {
+        match self {
+            BankEntry::Plain(e) => e.push(rec),
+            BankEntry::Windowed(w) => {
+                w.push(rec);
+                Ok(())
+            }
+        }
+    }
+
+    fn estimate_json(&mut self) -> Json {
+        let est = match self {
+            BankEntry::Plain(e) => e.estimate(),
+            BankEntry::Windowed(w) => w.estimate(),
+        };
+        match est {
+            Ok(e) => Json::object(vec![
+                ("value", Json::Num(e.value)),
+                ("n", Json::Int(e.n as i64)),
+                ("ess", Json::Num(e.diagnostics.effective_sample_size)),
+                ("max_weight", Json::Num(e.diagnostics.max_weight)),
+            ]),
+            Err(e) => Json::object(vec![("error", Json::str(e.to_string()))]),
+        }
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        match self {
+            BankEntry::Plain(e) => e.health_metrics(),
+            BankEntry::Windowed(w) => vec![
+                ("n", w.len() as f64),
+                ("evicted", w.evicted() as f64),
+            ],
+        }
+    }
+}
+
+fn build_policy(
+    spec: &PolicySpec,
+    space: &DecisionSpace,
+) -> Result<Box<dyn Policy + Send + Sync>, String> {
+    match spec {
+        PolicySpec::Uniform => Ok(Box::new(UniformRandomPolicy::new(space.clone()))),
+        PolicySpec::ConstantIndex(i) => {
+            if *i >= space.len() {
+                return Err(format!(
+                    "policy decision index {i} out of range for space of {}",
+                    space.len()
+                ));
+            }
+            Ok(Box::new(LookupPolicy::constant(space.clone(), *i)))
+        }
+        PolicySpec::ConstantName(name) => {
+            let i = space.position(name).ok_or_else(|| {
+                format!("policy decision {name:?} not in space {:?}", space.names())
+            })?;
+            Ok(Box::new(LookupPolicy::constant(space.clone(), i)))
+        }
+    }
+}
+
+/// One client-visible evaluation session.
+pub struct Session {
+    schema: ddn_trace::ContextSchema,
+    space: DecisionSpace,
+    /// `(protocol_name, estimator)` in init-request order.
+    bank: Vec<(String, BankEntry)>,
+    needs_propensity: bool,
+    coupling: CouplingMonitor,
+    last_ts: f64,
+    accepted: usize,
+}
+
+impl Session {
+    /// Builds the session's estimator bank from an init spec.
+    pub fn new(spec: InitSpec) -> Result<Self, String> {
+        let mut bank = Vec::with_capacity(spec.estimators.len());
+        let mut needs_propensity = false;
+        for name in &spec.estimators {
+            let policy = build_policy(&spec.policy, &spec.space)?;
+            let inner: Box<dyn OnlineEstimator + Send> = match name.as_str() {
+                "dm" => Box::new(
+                    OnlineDm::new(
+                        spec.space.clone(),
+                        policy,
+                        Box::new(ConstantModel::new(spec.model_value)),
+                    )
+                    .map_err(|e| e.to_string())?,
+                ),
+                "ips" => {
+                    needs_propensity = true;
+                    Box::new(
+                        OnlineIps::new(spec.space.clone(), policy).map_err(|e| e.to_string())?,
+                    )
+                }
+                "snips" => {
+                    needs_propensity = true;
+                    Box::new(
+                        OnlineSnips::new(spec.space.clone(), policy).map_err(|e| e.to_string())?,
+                    )
+                }
+                "clipped" => {
+                    needs_propensity = true;
+                    Box::new(
+                        OnlineClippedIps::new(spec.space.clone(), policy, spec.max_weight)
+                            .map_err(|e| e.to_string())?,
+                    )
+                }
+                "dr" => {
+                    needs_propensity = true;
+                    Box::new(
+                        OnlineDr::new(
+                            spec.space.clone(),
+                            policy,
+                            Box::new(ConstantModel::new(spec.model_value)),
+                        )
+                        .map_err(|e| e.to_string())?,
+                    )
+                }
+                other => {
+                    return Err(format!(
+                        "unknown estimator {other:?} (expected ips|snips|clipped|dm|dr)"
+                    ))
+                }
+            };
+            let entry = match spec.window {
+                Some(cap) => BankEntry::Windowed(SlidingWindow::new(inner, cap)),
+                None => BankEntry::Plain(inner),
+            };
+            bank.push((name.clone(), entry));
+        }
+        Ok(Session {
+            schema: spec.schema,
+            space: spec.space,
+            bank,
+            needs_propensity,
+            coupling: CouplingMonitor::new(COUPLING_WINDOW, COUPLING_MIN_SEGMENT),
+            last_ts: f64::NEG_INFINITY,
+            accepted: 0,
+        })
+    }
+
+    /// Validates and ingests a batch. On error, records before the
+    /// offending one stay ingested and the error names the batch
+    /// position; the session remains usable.
+    pub fn ingest(&mut self, records: &[TraceRecord]) -> Result<usize, String> {
+        for (i, rec) in records.iter().enumerate() {
+            let k = self.accepted;
+            Trace::validate_record(k, rec, &self.schema, &self.space, &mut self.last_ts)
+                .map_err(|e| format!("batch record {i}: {e}"))?;
+            if self.needs_propensity && rec.propensity.is_none() {
+                return Err(format!(
+                    "batch record {i}: logging propensity required by the session's estimators"
+                ));
+            }
+            for (name, entry) in &mut self.bank {
+                entry
+                    .push(rec)
+                    .map_err(|e| format!("batch record {i}: {name}: {e}"))?;
+            }
+            self.coupling.push(rec.reward);
+            self.accepted += 1;
+        }
+        Ok(records.len())
+    }
+
+    /// Records accepted so far.
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// The `estimate` response body: one object per estimator (keyed by
+    /// its protocol name, request order preserved) plus the coupling
+    /// report.
+    pub fn estimate_json(&mut self) -> Json {
+        let coupling = self.coupling.to_json();
+        let estimates = Json::Object(
+            self.bank
+                .iter_mut()
+                .map(|(name, entry)| (name.clone(), entry.estimate_json()))
+                .collect(),
+        );
+        ok_response(vec![
+            ("n", Json::Int(self.accepted as i64)),
+            ("estimates", estimates),
+            ("coupling", coupling),
+        ])
+    }
+}
+
+/// The per-shard engine: session routing plus health reporting.
+#[derive(Default)]
+pub struct Engine {
+    sessions: HashMap<String, Session>,
+}
+
+impl Engine {
+    /// An engine with no sessions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates (or replaces) a session.
+    pub fn handle_init(&mut self, spec: InitSpec) -> Json {
+        let id = spec.session.clone();
+        match Session::new(spec) {
+            Ok(s) => {
+                self.sessions.insert(id.clone(), s);
+                ok_response(vec![("session", Json::str(id))])
+            }
+            Err(e) => crate::protocol::error_response(&e),
+        }
+    }
+
+    /// Ingests a batch into a session. The response carries `accepted`
+    /// (from this batch) and `total` so the caller can account
+    /// throughput.
+    pub fn handle_ingest(&mut self, session: &str, records: &[TraceRecord]) -> Json {
+        match self.sessions.get_mut(session) {
+            None => crate::protocol::error_response(&format!("unknown session {session:?}")),
+            Some(s) => match s.ingest(records) {
+                Ok(n) => ok_response(vec![
+                    ("accepted", Json::Int(n as i64)),
+                    ("total", Json::Int(s.accepted() as i64)),
+                ]),
+                Err(e) => crate::protocol::error_response(&e),
+            },
+        }
+    }
+
+    /// The current estimates for a session.
+    pub fn handle_estimate(&mut self, session: &str) -> Json {
+        match self.sessions.get_mut(session) {
+            None => crate::protocol::error_response(&format!("unknown session {session:?}")),
+            Some(s) => s.estimate_json(),
+        }
+    }
+
+    /// Estimator health for every session on this shard, as a telemetry
+    /// collector (sources are `serve/<session>/<estimator>`).
+    pub fn collector(&self) -> Collector {
+        let mut c = Collector::default();
+        for (id, session) in &self.sessions {
+            for (name, entry) in &session.bank {
+                c.health
+                    .push((format!("serve/{id}/{name}"), entry.health_metrics()));
+            }
+        }
+        c
+    }
+
+    /// Number of live sessions.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+    use ddn_estimators::Estimator;
+    use ddn_stats::rng::{Rng, Xoshiro256};
+    use ddn_trace::{Context, ContextSchema, Decision};
+
+    fn schema() -> ContextSchema {
+        ContextSchema::builder().categorical("g", 2).build()
+    }
+
+    fn space() -> DecisionSpace {
+        DecisionSpace::of(&["a", "b"])
+    }
+
+    fn init_line(extra: &str) -> String {
+        format!(
+            r#"{{"verb":"init","session":"s","schema":{},"space":{}{extra}}}"#,
+            schema().to_json().to_string(),
+            space().to_json().to_string(),
+        )
+    }
+
+    fn init_spec(extra: &str) -> InitSpec {
+        match Request::parse(&init_line(extra)).unwrap() {
+            Request::Init(spec) => spec,
+            _ => unreachable!(),
+        }
+    }
+
+    fn records(n: usize, seed: u64) -> Vec<TraceRecord> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        (0..n)
+            .map(|_| {
+                let g = rng.index(2) as u32;
+                let c = Context::build(&schema()).set_cat("g", g).finish();
+                let d = rng.index(2);
+                let p = if d == 0 { 0.75 } else { 0.25 };
+                let r = 2.0 + g as f64 + 3.0 * d as f64;
+                TraceRecord::new(c, Decision::from_index(d), r).with_propensity(p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_round_trip_matches_offline_ips() {
+        let mut engine = Engine::new();
+        let resp = engine.handle_init(init_spec(
+            r#","estimators":["ips"],"policy":{"kind":"constant","decision":"b"}"#,
+        ));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+
+        let recs = records(200, 42);
+        let resp = engine.handle_ingest("s", &recs);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("total").and_then(Json::as_i64), Some(200));
+
+        let est = engine.handle_estimate("s");
+        let online = est
+            .get("estimates")
+            .and_then(|e| e.get("ips"))
+            .and_then(|e| e.get("value"))
+            .and_then(Json::as_f64)
+            .unwrap();
+
+        let trace = Trace::from_records(schema(), space(), recs).unwrap();
+        let policy = LookupPolicy::constant(space(), 1);
+        let offline = ddn_estimators::Ips::new()
+            .estimate(&trace, &policy)
+            .unwrap();
+        assert_eq!(online.to_bits(), offline.value.to_bits());
+    }
+
+    #[test]
+    fn ingest_errors_isolate_the_bad_record() {
+        let mut engine = Engine::new();
+        engine.handle_init(init_spec(r#","estimators":["ips"]"#));
+        let mut recs = records(5, 1);
+        recs[3].propensity = None;
+        let resp = engine.handle_ingest("s", &recs);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let msg = resp.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("batch record 3"), "{msg}");
+        // The three good records before it are in; the session still works.
+        let est = engine.handle_estimate("s");
+        assert_eq!(est.get("n").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn unknown_sessions_and_estimators_error_cleanly() {
+        let mut engine = Engine::new();
+        let resp = engine.handle_estimate("ghost");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let resp = engine.handle_init(init_spec(r#","estimators":["magic"]"#));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(engine.sessions(), 0);
+    }
+
+    #[test]
+    fn coupling_monitor_flags_a_regime_change() {
+        let mut m = CouplingMonitor::new(COUPLING_WINDOW, COUPLING_MIN_SEGMENT);
+        for _ in 0..100 {
+            m.push(1.0);
+        }
+        for _ in 0..100 {
+            m.push(5.0);
+        }
+        let cps = m.changepoints();
+        assert_eq!(cps.len(), 1, "{cps:?}");
+        assert!((90..=110).contains(&cps[0]), "{cps:?}");
+        let j = m.to_json();
+        assert_eq!(j.get("coupled"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("segments").and_then(Json::as_i64), Some(2));
+    }
+
+    #[test]
+    fn coupling_monitor_window_is_bounded() {
+        let mut m = CouplingMonitor::new(64, 8);
+        for i in 0..1000 {
+            m.push(i as f64);
+        }
+        assert_eq!(m.seen(), 1000);
+        assert_eq!(
+            m.to_json().get("window").and_then(Json::as_i64),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn windowed_sessions_estimate_over_the_tail() {
+        let mut engine = Engine::new();
+        engine.handle_init(init_spec(
+            r#","estimators":["ips"],"policy":{"kind":"constant","decision":"b"},"window":50"#,
+        ));
+        let recs = records(200, 9);
+        engine.handle_ingest("s", &recs);
+        let est = engine.handle_estimate("s");
+        let online = est
+            .get("estimates")
+            .and_then(|e| e.get("ips"))
+            .and_then(|e| e.get("value"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        let tail = Trace::from_records(schema(), space(), recs[150..].to_vec()).unwrap();
+        let policy = LookupPolicy::constant(space(), 1);
+        let offline = ddn_estimators::Ips::new().estimate(&tail, &policy).unwrap();
+        assert_eq!(online.to_bits(), offline.value.to_bits());
+    }
+
+    #[test]
+    fn collector_reports_per_session_estimator_health() {
+        let mut engine = Engine::new();
+        engine.handle_init(init_spec(r#","estimators":["ips","dm"]"#));
+        engine.handle_ingest("s", &records(20, 3));
+        let c = engine.collector();
+        let sources: Vec<&str> = c.health.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(sources.contains(&"serve/s/ips"), "{sources:?}");
+        assert!(sources.contains(&"serve/s/dm"), "{sources:?}");
+        let (_, metrics) = c.health.iter().find(|(s, _)| s == "serve/s/ips").unwrap();
+        assert!(metrics.iter().any(|(k, v)| *k == "n" && *v == 20.0));
+        assert!(metrics.iter().any(|(k, _)| *k == "ess"));
+    }
+}

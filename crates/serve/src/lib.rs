@@ -1,0 +1,34 @@
+//! # ddn-serve — streaming ingest + online off-policy evaluation
+//!
+//! The paper frames its estimators as offline passes over a logged
+//! trace, but they are all per-record sums — so the same mathematics
+//! runs *while records arrive*. This crate turns the workspace into a
+//! service: a zero-dependency TCP server (std::net, newline-delimited
+//! JSON reusing `ddn_stats::Json`) that ingests trace records into
+//! per-session banks of online estimators (`ddn_estimators::online`) and
+//! answers estimate/health queries at any point in the stream, with §4.3
+//! coupling change-point detection running live on the reward series.
+//!
+//! - [`protocol`] — the wire grammar (`init` / `ingest` / `estimate` /
+//!   `health` / `shutdown`) and request parsing.
+//! - [`engine`] — sessions, estimator banks, and the online
+//!   [`CouplingMonitor`]; transport-independent and directly testable.
+//! - [`server`] — the sharded TCP front end: bounded ingest queues with
+//!   backpressure, per-connection error isolation, graceful shutdown.
+//! - [`client`] — a blocking client for `ddn replay-to` and tests.
+//!
+//! See DESIGN.md §10 for the protocol grammar, backpressure semantics
+//! and the shutdown contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, ServeClient};
+pub use engine::{CouplingMonitor, Engine, Session};
+pub use protocol::{InitSpec, PolicySpec, Request};
+pub use server::{serve, ServeConfig, ServerHandle, ServerStats};

@@ -1,0 +1,318 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! ## Grammar
+//!
+//! Every request is a single-line JSON object with a `"verb"` field:
+//!
+//! ```text
+//! init     {"verb":"init","session":S,"schema":H,"space":P,
+//!           "estimators":["ips","snips","clipped","dm","dr"],
+//!           "policy":{"kind":"constant","decision":D}|{"kind":"uniform"},
+//!           "model_value":V?,"max_weight":W?,"window":N?}
+//! ingest   {"verb":"ingest","session":S,"records":[R,...]}
+//! estimate {"verb":"estimate","session":S}
+//! health   {"verb":"health"}
+//! shutdown {"verb":"shutdown"}
+//! ```
+//!
+//! where `H`/`P`/`R` are the `ddn-trace` JSONL encodings of a context
+//! schema, decision space, and trace record, `D` is a decision name or
+//! index, `V` is an optional constant reward-model value (default 0) for
+//! `dm`/`dr`, `W` an optional clip threshold (default 10) for `clipped`,
+//! and `N` an optional sliding-window capacity (omitted = cumulative).
+//!
+//! Every response is `{"ok":true,...}` or `{"ok":false,"error":MSG}`.
+//! A malformed line never kills the connection: the server answers with
+//! an error object and keeps reading.
+
+use ddn_stats::Json;
+use ddn_trace::{ContextSchema, DecisionSpace, TraceRecord};
+
+/// The default clip threshold for the `clipped` estimator when the init
+/// request does not set `"max_weight"`.
+pub const DEFAULT_MAX_WEIGHT: f64 = 10.0;
+
+/// The target-policy specification carried by an `init` request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// "always this decision", named or by index (resolved against the
+    /// session's decision space at init time).
+    ConstantName(String),
+    /// "always this decision", by index.
+    ConstantIndex(usize),
+    /// Uniform random over the decision space.
+    Uniform,
+}
+
+/// An `init` request, parsed and type-checked (but with the policy's
+/// decision not yet resolved against the space).
+#[derive(Debug)]
+pub struct InitSpec {
+    /// Session identifier (routing key for sharding).
+    pub session: String,
+    /// Context schema the session's records must conform to.
+    pub schema: ContextSchema,
+    /// Decision space the session's records must conform to.
+    pub space: DecisionSpace,
+    /// Estimators to run, by protocol name (`ips`, `snips`, `clipped`,
+    /// `dm`, `dr`).
+    pub estimators: Vec<String>,
+    /// Target policy to evaluate.
+    pub policy: PolicySpec,
+    /// Constant reward-model value for `dm`/`dr`.
+    pub model_value: f64,
+    /// Clip threshold for `clipped`.
+    pub max_weight: f64,
+    /// Sliding-window capacity; `None` = cumulative estimators.
+    pub window: Option<usize>,
+}
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Create (or replace) a session.
+    Init(InitSpec),
+    /// Feed records into a session.
+    Ingest {
+        /// Target session.
+        session: String,
+        /// Parsed records (validation against the session's schema
+        /// happens in the shard worker).
+        records: Vec<TraceRecord>,
+    },
+    /// Ask for the session's current estimates.
+    Estimate {
+        /// Target session.
+        session: String,
+    },
+    /// Ask for a server-wide telemetry snapshot.
+    Health,
+    /// Begin graceful shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line. Errors are user-facing strings (they go
+    /// straight into the `"error"` field of the response).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let verb = v
+            .get("verb")
+            .and_then(Json::as_str)
+            .ok_or("missing \"verb\"")?;
+        match verb {
+            "init" => Ok(Request::Init(parse_init(&v)?)),
+            "ingest" => {
+                let session = required_session(&v)?;
+                let records = v
+                    .get("records")
+                    .and_then(Json::as_array)
+                    .ok_or("ingest needs a \"records\" array")?
+                    .iter()
+                    .map(|r| TraceRecord::from_json(r).map_err(|e| format!("bad record: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Ingest { session, records })
+            }
+            "estimate" => Ok(Request::Estimate {
+                session: required_session(&v)?,
+            }),
+            "health" => Ok(Request::Health),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown verb {other:?}")),
+        }
+    }
+}
+
+fn required_session(v: &Json) -> Result<String, String> {
+    v.get("session")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "missing \"session\"".to_string())
+}
+
+fn parse_init(v: &Json) -> Result<InitSpec, String> {
+    let session = required_session(v)?;
+    let schema = ContextSchema::from_json(v.get("schema").ok_or("init needs \"schema\"")?)
+        .map_err(|e| format!("bad schema: {e}"))?
+        .reindexed();
+    let space = DecisionSpace::from_json(v.get("space").ok_or("init needs \"space\"")?)
+        .map_err(|e| format!("bad space: {e}"))?;
+    let estimators: Vec<String> = match v.get("estimators").and_then(Json::as_array) {
+        Some(list) => list
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "estimator names must be strings".to_string())
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec!["ips".into(), "snips".into(), "dm".into(), "dr".into()],
+    };
+    if estimators.is_empty() {
+        return Err("\"estimators\" must not be empty".into());
+    }
+    let policy = match v.get("policy") {
+        None => PolicySpec::Uniform,
+        Some(p) => {
+            let kind = p
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("policy needs a \"kind\"")?;
+            match kind {
+                "uniform" => PolicySpec::Uniform,
+                "constant" => match p.get("decision") {
+                    Some(Json::Str(name)) => PolicySpec::ConstantName(name.clone()),
+                    Some(d) => {
+                        let idx = d
+                            .as_u64()
+                            .ok_or("constant policy needs a decision name or index")?;
+                        PolicySpec::ConstantIndex(idx as usize)
+                    }
+                    None => return Err("constant policy needs \"decision\"".into()),
+                },
+                other => return Err(format!("unknown policy kind {other:?}")),
+            }
+        }
+    };
+    let model_value = match v.get("model_value") {
+        None => 0.0,
+        Some(x) => x.as_f64().ok_or("\"model_value\" must be a number")?,
+    };
+    let max_weight = match v.get("max_weight") {
+        None => DEFAULT_MAX_WEIGHT,
+        Some(x) => {
+            let w = x.as_f64().ok_or("\"max_weight\" must be a number")?;
+            if !(w > 0.0 && w.is_finite()) {
+                return Err("\"max_weight\" must be positive and finite".into());
+            }
+            w
+        }
+    };
+    let window = match v.get("window") {
+        None => None,
+        Some(x) => {
+            let n = x.as_u64().ok_or("\"window\" must be a positive integer")?;
+            if n == 0 {
+                return Err("\"window\" must be at least 1".into());
+            }
+            Some(n as usize)
+        }
+    };
+    Ok(InitSpec {
+        session,
+        schema,
+        space,
+        estimators,
+        policy,
+        model_value,
+        max_weight,
+        window,
+    })
+}
+
+/// `{"ok":false,"error":msg}`.
+pub fn error_response(msg: &str) -> Json {
+    Json::object(vec![("ok", Json::Bool(false)), ("error", Json::str(msg))])
+}
+
+/// `{"ok":true, ...fields}`.
+pub fn ok_response(fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(fields);
+    Json::object(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddn_trace::{Context, Decision};
+
+    fn schema_json() -> String {
+        ContextSchema::builder()
+            .categorical("g", 2)
+            .build()
+            .to_json()
+            .to_string()
+    }
+
+    fn space_json() -> String {
+        DecisionSpace::of(&["a", "b"]).to_json().to_string()
+    }
+
+    #[test]
+    fn parses_the_full_init_surface() {
+        let line = format!(
+            r#"{{"verb":"init","session":"s1","schema":{},"space":{},"estimators":["ips","clipped"],"policy":{{"kind":"constant","decision":"b"}},"model_value":1.5,"max_weight":4.0,"window":32}}"#,
+            schema_json(),
+            space_json()
+        );
+        let req = Request::parse(&line).unwrap();
+        let Request::Init(init) = req else {
+            panic!("expected init");
+        };
+        assert_eq!(init.session, "s1");
+        assert_eq!(init.estimators, vec!["ips", "clipped"]);
+        assert_eq!(init.policy, PolicySpec::ConstantName("b".into()));
+        assert_eq!(init.model_value, 1.5);
+        assert_eq!(init.max_weight, 4.0);
+        assert_eq!(init.window, Some(32));
+    }
+
+    #[test]
+    fn init_defaults_are_sensible() {
+        let line = format!(
+            r#"{{"verb":"init","session":"s","schema":{},"space":{}}}"#,
+            schema_json(),
+            space_json()
+        );
+        let Request::Init(init) = Request::parse(&line).unwrap() else {
+            panic!("expected init");
+        };
+        assert_eq!(init.estimators, vec!["ips", "snips", "dm", "dr"]);
+        assert_eq!(init.policy, PolicySpec::Uniform);
+        assert_eq!(init.max_weight, DEFAULT_MAX_WEIGHT);
+        assert_eq!(init.window, None);
+    }
+
+    #[test]
+    fn parses_ingest_records() {
+        let schema = ContextSchema::builder().categorical("g", 2).build();
+        let c = Context::build(&schema).set_cat("g", 1).finish();
+        let rec = ddn_trace::TraceRecord::new(c, Decision::from_index(0), 2.0)
+            .with_propensity(0.5);
+        let line = format!(
+            r#"{{"verb":"ingest","session":"s","records":[{}]}}"#,
+            rec.to_json().to_string()
+        );
+        let Request::Ingest { session, records } = Request::parse(&line).unwrap() else {
+            panic!("expected ingest");
+        };
+        assert_eq!(session, "s");
+        assert_eq!(records, vec![rec]);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_messages() {
+        for (line, needle) in [
+            ("{not json}", "bad JSON"),
+            (r#"{"session":"s"}"#, "verb"),
+            (r#"{"verb":"warp"}"#, "unknown verb"),
+            (r#"{"verb":"ingest","records":[]}"#, "session"),
+            (r#"{"verb":"ingest","session":"s"}"#, "records"),
+            (r#"{"verb":"init","session":"s"}"#, "schema"),
+        ] {
+            let e = Request::parse(line).unwrap_err();
+            assert!(e.contains(needle), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn response_builders_shape_the_envelope() {
+        let ok = ok_response(vec![("accepted", Json::Int(3))]);
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(ok.get("accepted"), Some(&Json::Int(3)));
+        let err = error_response("nope");
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(err.get("error").and_then(Json::as_str), Some("nope"));
+    }
+}

@@ -1,0 +1,434 @@
+//! The TCP transport: acceptor, per-connection readers, and the sharded
+//! worker pool.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! acceptor ──spawn──▶ connection threads (one per client)
+//!                         │  parse line → Request
+//!                         │  hash(session) → shard
+//!                         ▼
+//!                bounded sync_channel (backpressure)
+//!                         │
+//!                         ▼
+//!                shard workers (own the sessions; no locks)
+//! ```
+//!
+//! Each session lives on exactly one shard (chosen by hashing its id), so
+//! session state needs no synchronization and requests for one session
+//! are processed in arrival order — an `estimate` sent after an `ingest`
+//! on the same connection always sees the ingested records.
+//!
+//! ## Backpressure
+//!
+//! Ingest queues are bounded ([`ServeConfig::queue_capacity`] messages
+//! per shard). A connection thread first tries a non-blocking send; when
+//! the shard's queue is full it counts a `serve.backpressure.stalls`
+//! event and falls back to a blocking send, which stalls *that client's*
+//! TCP stream (and eventually the client, via TCP flow control) without
+//! affecting other connections.
+//!
+//! ## Shutdown contract
+//!
+//! A `shutdown` verb (the SIGTERM-equivalent for this zero-dependency
+//! server) or [`ServerHandle::shutdown`] sets a flag, wakes the acceptor
+//! with a loopback connection, and answers in-flight requests. Connection
+//! threads notice the flag within one poll interval and close; workers
+//! drain their queues and exit once every connection is gone.
+//! [`ServerHandle::shutdown`] joins every thread, so when it returns the
+//! process holds no server state.
+
+use crate::engine::Engine;
+use crate::protocol::{error_response, ok_response, InitSpec, Request};
+use ddn_stats::Json;
+use ddn_telemetry::{Collector, TelemetrySnapshot};
+use ddn_trace::TraceRecord;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Number of shard workers (each owns a disjoint set of sessions).
+    pub shards: usize,
+    /// Bounded queue capacity per shard, in messages.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 4,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// Server-wide counters, surfaced by the `health` verb as telemetry
+/// counters (`serve.*`).
+#[derive(Default)]
+pub struct ServerStats {
+    ingest_records: AtomicU64,
+    conn_active: AtomicU64,
+    backpressure_stalls: AtomicU64,
+    queue_depth: AtomicU64,
+}
+
+impl ServerStats {
+    /// Total records accepted across all sessions.
+    pub fn ingest_records(&self) -> u64 {
+        self.ingest_records.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn conn_active(&self) -> u64 {
+        self.conn_active.load(Ordering::Relaxed)
+    }
+
+    /// Times a connection found its shard queue full and had to block.
+    pub fn backpressure_stalls(&self) -> u64 {
+        self.backpressure_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Messages currently queued across all shards.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// The counters as a telemetry collector (merged into `health`
+    /// snapshots alongside per-shard estimator health).
+    pub fn collector(&self) -> Collector {
+        let mut c = Collector::default();
+        c.counts.push(("serve.ingest.records", self.ingest_records()));
+        c.counts.push(("serve.queue.depth", self.queue_depth()));
+        c.counts.push(("serve.conn.active", self.conn_active()));
+        c.counts
+            .push(("serve.backpressure.stalls", self.backpressure_stalls()));
+        c
+    }
+}
+
+/// Messages a connection thread sends to a shard worker. Replies travel
+/// over a per-request channel so a slow shard never blocks writes for
+/// other connections.
+enum ShardMsg {
+    Init(InitSpec, Sender<Json>),
+    Ingest {
+        session: String,
+        records: Vec<TraceRecord>,
+        reply: Sender<Json>,
+    },
+    Estimate {
+        session: String,
+        reply: Sender<Json>,
+    },
+    /// Health probe: the shard answers with its estimator-health
+    /// collector.
+    Collect(Sender<Collector>),
+}
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::shutdown`] for a clean stop.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Requests shutdown and joins every server thread. Idempotent-safe
+    /// with a client-sent `shutdown` verb (both paths set the same flag).
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor if it is parked in accept().
+        let _ = TcpStream::connect(self.local_addr);
+        self.join();
+    }
+
+    /// Blocks until the server stops — i.e. until some client sends the
+    /// `shutdown` verb — then joins every thread. This is what
+    /// `ddn serve` does after printing the bound address.
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How long a connection thread waits on a quiet socket before checking
+/// the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Binds `config.addr` and starts the acceptor and shard workers.
+pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    assert!(config.shards > 0, "need at least one shard");
+    assert!(config.queue_capacity > 0, "queue capacity must be positive");
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+
+    let mut senders = Vec::with_capacity(config.shards);
+    let mut workers = Vec::with_capacity(config.shards);
+    for i in 0..config.shards {
+        let (tx, rx) = sync_channel::<ShardMsg>(config.queue_capacity);
+        senders.push(tx);
+        let stats = Arc::clone(&stats);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("ddn-serve-shard-{i}"))
+                .spawn(move || shard_worker(rx, stats))
+                .expect("spawn shard worker"),
+        );
+    }
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        std::thread::Builder::new()
+            .name("ddn-serve-acceptor".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let senders = senders.clone();
+                    let shutdown = Arc::clone(&shutdown);
+                    let stats = Arc::clone(&stats);
+                    let addr = local_addr;
+                    let _ = std::thread::Builder::new()
+                        .name("ddn-serve-conn".to_string())
+                        .spawn(move || {
+                            stats.conn_active.fetch_add(1, Ordering::Relaxed);
+                            handle_connection(stream, &senders, &shutdown, &stats, addr);
+                            stats.conn_active.fetch_sub(1, Ordering::Relaxed);
+                        });
+                }
+                // Dropping `senders` here lets workers exit once every
+                // connection thread has also dropped its clones.
+            })
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        stats,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn shard_worker(rx: Receiver<ShardMsg>, stats: Arc<ServerStats>) {
+    let mut engine = Engine::new();
+    while let Ok(msg) = rx.recv() {
+        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        match msg {
+            ShardMsg::Init(spec, reply) => {
+                let _ = reply.send(engine.handle_init(spec));
+            }
+            ShardMsg::Ingest {
+                session,
+                records,
+                reply,
+            } => {
+                let resp = engine.handle_ingest(&session, &records);
+                if let Some(accepted) = resp.get("accepted").and_then(Json::as_u64) {
+                    stats.ingest_records.fetch_add(accepted, Ordering::Relaxed);
+                }
+                let _ = reply.send(resp);
+            }
+            ShardMsg::Estimate { session, reply } => {
+                let _ = reply.send(engine.handle_estimate(&session));
+            }
+            ShardMsg::Collect(reply) => {
+                let _ = reply.send(engine.collector());
+            }
+        }
+    }
+}
+
+fn shard_of(session: &str, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    session.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// Sends to a shard with backpressure accounting: non-blocking first;
+/// on a full queue counts a stall and blocks (stalling only this
+/// connection).
+fn send_with_backpressure(
+    tx: &SyncSender<ShardMsg>,
+    msg: ShardMsg,
+    stats: &ServerStats,
+) -> Result<(), ()> {
+    stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+    match tx.try_send(msg) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(msg)) => {
+            stats.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+            tx.send(msg).map_err(|_| {
+                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            })
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            Err(())
+        }
+    }
+}
+
+/// Routes one parsed request and returns the response to write. `None`
+/// means "shut the connection down after replying with `ok`".
+fn dispatch(
+    req: Request,
+    senders: &[SyncSender<ShardMsg>],
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    local_addr: SocketAddr,
+) -> (Json, bool) {
+    // Round-trips one message to a shard and waits for its reply.
+    let ask = |shard: usize, msg: ShardMsg, rx: Receiver<Json>| -> Json {
+        if send_with_backpressure(&senders[shard], msg, stats).is_err() {
+            return error_response("server is shutting down");
+        }
+        rx.recv()
+            .unwrap_or_else(|_| error_response("shard worker unavailable"))
+    };
+    match req {
+        Request::Init(spec) => {
+            let shard = shard_of(&spec.session, senders.len());
+            let (tx, rx) = std::sync::mpsc::channel();
+            (ask(shard, ShardMsg::Init(spec, tx), rx), false)
+        }
+        Request::Ingest { session, records } => {
+            let shard = shard_of(&session, senders.len());
+            let (tx, rx) = std::sync::mpsc::channel();
+            let msg = ShardMsg::Ingest {
+                session,
+                records,
+                reply: tx,
+            };
+            (ask(shard, msg, rx), false)
+        }
+        Request::Estimate { session } => {
+            let shard = shard_of(&session, senders.len());
+            let (tx, rx) = std::sync::mpsc::channel();
+            let msg = ShardMsg::Estimate {
+                session,
+                reply: tx,
+            };
+            (ask(shard, msg, rx), false)
+        }
+        Request::Health => {
+            let mut collectors = Vec::with_capacity(senders.len() + 1);
+            collectors.push(stats.collector());
+            for tx in senders {
+                let (ctx, crx) = std::sync::mpsc::channel();
+                if send_with_backpressure(tx, ShardMsg::Collect(ctx), stats).is_ok() {
+                    if let Ok(c) = crx.recv() {
+                        collectors.push(c);
+                    }
+                }
+            }
+            let mut snap = TelemetrySnapshot::from_runs(&collectors);
+            snap.set_threads(senders.len());
+            (
+                ok_response(vec![("telemetry", snap.to_json())]),
+                false,
+            )
+        }
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it observes the flag.
+            let _ = TcpStream::connect(local_addr);
+            (
+                ok_response(vec![("shutting_down", Json::Bool(true))]),
+                true,
+            )
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    senders: &[SyncSender<ShardMsg>],
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    local_addr: SocketAddr,
+) {
+    // A finite read timeout lets the thread notice shutdown while the
+    // client is idle; partial reads accumulate in `buf` across timeouts
+    // (read_line appends before erroring), so no bytes are lost.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // The protocol is strict request/response, so Nagle buys nothing and
+    // its interaction with delayed ACKs costs ~40ms per small reply.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    'conn: loop {
+        buf.clear();
+        let n = loop {
+            match reader.read_line(&mut buf) {
+                Ok(n) => break n,
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break 'conn;
+                    }
+                }
+                Err(_) => break 'conn,
+            }
+        };
+        if n == 0 {
+            break; // client closed
+        }
+        let line = buf.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Per-connection error isolation: a bad line produces an error
+        // response, never a dropped connection or a dead server.
+        let (resp, close) = match Request::parse(line) {
+            Ok(req) => dispatch(req, senders, shutdown, stats, local_addr),
+            Err(e) => (error_response(&e), false),
+        };
+        if writeln!(writer, "{}", resp.to_string()).is_err() {
+            break;
+        }
+        if close {
+            break;
+        }
+    }
+}

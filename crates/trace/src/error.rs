@@ -50,6 +50,33 @@ pub enum TraceError {
         /// Underlying JSON parse/shape error.
         source: ddn_stats::JsonError,
     },
+    /// A record parsed as JSON but failed validation while reading JSONL;
+    /// wraps the validation error with the offending input line, so a bad
+    /// line in a multi-gigabyte trace file can be found without counting
+    /// records by hand.
+    InvalidRecordLine {
+        /// 1-based line number in the JSONL input.
+        line: usize,
+        /// The underlying validation error (which names the record
+        /// position within the stream).
+        source: Box<TraceError>,
+    },
+}
+
+impl TraceError {
+    /// Wraps a validation error with the JSONL line it arose from. Errors
+    /// that already carry a line number are returned unchanged.
+    pub fn at_line(self, line: usize) -> TraceError {
+        match self {
+            TraceError::Json { .. } | TraceError::InvalidRecordLine { .. } | TraceError::Io(_) => {
+                self
+            }
+            other => TraceError::InvalidRecordLine {
+                line,
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl fmt::Display for TraceError {
@@ -87,6 +114,9 @@ impl fmt::Display for TraceError {
                 write!(f, "trace JSON error at line {l}: {source}")
             }
             TraceError::Json { line: None, source } => write!(f, "trace JSON error: {source}"),
+            TraceError::InvalidRecordLine { line, source } => {
+                write!(f, "trace line {line}: {source}")
+            }
         }
     }
 }
@@ -96,6 +126,7 @@ impl std::error::Error for TraceError {
         match self {
             TraceError::Io(e) => Some(e),
             TraceError::Json { source, .. } => Some(source),
+            TraceError::InvalidRecordLine { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -126,6 +157,22 @@ mod tests {
 
         let e = TraceError::MissingPropensity { record: 0 };
         assert!(e.to_string().contains("propensity"));
+    }
+
+    #[test]
+    fn at_line_wraps_validation_errors_once() {
+        let e = TraceError::MissingPropensity { record: 3 }.at_line(5);
+        assert!(matches!(
+            e,
+            TraceError::InvalidRecordLine { line: 5, ref source }
+                if matches!(**source, TraceError::MissingPropensity { record: 3 })
+        ));
+        let s = e.to_string();
+        assert!(s.contains("line 5") && s.contains("record 3"), "{s}");
+        assert!(std::error::Error::source(&e).is_some());
+        // Errors already carrying a line stay as they are.
+        let again = e.at_line(9);
+        assert!(matches!(again, TraceError::InvalidRecordLine { line: 5, .. }));
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub use decision::{Decision, DecisionSpace};
 pub use error::TraceError;
 pub use record::{StateTag, TraceRecord};
 pub use stats::{DecisionSummary, TraceStats};
-pub use trace::Trace;
+pub use trace::{Trace, TraceStream};

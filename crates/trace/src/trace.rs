@@ -55,34 +55,51 @@ impl Trace {
         }
         let mut last_ts = f64::NEG_INFINITY;
         for (k, r) in records.iter().enumerate() {
-            if r.decision.index() >= space.len() {
-                return Err(TraceError::DecisionOutOfRange {
-                    record: k,
-                    index: r.decision.index(),
-                    space: space.len(),
-                });
-            }
-            Self::check_context(k, r, &schema)?;
-            if let Some(p) = r.propensity {
-                if !(p > 0.0 && p <= 1.0 && p.is_finite()) {
-                    return Err(TraceError::InvalidPropensity {
-                        record: k,
-                        value: p,
-                    });
-                }
-            }
-            if let Some(t) = r.timestamp {
-                if t < last_ts {
-                    return Err(TraceError::UnorderedTimestamps { record: k });
-                }
-                last_ts = t;
-            }
+            Self::validate_record(k, r, &schema, &space, &mut last_ts)?;
         }
         Ok(Self {
             schema,
             space,
             records,
         })
+    }
+
+    /// Validates one record at stream position `k`: decision range, schema
+    /// conformance, propensity range, and timestamp ordering against the
+    /// previous record (`last_ts` is advanced on success). Shared by
+    /// [`Trace::from_records`] and the incremental [`TraceStream`], and
+    /// public so streaming ingest layers can apply the exact same checks
+    /// to records that never pass through a `Trace`.
+    pub fn validate_record(
+        k: usize,
+        r: &TraceRecord,
+        schema: &ContextSchema,
+        space: &DecisionSpace,
+        last_ts: &mut f64,
+    ) -> Result<(), TraceError> {
+        if r.decision.index() >= space.len() {
+            return Err(TraceError::DecisionOutOfRange {
+                record: k,
+                index: r.decision.index(),
+                space: space.len(),
+            });
+        }
+        Self::check_context(k, r, schema)?;
+        if let Some(p) = r.propensity {
+            if !(p > 0.0 && p <= 1.0 && p.is_finite()) {
+                return Err(TraceError::InvalidPropensity {
+                    record: k,
+                    value: p,
+                });
+            }
+        }
+        if let Some(t) = r.timestamp {
+            if t < *last_ts {
+                return Err(TraceError::UnorderedTimestamps { record: k });
+            }
+            *last_ts = t;
+        }
+        Ok(())
     }
 
     fn check_context(k: usize, r: &TraceRecord, schema: &ContextSchema) -> Result<(), TraceError> {
@@ -196,7 +213,36 @@ impl Trace {
 
     /// Reads a trace previously written by [`Trace::write_jsonl`],
     /// re-validating every record.
+    ///
+    /// Loads the whole trace into memory; for incremental processing of
+    /// large files use [`Trace::stream_jsonl`], which this is built on.
     pub fn read_jsonl<R: Read>(r: R) -> Result<Trace, TraceError> {
+        let mut stream = Trace::stream_jsonl(r)?;
+        let mut records = Vec::new();
+        for rec in &mut stream {
+            records.push(rec?);
+        }
+        if records.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        Ok(Trace {
+            schema: stream.schema().clone(),
+            space: stream.space().clone(),
+            records,
+        })
+    }
+
+    /// Opens a JSONL trace for incremental reading: parses and validates
+    /// the header line eagerly, then yields one validated [`TraceRecord`]
+    /// at a time without ever holding the whole file in memory.
+    ///
+    /// Validation is identical to [`Trace::from_records`] (decision range,
+    /// schema conformance, propensity range, timestamp ordering), applied
+    /// record-by-record as the stream advances; validation failures are
+    /// wrapped in [`TraceError::InvalidRecordLine`] carrying the offending
+    /// 1-based input line. After the first error the stream is fused and
+    /// yields `None`.
+    pub fn stream_jsonl<R: Read>(r: R) -> Result<TraceStream<R>, TraceError> {
         let reader = BufReader::new(r);
         let mut lines = reader.lines();
         let header_line = lines.next().ok_or(TraceError::Empty)??;
@@ -206,22 +252,15 @@ impl Trace {
                 line: Some(1),
                 source,
             })?;
-        let schema = header.schema.reindexed();
-        let mut records = Vec::new();
-        for (i, line) in lines.enumerate() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let rec = Json::parse(&line)
-                .and_then(|v| TraceRecord::from_json(&v))
-                .map_err(|source| TraceError::Json {
-                    line: Some(i + 2),
-                    source,
-                })?;
-            records.push(rec);
-        }
-        Trace::from_records(schema, header.space, records)
+        Ok(TraceStream {
+            lines,
+            schema: header.schema.reindexed(),
+            space: header.space,
+            line: 1,
+            read: 0,
+            last_ts: f64::NEG_INFINITY,
+            done: false,
+        })
     }
 
     /// Writes the trace to a JSONL file at `path` (see
@@ -235,6 +274,103 @@ impl Trace {
     pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
         let file = std::fs::File::open(path)?;
         Trace::read_jsonl(BufReader::new(file))
+    }
+
+    /// Opens a JSONL file at `path` for incremental reading (see
+    /// [`Trace::stream_jsonl`]).
+    pub fn stream_file(
+        path: impl AsRef<Path>,
+    ) -> Result<TraceStream<std::fs::File>, TraceError> {
+        let file = std::fs::File::open(path)?;
+        Trace::stream_jsonl(file)
+    }
+}
+
+/// Incremental JSONL trace reader returned by [`Trace::stream_jsonl`].
+///
+/// Holds the header's (reindexed) schema and decision space, and yields
+/// validated records one at a time. Memory use is bounded by a single
+/// input line, so multi-gigabyte traces can be replayed without loading
+/// them. Blank lines are skipped but still advance the reported line
+/// number, matching [`Trace::read_jsonl`].
+pub struct TraceStream<R: Read> {
+    lines: std::io::Lines<BufReader<R>>,
+    schema: ContextSchema,
+    space: DecisionSpace,
+    /// 1-based number of the last physical line consumed (1 = header).
+    line: usize,
+    /// Count of records successfully yielded so far.
+    read: usize,
+    last_ts: f64,
+    done: bool,
+}
+
+impl<R: Read> TraceStream<R> {
+    /// The context schema from the header, reindexed for fast lookup.
+    pub fn schema(&self) -> &ContextSchema {
+        &self.schema
+    }
+
+    /// The decision space from the header.
+    pub fn space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    /// Number of records successfully yielded so far.
+    pub fn records_read(&self) -> usize {
+        self.read
+    }
+
+    /// 1-based number of the last input line consumed (the header counts
+    /// as line 1).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl<R: Read> Iterator for TraceStream<R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let line = match self.lines.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Some(Ok(l)) => l,
+            };
+            self.line += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec = match Json::parse(&line).and_then(|v| TraceRecord::from_json(&v)) {
+                Ok(r) => r,
+                Err(source) => {
+                    self.done = true;
+                    return Some(Err(TraceError::Json {
+                        line: Some(self.line),
+                        source,
+                    }));
+                }
+            };
+            let k = self.read;
+            if let Err(e) =
+                Trace::validate_record(k, &rec, &self.schema, &self.space, &mut self.last_ts)
+            {
+                self.done = true;
+                return Some(Err(e.at_line(self.line)));
+            }
+            self.read += 1;
+            return Some(Ok(rec));
+        }
     }
 }
 
@@ -390,5 +526,87 @@ mod tests {
         buf.extend_from_slice(b"\n\n");
         let back = Trace::read_jsonl(&buf[..]).unwrap();
         assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn stream_yields_records_incrementally() {
+        let t = small_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let mut stream = Trace::stream_jsonl(&buf[..]).unwrap();
+        assert_eq!(stream.space(), t.space());
+        assert_eq!(stream.schema().position("rtt"), Some(1));
+        assert_eq!(stream.records_read(), 0);
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first, t.records()[0]);
+        assert_eq!(stream.records_read(), 1);
+        assert_eq!(stream.line(), 2);
+        let rest: Vec<_> = stream.map(Result::unwrap).collect();
+        assert_eq!(rest.as_slice(), &t.records()[1..]);
+    }
+
+    #[test]
+    fn stream_reports_validation_errors_with_line_numbers() {
+        // Header + one good record + blank line + a record with an invalid
+        // propensity on (physical) line 4.
+        let t = small_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let mut lines: Vec<&str> = std::str::from_utf8(&buf).unwrap().lines().collect();
+        lines.truncate(2); // header + record 0
+        let mut input = lines.join("\n");
+        input.push_str("\n\n");
+        input.push_str(r#"{"context":{"values":[0,10.0]},"decision":1,"reward":0.5,"propensity":1.5}"#);
+        input.push('\n');
+        let mut stream = Trace::stream_jsonl(input.as_bytes()).unwrap();
+        assert!(stream.next().unwrap().is_ok());
+        let e = stream.next().unwrap().unwrap_err();
+        assert!(
+            matches!(
+                e,
+                TraceError::InvalidRecordLine { line: 4, ref source }
+                    if matches!(**source, TraceError::InvalidPropensity { record: 1, .. })
+            ),
+            "{e}"
+        );
+        // The stream is fused after the first error.
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_rejects_bad_header() {
+        let e = match Trace::stream_jsonl(&b"{not json}\n"[..]) {
+            Err(e) => e,
+            Ok(_) => panic!("bad header must fail"),
+        };
+        assert!(matches!(e, TraceError::Json { line: Some(1), .. }));
+        let e = match Trace::stream_jsonl(&b""[..]) {
+            Err(e) => e,
+            Ok(_) => panic!("empty input must fail"),
+        };
+        assert!(matches!(e, TraceError::Empty));
+    }
+
+    #[test]
+    fn read_jsonl_carries_line_numbers_for_validation_errors() {
+        let t = small_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        // Record with out-of-range decision appended on line 5.
+        buf.extend_from_slice(
+            b"{\"context\":{\"values\":[0,10.0]},\"decision\":7,\"reward\":0.0}\n",
+        );
+        let e = Trace::read_jsonl(&buf[..]).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                TraceError::InvalidRecordLine { line: 5, ref source }
+                    if matches!(
+                        **source,
+                        TraceError::DecisionOutOfRange { record: 3, index: 7, space: 3 }
+                    )
+            ),
+            "{e}"
+        );
     }
 }

@@ -50,7 +50,48 @@ if [[ "${1:-}" == "ci" ]]; then
     cargo bench --offline -p ddn-bench --bench eval_batch
   test -s "$bench_dir/BENCH_eval_batch.json"
   grep -q '"speedup"' "$bench_dir/BENCH_eval_batch.json"
-  echo "ci ok: built, tested, telemetry-smoked, and batch-equivalence-checked with zero external dependencies"
+  echo "== ci: streaming serve smoke (replay-to == offline evaluate) =="
+  # End-to-end over a real socket: start the server on an ephemeral port,
+  # stream a generated trace into it, and require the online estimate to
+  # render *identically* to the offline `ddn evaluate` line — the serve
+  # layer's bit-identity contract, checked at the user-facing surface.
+  serve_trace="$(mktemp -t ddn-serve-trace-XXXXXX.jsonl)"
+  port_file="$(mktemp -t ddn-serve-port-XXXXXX)"
+  trap 'rm -f "$telemetry_file" "$serve_trace" "$port_file"; rm -rf "$bench_dir"' EXIT
+  ./target/release/ddn generate "$serve_trace" --world cfa --n 300 --seed 7 > /dev/null
+  : > "$port_file"
+  ./target/release/ddn serve --port-file "$port_file" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.05
+  done
+  test -s "$port_file" || { echo "FAIL: server never wrote its port" >&2; exit 1; }
+  addr="$(cat "$port_file")"
+  replay_out="$(./target/release/ddn replay-to "$serve_trace" \
+    --addr "$addr" --decision cdn1/br2 --estimator ips --shutdown)"
+  offline_out="$(./target/release/ddn evaluate "$serve_trace" \
+    --decision cdn1/br2 --estimator ips)"
+  # The shutdown verb must stop the server cleanly (exit 0, no kill).
+  wait "$serve_pid"
+  online_line="$(printf '%s\n' "$replay_out" | grep '^estimate:')"
+  offline_line="$(printf '%s\n' "$offline_out" | grep '^estimate:')"
+  if [[ "$online_line" != "$offline_line" ]]; then
+    echo "FAIL: streamed estimate differs from offline evaluate" >&2
+    echo "  online:  $online_line" >&2
+    echo "  offline: $offline_line" >&2
+    exit 1
+  fi
+  printf '%s\n' "$replay_out" | grep -q 'streamed 300 records'
+  printf '%s\n' "$replay_out" | grep -q 'server shutdown requested'
+  # Tiny streaming-ingest bench smoke: sized down via DDN_STREAM_RUNS,
+  # checking the throughput harness and the pinned floor key end-to-end.
+  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_STREAM_RUNS=2000 \
+  DDN_BENCH_DIR="$bench_dir" \
+    cargo bench --offline -p ddn-bench --bench stream_ingest
+  test -s "$bench_dir/BENCH_stream.json"
+  grep -q '"floor_records_per_sec"' "$bench_dir/BENCH_stream.json"
+  echo "ci ok: built, tested, telemetry-smoked, batch-equivalence-checked, and serve-smoked with zero external dependencies"
   exit 0
 fi
 

@@ -72,6 +72,7 @@ pub use ddn_netsim as netsim;
 pub use ddn_policy as policy;
 pub use ddn_relay as relay;
 pub use ddn_scenarios as scenarios;
+pub use ddn_serve as serve;
 pub use ddn_stats as stats;
 pub use ddn_telemetry as telemetry;
 pub use ddn_trace as trace;

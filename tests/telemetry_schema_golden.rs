@@ -190,6 +190,93 @@ fn telemetry_json_schema_is_pinned() {
     }
 }
 
+/// Pinned counter key set the serve `health` verb must expose (sorted).
+/// Dashboards watch these names; renaming one is a breaking change.
+const GOLDEN_SERVE_COUNTERS: &[&str] = &[
+    "serve.backpressure.stalls",
+    "serve.conn.active",
+    "serve.ingest.records",
+    "serve.queue.depth",
+];
+
+/// Pinned metric key set of a streaming estimator's health source
+/// (sorted) once records have flowed.
+const GOLDEN_ONLINE_HEALTH: &[&str] = &[
+    "contribution_mean",
+    "contribution_variance",
+    "ess",
+    "max_weight",
+    "mean_weight",
+    "n",
+    "standard_error",
+    "zero_weight_fraction",
+];
+
+#[test]
+fn serve_health_verb_schema_is_pinned() {
+    use ddn::prelude::*;
+    use ddn::serve::{serve, ServeClient, ServeConfig};
+
+    let handle = serve(&ServeConfig::default()).expect("bind ephemeral port");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).unwrap();
+
+    let schema = ContextSchema::builder().categorical("g", 2).build();
+    let space = DecisionSpace::of(&["a", "b"]);
+    client
+        .init("golden", &schema, &space, &["ips"], "b", 0.0, None)
+        .unwrap();
+    let old = UniformRandomPolicy::new(space.clone());
+    let mut rng = Xoshiro256::seed_from(11);
+    let records: Vec<TraceRecord> = (0..40)
+        .map(|_| {
+            let c = Context::build(&schema).set_cat("g", rng.index(2) as u32).finish();
+            let (d, p) = old.sample_with_prob(&c, &mut rng);
+            TraceRecord::new(c, d, d.index() as f64).with_propensity(p)
+        })
+        .collect();
+    client.ingest("golden", &records).unwrap();
+
+    let resp = client.health().unwrap();
+    // Round-trip through the wire form, as consumers see it.
+    let resp = Json::parse(&resp.to_string()).unwrap();
+    let telemetry = resp.get("telemetry").expect("health carries telemetry");
+    assert_eq!(
+        keys(telemetry),
+        ["version", "runs", "threads", "health", "counters", "timings"],
+        "serve telemetry envelope changed"
+    );
+
+    let counters = telemetry.get("counters").unwrap();
+    assert_eq!(
+        sorted(keys(counters)),
+        GOLDEN_SERVE_COUNTERS,
+        "serve counter key set changed"
+    );
+    assert_eq!(
+        counters.get("serve.ingest.records").unwrap().as_u64(),
+        Some(40)
+    );
+
+    let health = telemetry.get("health").unwrap();
+    let source = health
+        .get("serve/golden/ips")
+        .expect("per-session estimator health source");
+    assert_eq!(
+        sorted(keys(source)),
+        GOLDEN_ONLINE_HEALTH,
+        "online estimator health key set changed"
+    );
+    for (metric, agg) in source.as_object().unwrap() {
+        assert_eq!(
+            keys(agg),
+            METRIC_AGG_KEYS,
+            "aggregate shape changed for serve/golden/ips/{metric}"
+        );
+    }
+    handle.shutdown();
+}
+
 #[test]
 fn deterministic_form_differs_only_by_threads_and_zeroed_times() {
     let (_, snap) = health_suite_with(&HealthConfig {
