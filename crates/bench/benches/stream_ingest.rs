@@ -112,7 +112,7 @@ fn main() {
         engine.handle_init(spec);
         let mut total = 0usize;
         for chunk in recs.chunks(batch) {
-            let resp = engine.handle_ingest("bench", chunk);
+            let resp = engine.handle_ingest("bench", chunk, None);
             total += resp
                 .get("accepted")
                 .and_then(|v| v.as_u64())

@@ -125,6 +125,8 @@ USAGE:
   ddn replay-to <trace.jsonl> --addr <host:port> --decision <name>
                [--estimator ips|snips|clipped|dm|dr] [--session replay]
                [--batch 256] [--model-value 0] [--window <n>] [--shutdown]
+  ddn chaos    [--seed 7] [--faults 0.01] [--duration-records 20000]
+               [--batch 256] [--shards 4]
 
 With --telemetry, the full snapshot (estimator health, span timings) is
 written as JSON to the given path and a summary table goes to stderr.
@@ -140,6 +142,14 @@ until a client sends the shutdown verb. replay-to streams an existing
 JSONL trace into a running server without ever loading the whole file,
 then asks for the online estimate; with --shutdown it stops the server
 afterwards.
+
+chaos is a self-contained soak (DESIGN.md §11): it starts an in-process
+server, streams --duration-records synthetic records through a client
+whose transport injects a seeded fault plan (partial I/O, delays,
+mid-line disconnects, error returns — at least one disconnect always
+fires), and exits non-zero unless every acknowledged record was counted
+exactly once and the streamed estimate is bit-identical to the offline
+estimator. --faults is the per-record fault rate.
 ";
 
 /// Flags that stand alone (no value follows them).
@@ -264,6 +274,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "telemetry-check" => cmd_telemetry_check(rest),
         "serve" => cmd_serve(rest),
         "replay-to" => cmd_replay_to(rest),
+        "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n\n{USAGE}"
@@ -798,7 +809,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             .filter(|&q: &usize| q > 0)
             .ok_or_else(|| CliError::Usage("queue must be a positive integer".into()))?;
     }
-    let handle = ddn_serve::serve(&config).map_err(CliError::Io)?;
+    let handle = ddn_serve::serve(&config)
+        .map_err(|e| CliError::Serve(format!("cannot bind {}: {e}", config.addr)))?;
     let addr = handle.local_addr();
     if let Some(port_file) = flags.get("port-file") {
         std::fs::write(port_file, format!("{addr}\n"))?;
@@ -922,6 +934,203 @@ fn cmd_replay_to(args: &[String]) -> Result<String, CliError> {
         client.shutdown().map_err(serve_err)?;
         out.push_str("server shutdown requested\n");
     }
+    Ok(out)
+}
+
+fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
+    use ddn_testkit::{Dir, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
+    use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, TraceRecord};
+    use std::time::{Duration, Instant};
+
+    let flags = Flags::parse(args)?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "chaos takes no positional arguments\n\n{USAGE}"
+        )));
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .unwrap_or("7")
+        .parse()
+        .map_err(|_| CliError::Usage("seed must be an integer".into()))?;
+    let fault_rate: f64 = flags
+        .get("faults")
+        .unwrap_or("0.01")
+        .parse()
+        .ok()
+        .filter(|&r: &f64| (0.0..=1.0).contains(&r))
+        .ok_or_else(|| CliError::Usage("faults must be a rate in [0, 1]".into()))?;
+    let n_records: usize = flags
+        .get("duration-records")
+        .unwrap_or("20000")
+        .parse()
+        .ok()
+        .filter(|&n: &usize| n > 0)
+        .ok_or_else(|| CliError::Usage("duration-records must be a positive integer".into()))?;
+    let batch: usize = flags
+        .get("batch")
+        .unwrap_or("256")
+        .parse()
+        .ok()
+        .filter(|&b: &usize| b > 0)
+        .ok_or_else(|| CliError::Usage("batch must be a positive integer".into()))?;
+    let shards: usize = flags
+        .get("shards")
+        .unwrap_or("4")
+        .parse()
+        .ok()
+        .filter(|&s: &usize| s > 0)
+        .ok_or_else(|| CliError::Usage("shards must be a positive integer".into()))?;
+
+    // Deterministic synthetic workload: a tiny two-armed CDN-style world.
+    let schema = ContextSchema::builder().categorical("g", 2).build();
+    let space = DecisionSpace::of(&["a", "b"]);
+    let mut rng = Xoshiro256::seed_from(seed);
+    use ddn_stats::rng::Rng;
+    let records: Vec<TraceRecord> = (0..n_records)
+        .map(|_| {
+            let g = rng.index(2) as u32;
+            let c = Context::build(&schema).set_cat("g", g).finish();
+            let d = rng.index(2);
+            let p = if d == 0 { 0.75 } else { 0.25 };
+            let r = 2.0 + g as f64 + 3.0 * d as f64;
+            TraceRecord::new(c, Decision::from_index(d), r).with_propensity(p)
+        })
+        .collect();
+
+    // Size the fault plan from the actual wire format: --faults is per
+    // record, and offsets are spread over the byte stream the run will
+    // actually produce.
+    let bytes_per_record = records[0].to_json().to_string().len() as u64 + 16;
+    let write_horizon = (n_records as u64).saturating_mul(bytes_per_record).max(1 << 12);
+    let n_batches = n_records.div_ceil(batch) as u64;
+    let read_horizon = (n_batches * 96).max(1 << 10);
+    let n_faults = ((n_records as f64 * fault_rate).round() as usize).max(1);
+    let mut plan = FaultPlan::generate(
+        seed,
+        &FaultPlanConfig {
+            faults: n_faults,
+            write_horizon,
+            read_horizon,
+            max_delay_micros: 50,
+            max_partial_bytes: 32,
+        },
+    );
+    // The headline failure mode — a mid-stream disconnect forcing a
+    // retry through the dedup window — must always be exercised.
+    if !plan.has_kind(&FaultKind::Disconnect) {
+        plan.push(FaultEvent {
+            dir: Dir::Read,
+            offset: read_horizon / 3,
+            kind: FaultKind::Disconnect,
+        });
+    }
+
+    let handle = ddn_serve::serve(&ddn_serve::ServeConfig {
+        shards,
+        ..ddn_serve::ServeConfig::default()
+    })
+    .map_err(|e| CliError::Serve(format!("cannot bind chaos server: {e}")))?;
+    let addr = handle.local_addr().to_string();
+
+    let state = ddn_serve::FaultState::new(plan.cursor());
+    let connector_state = state.clone();
+    let connect_addr = addr.clone();
+    let serve_err = |e: ddn_serve::ClientError| CliError::Serve(e.to_string());
+    let mut client = ddn_serve::ServeClient::from_connector(
+        Box::new(move || {
+            let inner = Box::new(ddn_serve::TcpTransport::connect(&connect_addr)?)
+                as Box<dyn ddn_serve::Transport>;
+            Ok(
+                Box::new(ddn_serve::FaultyTransport::new(inner, connector_state.clone()))
+                    as Box<dyn ddn_serve::Transport>,
+            )
+        }),
+        ddn_serve::ClientConfig {
+            read_timeout: Duration::from_secs(10),
+            // Every failed attempt consumes at least one scheduled fault,
+            // so any finite plan is outlasted.
+            max_retries: plan.len() as u32 + 2,
+            backoff_base: Duration::from_millis(1),
+        },
+    )
+    .map_err(serve_err)?;
+
+    let start = Instant::now();
+    client
+        .init("chaos", &schema, &space, &["ips"], "b", 0.0, None)
+        .map_err(serve_err)?;
+    for chunk in records.chunks(batch) {
+        client.ingest("chaos", chunk).map_err(serve_err)?;
+    }
+    let est = client.estimate("chaos").map_err(serve_err)?;
+    let elapsed = start.elapsed();
+
+    // Exactly once: the server-side tally must equal the records sent,
+    // however many wire attempts the faults forced.
+    let counted = handle.stats().ingest_records();
+    if counted != n_records as u64 {
+        return Err(CliError::Serve(format!(
+            "exactly-once violated: sent {n_records} records, server counted {counted}"
+        )));
+    }
+    let est_n = est.get("n").and_then(Json::as_i64).unwrap_or(-1);
+    if est_n != n_records as i64 {
+        return Err(CliError::Serve(format!(
+            "estimate ran over {est_n} records, expected {n_records}"
+        )));
+    }
+
+    // Bit-identical parity with the offline estimator over the same
+    // records: the fault path added, dropped, and reordered nothing.
+    let online = est
+        .get("estimates")
+        .and_then(|e| e.get("ips"))
+        .and_then(|e| e.get("value"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| CliError::Serve(format!("no ips value in {est}")))?;
+    let trace = Trace::from_records(schema, space.clone(), records)?;
+    let offline = Ips::new()
+        .estimate(&trace, &LookupPolicy::constant(space, 1))?
+        .value;
+    if online.to_bits() != offline.to_bits() {
+        return Err(CliError::Serve(format!(
+            "estimate parity violated: online {online:?} != offline {offline:?}"
+        )));
+    }
+
+    let injected = state.injected();
+    let stats = client.stats();
+    let rps = n_records as f64 / elapsed.as_secs_f64().max(1e-9);
+    let mut out = format!(
+        "chaos: {n_records} records in {n_batches} batches over {shards} shards (seed {seed})\n"
+    );
+    out.push_str(&format!(
+        "faults injected: {} partial, {} delay, {} disconnect, {} error ({} scheduled)\n",
+        injected.partial,
+        injected.delay,
+        injected.disconnect,
+        injected.error,
+        plan.len(),
+    ));
+    out.push_str(&format!(
+        "client: {} retries, {} reconnects, {} timeouts, {} giveups\n",
+        stats.retry_attempts(),
+        stats.reconnects(),
+        stats.timeouts(),
+        stats.giveups(),
+    ));
+    out.push_str(&format!(
+        "server: {} dedup replays, {} worker restarts\n",
+        handle.stats().dedup_replays(),
+        handle.stats().fault_worker_restarts(),
+    ));
+    out.push_str(&format!(
+        "exactly-once: ok ({counted} records counted once)\nestimate parity: ok (online == offline, bit-identical)\n"
+    ));
+    out.push_str(&format!("throughput: {rps:.0} records/sec\n"));
+    drop(client);
+    handle.shutdown();
     Ok(out)
 }
 
@@ -1138,6 +1347,58 @@ mod tests {
         assert!(served.contains("shut down cleanly"), "{served}");
         std::fs::remove_file(trace_path).ok();
         std::fs::remove_file(port_file).ok();
+    }
+
+    #[test]
+    fn chaos_soak_passes_and_reports() {
+        let out = run(&args(&[
+            "chaos",
+            "--seed",
+            "7",
+            "--faults",
+            "0.01",
+            "--duration-records",
+            "2000",
+            "--batch",
+            "128",
+            "--shards",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("exactly-once: ok"), "{out}");
+        assert!(out.contains("estimate parity: ok"), "{out}");
+        assert!(out.contains("disconnect"), "{out}");
+        assert!(out.contains("records/sec"), "{out}");
+        // At least one disconnect is guaranteed by construction.
+        let faults_line = out.lines().find(|l| l.starts_with("faults injected:")).unwrap();
+        assert!(!faults_line.contains("0 disconnect"), "{faults_line}");
+    }
+
+    #[test]
+    fn chaos_usage_errors() {
+        assert!(matches!(
+            run(&args(&["chaos", "--faults", "2.0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["chaos", "--duration-records", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["chaos", "positional"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_on_a_bound_address_is_a_serve_error() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let err = run(&args(&["serve", "--addr", &addr])).unwrap_err();
+        assert!(matches!(err, CliError::Serve(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 1);
+        assert!(format!("{err}").contains("cannot bind"), "{err}");
+        assert!(format!("{err}").contains(&addr), "{err}");
     }
 
     #[test]

@@ -56,6 +56,42 @@ fn runtime_failures_exit_1_with_stderr_only() {
 }
 
 #[test]
+fn serve_on_an_already_bound_address_exits_1_with_a_clear_message() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let out = ddn(&["serve", "--addr", &addr]);
+    assert_eq!(out.status.code(), Some(1), "a bind failure is a runtime error");
+    assert!(out.stdout.is_empty());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot bind"), "stderr: {err}");
+    assert!(err.contains(&addr), "stderr: {err}");
+}
+
+#[test]
+fn chaos_smoke_exits_0_and_reports_exactly_once() {
+    let out = ddn(&[
+        "chaos",
+        "--seed",
+        "7",
+        "--faults",
+        "0.01",
+        "--duration-records",
+        "1000",
+        "--batch",
+        "128",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exactly-once: ok"), "{stdout}");
+    assert!(stdout.contains("estimate parity: ok"), "{stdout}");
+}
+
+#[test]
 fn selftest_telemetry_round_trips_through_check() {
     let path = tmp("selftest-telemetry.json");
     let out = ddn(&["selftest", "--runs", "2", "--telemetry", path.to_str().unwrap()]);

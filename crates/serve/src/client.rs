@@ -1,17 +1,32 @@
 //! A small blocking client for the serve protocol, used by the CLI
-//! (`ddn replay-to`) and the end-to-end tests.
+//! (`ddn replay-to`, `ddn chaos`) and the end-to-end tests.
+//!
+//! The client is built for unreliable transports: every request has a
+//! read deadline (a silent server yields a typed [`ClientError::Timeout`]
+//! instead of hanging the caller forever), transport-level failures are
+//! retried a bounded number of times with deterministic exponential
+//! backoff (reconnecting through the client's connector), and `ingest`
+//! carries a per-session sequence number so a retried batch is
+//! acknowledged from the server's dedup window instead of being counted
+//! twice. The net contract: an acknowledged batch was ingested exactly
+//! once, no matter how many wire-level attempts it took (DESIGN.md §11).
 
 use crate::protocol::DEFAULT_MAX_WEIGHT;
+use crate::transport::{IoStream, TcpTransport, Transport};
 use ddn_stats::Json;
+use ddn_telemetry::Collector;
 use ddn_trace::{ContextSchema, DecisionSpace, TraceRecord};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::time::{Duration, Instant};
 
 /// Client-side errors.
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket-level failure.
     Io(std::io::Error),
+    /// No response arrived within the configured read deadline.
+    Timeout(Duration),
     /// The server closed the connection or answered with something that
     /// is not a JSON object.
     Protocol(String),
@@ -23,6 +38,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "serve client I/O error: {e}"),
+            ClientError::Timeout(d) => {
+                write!(f, "serve client timed out after {}ms", d.as_millis())
+            }
             ClientError::Protocol(m) => write!(f, "serve protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
         }
@@ -37,35 +55,188 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+impl ClientError {
+    /// Whether retrying the request could help. Transport-level failures
+    /// (I/O, timeout, torn response) are retryable; a server verdict is
+    /// not — the request was received and judged.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, ClientError::Server(_))
+    }
+}
+
+/// Retry/timeout configuration for [`ServeClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-request read deadline; a silent server fails the attempt with
+    /// [`ClientError::Timeout`] after this long.
+    pub read_timeout: Duration,
+    /// Retries after the first attempt (so `max_retries + 1` attempts in
+    /// total) for retryable errors.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based) is `backoff_base << k` —
+    /// deterministic, no jitter, so chaos runs replay identically.
+    pub backoff_base: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(30),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(25),
+        }
+    }
+}
+
+/// How often a blocked read wakes to check the deadline.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Counters describing the client's fight with the transport, surfaced
+/// as `serve.retry.*` telemetry.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClientStats {
+    retry_attempts: u64,
+    reconnects: u64,
+    timeouts: u64,
+    giveups: u64,
+}
+
+impl ClientStats {
+    /// Requests re-sent after a retryable failure.
+    pub fn retry_attempts(&self) -> u64 {
+        self.retry_attempts
+    }
+
+    /// Connections re-established after a drop.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Attempts that hit the read deadline.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Requests abandoned after exhausting every retry.
+    pub fn giveups(&self) -> u64 {
+        self.giveups
+    }
+
+    /// The counters as a telemetry collector.
+    pub fn collector(&self) -> Collector {
+        let mut c = Collector::default();
+        c.counts.push(("serve.retry.attempts", self.retry_attempts));
+        c.counts.push(("serve.retry.reconnects", self.reconnects));
+        c.counts.push(("serve.retry.timeouts", self.timeouts));
+        c.counts.push(("serve.retry.giveups", self.giveups));
+        c
+    }
+}
+
+/// Dials (or re-dials) the server, producing a fresh transport.
+pub type Connector = Box<dyn FnMut() -> std::io::Result<Box<dyn Transport>> + Send>;
+
 /// A connected client speaking one request/response pair at a time.
 pub struct ServeClient {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    connector: Connector,
+    conn: Option<(IoStream, BufReader<IoStream>)>,
+    config: ClientConfig,
+    stats: ClientStats,
+    /// Next ingest sequence number per session.
+    seqs: HashMap<String, u64>,
+    ever_connected: bool,
 }
 
 impl ServeClient {
-    /// Connects to a running server.
+    /// Connects to a running server with default retry/timeout settings.
     pub fn connect(addr: &str) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        // Request/response over small lines: disable Nagle so each
-        // request leaves immediately instead of waiting on a delayed ACK.
-        let _ = stream.set_nodelay(true);
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self {
-            writer: stream,
-            reader,
-        })
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    /// Sends one request object and waits for the one-line response.
-    /// Returns the response body on `{"ok":true}`, [`ClientError::Server`]
-    /// otherwise.
-    pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
-        writeln!(self.writer, "{}", req.to_string())?;
+    /// Connects with explicit retry/timeout settings.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Self, ClientError> {
+        let addr = addr.to_string();
+        Self::from_connector(
+            Box::new(move || Ok(Box::new(TcpTransport::connect(&addr)?) as Box<dyn Transport>)),
+            config,
+        )
+    }
+
+    /// Builds a client over an arbitrary connector (chaos tests hand in a
+    /// fault-wrapping one). Dials eagerly so a bad address fails here,
+    /// not on the first request.
+    pub fn from_connector(connector: Connector, config: ClientConfig) -> Result<Self, ClientError> {
+        let mut client = Self {
+            connector,
+            conn: None,
+            config,
+            stats: ClientStats::default(),
+            seqs: HashMap::new(),
+            ever_connected: false,
+        };
+        client.ensure_conn()?;
+        Ok(client)
+    }
+
+    /// The client's retry/reconnect/timeout counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    fn ensure_conn(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let transport = (self.connector)()?;
+        let _ = transport.set_read_timeout(Some(READ_POLL));
+        let write_half = transport.try_clone_transport()?;
+        self.conn = Some((IoStream(write_half), BufReader::new(IoStream(transport))));
+        if self.ever_connected {
+            self.stats.reconnects += 1;
+        }
+        self.ever_connected = true;
+        Ok(())
+    }
+
+    /// One wire-level attempt: write the request line, read the response
+    /// line against the deadline. Any failure drops the connection so the
+    /// next attempt re-dials.
+    fn try_once(&mut self, req: &Json) -> Result<Json, ClientError> {
+        self.ensure_conn()?;
+        let deadline = Instant::now() + self.config.read_timeout;
+        let (writer, reader) = self.conn.as_mut().expect("ensure_conn succeeded");
+        let result = (|| {
+            writeln!(writer, "{}", req.to_string())?;
+            writer.flush()?;
+            Ok::<(), std::io::Error>(())
+        })();
+        if let Err(e) = result {
+            self.conn = None;
+            return Err(ClientError::Io(e));
+        }
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    self.conn = None;
+                    return Err(ClientError::Protocol("server closed the connection".into()));
+                }
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    // Partial bytes stay buffered in `line` across polls.
+                    if Instant::now() >= deadline {
+                        self.conn = None;
+                        self.stats.timeouts += 1;
+                        return Err(ClientError::Timeout(self.config.read_timeout));
+                    }
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(ClientError::Io(e));
+                }
+            }
         }
         let resp = Json::parse(line.trim())
             .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
@@ -77,14 +248,44 @@ impl ServeClient {
                     .unwrap_or("unknown error")
                     .to_string(),
             )),
-            None => Err(ClientError::Protocol(
-                "response is missing \"ok\"".into(),
-            )),
+            None => Err(ClientError::Protocol("response is missing \"ok\"".into())),
+        }
+    }
+
+    /// Sends one request object and waits for the one-line response,
+    /// retrying transport-level failures up to the configured budget with
+    /// deterministic exponential backoff. Returns the response body on
+    /// `{"ok":true}`, [`ClientError::Server`] otherwise.
+    ///
+    /// Retrying is only exactly-once-safe because every verb is
+    /// idempotent on the server: `init` replaces, `estimate`/`health`
+    /// read, `shutdown` latches, and `ingest` carries a sequence number
+    /// the server deduplicates on.
+    pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.try_once(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() && attempt < self.config.max_retries => {
+                    self.conn = None;
+                    self.stats.retry_attempts += 1;
+                    // base << attempt: 1x, 2x, 4x, ... — deterministic.
+                    std::thread::sleep(self.config.backoff_base * (1u32 << attempt.min(16)));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if e.is_retryable() {
+                        self.stats.giveups += 1;
+                    }
+                    return Err(e);
+                }
+            }
         }
     }
 
     /// Creates a session evaluating the constant policy `always
-    /// <decision>` (by name) with the given estimators.
+    /// <decision>` (by name) with the given estimators. Resets the
+    /// client's ingest sequence for that session.
     #[allow(clippy::too_many_arguments)]
     pub fn init(
         &mut self,
@@ -118,23 +319,39 @@ impl ServeClient {
         if let Some(w) = window {
             fields.push(("window", Json::Int(w as i64)));
         }
-        self.request(&Json::object(fields))
+        let resp = self.request(&Json::object(fields))?;
+        // A successful (re-)init starts the session's sequence over on
+        // both ends.
+        self.seqs.insert(session.to_string(), 0);
+        Ok(resp)
     }
 
-    /// Feeds a batch of records into a session.
+    /// Feeds a batch of records into a session, stamped with the
+    /// session's next sequence number so server-side deduplication makes
+    /// retries exactly-once.
     pub fn ingest(
         &mut self,
         session: &str,
         records: &[TraceRecord],
     ) -> Result<Json, ClientError> {
-        self.request(&Json::object(vec![
+        let seq = *self.seqs.entry(session.to_string()).or_insert(0);
+        let req = Json::object(vec![
             ("verb", Json::str("ingest")),
             ("session", Json::str(session)),
             (
                 "records",
                 Json::Array(records.iter().map(TraceRecord::to_json).collect()),
             ),
-        ]))
+            ("seq", Json::Int(seq as i64)),
+        ]);
+        let result = self.request(&req);
+        // The server consumes the sequence whenever it delivered a
+        // verdict — positive or negative — so the client advances on
+        // both. Only a transport-level failure leaves it unconsumed.
+        if matches!(result, Ok(_) | Err(ClientError::Server(_))) {
+            self.seqs.insert(session.to_string(), seq + 1);
+        }
+        result
     }
 
     /// Asks for the session's current estimates.

@@ -173,6 +173,13 @@ pub struct Session {
     coupling: CouplingMonitor,
     last_ts: f64,
     accepted: usize,
+    /// Next expected batch sequence number for sequenced ingests.
+    next_seq: u64,
+    /// The acknowledgement sent for the most recent sequenced batch, kept
+    /// so a retried (replayed) batch can be re-acknowledged without
+    /// re-ingesting. A window of one is enough because the client keeps
+    /// at most one ingest outstanding per session (see DESIGN.md §11).
+    last_ack: Option<(u64, Json)>,
 }
 
 impl Session {
@@ -241,6 +248,8 @@ impl Session {
             coupling: CouplingMonitor::new(COUPLING_WINDOW, COUPLING_MIN_SEGMENT),
             last_ts: f64::NEG_INFINITY,
             accepted: 0,
+            next_seq: 0,
+            last_ack: None,
         })
     }
 
@@ -265,6 +274,38 @@ impl Session {
             self.coupling.push(rec.reward);
             self.accepted += 1;
         }
+        Ok(records.len())
+    }
+
+    /// Validates-then-applies a batch atomically: either every record is
+    /// ingested or none is. This is the sequenced-ingest semantics — an
+    /// acknowledgement must mean "the whole batch counted once", or a
+    /// replay after a partial failure would double-ingest the prefix.
+    pub fn ingest_atomic(&mut self, records: &[TraceRecord]) -> Result<usize, String> {
+        // Dry-run validation against a scratch timestamp so a reject
+        // leaves the session untouched.
+        let mut ts = self.last_ts;
+        for (i, rec) in records.iter().enumerate() {
+            Trace::validate_record(self.accepted + i, rec, &self.schema, &self.space, &mut ts)
+                .map_err(|e| format!("batch record {i}: {e}"))?;
+            if self.needs_propensity && rec.propensity.is_none() {
+                return Err(format!(
+                    "batch record {i}: logging propensity required by the session's estimators"
+                ));
+            }
+        }
+        // Apply. The checks above cover every push failure mode, so this
+        // phase cannot reject.
+        for (i, rec) in records.iter().enumerate() {
+            for (name, entry) in &mut self.bank {
+                entry
+                    .push(rec)
+                    .map_err(|e| format!("batch record {i}: {name}: {e}"))?;
+            }
+            self.coupling.push(rec.reward);
+            self.accepted += 1;
+        }
+        self.last_ts = ts;
         Ok(records.len())
     }
 
@@ -319,16 +360,66 @@ impl Engine {
     /// Ingests a batch into a session. The response carries `accepted`
     /// (from this batch) and `total` so the caller can account
     /// throughput.
-    pub fn handle_ingest(&mut self, session: &str, records: &[TraceRecord]) -> Json {
-        match self.sessions.get_mut(session) {
-            None => crate::protocol::error_response(&format!("unknown session {session:?}")),
-            Some(s) => match s.ingest(records) {
+    ///
+    /// With `seq` set, the batch is sequenced: applied atomically and
+    /// exactly once. The expected sequence advances the session; a replay
+    /// of the last-acknowledged sequence returns the stored
+    /// acknowledgement tagged `"duplicate":true` without touching state;
+    /// anything else (a gap, or a stale sequence an older retry might
+    /// still carry) is an error. Without `seq`, legacy prefix semantics
+    /// apply.
+    pub fn handle_ingest(
+        &mut self,
+        session: &str,
+        records: &[TraceRecord],
+        seq: Option<u64>,
+    ) -> Json {
+        let Some(s) = self.sessions.get_mut(session) else {
+            return crate::protocol::error_response(&format!("unknown session {session:?}"));
+        };
+        let Some(seq) = seq else {
+            return match s.ingest(records) {
                 Ok(n) => ok_response(vec![
                     ("accepted", Json::Int(n as i64)),
                     ("total", Json::Int(s.accepted() as i64)),
                 ]),
                 Err(e) => crate::protocol::error_response(&e),
-            },
+            };
+        };
+        if seq == s.next_seq {
+            let resp = match s.ingest_atomic(records) {
+                Ok(n) => ok_response(vec![
+                    ("accepted", Json::Int(n as i64)),
+                    ("total", Json::Int(s.accepted() as i64)),
+                    ("seq", Json::Int(seq as i64)),
+                ]),
+                Err(e) => crate::protocol::error_response(&e),
+            };
+            // A rejected batch is acknowledged (negatively) too: the
+            // client may never see the response and will retry the same
+            // sequence; it must get the same verdict, not a re-ingest.
+            s.next_seq += 1;
+            s.last_ack = Some((seq, resp.clone()));
+            resp
+        } else if s.next_seq > 0 && seq == s.next_seq - 1 {
+            match &s.last_ack {
+                Some((acked, resp)) if *acked == seq => {
+                    let mut fields = match resp.clone() {
+                        Json::Object(fields) => fields,
+                        other => return other,
+                    };
+                    fields.push(("duplicate".to_string(), Json::Bool(true)));
+                    Json::Object(fields)
+                }
+                _ => crate::protocol::error_response(&format!(
+                    "seq {seq} already consumed but its acknowledgement is gone"
+                )),
+            }
+        } else {
+            crate::protocol::error_response(&format!(
+                "seq {seq} out of order (expected {})",
+                s.next_seq
+            ))
         }
     }
 
@@ -356,6 +447,13 @@ impl Engine {
     /// Number of live sessions.
     pub fn sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Drops a session (used by the server to quarantine a session whose
+    /// worker panicked mid-request: its state may be half-applied, so it
+    /// is destroyed rather than trusted).
+    pub fn remove_session(&mut self, session: &str) -> bool {
+        self.sessions.remove(session).is_some()
     }
 }
 
@@ -413,7 +511,7 @@ mod tests {
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
 
         let recs = records(200, 42);
-        let resp = engine.handle_ingest("s", &recs);
+        let resp = engine.handle_ingest("s", &recs, None);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
         assert_eq!(resp.get("total").and_then(Json::as_i64), Some(200));
 
@@ -439,13 +537,83 @@ mod tests {
         engine.handle_init(init_spec(r#","estimators":["ips"]"#));
         let mut recs = records(5, 1);
         recs[3].propensity = None;
-        let resp = engine.handle_ingest("s", &recs);
+        let resp = engine.handle_ingest("s", &recs, None);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
         let msg = resp.get("error").and_then(Json::as_str).unwrap();
         assert!(msg.contains("batch record 3"), "{msg}");
         // The three good records before it are in; the session still works.
         let est = engine.handle_estimate("s");
         assert_eq!(est.get("n").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn sequenced_replay_is_deduplicated() {
+        let mut engine = Engine::new();
+        engine.handle_init(init_spec(r#","estimators":["ips"]"#));
+        let recs = records(10, 2);
+        let first = engine.handle_ingest("s", &recs[..5], Some(0));
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first:?}");
+        assert_eq!(first.get("seq").and_then(Json::as_i64), Some(0));
+        assert_eq!(first.get("duplicate"), None);
+
+        // Retrying the acknowledged batch returns the stored ack, tagged,
+        // without re-ingesting.
+        let replay = engine.handle_ingest("s", &recs[..5], Some(0));
+        assert_eq!(replay.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(replay.get("duplicate"), Some(&Json::Bool(true)));
+        assert_eq!(replay.get("total").and_then(Json::as_i64), Some(5));
+        let est = engine.handle_estimate("s");
+        assert_eq!(est.get("n").and_then(Json::as_i64), Some(5));
+
+        // The next sequence applies; gaps and stale sequences error.
+        let next = engine.handle_ingest("s", &recs[5..], Some(1));
+        assert_eq!(next.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(next.get("total").and_then(Json::as_i64), Some(10));
+        let gap = engine.handle_ingest("s", &recs[5..], Some(5));
+        assert_eq!(gap.get("ok"), Some(&Json::Bool(false)));
+        let stale = engine.handle_ingest("s", &recs[..5], Some(0));
+        assert_eq!(stale.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            engine
+                .handle_estimate("s")
+                .get("n")
+                .and_then(Json::as_i64),
+            Some(10),
+            "errors must not mutate the session"
+        );
+    }
+
+    #[test]
+    fn sequenced_ingest_is_atomic() {
+        let mut engine = Engine::new();
+        engine.handle_init(init_spec(r#","estimators":["ips"]"#));
+        let mut recs = records(5, 1);
+        recs[3].propensity = None;
+        let resp = engine.handle_ingest("s", &recs, Some(0));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        // Unlike the legacy prefix semantics, nothing lands: an ack (even
+        // a negative one) must describe the whole batch.
+        let est = engine.handle_estimate("s");
+        assert_eq!(est.get("n").and_then(Json::as_i64), Some(0));
+        // The rejection is itself replayable with the same verdict.
+        let replay = engine.handle_ingest("s", &recs, Some(0));
+        assert_eq!(replay.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(replay.get("duplicate"), Some(&Json::Bool(true)));
+        // The sequence was consumed; the fixed batch goes in as seq 1.
+        recs[3].propensity = Some(0.5);
+        let ok = engine.handle_ingest("s", &recs, Some(1));
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)), "{ok:?}");
+        assert_eq!(ok.get("total").and_then(Json::as_i64), Some(5));
+    }
+
+    #[test]
+    fn remove_session_quarantines_state() {
+        let mut engine = Engine::new();
+        engine.handle_init(init_spec(r#","estimators":["ips"]"#));
+        assert!(engine.remove_session("s"));
+        assert!(!engine.remove_session("s"));
+        let resp = engine.handle_estimate("s");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
     }
 
     #[test]
@@ -495,7 +663,7 @@ mod tests {
             r#","estimators":["ips"],"policy":{"kind":"constant","decision":"b"},"window":50"#,
         ));
         let recs = records(200, 9);
-        engine.handle_ingest("s", &recs);
+        engine.handle_ingest("s", &recs, None);
         let est = engine.handle_estimate("s");
         let online = est
             .get("estimates")
@@ -513,7 +681,7 @@ mod tests {
     fn collector_reports_per_session_estimator_health() {
         let mut engine = Engine::new();
         engine.handle_init(init_spec(r#","estimators":["ips","dm"]"#));
-        engine.handle_ingest("s", &records(20, 3));
+        engine.handle_ingest("s", &records(20, 3), None);
         let c = engine.collector();
         let sources: Vec<&str> = c.health.iter().map(|(s, _)| s.as_str()).collect();
         assert!(sources.contains(&"serve/s/ips"), "{sources:?}");

@@ -15,10 +15,14 @@
 //!   [`CouplingMonitor`]; transport-independent and directly testable.
 //! - [`server`] — the sharded TCP front end: bounded ingest queues with
 //!   backpressure, per-connection error isolation, graceful shutdown.
-//! - [`client`] — a blocking client for `ddn replay-to` and tests.
+//! - [`client`] — a blocking client for `ddn replay-to` and tests, with
+//!   bounded retry, deterministic backoff, and per-request timeouts.
+//! - [`transport`] — the byte-stream abstraction both endpoints I/O
+//!   through; chaos tests wrap it in a deterministic fault injector.
 //!
 //! See DESIGN.md §10 for the protocol grammar, backpressure semantics
-//! and the shutdown contract.
+//! and the shutdown contract, and §11 for the fault model and the
+//! exactly-once ingest contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +31,10 @@ pub mod client;
 pub mod engine;
 pub mod protocol;
 pub mod server;
+pub mod transport;
 
-pub use client::{ClientError, ServeClient};
+pub use client::{ClientConfig, ClientError, ClientStats, ServeClient};
 pub use engine::{CouplingMonitor, Engine, Session};
 pub use protocol::{InitSpec, PolicySpec, Request};
 pub use server::{serve, ServeConfig, ServerHandle, ServerStats};
+pub use transport::{FaultState, FaultyTransport, IoStream, TcpTransport, Transport};

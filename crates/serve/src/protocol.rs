@@ -9,7 +9,7 @@
 //!           "estimators":["ips","snips","clipped","dm","dr"],
 //!           "policy":{"kind":"constant","decision":D}|{"kind":"uniform"},
 //!           "model_value":V?,"max_weight":W?,"window":N?}
-//! ingest   {"verb":"ingest","session":S,"records":[R,...]}
+//! ingest   {"verb":"ingest","session":S,"records":[R,...],"seq":Q?}
 //! estimate {"verb":"estimate","session":S}
 //! health   {"verb":"health"}
 //! shutdown {"verb":"shutdown"}
@@ -20,6 +20,13 @@
 //! index, `V` is an optional constant reward-model value (default 0) for
 //! `dm`/`dr`, `W` an optional clip threshold (default 10) for `clipped`,
 //! and `N` an optional sliding-window capacity (omitted = cumulative).
+//!
+//! `Q` is an optional per-session batch sequence number starting at 0.
+//! A sequenced batch is applied atomically and exactly once: replaying
+//! the last-acknowledged sequence returns the stored acknowledgement
+//! (tagged `"duplicate":true`) without re-ingesting, which is what makes
+//! client retries safe. Unsequenced ingests keep the legacy prefix
+//! semantics (records before a bad one stay ingested). See DESIGN.md §11.
 //!
 //! Every response is `{"ok":true,...}` or `{"ok":false,"error":MSG}`.
 //! A malformed line never kills the connection: the server answers with
@@ -79,6 +86,8 @@ pub enum Request {
         /// Parsed records (validation against the session's schema
         /// happens in the shard worker).
         records: Vec<TraceRecord>,
+        /// Optional batch sequence number for exactly-once retries.
+        seq: Option<u64>,
     },
     /// Ask for the session's current estimates.
     Estimate {
@@ -111,7 +120,18 @@ impl Request {
                     .iter()
                     .map(|r| TraceRecord::from_json(r).map_err(|e| format!("bad record: {e}")))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Request::Ingest { session, records })
+                let seq = match v.get("seq") {
+                    None => None,
+                    Some(x) => Some(
+                        x.as_u64()
+                            .ok_or("\"seq\" must be a non-negative integer")?,
+                    ),
+                };
+                Ok(Request::Ingest {
+                    session,
+                    records,
+                    seq,
+                })
             }
             "estimate" => Ok(Request::Estimate {
                 session: required_session(&v)?,
@@ -284,11 +304,32 @@ mod tests {
             r#"{{"verb":"ingest","session":"s","records":[{}]}}"#,
             rec.to_json().to_string()
         );
-        let Request::Ingest { session, records } = Request::parse(&line).unwrap() else {
+        let Request::Ingest {
+            session,
+            records,
+            seq,
+        } = Request::parse(&line).unwrap()
+        else {
             panic!("expected ingest");
         };
         assert_eq!(session, "s");
         assert_eq!(records, vec![rec]);
+        assert_eq!(seq, None);
+    }
+
+    #[test]
+    fn parses_ingest_seq() {
+        let line = r#"{"verb":"ingest","session":"s","records":[],"seq":7}"#;
+        let Request::Ingest { seq, .. } = Request::parse(line).unwrap() else {
+            panic!("expected ingest");
+        };
+        assert_eq!(seq, Some(7));
+        let e = Request::parse(r#"{"verb":"ingest","session":"s","records":[],"seq":-1}"#)
+            .unwrap_err();
+        assert!(e.contains("seq"), "{e}");
+        let e = Request::parse(r#"{"verb":"ingest","session":"s","records":[],"seq":"x"}"#)
+            .unwrap_err();
+        assert!(e.contains("seq"), "{e}");
     }
 
     #[test]

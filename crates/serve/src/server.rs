@@ -19,6 +19,10 @@
 //! are processed in arrival order — an `estimate` sent after an `ingest`
 //! on the same connection always sees the ingested records.
 //!
+//! All socket I/O goes through the [`Transport`] abstraction; chaos tests
+//! install a [`ServeConfig::wrap`] hook to interpose a deterministic
+//! fault injector between the protocol layer and the kernel.
+//!
 //! ## Backpressure
 //!
 //! Ingest queues are bounded ([`ServeConfig::queue_capacity`] messages
@@ -28,6 +32,19 @@
 //! TCP stream (and eventually the client, via TCP flow control) without
 //! affecting other connections.
 //!
+//! ## Fault isolation
+//!
+//! A connection that sends junk bytes, a torn line, or an oversized line
+//! gets an error response (or is dropped at EOF) without affecting other
+//! connections; such events count `serve.fault.conn_errors`. A shard
+//! worker that panics mid-request is caught ([`std::panic::catch_unwind`]
+//! around each message), the session whose request panicked is
+//! quarantined (its state may be half-applied), and the worker keeps
+//! serving its other sessions — the panic costs one session, not the
+//! server. Quarantined sessions answer every request with a `degraded`
+//! error (re-`init` lifts the quarantine) and show up in `health` under
+//! `serve/<session>/degraded`.
+//!
 //! ## Shutdown contract
 //!
 //! A `shutdown` verb (the SIGTERM-equivalent for this zero-dependency
@@ -35,26 +52,34 @@
 //! with a loopback connection, and answers in-flight requests. Connection
 //! threads notice the flag within one poll interval and close; workers
 //! drain their queues and exit once every connection is gone.
-//! [`ServerHandle::shutdown`] joins every thread, so when it returns the
-//! process holds no server state.
+//! [`ServerHandle::shutdown`] joins every thread — acceptor, workers,
+//! *and* connection threads — so when it returns the process holds no
+//! server state and no thread has leaked.
 
 use crate::engine::Engine;
 use crate::protocol::{error_response, ok_response, InitSpec, Request};
+use crate::transport::{IoStream, TcpTransport, Transport};
 use ddn_stats::Json;
 use ddn_telemetry::{Collector, TelemetrySnapshot};
 use ddn_trace::TraceRecord;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Hook type for [`ServeConfig::wrap`]: interposes on every accepted
+/// connection's transport.
+pub type TransportWrap = Arc<dyn Fn(Box<dyn Transport>) -> Box<dyn Transport> + Send + Sync>;
+
 /// Server configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Address to bind; port 0 picks an ephemeral port.
     pub addr: String,
@@ -62,6 +87,29 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Bounded queue capacity per shard, in messages.
     pub queue_capacity: usize,
+    /// Hard cap on one request line, in bytes; longer lines get an error
+    /// response and are discarded without buffering (anti-DoS).
+    pub max_line_bytes: usize,
+    /// Optional hook wrapping every accepted connection's transport
+    /// (chaos tests inject faults here).
+    pub wrap: Option<TransportWrap>,
+    /// Test-only failpoint: an `ingest` whose session id contains this
+    /// marker panics inside the shard worker, exercising the panic
+    /// isolation path deterministically.
+    pub failpoint: Option<String>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("addr", &self.addr)
+            .field("shards", &self.shards)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("max_line_bytes", &self.max_line_bytes)
+            .field("wrap", &self.wrap.as_ref().map(|_| "<hook>"))
+            .field("failpoint", &self.failpoint)
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -70,6 +118,9 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             shards: 4,
             queue_capacity: 256,
+            max_line_bytes: 1 << 20,
+            wrap: None,
+            failpoint: None,
         }
     }
 }
@@ -82,10 +133,14 @@ pub struct ServerStats {
     conn_active: AtomicU64,
     backpressure_stalls: AtomicU64,
     queue_depth: AtomicU64,
+    dedup_replays: AtomicU64,
+    fault_conn_errors: AtomicU64,
+    fault_worker_restarts: AtomicU64,
 }
 
 impl ServerStats {
-    /// Total records accepted across all sessions.
+    /// Total records accepted across all sessions. Replayed (duplicate)
+    /// batches do not count: this is the exactly-once tally.
     pub fn ingest_records(&self) -> u64 {
         self.ingest_records.load(Ordering::Relaxed)
     }
@@ -105,6 +160,24 @@ impl ServerStats {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
+    /// Sequenced ingest batches answered from the dedup window instead of
+    /// being re-applied (each one is a retry the protocol made safe).
+    pub fn dedup_replays(&self) -> u64 {
+        self.dedup_replays.load(Ordering::Relaxed)
+    }
+
+    /// Connection-level faults survived: read/write errors, torn lines at
+    /// EOF, oversized lines.
+    pub fn fault_conn_errors(&self) -> u64 {
+        self.fault_conn_errors.load(Ordering::Relaxed)
+    }
+
+    /// Shard-worker panics caught and recovered from (one quarantined
+    /// session each).
+    pub fn fault_worker_restarts(&self) -> u64 {
+        self.fault_worker_restarts.load(Ordering::Relaxed)
+    }
+
     /// The counters as a telemetry collector (merged into `health`
     /// snapshots alongside per-shard estimator health).
     pub fn collector(&self) -> Collector {
@@ -114,6 +187,11 @@ impl ServerStats {
         c.counts.push(("serve.conn.active", self.conn_active()));
         c.counts
             .push(("serve.backpressure.stalls", self.backpressure_stalls()));
+        c.counts.push(("serve.dedup.replays", self.dedup_replays()));
+        c.counts
+            .push(("serve.fault.conn_errors", self.fault_conn_errors()));
+        c.counts
+            .push(("serve.fault.worker_restarts", self.fault_worker_restarts()));
         c
     }
 }
@@ -126,6 +204,7 @@ enum ShardMsg {
     Ingest {
         session: String,
         records: Vec<TraceRecord>,
+        seq: Option<u64>,
         reply: Sender<Json>,
     },
     Estimate {
@@ -145,6 +224,7 @@ pub struct ServerHandle {
     stats: Arc<ServerStats>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ServerHandle {
@@ -174,10 +254,23 @@ impl ServerHandle {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
+        // The acceptor is gone, so no new connection threads can appear;
+        // drain and join the ones that exist. They observe the shutdown
+        // flag within one poll interval.
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&self.conns));
+        for h in handles {
+            let _ = h.join();
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
+}
+
+/// Locks a mutex, shrugging off poisoning: the guarded data here (thread
+/// handles, quarantine sets) stays valid even if some holder panicked.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// How long a connection thread waits on a quiet socket before checking
@@ -188,10 +281,12 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     assert!(config.shards > 0, "need at least one shard");
     assert!(config.queue_capacity > 0, "queue capacity must be positive");
+    assert!(config.max_line_bytes > 0, "line cap must be positive");
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut senders = Vec::with_capacity(config.shards);
     let mut workers = Vec::with_capacity(config.shards);
@@ -199,10 +294,11 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         let (tx, rx) = sync_channel::<ShardMsg>(config.queue_capacity);
         senders.push(tx);
         let stats = Arc::clone(&stats);
+        let failpoint = config.failpoint.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("ddn-serve-shard-{i}"))
-                .spawn(move || shard_worker(rx, stats))
+                .spawn(move || shard_worker(rx, stats, failpoint))
                 .expect("spawn shard worker"),
         );
     }
@@ -210,6 +306,9 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
         let stats = Arc::clone(&stats);
+        let conns = Arc::clone(&conns);
+        let wrap = config.wrap.clone();
+        let max_line_bytes = config.max_line_bytes;
         std::thread::Builder::new()
             .name("ddn-serve-acceptor".to_string())
             .spawn(move || {
@@ -218,17 +317,37 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
                         break;
                     }
                     let Ok(stream) = incoming else { continue };
+                    let mut transport: Box<dyn Transport> =
+                        Box::new(TcpTransport::new(stream));
+                    if let Some(wrap) = &wrap {
+                        transport = wrap(transport);
+                    }
                     let senders = senders.clone();
                     let shutdown = Arc::clone(&shutdown);
                     let stats = Arc::clone(&stats);
                     let addr = local_addr;
-                    let _ = std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("ddn-serve-conn".to_string())
                         .spawn(move || {
                             stats.conn_active.fetch_add(1, Ordering::Relaxed);
-                            handle_connection(stream, &senders, &shutdown, &stats, addr);
+                            handle_connection(
+                                transport,
+                                &senders,
+                                &shutdown,
+                                &stats,
+                                addr,
+                                max_line_bytes,
+                            );
                             stats.conn_active.fetch_sub(1, Ordering::Relaxed);
                         });
+                    if let Ok(handle) = spawned {
+                        let mut guard = lock(&conns);
+                        // Reap finished connections so the handle list
+                        // stays proportional to live connections, not to
+                        // total connections ever accepted.
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(handle);
+                    }
                 }
                 // Dropping `senders` here lets workers exit once every
                 // connection thread has also dropped its clones.
@@ -242,33 +361,86 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         stats,
         acceptor: Some(acceptor),
         workers,
+        conns,
     })
 }
 
-fn shard_worker(rx: Receiver<ShardMsg>, stats: Arc<ServerStats>) {
+fn degraded_response(session: &str) -> Json {
+    error_response(&format!(
+        "session {session:?} degraded: a worker panicked while serving it; re-init to recover"
+    ))
+}
+
+fn shard_worker(rx: Receiver<ShardMsg>, stats: Arc<ServerStats>, failpoint: Option<String>) {
     let mut engine = Engine::new();
+    // Sessions whose request panicked: their state is untrustworthy, so
+    // they answer `degraded` until a client re-inits them.
+    let mut poisoned: HashSet<String> = HashSet::new();
     while let Ok(msg) = rx.recv() {
         stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
         match msg {
             ShardMsg::Init(spec, reply) => {
+                // Re-init lifts a quarantine: the replacement session is
+                // built from scratch, sequence numbers included.
+                poisoned.remove(&spec.session);
                 let _ = reply.send(engine.handle_init(spec));
             }
             ShardMsg::Ingest {
                 session,
                 records,
+                seq,
                 reply,
             } => {
-                let resp = engine.handle_ingest(&session, &records);
-                if let Some(accepted) = resp.get("accepted").and_then(Json::as_u64) {
-                    stats.ingest_records.fetch_add(accepted, Ordering::Relaxed);
+                if poisoned.contains(&session) {
+                    let _ = reply.send(degraded_response(&session));
+                    continue;
                 }
-                let _ = reply.send(resp);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(marker) = &failpoint {
+                        if session.contains(marker.as_str()) {
+                            panic!("failpoint hit for session {session:?}");
+                        }
+                    }
+                    engine.handle_ingest(&session, &records, seq)
+                }));
+                match outcome {
+                    Ok(resp) => {
+                        let duplicate =
+                            resp.get("duplicate") == Some(&Json::Bool(true));
+                        if duplicate {
+                            stats.dedup_replays.fetch_add(1, Ordering::Relaxed);
+                        } else if let Some(accepted) =
+                            resp.get("accepted").and_then(Json::as_u64)
+                        {
+                            stats.ingest_records.fetch_add(accepted, Ordering::Relaxed);
+                        }
+                        let _ = reply.send(resp);
+                    }
+                    Err(_) => {
+                        // The worker survives the panic: quarantine the
+                        // one session whose state is now suspect and keep
+                        // serving the rest of the shard.
+                        stats.fault_worker_restarts.fetch_add(1, Ordering::Relaxed);
+                        engine.remove_session(&session);
+                        poisoned.insert(session.clone());
+                        let _ = reply.send(degraded_response(&session));
+                    }
+                }
             }
             ShardMsg::Estimate { session, reply } => {
+                if poisoned.contains(&session) {
+                    let _ = reply.send(degraded_response(&session));
+                    continue;
+                }
                 let _ = reply.send(engine.handle_estimate(&session));
             }
             ShardMsg::Collect(reply) => {
-                let _ = reply.send(engine.collector());
+                let mut c = engine.collector();
+                for session in &poisoned {
+                    c.health
+                        .push((format!("serve/{session}/degraded"), vec![("poisoned", 1.0)]));
+                }
+                let _ = reply.send(c);
             }
         }
     }
@@ -304,8 +476,8 @@ fn send_with_backpressure(
     }
 }
 
-/// Routes one parsed request and returns the response to write. `None`
-/// means "shut the connection down after replying with `ok`".
+/// Routes one parsed request and returns the response to write, plus
+/// whether to close the connection after replying.
 fn dispatch(
     req: Request,
     senders: &[SyncSender<ShardMsg>],
@@ -327,12 +499,17 @@ fn dispatch(
             let (tx, rx) = std::sync::mpsc::channel();
             (ask(shard, ShardMsg::Init(spec, tx), rx), false)
         }
-        Request::Ingest { session, records } => {
+        Request::Ingest {
+            session,
+            records,
+            seq,
+        } => {
             let shard = shard_of(&session, senders.len());
             let (tx, rx) = std::sync::mpsc::channel();
             let msg = ShardMsg::Ingest {
                 session,
                 records,
+                seq,
                 reply: tx,
             };
             (ask(shard, msg, rx), false)
@@ -376,55 +553,149 @@ fn dispatch(
     }
 }
 
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// The line exceeded the cap; its bytes were discarded up to the
+    /// newline and the buffer is empty.
+    Overflow,
+    /// The peer closed; `torn` means it closed mid-line (bytes arrived
+    /// after the last newline).
+    Eof { torn: bool },
+    /// The server is shutting down.
+    Shutdown,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes into `line`,
+/// byte-wise (arbitrary junk, including invalid UTF-8, is fine). Handles
+/// the read-timeout poll against the shutdown flag internally so the
+/// oversized-discard state survives quiet periods.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut Vec<u8>,
+    max: usize,
+    shutdown: &AtomicBool,
+) -> std::io::Result<LineRead> {
+    line.clear();
+    let mut overflow = false;
+    loop {
+        let (found_newline, used) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(LineRead::Shutdown);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                return Ok(LineRead::Eof {
+                    torn: !line.is_empty() || overflow,
+                });
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if !overflow {
+                        line.extend_from_slice(&buf[..i]);
+                    }
+                    (true, i + 1)
+                }
+                None => {
+                    if !overflow {
+                        line.extend_from_slice(buf);
+                    }
+                    (false, buf.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if line.len() > max {
+            // Stop buffering; keep consuming until the newline so the
+            // connection can continue with the next request.
+            overflow = true;
+            line.clear();
+        }
+        if found_newline {
+            return Ok(if overflow {
+                LineRead::Overflow
+            } else {
+                LineRead::Line
+            });
+        }
+    }
+}
+
 fn handle_connection(
-    stream: TcpStream,
+    transport: Box<dyn Transport>,
     senders: &[SyncSender<ShardMsg>],
     shutdown: &AtomicBool,
     stats: &ServerStats,
     local_addr: SocketAddr,
+    max_line_bytes: usize,
 ) {
     // A finite read timeout lets the thread notice shutdown while the
-    // client is idle; partial reads accumulate in `buf` across timeouts
-    // (read_line appends before erroring), so no bytes are lost.
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    // The protocol is strict request/response, so Nagle buys nothing and
-    // its interaction with delayed ACKs costs ~40ms per small reply.
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
+    // client is idle; partial reads accumulate in `line` across timeouts,
+    // so no bytes are lost.
+    let _ = transport.set_read_timeout(Some(POLL_INTERVAL));
+    let Ok(write_half) = transport.try_clone_transport() else {
         return;
     };
-    let mut writer = write_half;
-    let mut reader = BufReader::new(stream);
-    let mut buf = String::new();
-    'conn: loop {
-        buf.clear();
-        let n = loop {
-            match reader.read_line(&mut buf) {
-                Ok(n) => break n,
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-                {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break 'conn;
-                    }
-                }
-                Err(_) => break 'conn,
+    let mut writer = IoStream(write_half);
+    let mut reader = BufReader::new(IoStream(transport));
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let outcome = match read_bounded_line(&mut reader, &mut line, max_line_bytes, shutdown)
+        {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                // Socket-level failure (injected or real): this
+                // connection is over, the server is not.
+                stats.fault_conn_errors.fetch_add(1, Ordering::Relaxed);
+                break;
             }
         };
-        if n == 0 {
-            break; // client closed
-        }
-        let line = buf.trim();
-        if line.is_empty() {
-            continue;
-        }
-        // Per-connection error isolation: a bad line produces an error
-        // response, never a dropped connection or a dead server.
-        let (resp, close) = match Request::parse(line) {
-            Ok(req) => dispatch(req, senders, shutdown, stats, local_addr),
-            Err(e) => (error_response(&e), false),
+        let (resp, close) = match outcome {
+            LineRead::Shutdown => break,
+            LineRead::Eof { torn } => {
+                if torn {
+                    // The peer died mid-line; the partial request is
+                    // dropped (it was never acknowledged).
+                    stats.fault_conn_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+            LineRead::Overflow => {
+                stats.fault_conn_errors.fetch_add(1, Ordering::Relaxed);
+                (
+                    error_response(&format!(
+                        "request line exceeds {max_line_bytes} bytes"
+                    )),
+                    false,
+                )
+            }
+            LineRead::Line => {
+                // Junk bytes are tolerated: lossy decoding plus parse
+                // errors produce an error response, never a dropped
+                // connection or a dead server.
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                match Request::parse(trimmed) {
+                    Ok(req) => dispatch(req, senders, shutdown, stats, local_addr),
+                    Err(e) => (error_response(&e), false),
+                }
+            }
         };
         if writeln!(writer, "{}", resp.to_string()).is_err() {
+            stats.fault_conn_errors.fetch_add(1, Ordering::Relaxed);
             break;
         }
         if close {

@@ -1,0 +1,202 @@
+//! Protocol-robustness fuzz: arbitrary byte junk, truncated JSON lines,
+//! and oversized lines must fail the *request* — never the connection,
+//! never the server.
+
+use ddn_serve::{serve, ServeConfig, ServerHandle};
+use ddn_stats::Json;
+use ddn_testkit::{prop, prop_assert, prop_assert_eq, vecs};
+use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, TraceRecord};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start(max_line_bytes: usize) -> (ServerHandle, String) {
+    let handle = serve(&ServeConfig {
+        shards: 1,
+        max_line_bytes,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+/// A raw connection with a response-line reader; the read timeout keeps
+/// a wrong "server never answered" failure fast instead of hanging.
+fn raw_conn(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Json {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("server must answer");
+    Json::parse(line.trim()).expect("server answers valid JSON")
+}
+
+fn schema() -> ContextSchema {
+    ContextSchema::builder().categorical("g", 2).build()
+}
+
+fn space() -> DecisionSpace {
+    DecisionSpace::of(&["a", "b"])
+}
+
+fn init_line(session: &str) -> String {
+    format!(
+        r#"{{"verb":"init","session":{},"schema":{},"space":{},"estimators":["ips"],"policy":{{"kind":"constant","decision":"b"}}}}"#,
+        Json::str(session).to_string(),
+        schema().to_json().to_string(),
+        space().to_json().to_string(),
+    )
+}
+
+fn ingest_line(session: &str, n: usize) -> String {
+    let recs: Vec<String> = (0..n)
+        .map(|i| {
+            let c = Context::build(&schema())
+                .set_cat("g", (i % 2) as u32)
+                .finish();
+            TraceRecord::new(c, Decision::from_index(i % 2), 1.0 + i as f64)
+                .with_propensity(0.5)
+                .to_json()
+                .to_string()
+        })
+        .collect();
+    format!(
+        r#"{{"verb":"ingest","session":{},"records":[{}]}}"#,
+        Json::str(session).to_string(),
+        recs.join(",")
+    )
+}
+
+/// Checks the connection is still alive and fully functional by running
+/// a real request over it.
+fn assert_conn_usable(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    session: &str,
+) {
+    writeln!(stream, "{}", init_line(session)).unwrap();
+    let resp = read_response(reader);
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(true)),
+        "connection no longer usable: {resp:?}"
+    );
+}
+
+prop! {
+    /// Arbitrary bytes (any value but the line terminator, so one "line"
+    /// arrives; invalid UTF-8 included) get an error response on a live
+    /// connection.
+    fn byte_junk_fails_the_request_not_the_connection(
+        junk in vecs(0u32..256, 1..120),
+    ) {
+        let (handle, addr) = start(1 << 20);
+        let (mut stream, mut reader) = raw_conn(&addr);
+        // Keep it one line (no '\n'), and non-blank (leading 'x') so the
+        // server replies rather than skipping an empty line.
+        let mut bytes: Vec<u8> = junk.iter().map(|&b| b as u8).collect();
+        for b in &mut bytes {
+            if *b == b'\n' {
+                *b = b'?';
+            }
+        }
+        let mut line = vec![b'x'];
+        line.extend_from_slice(&bytes);
+        line.push(b'\n');
+        stream.write_all(&line).unwrap();
+
+        let resp = read_response(&mut reader);
+        prop_assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        prop_assert!(
+            resp.get("error").and_then(Json::as_str).is_some(),
+            "error responses carry a message: {:?}",
+            resp
+        );
+        assert_conn_usable(&mut stream, &mut reader, "after-junk");
+        handle.shutdown();
+    }
+
+    /// Any strict prefix of a valid ingest line is invalid JSON: the
+    /// request fails, the session state is untouched, and the full line
+    /// still works on the same connection afterwards.
+    fn truncated_json_lines_fail_cleanly(
+        cut_permille in 1u32..999,
+        n_records in 1usize..6,
+    ) {
+        let (handle, addr) = start(1 << 20);
+        let (mut stream, mut reader) = raw_conn(&addr);
+        writeln!(stream, "{}", init_line("trunc")).unwrap();
+        prop_assert_eq!(read_response(&mut reader).get("ok"), Some(&Json::Bool(true)));
+
+        let full = ingest_line("trunc", n_records);
+        let cut = (full.len() * cut_permille as usize / 1000).clamp(1, full.len() - 1);
+        stream.write_all(full[..cut].as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let resp = read_response(&mut reader);
+        prop_assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+
+        // The same connection still ingests the intact line, and the
+        // truncated garbage contributed zero records.
+        writeln!(stream, "{}", full).unwrap();
+        let resp = read_response(&mut reader);
+        prop_assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        prop_assert_eq!(
+            resp.get("total").and_then(Json::as_i64),
+            Some(n_records as i64)
+        );
+        handle.shutdown();
+    }
+
+    /// Lines beyond the configured cap are discarded without buffering
+    /// them: the request errors, the connection survives, and the next
+    /// request parses fine.
+    fn oversized_lines_are_rejected_without_killing_the_connection(
+        extra in 1usize..4096,
+    ) {
+        let cap = 256;
+        let (handle, addr) = start(cap);
+        let (mut stream, mut reader) = raw_conn(&addr);
+
+        let big = vec![b'a'; cap + extra];
+        stream.write_all(&big).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let resp = read_response(&mut reader);
+        prop_assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let msg = resp.get("error").and_then(Json::as_str).unwrap_or("");
+        prop_assert!(
+            msg.contains("exceeds"),
+            "expected an oversized-line error, got {:?}",
+            resp
+        );
+        prop_assert!(handle.stats().fault_conn_errors() >= 1);
+        assert_conn_usable(&mut stream, &mut reader, "after-oversized");
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn an_oversized_init_line_is_survivable_even_when_valid_json() {
+    // The cap applies before parsing: a *valid* request that is simply
+    // too long is rejected by size, proving the reader never buffers
+    // unbounded lines.
+    let (handle, addr) = start(64);
+    let (mut stream, mut reader) = raw_conn(&addr);
+    let line = init_line("way-too-long-for-this-cap");
+    assert!(line.len() > 64);
+    writeln!(stream, "{line}").unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert!(resp
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("exceeds"));
+    handle.shutdown();
+}

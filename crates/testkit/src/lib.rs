@@ -42,9 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod gen;
 pub mod runner;
 
+pub use fault::{
+    fault_plans, Dir, FaultCounts, FaultCursor, FaultEvent, FaultKind, FaultPlan,
+    FaultPlanConfig, FaultPlanGen, IoDecision,
+};
 pub use gen::{just, map, strings_from, vecs, Gen, JustGen, MapGen, StringGen, VecGen};
 pub use runner::{check, check_with, Config, TestResult, DEFAULT_CASES, DEFAULT_SEED};
 

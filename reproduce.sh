@@ -91,7 +91,22 @@ if [[ "${1:-}" == "ci" ]]; then
     cargo bench --offline -p ddn-bench --bench stream_ingest
   test -s "$bench_dir/BENCH_stream.json"
   grep -q '"floor_records_per_sec"' "$bench_dir/BENCH_stream.json"
-  echo "ci ok: built, tested, telemetry-smoked, batch-equivalence-checked, and serve-smoked with zero external dependencies"
+  echo "== ci: chaos smoke (fault injection, exactly-once, retry/dedup) =="
+  # A fixed-seed fault plan (disconnects guaranteed by construction)
+  # against an in-process server: the command exits non-zero unless every
+  # acknowledged record is counted exactly once AND the streamed estimate
+  # is bit-identical to the offline estimator (DESIGN.md §11).
+  chaos_out="$(./target/release/ddn chaos --seed 7 --faults 0.01 --duration-records 5000)"
+  printf '%s\n' "$chaos_out" | grep -q 'exactly-once: ok'
+  printf '%s\n' "$chaos_out" | grep -q 'estimate parity: ok'
+  # Short chaos soak bench: throughput under a 1% fault rate, written to
+  # BENCH_soak.json (DDN_SOAK_RUNS sizes it down for CI).
+  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_SOAK_RUNS=2000 \
+  DDN_BENCH_DIR="$bench_dir" \
+    cargo bench --offline -p ddn-bench --bench soak
+  test -s "$bench_dir/BENCH_soak.json"
+  grep -q '"records_per_sec"' "$bench_dir/BENCH_soak.json"
+  echo "ci ok: built, tested, telemetry-smoked, batch-equivalence-checked, serve-smoked, and chaos-smoked with zero external dependencies"
   exit 0
 fi
 

@@ -195,8 +195,19 @@ fn telemetry_json_schema_is_pinned() {
 const GOLDEN_SERVE_COUNTERS: &[&str] = &[
     "serve.backpressure.stalls",
     "serve.conn.active",
+    "serve.dedup.replays",
+    "serve.fault.conn_errors",
+    "serve.fault.worker_restarts",
     "serve.ingest.records",
     "serve.queue.depth",
+];
+
+/// Pinned counter key set of the client-side retry telemetry (sorted).
+const GOLDEN_RETRY_COUNTERS: &[&str] = &[
+    "serve.retry.attempts",
+    "serve.retry.giveups",
+    "serve.retry.reconnects",
+    "serve.retry.timeouts",
 ];
 
 /// Pinned metric key set of a streaming estimator's health source
@@ -274,6 +285,32 @@ fn serve_health_verb_schema_is_pinned() {
             "aggregate shape changed for serve/golden/ips/{metric}"
         );
     }
+    handle.shutdown();
+}
+
+#[test]
+fn client_retry_counter_schema_is_pinned() {
+    use ddn::prelude::*;
+    use ddn::serve::{serve, ServeClient, ServeConfig};
+    use ddn::telemetry::TelemetrySnapshot;
+
+    let handle = serve(&ServeConfig::default()).expect("bind ephemeral port");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let schema = ContextSchema::builder().categorical("g", 2).build();
+    let space = DecisionSpace::of(&["a", "b"]);
+    client
+        .init("retry", &schema, &space, &["ips"], "b", 0.0, None)
+        .unwrap();
+
+    let collector = client.stats().collector();
+    let snap = TelemetrySnapshot::from_runs(std::slice::from_ref(&collector));
+    let doc = Json::parse(&snap.to_json().to_string()).unwrap();
+    assert_eq!(
+        sorted(keys(doc.get("counters").unwrap())),
+        GOLDEN_RETRY_COUNTERS,
+        "client retry counter key set changed"
+    );
     handle.shutdown();
 }
 
