@@ -121,10 +121,12 @@ USAGE:
   ddn telemetry-check <telemetry.json>   (expects a full-menu snapshot,
                                           i.e. one written by selftest)
   ddn serve    [--addr 127.0.0.1:0] [--shards 4] [--queue 256]
-               [--port-file <path>]
+               [--port-file <path>] [--data-dir <dir>] [--snapshot-every 256]
   ddn replay-to <trace.jsonl> --addr <host:port> --decision <name>
                [--estimator ips|snips|clipped|dm|dr] [--session replay]
                [--batch 256] [--model-value 0] [--window <n>] [--shutdown]
+  ddn query    --addr <host:port> --session <name>
+               [--estimator <name>] [--shutdown]
   ddn chaos    [--seed 7] [--faults 0.01] [--duration-records 20000]
                [--batch 256] [--shards 4]
 
@@ -141,7 +143,12 @@ the bound address to stderr (and to --port-file, if given) and blocks
 until a client sends the shutdown verb. replay-to streams an existing
 JSONL trace into a running server without ever loading the whole file,
 then asks for the online estimate; with --shutdown it stops the server
-afterwards.
+afterwards. With --data-dir, serve write-ahead-logs every state-bearing
+request and snapshots session state every --snapshot-every frames
+(DESIGN.md §12): restarting on the same directory recovers every session
+bit-identically. query reads the current estimate of an existing session
+without re-initializing it — the way to inspect state recovered from a
+--data-dir restart.
 
 chaos is a self-contained soak (DESIGN.md §11): it starts an in-process
 server, streams --duration-records synthetic records through a client
@@ -274,6 +281,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "telemetry-check" => cmd_telemetry_check(rest),
         "serve" => cmd_serve(rest),
         "replay-to" => cmd_replay_to(rest),
+        "query" => cmd_query(rest),
         "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
@@ -809,6 +817,23 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             .filter(|&q: &usize| q > 0)
             .ok_or_else(|| CliError::Usage("queue must be a positive integer".into()))?;
     }
+    if let Some(dir) = flags.get("data-dir") {
+        config.data_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(every) = flags.get("snapshot-every") {
+        if config.data_dir.is_none() {
+            return Err(CliError::Usage(
+                "--snapshot-every needs --data-dir".into(),
+            ));
+        }
+        config.snapshot_every = every
+            .parse()
+            .ok()
+            .filter(|&n: &u64| n > 0)
+            .ok_or_else(|| {
+                CliError::Usage("snapshot-every must be a positive integer".into())
+            })?;
+    }
     let handle = ddn_serve::serve(&config)
         .map_err(|e| CliError::Serve(format!("cannot bind {}: {e}", config.addr)))?;
     let addr = handle.local_addr();
@@ -930,6 +955,84 @@ fn cmd_replay_to(args: &[String]) -> Result<String, CliError> {
         }
     }
     out.push_str(&format!("streamed {sent} records\n"));
+    if flags.has("shutdown") {
+        client.shutdown().map_err(serve_err)?;
+        out.push_str("server shutdown requested\n");
+    }
+    Ok(out)
+}
+
+fn cmd_query(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "query takes no positional arguments\n\n{USAGE}"
+        )));
+    }
+    let addr = flags
+        .get("addr")
+        .ok_or_else(|| CliError::Usage(format!("query needs --addr <host:port>\n\n{USAGE}")))?;
+    let session = flags
+        .get("session")
+        .ok_or_else(|| CliError::Usage(format!("query needs --session <name>\n\n{USAGE}")))?;
+
+    let serve_err = |e: ddn_serve::ClientError| CliError::Serve(e.to_string());
+    let mut client = ddn_serve::ServeClient::connect(addr).map_err(serve_err)?;
+    // Unlike replay-to, query never re-initializes: a session restored
+    // from a --data-dir recovery keeps its accumulated state.
+    let resp = client.estimate(session).map_err(serve_err)?;
+    let estimates = resp
+        .get("estimates")
+        .and_then(Json::as_object)
+        .ok_or_else(|| CliError::Serve(format!("response lacks estimates: {resp}")))?;
+    let n = resp.get("n").and_then(Json::as_i64).unwrap_or(0);
+
+    let mut out = format!("session: {session} ({n} records)\n");
+    let wanted = flags.get("estimator");
+    let mut printed = 0usize;
+    for (name, body) in estimates {
+        if wanted.is_some_and(|w| w != name) {
+            continue;
+        }
+        match body.get("value").and_then(Json::as_f64) {
+            Some(value) => {
+                out.push_str(&format!("{name}: {value:.6}"));
+                if let (Some(ess), Some(max_w)) = (
+                    body.get("ess").and_then(Json::as_f64),
+                    body.get("max_weight").and_then(Json::as_f64),
+                ) {
+                    out.push_str(&format!("  (ess {ess:.0}, max weight {max_w:.2})"));
+                }
+                out.push('\n');
+            }
+            None => {
+                let msg = body
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("no value");
+                out.push_str(&format!("{name}: unavailable ({msg})\n"));
+            }
+        }
+        printed += 1;
+    }
+    if printed == 0 {
+        return Err(CliError::Serve(format!(
+            "session {session:?} has no estimator {:?}",
+            wanted.unwrap_or("<any>")
+        )));
+    }
+    if let Some(coupling) = resp.get("coupling") {
+        if coupling.get("coupled") == Some(&Json::Bool(true)) {
+            out.push_str(&format!(
+                "WARNING: coupling detected — {} change point(s) in the trailing reward window\n",
+                coupling
+                    .get("changepoints")
+                    .and_then(Json::as_array)
+                    .map(|c| c.len())
+                    .unwrap_or(0),
+            ));
+        }
+    }
     if flags.has("shutdown") {
         client.shutdown().map_err(serve_err)?;
         out.push_str("server shutdown requested\n");
@@ -1347,6 +1450,124 @@ mod tests {
         assert!(served.contains("shut down cleanly"), "{served}");
         std::fs::remove_file(trace_path).ok();
         std::fs::remove_file(port_file).ok();
+    }
+
+    #[test]
+    fn serve_data_dir_restart_and_query_see_the_same_estimate() {
+        let trace_path = write_temp_trace("durable", true);
+        let data_dir = std::env::temp_dir()
+            .join(format!("ddn-cli-test-durable-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::remove_dir_all(&data_dir).ok();
+
+        let wait_addr = |port_file: &str| {
+            let mut tries = 0;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(port_file) {
+                    let s = s.trim().to_string();
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 100, "server never wrote {port_file}");
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        };
+        let start = |n: u32| {
+            let port_file = std::env::temp_dir()
+                .join(format!(
+                    "ddn-cli-test-durable-port-{n}-{}",
+                    std::process::id()
+                ))
+                .to_string_lossy()
+                .into_owned();
+            std::fs::remove_file(&port_file).ok();
+            let (pf, dir) = (port_file.clone(), data_dir.clone());
+            let server = std::thread::spawn(move || {
+                run(&args(&[
+                    "serve",
+                    "--port-file",
+                    &pf,
+                    "--data-dir",
+                    &dir,
+                    "--snapshot-every",
+                    "32",
+                ]))
+            });
+            let addr = wait_addr(&port_file);
+            std::fs::remove_file(port_file).ok();
+            (server, addr)
+        };
+
+        let (server, addr) = start(1);
+        run(&args(&[
+            "replay-to",
+            &trace_path,
+            "--addr",
+            &addr,
+            "--decision",
+            "beta",
+            "--estimator",
+            "ips",
+            "--batch",
+            "64",
+        ]))
+        .unwrap();
+        let before = run(&args(&["query", "--addr", &addr, "--session", "replay"])).unwrap();
+        assert!(before.contains("session: replay (400 records)"), "{before}");
+        assert!(before.contains("ips: "), "{before}");
+        run(&args(&[
+            "query", "--addr", &addr, "--session", "replay", "--shutdown",
+        ]))
+        .unwrap();
+        server.join().unwrap().unwrap();
+
+        // Same data dir, new process-equivalent: the recovered session
+        // must answer the same query with the same rendered numbers —
+        // without any re-initialization.
+        let (server, addr) = start(2);
+        let after = run(&args(&[
+            "query", "--addr", &addr, "--session", "replay", "--shutdown",
+        ]))
+        .unwrap();
+        server.join().unwrap().unwrap();
+        assert_eq!(
+            before.lines().collect::<Vec<_>>(),
+            after
+                .lines()
+                .filter(|l| !l.starts_with("server shutdown"))
+                .collect::<Vec<_>>(),
+            "recovered estimate differs:\nbefore:\n{before}\nafter:\n{after}"
+        );
+
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_dir_all(&data_dir).ok();
+    }
+
+    #[test]
+    fn query_and_durability_usage_errors() {
+        assert!(matches!(
+            run(&args(&["query", "--session", "s"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["query", "--addr", "127.0.0.1:1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["query", "positional", "--addr", "a", "--session", "s"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["serve", "--snapshot-every", "8"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["serve", "--data-dir", "/tmp/x", "--snapshot-every", "0"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

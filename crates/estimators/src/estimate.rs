@@ -23,6 +23,10 @@ pub enum EstimatorError {
     /// The estimator used zero records (e.g. replay rejected everything, or
     /// state matching filtered the whole trace) — no estimate exists.
     NoUsableRecords,
+    /// A serialized estimator state (from `state_save`) failed to load:
+    /// wrong shape, wrong estimator, or corrupt field. Loading never
+    /// partially applies — on error the estimator keeps its prior state.
+    State(String),
 }
 
 impl fmt::Display for EstimatorError {
@@ -36,6 +40,7 @@ impl fmt::Display for EstimatorError {
             EstimatorError::NoUsableRecords => {
                 write!(f, "no usable records — estimator cannot produce a value")
             }
+            EstimatorError::State(msg) => write!(f, "invalid estimator state: {msg}"),
         }
     }
 }

@@ -39,8 +39,56 @@
 use crate::estimate::{EstimatorError, WeightDiagnostics};
 use ddn_models::RewardModel;
 use ddn_policy::Policy;
+use ddn_stats::Json;
 use ddn_trace::{DecisionSpace, TraceRecord};
 use std::collections::VecDeque;
+
+// ---- state serialization plumbing -------------------------------------
+//
+// `state_save`/`state_load` must round-trip *bits*, not values: the sums
+// start at `-0.0` (the float `Sum` identity) and the running max starts
+// at `-inf`, and JSON number formatting renders neither faithfully. Every
+// f64 therefore travels as its `to_bits()` pattern in a JSON integer,
+// which survives any JSON round trip exactly.
+
+fn state_err(msg: impl Into<String>) -> EstimatorError {
+    EstimatorError::State(msg.into())
+}
+
+fn bits(x: f64) -> Json {
+    Json::Int(x.to_bits() as i64)
+}
+
+fn field<'a>(state: &'a Json, key: &str) -> Result<&'a Json, EstimatorError> {
+    state
+        .get(key)
+        .ok_or_else(|| state_err(format!("missing field `{key}`")))
+}
+
+fn unbits(state: &Json, key: &str) -> Result<f64, EstimatorError> {
+    field(state, key)?
+        .as_i64()
+        .map(|b| f64::from_bits(b as u64))
+        .ok_or_else(|| state_err(format!("field `{key}` must hold f64 bits")))
+}
+
+fn uint(state: &Json, key: &str) -> Result<u64, EstimatorError> {
+    field(state, key)?
+        .as_u64()
+        .ok_or_else(|| state_err(format!("field `{key}` must be a non-negative integer")))
+}
+
+fn check_kind(state: &Json, want: &str) -> Result<(), EstimatorError> {
+    let got = field(state, "est")?
+        .as_str()
+        .ok_or_else(|| state_err("field `est` must be a string"))?;
+    if got != want {
+        return Err(state_err(format!(
+            "state is for estimator {got:?}, not {want:?}"
+        )));
+    }
+    Ok(())
+}
 
 /// Welford-style streaming mean/variance of per-record contributions.
 ///
@@ -88,6 +136,29 @@ impl StreamingMoments {
         } else {
             (self.inner.variance() / n as f64).sqrt()
         }
+    }
+
+    fn state_save(&self) -> Json {
+        let (n, mean, m2, min, max) = self.inner.to_raw();
+        Json::Object(vec![
+            ("n".into(), Json::Int(n as i64)),
+            ("mean".into(), bits(mean)),
+            ("m2".into(), bits(m2)),
+            ("min".into(), bits(min)),
+            ("max".into(), bits(max)),
+        ])
+    }
+
+    fn state_load(state: &Json) -> Result<Self, EstimatorError> {
+        Ok(Self {
+            inner: ddn_stats::Welford::from_raw(
+                uint(state, "n")?,
+                unbits(state, "mean")?,
+                unbits(state, "m2")?,
+                unbits(state, "min")?,
+                unbits(state, "max")?,
+            ),
+        })
     }
 }
 
@@ -140,6 +211,26 @@ impl WeightAcc {
             zero_weight_fraction: self.zeros as f64 / self.n as f64,
         }
     }
+
+    fn state_save(&self) -> Json {
+        Json::Object(vec![
+            ("n".into(), Json::Int(self.n as i64)),
+            ("sum".into(), bits(self.sum)),
+            ("sum_sq".into(), bits(self.sum_sq)),
+            ("zeros".into(), Json::Int(self.zeros as i64)),
+            ("max".into(), bits(self.max)),
+        ])
+    }
+
+    fn state_load(state: &Json) -> Result<Self, EstimatorError> {
+        Ok(Self {
+            n: uint(state, "n")? as usize,
+            sum: unbits(state, "sum")?,
+            sum_sq: unbits(state, "sum_sq")?,
+            zeros: uint(state, "zeros")? as usize,
+            max: unbits(state, "max")?,
+        })
+    }
 }
 
 /// The output of an online estimator: the batch-identical value and
@@ -190,6 +281,25 @@ pub trait OnlineEstimator {
     /// Welford contribution moments. Safe to call at any time, including
     /// before the first record (returns `n = 0` only).
     fn health_metrics(&self) -> Vec<(&'static str, f64)>;
+
+    /// Serializes the accumulated state (counts, running sums, weight
+    /// accumulators, contribution moments) as JSON. Configuration — the
+    /// policy, model, clip threshold — is *not* included: state belongs
+    /// to the stream, configuration to the constructor.
+    ///
+    /// Every f64 is encoded as its raw bit pattern, so
+    /// `state_save` → JSON text → [`OnlineEstimator::state_load`] is
+    /// bit-identical: the restored estimator produces exactly the bits an
+    /// unbroken estimator would, including the `-0.0` sum identity and
+    /// `-inf` max-weight sentinel. This is the durability hook a serving
+    /// layer's snapshot/crash-resume path builds on.
+    fn state_save(&self) -> Json;
+
+    /// Replaces this estimator's accumulated state with state captured by
+    /// [`OnlineEstimator::state_save`] on an identically-configured
+    /// estimator. On error (wrong estimator kind, corrupt field) the
+    /// current state is left untouched.
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError>;
 }
 
 impl<E: OnlineEstimator + ?Sized> OnlineEstimator for Box<E> {
@@ -210,6 +320,12 @@ impl<E: OnlineEstimator + ?Sized> OnlineEstimator for Box<E> {
     }
     fn health_metrics(&self) -> Vec<(&'static str, f64)> {
         (**self).health_metrics()
+    }
+    fn state_save(&self) -> Json {
+        (**self).state_save()
+    }
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        (**self).state_load(state)
     }
 }
 
@@ -335,6 +451,26 @@ impl OnlineEstimator for OnlineDm {
     fn health_metrics(&self) -> Vec<(&'static str, f64)> {
         common_health(self.n, None, &self.moments)
     }
+
+    fn state_save(&self) -> Json {
+        Json::Object(vec![
+            ("est".into(), Json::str(self.name())),
+            ("n".into(), Json::Int(self.n as i64)),
+            ("sum".into(), bits(self.contribution_sum)),
+            ("moments".into(), self.moments.state_save()),
+        ])
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.name())?;
+        let n = uint(state, "n")? as usize;
+        let sum = unbits(state, "sum")?;
+        let moments = StreamingMoments::state_load(field(state, "moments")?)?;
+        self.n = n;
+        self.contribution_sum = sum;
+        self.moments = moments;
+        Ok(())
+    }
 }
 
 /// Streaming plain IPS: running `Σ w_k·r_k` plus weight accumulators.
@@ -400,6 +536,29 @@ impl OnlineEstimator for OnlineIps {
 
     fn health_metrics(&self) -> Vec<(&'static str, f64)> {
         common_health(self.n, Some(&self.acc), &self.moments)
+    }
+
+    fn state_save(&self) -> Json {
+        Json::Object(vec![
+            ("est".into(), Json::str(self.name())),
+            ("n".into(), Json::Int(self.n as i64)),
+            ("sum".into(), bits(self.contribution_sum)),
+            ("acc".into(), self.acc.state_save()),
+            ("moments".into(), self.moments.state_save()),
+        ])
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.name())?;
+        let n = uint(state, "n")? as usize;
+        let sum = unbits(state, "sum")?;
+        let acc = WeightAcc::state_load(field(state, "acc")?)?;
+        let moments = StreamingMoments::state_load(field(state, "moments")?)?;
+        self.n = n;
+        self.contribution_sum = sum;
+        self.acc = acc;
+        self.moments = moments;
+        Ok(())
     }
 }
 
@@ -476,6 +635,46 @@ impl OnlineEstimator for OnlineSnips {
 
     fn health_metrics(&self) -> Vec<(&'static str, f64)> {
         common_health(self.pairs.len(), Some(&self.acc), &self.moments)
+    }
+
+    fn state_save(&self) -> Json {
+        // The (w, r) tail is stored as a flat alternating bit array.
+        let mut flat = Vec::with_capacity(self.pairs.len() * 2);
+        for (w, r) in &self.pairs {
+            flat.push(bits(*w));
+            flat.push(bits(*r));
+        }
+        Json::Object(vec![
+            ("est".into(), Json::str(self.name())),
+            ("pairs".into(), Json::Array(flat)),
+            ("acc".into(), self.acc.state_save()),
+            ("moments".into(), self.moments.state_save()),
+        ])
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.name())?;
+        let flat = field(state, "pairs")?
+            .as_array()
+            .ok_or_else(|| state_err("field `pairs` must be an array"))?;
+        if flat.len() % 2 != 0 {
+            return Err(state_err("`pairs` must hold an even number of entries"));
+        }
+        let mut pairs = Vec::with_capacity(flat.len() / 2);
+        for wr in flat.chunks(2) {
+            let decode = |v: &Json| {
+                v.as_i64()
+                    .map(|b| f64::from_bits(b as u64))
+                    .ok_or_else(|| state_err("`pairs` entries must hold f64 bits"))
+            };
+            pairs.push((decode(&wr[0])?, decode(&wr[1])?));
+        }
+        let acc = WeightAcc::state_load(field(state, "acc")?)?;
+        let moments = StreamingMoments::state_load(field(state, "moments")?)?;
+        self.pairs = pairs;
+        self.acc = acc;
+        self.moments = moments;
+        Ok(())
     }
 }
 
@@ -574,6 +773,32 @@ impl OnlineEstimator for OnlineClippedIps {
         }
         m
     }
+
+    fn state_save(&self) -> Json {
+        Json::Object(vec![
+            ("est".into(), Json::str(self.name())),
+            ("n".into(), Json::Int(self.n as i64)),
+            ("clipped".into(), Json::Int(self.clipped as i64)),
+            ("sum".into(), bits(self.contribution_sum)),
+            ("acc".into(), self.acc.state_save()),
+            ("moments".into(), self.moments.state_save()),
+        ])
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.name())?;
+        let n = uint(state, "n")? as usize;
+        let clipped = uint(state, "clipped")? as usize;
+        let sum = unbits(state, "sum")?;
+        let acc = WeightAcc::state_load(field(state, "acc")?)?;
+        let moments = StreamingMoments::state_load(field(state, "moments")?)?;
+        self.n = n;
+        self.clipped = clipped;
+        self.contribution_sum = sum;
+        self.acc = acc;
+        self.moments = moments;
+        Ok(())
+    }
 }
 
 /// Streaming Doubly Robust: running sum of
@@ -671,6 +896,32 @@ impl OnlineEstimator for OnlineDr {
         }
         m
     }
+
+    fn state_save(&self) -> Json {
+        Json::Object(vec![
+            ("est".into(), Json::str(self.name())),
+            ("n".into(), Json::Int(self.n as i64)),
+            ("sum".into(), bits(self.contribution_sum)),
+            ("abs_residual_sum".into(), bits(self.abs_residual_sum)),
+            ("acc".into(), self.acc.state_save()),
+            ("moments".into(), self.moments.state_save()),
+        ])
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.name())?;
+        let n = uint(state, "n")? as usize;
+        let sum = unbits(state, "sum")?;
+        let abs_residual_sum = unbits(state, "abs_residual_sum")?;
+        let acc = WeightAcc::state_load(field(state, "acc")?)?;
+        let moments = StreamingMoments::state_load(field(state, "moments")?)?;
+        self.n = n;
+        self.contribution_sum = sum;
+        self.abs_residual_sum = abs_residual_sum;
+        self.acc = acc;
+        self.moments = moments;
+        Ok(())
+    }
 }
 
 /// Bounds any online estimator to the most recent `capacity` records —
@@ -746,6 +997,49 @@ impl<E: OnlineEstimator> SlidingWindow<E> {
     /// Number of records evicted so far (total pushed − window size).
     pub fn evicted(&self) -> u64 {
         self.evicted
+    }
+
+    /// Serializes the window's state: the retained records (the inner
+    /// estimator's accumulated state is immaterial — [`Self::estimate`]
+    /// resets and replays it) plus the eviction count. The record round
+    /// trip goes through [`TraceRecord::to_json`], whose float formatting
+    /// is bit-exact, so a restored window estimates identically.
+    pub fn state_save(&self) -> Json {
+        Json::Object(vec![
+            ("est".into(), Json::str(self.inner.name())),
+            (
+                "window".into(),
+                Json::Array(self.window.iter().map(|r| r.to_json()).collect()),
+            ),
+            ("evicted".into(), Json::Int(self.evicted as i64)),
+        ])
+    }
+
+    /// Restores window state captured by [`Self::state_save`] on a window
+    /// around an identically-configured inner estimator. On error the
+    /// current window is left untouched.
+    pub fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.inner.name())?;
+        let raw = field(state, "window")?
+            .as_array()
+            .ok_or_else(|| state_err("field `window` must be an array"))?;
+        if raw.len() > self.capacity {
+            return Err(state_err(format!(
+                "window holds {} records but capacity is {}",
+                raw.len(),
+                self.capacity
+            )));
+        }
+        let mut window = VecDeque::with_capacity(self.capacity);
+        for rec in raw {
+            window.push_back(
+                TraceRecord::from_json(rec)
+                    .map_err(|e| state_err(format!("bad window record: {e}")))?,
+            );
+        }
+        self.evicted = uint(state, "evicted")?;
+        self.window = window;
+        Ok(())
     }
 }
 

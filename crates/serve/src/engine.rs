@@ -78,6 +78,61 @@ impl CouplingMonitor {
         self.seen
     }
 
+    /// Serializes the monitor for a snapshot. Rewards are stored as raw
+    /// f64 bit patterns (JSON text would lose `-0.0`/non-finite values);
+    /// capacity and minimum segment are compile-time constants the
+    /// restoring monitor already carries.
+    pub fn state_save(&self) -> Json {
+        Json::object(vec![
+            (
+                "window",
+                Json::Array(
+                    self.window
+                        .iter()
+                        .map(|&r| Json::Int(r.to_bits() as i64))
+                        .collect(),
+                ),
+            ),
+            ("seen", Json::Int(self.seen as i64)),
+        ])
+    }
+
+    /// Restores state saved by [`CouplingMonitor::state_save`]. Atomic:
+    /// on error the monitor keeps its prior state.
+    pub fn state_load(&mut self, state: &Json) -> Result<(), String> {
+        let raw = state
+            .get("window")
+            .and_then(Json::as_array)
+            .ok_or("coupling state needs a \"window\" array")?;
+        if raw.len() > self.capacity {
+            return Err(format!(
+                "coupling window of {} exceeds capacity {}",
+                raw.len(),
+                self.capacity
+            ));
+        }
+        let mut window = VecDeque::with_capacity(self.capacity);
+        for x in raw {
+            let bits = x
+                .as_i64()
+                .ok_or("coupling window entries must be bit-pattern integers")?;
+            window.push_back(f64::from_bits(bits as u64));
+        }
+        let seen = state
+            .get("seen")
+            .and_then(Json::as_u64)
+            .ok_or("coupling state needs \"seen\"")?;
+        if (seen as usize) < window.len() {
+            return Err(format!(
+                "coupling \"seen\" {seen} below window length {}",
+                window.len()
+            ));
+        }
+        self.window = window;
+        self.seen = seen;
+        Ok(())
+    }
+
     /// The report as a JSON object for the `estimate` response.
     pub fn to_json(&self) -> Json {
         let cps = self.changepoints();
@@ -137,6 +192,20 @@ impl BankEntry {
             ],
         }
     }
+
+    fn state_save(&self) -> Json {
+        match self {
+            BankEntry::Plain(e) => e.state_save(),
+            BankEntry::Windowed(w) => w.state_save(),
+        }
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), ddn_estimators::EstimatorError> {
+        match self {
+            BankEntry::Plain(e) => e.state_load(state),
+            BankEntry::Windowed(w) => w.state_load(state),
+        }
+    }
 }
 
 fn build_policy(
@@ -165,6 +234,10 @@ fn build_policy(
 
 /// One client-visible evaluation session.
 pub struct Session {
+    /// The init request that created this session, re-serialized as a
+    /// parseable request line — the snapshot encoding of its
+    /// configuration (see [`Session::from_state`]).
+    init_json: Json,
     schema: ddn_trace::ContextSchema,
     space: DecisionSpace,
     /// `(protocol_name, estimator)` in init-request order.
@@ -185,6 +258,7 @@ pub struct Session {
 impl Session {
     /// Builds the session's estimator bank from an init spec.
     pub fn new(spec: InitSpec) -> Result<Self, String> {
+        let init_json = spec.to_json();
         let mut bank = Vec::with_capacity(spec.estimators.len());
         let mut needs_propensity = false;
         for name in &spec.estimators {
@@ -241,6 +315,7 @@ impl Session {
             bank.push((name.clone(), entry));
         }
         Ok(Session {
+            init_json,
             schema: spec.schema,
             space: spec.space,
             bank,
@@ -312,6 +387,91 @@ impl Session {
     /// Records accepted so far.
     pub fn accepted(&self) -> usize {
         self.accepted
+    }
+
+    /// Serializes the full session for a snapshot: the init request that
+    /// configures it, every estimator's sufficient statistics, the
+    /// coupling monitor, and the exactly-once dedup state (`next_seq`
+    /// plus the stored acknowledgement). Timestamps are raw f64 bit
+    /// patterns — `last_ts` starts at `NEG_INFINITY`, which JSON text
+    /// cannot carry.
+    pub fn state_save(&self) -> Json {
+        let last_ack = match &self.last_ack {
+            None => Json::Null,
+            Some((seq, resp)) => Json::object(vec![
+                ("seq", Json::Int(*seq as i64)),
+                ("resp", resp.clone()),
+            ]),
+        };
+        Json::object(vec![
+            ("init", self.init_json.clone()),
+            (
+                "estimators",
+                Json::Array(self.bank.iter().map(|(_, e)| e.state_save()).collect()),
+            ),
+            ("coupling", self.coupling.state_save()),
+            ("last_ts", Json::Int(self.last_ts.to_bits() as i64)),
+            ("accepted", Json::Int(self.accepted as i64)),
+            ("next_seq", Json::Int(self.next_seq as i64)),
+            ("last_ack", last_ack),
+        ])
+    }
+
+    /// Rebuilds a session from [`Session::state_save`] output: re-parses
+    /// the stored init request through [`Request::parse`] (the same code
+    /// path a live init takes), then loads estimator, coupling, and
+    /// dedup state on top. Any failure discards the partial session.
+    ///
+    /// [`Request::parse`]: crate::protocol::Request::parse
+    pub fn from_state(state: &Json) -> Result<Session, String> {
+        let init = state.get("init").ok_or("session state needs \"init\"")?;
+        let spec = match crate::protocol::Request::parse(&init.to_string()) {
+            Ok(crate::protocol::Request::Init(spec)) => spec,
+            Ok(_) => return Err("session state \"init\" is not an init request".into()),
+            Err(e) => return Err(format!("session state init: {e}")),
+        };
+        let mut s = Session::new(spec)?;
+        let states = state
+            .get("estimators")
+            .and_then(Json::as_array)
+            .ok_or("session state needs \"estimators\"")?;
+        if states.len() != s.bank.len() {
+            return Err(format!(
+                "session state carries {} estimator states for a bank of {}",
+                states.len(),
+                s.bank.len()
+            ));
+        }
+        for ((name, entry), st) in s.bank.iter_mut().zip(states) {
+            entry.state_load(st).map_err(|e| format!("{name}: {e}"))?;
+        }
+        s.coupling
+            .state_load(state.get("coupling").ok_or("session state needs \"coupling\"")?)?;
+        let ts_bits = state
+            .get("last_ts")
+            .and_then(Json::as_i64)
+            .ok_or("session state needs \"last_ts\"")?;
+        s.last_ts = f64::from_bits(ts_bits as u64);
+        s.accepted = state
+            .get("accepted")
+            .and_then(Json::as_u64)
+            .ok_or("session state needs \"accepted\"")? as usize;
+        s.next_seq = state
+            .get("next_seq")
+            .and_then(Json::as_u64)
+            .ok_or("session state needs \"next_seq\"")?;
+        s.last_ack = match state.get("last_ack") {
+            None | Some(Json::Null) => None,
+            Some(a) => {
+                let seq = a
+                    .get("seq")
+                    .and_then(Json::as_u64)
+                    .ok_or("last_ack needs \"seq\"")?;
+                let resp = a.get("resp").ok_or("last_ack needs \"resp\"")?.clone();
+                Some((seq, resp))
+            }
+        };
+        Ok(s)
     }
 
     /// The `estimate` response body: one object per estimator (keyed by
@@ -447,6 +607,38 @@ impl Engine {
     /// Number of live sessions.
     pub fn sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Every session serialized for a snapshot, keyed by session id and
+    /// sorted so identical state always produces identical bytes.
+    pub fn state_save(&self) -> Json {
+        let mut ids: Vec<&String> = self.sessions.keys().collect();
+        ids.sort();
+        Json::Object(
+            ids.into_iter()
+                .map(|id| (id.clone(), self.sessions[id].state_save()))
+                .collect(),
+        )
+    }
+
+    /// Restores sessions saved by [`Engine::state_save`] into this
+    /// engine. Atomic: every session must parse before any is installed,
+    /// so a corrupt snapshot cannot leave a half-restored engine.
+    /// Returns how many sessions were restored.
+    pub fn restore_sessions(&mut self, state: &Json) -> Result<usize, String> {
+        let obj = state
+            .as_object()
+            .ok_or("engine state must be an object of sessions")?;
+        let mut restored = Vec::with_capacity(obj.len());
+        for (id, s) in obj {
+            let sess = Session::from_state(s).map_err(|e| format!("session {id:?}: {e}"))?;
+            restored.push((id.clone(), sess));
+        }
+        let n = restored.len();
+        for (id, sess) in restored {
+            self.sessions.insert(id, sess);
+        }
+        Ok(n)
     }
 
     /// Drops a session (used by the server to quarantine a session whose

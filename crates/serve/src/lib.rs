@@ -19,10 +19,15 @@
 //!   bounded retry, deterministic backoff, and per-request timeouts.
 //! - [`transport`] — the byte-stream abstraction both endpoints I/O
 //!   through; chaos tests wrap it in a deterministic fault injector.
+//! - [`wal`] — the per-shard write-ahead log: length-prefixed,
+//!   checksummed frames holding the request lines a shard consumed.
+//! - [`snapshot`] — periodic full-state snapshots and crash-resume:
+//!   restore the latest valid snapshot, replay the WAL tail, self-heal.
 //!
 //! See DESIGN.md §10 for the protocol grammar, backpressure semantics
-//! and the shutdown contract, and §11 for the fault model and the
-//! exactly-once ingest contract.
+//! and the shutdown contract, §11 for the fault model and the
+//! exactly-once ingest contract, and §12 for the durability subsystem
+//! (WAL format, snapshot cadence, recovery invariants, fsync policy).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +36,14 @@ pub mod client;
 pub mod engine;
 pub mod protocol;
 pub mod server;
+pub mod snapshot;
 pub mod transport;
+pub mod wal;
 
 pub use client::{ClientConfig, ClientError, ClientStats, ServeClient};
 pub use engine::{CouplingMonitor, Engine, Session};
 pub use protocol::{InitSpec, PolicySpec, Request};
 pub use server::{serve, ServeConfig, ServerHandle, ServerStats};
+pub use snapshot::{read_snapshot, write_snapshot, RecoverReport, ShardDurability};
 pub use transport::{FaultState, FaultyTransport, IoStream, TcpTransport, Transport};
+pub use wal::{read_wal, WalFrame, WalWriter};

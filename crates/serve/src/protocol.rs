@@ -51,6 +51,23 @@ pub enum PolicySpec {
     Uniform,
 }
 
+impl PolicySpec {
+    /// The `"policy"` object of an init request line.
+    pub fn to_json(&self) -> Json {
+        match self {
+            PolicySpec::Uniform => Json::object(vec![("kind", Json::str("uniform"))]),
+            PolicySpec::ConstantName(name) => Json::object(vec![
+                ("kind", Json::str("constant")),
+                ("decision", Json::str(name.clone())),
+            ]),
+            PolicySpec::ConstantIndex(i) => Json::object(vec![
+                ("kind", Json::str("constant")),
+                ("decision", Json::Int(*i as i64)),
+            ]),
+        }
+    }
+}
+
 /// An `init` request, parsed and type-checked (but with the policy's
 /// decision not yet resolved against the space).
 #[derive(Debug)]
@@ -72,6 +89,53 @@ pub struct InitSpec {
     pub max_weight: f64,
     /// Sliding-window capacity; `None` = cumulative estimators.
     pub window: Option<usize>,
+}
+
+impl InitSpec {
+    /// Re-serializes the spec as a complete, parseable init request line
+    /// (the `"verb":"init"` object). This is the WAL/snapshot encoding of
+    /// a session's configuration: recovery feeds it back through
+    /// [`Request::parse`], so replay exercises the same code path as live
+    /// traffic. Round-tripping is exact — the workspace JSON float
+    /// formatting is bit-preserving, and `parse_init`'s `.reindexed()` is
+    /// idempotent on an already-reindexed schema.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("verb", Json::str("init")),
+            ("session", Json::str(self.session.clone())),
+            ("schema", self.schema.to_json()),
+            ("space", self.space.to_json()),
+            (
+                "estimators",
+                Json::Array(self.estimators.iter().map(Json::str).collect()),
+            ),
+            ("policy", self.policy.to_json()),
+            ("model_value", Json::Num(self.model_value)),
+            ("max_weight", Json::Num(self.max_weight)),
+        ];
+        if let Some(w) = self.window {
+            fields.push(("window", Json::Int(w as i64)));
+        }
+        Json::object(fields)
+    }
+}
+
+/// The ingest request line for `records` — the WAL encoding of a
+/// sequenced batch (the conn thread parses lines before shard dispatch,
+/// so the worker rebuilds the wire form to log it).
+pub fn ingest_request_json(session: &str, records: &[TraceRecord], seq: Option<u64>) -> Json {
+    let mut fields = vec![
+        ("verb", Json::str("ingest")),
+        ("session", Json::str(session)),
+        (
+            "records",
+            Json::Array(records.iter().map(TraceRecord::to_json).collect()),
+        ),
+    ];
+    if let Some(q) = seq {
+        fields.push(("seq", Json::Int(q as i64)));
+    }
+    Json::object(fields)
 }
 
 /// A parsed client request.

@@ -57,7 +57,8 @@
 //! server state and no thread has leaked.
 
 use crate::engine::Engine;
-use crate::protocol::{error_response, ok_response, InitSpec, Request};
+use crate::protocol::{error_response, ingest_request_json, ok_response, InitSpec, Request};
+use crate::snapshot::{check_meta, RecoverReport, ShardDurability};
 use crate::transport::{IoStream, TcpTransport, Transport};
 use ddn_stats::Json;
 use ddn_telemetry::{Collector, TelemetrySnapshot};
@@ -68,6 +69,7 @@ use std::hash::{Hash, Hasher};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -97,6 +99,14 @@ pub struct ServeConfig {
     /// marker panics inside the shard worker, exercising the panic
     /// isolation path deterministically.
     pub failpoint: Option<String>,
+    /// Durable-state directory. `None` (the default) keeps all session
+    /// state in memory; `Some` enables per-shard write-ahead logging,
+    /// periodic snapshots, and crash-resume on startup (DESIGN.md §12).
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot cadence in WAL frames: after this many logged requests a
+    /// shard rotates to a fresh snapshot and an empty WAL. Ignored
+    /// without [`ServeConfig::data_dir`].
+    pub snapshot_every: u64,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -108,6 +118,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("max_line_bytes", &self.max_line_bytes)
             .field("wrap", &self.wrap.as_ref().map(|_| "<hook>"))
             .field("failpoint", &self.failpoint)
+            .field("data_dir", &self.data_dir)
+            .field("snapshot_every", &self.snapshot_every)
             .finish()
     }
 }
@@ -121,6 +133,8 @@ impl Default for ServeConfig {
             max_line_bytes: 1 << 20,
             wrap: None,
             failpoint: None,
+            data_dir: None,
+            snapshot_every: 256,
         }
     }
 }
@@ -136,6 +150,12 @@ pub struct ServerStats {
     dedup_replays: AtomicU64,
     fault_conn_errors: AtomicU64,
     fault_worker_restarts: AtomicU64,
+    wal_frames: AtomicU64,
+    wal_bytes: AtomicU64,
+    snapshot_writes: AtomicU64,
+    recover_frames_replayed: AtomicU64,
+    recover_truncated_frames: AtomicU64,
+    recover_sessions: AtomicU64,
 }
 
 impl ServerStats {
@@ -178,6 +198,51 @@ impl ServerStats {
         self.fault_worker_restarts.load(Ordering::Relaxed)
     }
 
+    /// WAL frames appended across all shards (zero with durability off).
+    pub fn wal_frames(&self) -> u64 {
+        self.wal_frames.load(Ordering::Relaxed)
+    }
+
+    /// WAL bytes appended across all shards, frame headers included.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot files written (the one each shard writes at startup
+    /// after recovery counts too).
+    pub fn snapshot_writes(&self) -> u64 {
+        self.snapshot_writes.load(Ordering::Relaxed)
+    }
+
+    /// WAL frames replayed during startup recovery.
+    pub fn recover_frames_replayed(&self) -> u64 {
+        self.recover_frames_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Invalid WAL tail frames discarded during startup recovery (torn
+    /// writes, checksum failures).
+    pub fn recover_truncated_frames(&self) -> u64 {
+        self.recover_truncated_frames.load(Ordering::Relaxed)
+    }
+
+    /// Sessions restored from snapshots during startup recovery.
+    pub fn recover_sessions(&self) -> u64 {
+        self.recover_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Folds one shard's startup recovery into the counters. Opening a
+    /// shard's durable state also writes its post-recovery snapshot, so
+    /// this counts one snapshot write.
+    fn record_recovery(&self, report: &RecoverReport) {
+        self.recover_sessions
+            .fetch_add(report.sessions, Ordering::Relaxed);
+        self.recover_frames_replayed
+            .fetch_add(report.frames_replayed, Ordering::Relaxed);
+        self.recover_truncated_frames
+            .fetch_add(report.truncated_frames, Ordering::Relaxed);
+        self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The counters as a telemetry collector (merged into `health`
     /// snapshots alongside per-shard estimator health).
     pub fn collector(&self) -> Collector {
@@ -192,6 +257,20 @@ impl ServerStats {
             .push(("serve.fault.conn_errors", self.fault_conn_errors()));
         c.counts
             .push(("serve.fault.worker_restarts", self.fault_worker_restarts()));
+        c.counts.push(("serve.wal.frames", self.wal_frames()));
+        c.counts.push(("serve.wal.bytes", self.wal_bytes()));
+        c.counts
+            .push(("serve.snapshot.writes", self.snapshot_writes()));
+        c.counts.push((
+            "serve.recover.frames_replayed",
+            self.recover_frames_replayed(),
+        ));
+        c.counts.push((
+            "serve.recover.truncated_frames",
+            self.recover_truncated_frames(),
+        ));
+        c.counts
+            .push(("serve.recover.sessions", self.recover_sessions()));
         c
     }
 }
@@ -288,6 +367,12 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     let stats = Arc::new(ServerStats::default());
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
+    // Crash-resume happens here, on the caller's thread, before any
+    // traffic can arrive: each shard restores its snapshot and replays
+    // its WAL tail, so serve() returning means recovery is complete.
+    if let Some(dir) = &config.data_dir {
+        check_meta(dir, config.shards)?;
+    }
     let mut senders = Vec::with_capacity(config.shards);
     let mut workers = Vec::with_capacity(config.shards);
     for i in 0..config.shards {
@@ -295,10 +380,27 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         senders.push(tx);
         let stats = Arc::clone(&stats);
         let failpoint = config.failpoint.clone();
+        let mut engine = Engine::new();
+        let mut poisoned: HashSet<String> = HashSet::new();
+        let durability = match &config.data_dir {
+            None => None,
+            Some(dir) => {
+                let (d, report) = ShardDurability::open(
+                    dir,
+                    i,
+                    config.snapshot_every,
+                    failpoint.as_deref(),
+                    &mut engine,
+                    &mut poisoned,
+                )?;
+                stats.record_recovery(&report);
+                Some(d)
+            }
+        };
         workers.push(
             std::thread::Builder::new()
                 .name(format!("ddn-serve-shard-{i}"))
-                .spawn(move || shard_worker(rx, stats, failpoint))
+                .spawn(move || shard_worker(rx, stats, failpoint, engine, poisoned, durability))
                 .expect("spawn shard worker"),
         );
     }
@@ -371,19 +473,70 @@ fn degraded_response(session: &str) -> Json {
     ))
 }
 
-fn shard_worker(rx: Receiver<ShardMsg>, stats: Arc<ServerStats>, failpoint: Option<String>) {
-    let mut engine = Engine::new();
+/// Write-ahead-logs one request line, updating the WAL counters.
+/// `Ok(())` with no durability configured. On an I/O error the request
+/// MUST NOT be applied (the ack would describe state a restart loses);
+/// the caller returns the error to the client instead.
+fn wal_log(
+    durability: &mut Option<ShardDurability>,
+    stats: &ServerStats,
+    line: &str,
+) -> std::io::Result<()> {
+    if let Some(d) = durability {
+        let bytes = d.log_request(line)?;
+        stats.wal_frames.fetch_add(1, Ordering::Relaxed);
+        stats.wal_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// Rotates to a fresh snapshot when the cadence says so. Snapshot I/O
+/// failures are deliberately non-fatal: the WAL already holds every
+/// acknowledged request, so losing a rotation costs replay time at the
+/// next startup, not state.
+fn wal_maybe_snapshot(
+    durability: &mut Option<ShardDurability>,
+    stats: &ServerStats,
+    engine: &Engine,
+    poisoned: &HashSet<String>,
+) {
+    if let Some(d) = durability {
+        match d.maybe_snapshot(engine, poisoned) {
+            Ok(true) => {
+                stats.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(false) => {}
+            Err(e) => eprintln!("ddn-serve: snapshot write failed: {e}"),
+        }
+    }
+}
+
+fn shard_worker(
+    rx: Receiver<ShardMsg>,
+    stats: Arc<ServerStats>,
+    failpoint: Option<String>,
+    mut engine: Engine,
     // Sessions whose request panicked: their state is untrustworthy, so
-    // they answer `degraded` until a client re-inits them.
-    let mut poisoned: HashSet<String> = HashSet::new();
+    // they answer `degraded` until a client re-inits them. Recovery
+    // pre-populates this from the snapshot.
+    mut poisoned: HashSet<String>,
+    mut durability: Option<ShardDurability>,
+) {
     while let Ok(msg) = rx.recv() {
         stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
         match msg {
             ShardMsg::Init(spec, reply) => {
+                // Write-ahead: the init line is durable before the session
+                // exists, so an acknowledged init always survives a kill.
+                if let Err(e) = wal_log(&mut durability, &stats, &spec.to_json().to_string()) {
+                    let _ = reply.send(error_response(&format!("durability failure: {e}")));
+                    continue;
+                }
                 // Re-init lifts a quarantine: the replacement session is
                 // built from scratch, sequence numbers included.
                 poisoned.remove(&spec.session);
                 let _ = reply.send(engine.handle_init(spec));
+                wal_maybe_snapshot(&mut durability, &stats, &engine, &poisoned);
             }
             ShardMsg::Ingest {
                 session,
@@ -393,6 +546,15 @@ fn shard_worker(rx: Receiver<ShardMsg>, stats: Arc<ServerStats>, failpoint: Opti
             } => {
                 if poisoned.contains(&session) {
                     let _ = reply.send(degraded_response(&session));
+                    continue;
+                }
+                // Write-ahead of the verdict, whatever it turns out to be:
+                // even a rejected sequenced batch consumes its sequence
+                // number, so replay must reproduce the rejection or
+                // recovery would desynchronize the dedup window.
+                let line = ingest_request_json(&session, &records, seq).to_string();
+                if let Err(e) = wal_log(&mut durability, &stats, &line) {
+                    let _ = reply.send(error_response(&format!("durability failure: {e}")));
                     continue;
                 }
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -415,6 +577,7 @@ fn shard_worker(rx: Receiver<ShardMsg>, stats: Arc<ServerStats>, failpoint: Opti
                             stats.ingest_records.fetch_add(accepted, Ordering::Relaxed);
                         }
                         let _ = reply.send(resp);
+                        wal_maybe_snapshot(&mut durability, &stats, &engine, &poisoned);
                     }
                     Err(_) => {
                         // The worker survives the panic: quarantine the

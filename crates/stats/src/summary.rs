@@ -81,6 +81,29 @@ impl Welford {
         self.max
     }
 
+    /// Decomposes the accumulator into its raw state
+    /// `(n, mean, m2, min, max)` for exact persistence. The returned
+    /// floats are the accumulator's internal values bit-for-bit, so a
+    /// [`Welford::from_raw`] round trip reproduces this accumulator
+    /// exactly — including the `±inf` min/max sentinels of an empty one.
+    pub fn to_raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from raw state captured by
+    /// [`Welford::to_raw`]. No normalization is applied: whatever bits go
+    /// in come back out of [`Welford::mean`] and friends, which is what a
+    /// bit-identical crash-recovery path needs.
+    pub fn from_raw(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Finishes the accumulator into an immutable [`Summary`].
     pub fn finish(&self) -> Summary {
         Summary {
@@ -466,6 +489,26 @@ mod tests {
     fn quantile_interpolates() {
         let xs = [0.0, 10.0];
         assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_raw_round_trip_is_bit_exact() {
+        let mut w = Welford::new();
+        w.extend([0.1, 0.2, 0.30000000000000004, -7.5]);
+        let (n, mean, m2, min, max) = w.to_raw();
+        let back = Welford::from_raw(n, mean, m2, min, max);
+        assert_eq!(back.count(), w.count());
+        assert_eq!(back.mean().to_bits(), w.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), w.variance().to_bits());
+        assert_eq!(back.min().to_bits(), w.min().to_bits());
+        assert_eq!(back.max().to_bits(), w.max().to_bits());
+
+        // Empty accumulator: the ±inf sentinels must survive verbatim.
+        let (n, mean, m2, min, max) = Welford::new().to_raw();
+        let empty = Welford::from_raw(n, mean, m2, min, max);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), f64::INFINITY);
+        assert_eq!(empty.max(), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -314,6 +314,191 @@ impl FaultCursor {
     }
 }
 
+/// One scripted process kill: after `at_record` records have been
+/// ingested, the process dies (`kill -9` semantics — no shutdown hooks
+/// run) and is restarted against the same data directory.
+///
+/// `torn_tail_bytes` models the write the kill interrupted: that many
+/// bytes of a partial WAL frame are appended to a shard's log before
+/// restart. A real kill can only tear the *in-flight, unacknowledged*
+/// frame — acknowledged frames are fully written first — so tests append
+/// garbage rather than truncating, and recovery must discard exactly the
+/// torn tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillRestart {
+    /// Cumulative ingested-record count at which the kill fires.
+    pub at_record: u64,
+    /// Bytes of a partial (torn) WAL frame left behind by the kill;
+    /// 0 is a clean kill between appends.
+    pub torn_tail_bytes: usize,
+}
+
+/// Tuning knobs for [`LifecyclePlan::generate`].
+#[derive(Debug, Clone)]
+pub struct LifecyclePlanConfig {
+    /// Number of kills to schedule.
+    pub kills: usize,
+    /// Kill offsets are drawn from `0..record_horizon`.
+    pub record_horizon: u64,
+    /// Torn tails are drawn from `0..=max_torn_bytes`.
+    pub max_torn_bytes: usize,
+}
+
+impl Default for LifecyclePlanConfig {
+    fn default() -> Self {
+        Self {
+            kills: 2,
+            record_horizon: 512,
+            max_torn_bytes: 48,
+        }
+    }
+}
+
+/// A finite, ordered schedule of [`KillRestart`] events, pinned to
+/// cumulative record offsets — the process-lifecycle analogue of
+/// [`FaultPlan`]. Plain data: printable, shrinkable, reproducible from
+/// `(seed, cfg)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LifecyclePlan {
+    kills: Vec<KillRestart>,
+}
+
+impl LifecyclePlan {
+    /// An empty plan (the process never dies).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws a plan from a seed. Same `(seed, cfg)` ⇒ same plan, on
+    /// every platform.
+    pub fn generate(seed: u64, cfg: &LifecyclePlanConfig) -> Self {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut plan = Self::new();
+        for _ in 0..cfg.kills {
+            plan.push(KillRestart {
+                at_record: rng.next_below(cfg.record_horizon.max(1)),
+                torn_tail_bytes: rng.next_below(cfg.max_torn_bytes as u64 + 1) as usize,
+            });
+        }
+        plan
+    }
+
+    /// Adds a kill, keeping the schedule sorted by record offset.
+    pub fn push(&mut self, kill: KillRestart) {
+        self.kills.push(kill);
+        self.kills.sort_by_key(|k| k.at_record);
+    }
+
+    /// The scheduled kills, sorted by record offset.
+    pub fn kills(&self) -> &[KillRestart] {
+        &self.kills
+    }
+
+    /// Number of scheduled kills.
+    pub fn len(&self) -> usize {
+        self.kills.len()
+    }
+
+    /// True when no kills are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    /// A fresh consumption driver over this plan.
+    pub fn driver(&self) -> LifecycleDriver {
+        LifecycleDriver {
+            kills: self.kills.clone(),
+            next: 0,
+            pos: 0,
+        }
+    }
+}
+
+/// Mutable consumption state over a [`LifecyclePlan`]: the test harness
+/// reports ingest progress and is told when to kill the process.
+#[derive(Debug, Clone)]
+pub struct LifecycleDriver {
+    kills: Vec<KillRestart>,
+    next: usize,
+    pos: u64,
+}
+
+impl LifecycleDriver {
+    /// Advances the cumulative record position by `records` and returns
+    /// the next kill whose offset has been reached, if any (consumed —
+    /// each kill fires once). Kills whose offsets fall inside the same
+    /// batch fire one per call, preserving order, so a harness that
+    /// ingests in batches never silently skips a scheduled kill.
+    pub fn advance(&mut self, records: u64) -> Option<KillRestart> {
+        self.pos += records;
+        match self.kills.get(self.next) {
+            Some(k) if k.at_record <= self.pos => {
+                self.next += 1;
+                Some(*k)
+            }
+            _ => None,
+        }
+    }
+
+    /// Cumulative records reported so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// True when every scheduled kill has fired.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.kills.len()
+    }
+}
+
+/// Generator of [`LifecyclePlan`]s for `prop!` bodies. Shrinking drops
+/// kills and simplifies torn tails to clean kills, so a failing
+/// crash-resume case minimises toward "one clean kill at offset k".
+#[derive(Debug, Clone)]
+pub struct LifecyclePlanGen {
+    cfg: LifecyclePlanConfig,
+}
+
+/// Lifecycle plans drawn under `cfg`, one fresh seed per case.
+pub fn lifecycle_plans(cfg: LifecyclePlanConfig) -> LifecyclePlanGen {
+    LifecyclePlanGen { cfg }
+}
+
+impl Gen for LifecyclePlanGen {
+    type Value = LifecyclePlan;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> LifecyclePlan {
+        LifecyclePlan::generate(rng.next_u64(), &self.cfg)
+    }
+
+    fn shrink(&self, value: &LifecyclePlan) -> Vec<LifecyclePlan> {
+        let kills = value.kills();
+        let mut out = Vec::new();
+        if kills.is_empty() {
+            return out;
+        }
+        if kills.len() > 1 {
+            out.push(LifecyclePlan {
+                kills: kills[..kills.len() / 2].to_vec(),
+            });
+        }
+        for i in 0..kills.len() {
+            let mut kept = kills.to_vec();
+            kept.remove(i);
+            out.push(LifecyclePlan { kills: kept });
+        }
+        // Simplify torn kills to clean ones before giving up.
+        for i in 0..kills.len() {
+            if kills[i].torn_tail_bytes > 0 {
+                let mut cleaned = kills.to_vec();
+                cleaned[i].torn_tail_bytes = 0;
+                out.push(LifecyclePlan { kills: cleaned });
+            }
+        }
+        out
+    }
+}
+
 /// Generator of [`FaultPlan`]s for `prop!` bodies; shrinking drops events,
 /// so a failing chaos case minimises to the smallest fault set that still
 /// breaks the property.
@@ -468,6 +653,53 @@ mod tests {
         });
         assert!(plan.has_kind(&FaultKind::Partial { max_bytes: 999 }));
         assert!(!plan.has_kind(&FaultKind::Disconnect));
+    }
+
+    #[test]
+    fn lifecycle_plan_fires_kills_in_record_order() {
+        let mut plan = LifecyclePlan::new();
+        plan.push(KillRestart {
+            at_record: 30,
+            torn_tail_bytes: 7,
+        });
+        plan.push(KillRestart {
+            at_record: 10,
+            torn_tail_bytes: 0,
+        });
+        assert_eq!(plan.kills()[0].at_record, 10, "sorted on push");
+        let mut d = plan.driver();
+        assert_eq!(d.advance(9), None);
+        let k = d.advance(1).unwrap();
+        assert_eq!(k.at_record, 10);
+        // Both offsets inside one large batch: each advance fires at most
+        // one kill, in order.
+        let k = d.advance(100).unwrap();
+        assert_eq!(k.at_record, 30);
+        assert_eq!(k.torn_tail_bytes, 7);
+        assert!(d.exhausted());
+        assert_eq!(d.advance(100), None);
+        assert_eq!(d.position(), 210);
+    }
+
+    #[test]
+    fn lifecycle_generation_is_deterministic_and_shrinks_simpler() {
+        let cfg = LifecyclePlanConfig::default();
+        let a = LifecyclePlan::generate(11, &cfg);
+        let b = LifecyclePlan::generate(11, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.kills);
+        let gen = lifecycle_plans(cfg);
+        for candidate in gen.shrink(&a) {
+            let fewer = candidate.len() < a.len();
+            let cleaner = candidate.len() == a.len()
+                && candidate
+                    .kills()
+                    .iter()
+                    .zip(a.kills())
+                    .all(|(c, o)| c.torn_tail_bytes <= o.torn_tail_bytes);
+            assert!(fewer || cleaner, "shrink must simplify: {candidate:?}");
+        }
+        assert!(gen.shrink(&LifecyclePlan::new()).is_empty());
     }
 
     #[test]

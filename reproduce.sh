@@ -91,6 +91,57 @@ if [[ "${1:-}" == "ci" ]]; then
     cargo bench --offline -p ddn-bench --bench stream_ingest
   test -s "$bench_dir/BENCH_stream.json"
   grep -q '"floor_records_per_sec"' "$bench_dir/BENCH_stream.json"
+  echo "== ci: crash-resume smoke (kill -9, restart, identical estimate) =="
+  # The durability contract at the user-facing surface (DESIGN.md §12):
+  # stream a trace into a WAL-backed server, query the estimate, kill the
+  # process with SIGKILL (no graceful shutdown, no final snapshot),
+  # restart on the same data dir, and require `ddn query` to render the
+  # recovered session *identically* — same estimate bits, same record
+  # count, with no re-initialization.
+  data_dir="$(mktemp -d -t ddn-serve-data-XXXXXX)"
+  trap 'rm -f "$telemetry_file" "$serve_trace" "$port_file"; rm -rf "$bench_dir" "$data_dir"' EXIT
+  : > "$port_file"
+  ./target/release/ddn serve --port-file "$port_file" \
+    --data-dir "$data_dir" --snapshot-every 32 &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.05
+  done
+  test -s "$port_file" || { echo "FAIL: durable server never wrote its port" >&2; exit 1; }
+  addr="$(cat "$port_file")"
+  ./target/release/ddn replay-to "$serve_trace" \
+    --addr "$addr" --decision cdn1/br2 --estimator ips > /dev/null
+  before_query="$(./target/release/ddn query --addr "$addr" --session replay)"
+  printf '%s\n' "$before_query" | grep -q 'session: replay (300 records)'
+  kill -9 "$serve_pid"
+  wait "$serve_pid" 2>/dev/null || true
+  : > "$port_file"
+  ./target/release/ddn serve --port-file "$port_file" \
+    --data-dir "$data_dir" --snapshot-every 32 &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.05
+  done
+  test -s "$port_file" || { echo "FAIL: restarted server never wrote its port" >&2; exit 1; }
+  addr="$(cat "$port_file")"
+  after_query="$(./target/release/ddn query --addr "$addr" --session replay --shutdown)"
+  wait "$serve_pid"
+  after_sans_shutdown="$(printf '%s\n' "$after_query" | grep -v '^server shutdown')"
+  if [[ "$before_query" != "$after_sans_shutdown" ]]; then
+    echo "FAIL: estimate after kill -9 + restart differs from before" >&2
+    diff <(printf '%s\n' "$before_query") <(printf '%s\n' "$after_sans_shutdown") >&2 || true
+    exit 1
+  fi
+  # Tiny WAL bench smoke: the durability-overhead harness end-to-end,
+  # checking the pinned WAL-on floor key (ratios are pinned by full runs).
+  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_WAL_RUNS=2000 \
+  DDN_BENCH_DIR="$bench_dir" \
+    cargo bench --offline -p ddn-bench --bench wal
+  test -s "$bench_dir/BENCH_wal.json"
+  grep -q '"floor_records_per_sec"' "$bench_dir/BENCH_wal.json"
+  grep -q '"wal_on_records_per_sec"' "$bench_dir/BENCH_wal.json"
   echo "== ci: chaos smoke (fault injection, exactly-once, retry/dedup) =="
   # A fixed-seed fault plan (disconnects guaranteed by construction)
   # against an in-process server: the command exits non-zero unless every
@@ -106,7 +157,7 @@ if [[ "${1:-}" == "ci" ]]; then
     cargo bench --offline -p ddn-bench --bench soak
   test -s "$bench_dir/BENCH_soak.json"
   grep -q '"records_per_sec"' "$bench_dir/BENCH_soak.json"
-  echo "ci ok: built, tested, telemetry-smoked, batch-equivalence-checked, serve-smoked, and chaos-smoked with zero external dependencies"
+  echo "ci ok: built, tested, telemetry-smoked, batch-equivalence-checked, serve-smoked, crash-resume-smoked, and chaos-smoked with zero external dependencies"
   exit 0
 fi
 

@@ -91,6 +91,20 @@ fn thread_count() -> Option<usize> {
     }
 }
 
+/// Number of open file descriptors in this process (Linux); `None`
+/// elsewhere. The durable rounds hold WAL and snapshot handles — a
+/// shutdown that forgot to drop them shows up here.
+fn fd_count() -> Option<usize> {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::read_dir("/proc/self/fd").ok().map(|d| d.count())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 /// One faulted round: a server, a faulted client, `n` records streamed
 /// in batches, parity against the offline estimator, clean shutdown.
 fn chaos_round(seed: u64, n: usize) -> (u64, u64, u64) {
@@ -175,12 +189,76 @@ fn degraded_round(seed: u64) {
     handle.shutdown();
 }
 
+/// One durable round: a WAL-backed server is killed and restarted on the
+/// same data directory mid-stream; every handle it held (WAL file,
+/// snapshot temp files, sockets) must be gone when the round ends.
+fn durable_round(seed: u64) {
+    let dir = std::env::temp_dir().join(format!(
+        "ddn-soak-durable-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        shards: 2,
+        data_dir: Some(dir.clone()),
+        snapshot_every: 8,
+        ..ServeConfig::default()
+    };
+    let handle = serve(&config).expect("bind durable");
+    // The client survives the restart (its per-session sequence numbers
+    // must continue where the recovered server expects them), so its
+    // connector re-reads the address of whichever incarnation is live.
+    let addr = std::sync::Arc::new(std::sync::Mutex::new(
+        handle.local_addr().to_string(),
+    ));
+    let connector_addr = std::sync::Arc::clone(&addr);
+    let mut client = ServeClient::from_connector(
+        Box::new(move || {
+            let a = connector_addr.lock().unwrap().clone();
+            Ok(Box::new(TcpTransport::connect(&a)?) as Box<dyn Transport>)
+        }),
+        ClientConfig {
+            read_timeout: Duration::from_secs(5),
+            max_retries: 6,
+            backoff_base: Duration::from_millis(1),
+        },
+    )
+    .unwrap();
+    client
+        .init("durable", &schema(), &space(), &["ips"], "b", 0.0, None)
+        .unwrap();
+    let recs = records(200, seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let (first, rest) = recs.split_at(100);
+    for chunk in first.chunks(25) {
+        client.ingest("durable", chunk).unwrap();
+    }
+    handle.shutdown();
+
+    let handle = serve(&config).expect("rebind durable");
+    *addr.lock().unwrap() = handle.local_addr().to_string();
+    for chunk in rest.chunks(25) {
+        client.ingest("durable", chunk).unwrap();
+    }
+    let est = client.estimate("durable").unwrap();
+    assert_eq!(est.get("n").and_then(Json::as_i64), Some(recs.len() as i64));
+    assert_eq!(
+        online_ips(&est).to_bits(),
+        offline_ips(&recs).to_bits(),
+        "seed {seed}: estimate diverged across the durable restart"
+    );
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn soak_many_faulted_rounds_leak_no_threads_and_lose_no_records() {
     // Warm up once so lazily-spawned runtime threads (if any) exist
     // before the baseline is taken.
     chaos_round(0, 256);
+    durable_round(0);
     let baseline = thread_count();
+    let fd_baseline = fd_count();
 
     let mut total_retries = 0u64;
     let mut total_replays = 0u64;
@@ -189,6 +267,7 @@ fn soak_many_faulted_rounds_leak_no_threads_and_lose_no_records() {
         total_retries += retries;
         total_replays += replays;
         degraded_round(seed);
+        durable_round(seed);
     }
 
     // The fault plans are drawn over the full byte stream of each round,
@@ -206,6 +285,13 @@ fn soak_many_faulted_rounds_leak_no_threads_and_lose_no_records() {
         assert_eq!(
             before, after,
             "thread leak: {before} OS threads before the soak, {after} after"
+        );
+    }
+    if let (Some(before), Some(after)) = (fd_baseline, fd_count()) {
+        assert_eq!(
+            before, after,
+            "fd leak: {before} open descriptors before the soak, {after} after \
+             (unclosed WAL handles or sockets)"
         );
     }
 }

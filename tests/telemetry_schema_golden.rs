@@ -200,6 +200,12 @@ const GOLDEN_SERVE_COUNTERS: &[&str] = &[
     "serve.fault.worker_restarts",
     "serve.ingest.records",
     "serve.queue.depth",
+    "serve.recover.frames_replayed",
+    "serve.recover.sessions",
+    "serve.recover.truncated_frames",
+    "serve.snapshot.writes",
+    "serve.wal.bytes",
+    "serve.wal.frames",
 ];
 
 /// Pinned counter key set of the client-side retry telemetry (sorted).
