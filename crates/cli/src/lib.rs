@@ -122,11 +122,15 @@ USAGE:
                                           i.e. one written by selftest)
   ddn serve    [--addr 127.0.0.1:0] [--shards 4] [--queue 256]
                [--port-file <path>] [--data-dir <dir>] [--snapshot-every 256]
+               [--failpoint <marker>]
   ddn replay-to <trace.jsonl> --addr <host:port> --decision <name>
                [--estimator ips|snips|clipped|dm|dr] [--session replay]
                [--batch 256] [--model-value 0] [--window <n>] [--shutdown]
   ddn query    --addr <host:port> --session <name>
                [--estimator <name>] [--shutdown]
+  ddn top      --addr <host:port> [--once] [--json] [--flight]
+               [--interval-ms 1000] [--count <n>] [--shutdown]
+  ddn flight   <flightrec.jsonl>
   ddn chaos    [--seed 7] [--faults 0.01] [--duration-records 20000]
                [--batch 256] [--shards 4]
 
@@ -157,10 +161,23 @@ mid-line disconnects, error returns — at least one disconnect always
 fires), and exits non-zero unless every acknowledged record was counted
 exactly once and the streamed estimate is bit-identical to the offline
 estimator. --faults is the per-record fault rate.
+
+top polls a running server's stats verb (DESIGN.md §13) and renders a
+per-verb, per-shard table: request counts, rates since the previous
+poll, and p50/p99 queue-wait and handler latencies derived from the
+served histogram buckets. --once polls a single time; --json prints the
+raw stats response instead of the table (scripting mode); --flight also
+asks for every shard's flight-recorder ring (rewriting the on-disk
+dumps when the server has a --data-dir). flight validates a
+flightrec-<shard>.jsonl dump — every line parses, event indices are
+consecutive — and summarizes it. serve --failpoint <marker> arms the
+test-only panic failpoint: an ingest whose session contains the marker
+panics its shard worker, which quarantines the session and dumps that
+shard's flight recorder.
 ";
 
 /// Flags that stand alone (no value follows them).
-const BOOL_FLAGS: &[&str] = &["no-batch", "shutdown"];
+const BOOL_FLAGS: &[&str] = &["no-batch", "shutdown", "once", "json", "flight"];
 
 /// Parsed flag set (very small; hand-rolled on purpose — no CLI deps).
 struct Flags {
@@ -282,6 +299,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "serve" => cmd_serve(rest),
         "replay-to" => cmd_replay_to(rest),
         "query" => cmd_query(rest),
+        "top" => cmd_top(rest),
+        "flight" => cmd_flight(rest),
         "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
@@ -820,6 +839,11 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     if let Some(dir) = flags.get("data-dir") {
         config.data_dir = Some(std::path::PathBuf::from(dir));
     }
+    if let Some(marker) = flags.get("failpoint") {
+        // Test-only: arms the deterministic worker-panic path so the
+        // flight-recorder dump flow can be exercised end to end.
+        config.failpoint = Some(marker.to_string());
+    }
     if let Some(every) = flags.get("snapshot-every") {
         if config.data_dir.is_none() {
             return Err(CliError::Usage(
@@ -1040,6 +1064,319 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Renders a nanosecond quantity at human scale.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The `(le, count)` pairs of a served histogram snapshot
+/// (`{"count":..,"sum":..,"buckets":[{"le":..,"count":..},..]}`).
+fn le_buckets(hist: &Json) -> Vec<(u64, u64)> {
+    hist.get("buckets")
+        .and_then(Json::as_array)
+        .map(|buckets| {
+            buckets
+                .iter()
+                .filter_map(|b| {
+                    Some((
+                        b.get("le").and_then(Json::as_u64)?,
+                        b.get("count").and_then(Json::as_u64)?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// One row of the `ddn top` table: a verb on one shard (or handled on
+/// the connection thread, shard `conn`).
+struct TopRow {
+    verb: String,
+    shard: String,
+    count: u64,
+    queue: Vec<(u64, u64)>,
+    handle: Vec<(u64, u64)>,
+}
+
+/// Extracts table rows from a `stats` snapshot by walking the
+/// `serve.req.<verb>.handle_ns[.s<shard>]` histogram names.
+fn top_rows(snap: &Json) -> Vec<TopRow> {
+    let Some(histograms) = snap.get("histograms").and_then(Json::as_object) else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for (name, hist) in histograms {
+        let Some(rest) = name.strip_prefix("serve.req.") else {
+            continue;
+        };
+        let Some((verb, kind)) = rest.split_once('.') else {
+            continue;
+        };
+        let (kind, shard) = match kind.split_once('.') {
+            Some((k, s)) => (k, s.to_string()),
+            None => (kind, "conn".to_string()),
+        };
+        if kind != "handle_ns" {
+            continue;
+        }
+        let queue_name = format!("serve.req.{verb}.queue_ns.{shard}");
+        let queue = histograms
+            .iter()
+            .find(|(n, _)| *n == queue_name)
+            .map(|(_, h)| le_buckets(h))
+            .unwrap_or_default();
+        rows.push(TopRow {
+            verb: verb.to_string(),
+            shard,
+            count: hist.get("count").and_then(Json::as_u64).unwrap_or(0),
+            queue,
+            handle: le_buckets(hist),
+        });
+    }
+    rows.sort_by(|a, b| (&a.verb, &a.shard).cmp(&(&b.verb, &b.shard)));
+    rows
+}
+
+/// Renders one `ddn top` frame from a `stats` snapshot. `prev` is the
+/// previous poll's per-row counts plus the seconds since it, for the
+/// rate column. Returns the rendered table and this poll's counts.
+fn render_top_table(
+    snap: &Json,
+    prev: Option<(&std::collections::HashMap<(String, String), u64>, f64)>,
+) -> (String, std::collections::HashMap<(String, String), u64>) {
+    let rows = top_rows(snap);
+    let mut out = format!(
+        "{:<10} {:>6} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+        "verb", "shard", "reqs", "rate/s", "p50 queue", "p99 queue", "p50 handle", "p99 handle"
+    );
+    let mut counts = std::collections::HashMap::new();
+    let quant = |buckets: &[(u64, u64)], q: f64| -> String {
+        if buckets.is_empty() {
+            "-".to_string()
+        } else {
+            fmt_ns(ddn_telemetry::quantile_from_le_buckets(buckets, q))
+        }
+    };
+    for row in &rows {
+        let key = (row.verb.clone(), row.shard.clone());
+        let rate = match prev {
+            Some((before, dt)) if dt > 0.0 => {
+                let was = before.get(&key).copied().unwrap_or(0);
+                format!("{:.1}", row.count.saturating_sub(was) as f64 / dt)
+            }
+            _ => "-".to_string(),
+        };
+        counts.insert(key, row.count);
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            row.verb,
+            row.shard,
+            row.count,
+            rate,
+            quant(&row.queue, 0.50),
+            quant(&row.queue, 0.99),
+            quant(&row.handle, 0.50),
+            quant(&row.handle, 0.99),
+        ));
+    }
+    let gauge = |name: &str| {
+        snap.get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let gauge_sum = |prefix: &str| {
+        snap.get("gauges")
+            .and_then(Json::as_object)
+            .map(|gs| {
+                gs.iter()
+                    .filter(|(n, _)| n.starts_with(prefix))
+                    .filter_map(|(_, v)| v.as_f64())
+                    .sum::<f64>()
+            })
+            .unwrap_or(0.0)
+    };
+    let counter = |name: &str| {
+        snap.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    out.push_str(&format!(
+        "conns {:.0} | queued {:.0} | live sessions {:.0} | wal lag {:.0} frames\n",
+        gauge("serve.conn.active"),
+        gauge("serve.queue.depth"),
+        gauge_sum("serve.sessions.live."),
+        gauge_sum("serve.wal.lag_frames."),
+    ));
+    out.push_str(&format!(
+        "ingested {} records | {} stalls | {} dedup replays | {} worker restarts\n",
+        counter("serve.ingest.records"),
+        counter("serve.backpressure.stalls"),
+        counter("serve.dedup.replays"),
+        counter("serve.fault.worker_restarts"),
+    ));
+    (out, counts)
+}
+
+fn cmd_top(args: &[String]) -> Result<String, CliError> {
+    use std::time::{Duration, Instant};
+
+    let flags = Flags::parse(args)?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "top takes no positional arguments\n\n{USAGE}"
+        )));
+    }
+    let addr = flags
+        .get("addr")
+        .ok_or_else(|| CliError::Usage(format!("top needs --addr <host:port>\n\n{USAGE}")))?;
+    let json = flags.has("json");
+    let flight = flags.has("flight");
+    let interval_ms: u64 = flags
+        .get("interval-ms")
+        .unwrap_or("1000")
+        .parse()
+        .ok()
+        .filter(|&ms: &u64| ms > 0)
+        .ok_or_else(|| CliError::Usage("interval-ms must be a positive integer".into()))?;
+    let count: u64 = if flags.has("once") {
+        1
+    } else {
+        match flags.get("count") {
+            None => u64::MAX, // poll until the process is interrupted
+            Some(c) => c
+                .parse()
+                .ok()
+                .filter(|&n: &u64| n > 0)
+                .ok_or_else(|| CliError::Usage("count must be a positive integer".into()))?,
+        }
+    };
+
+    let serve_err = |e: ddn_serve::ClientError| CliError::Serve(e.to_string());
+    let mut client = ddn_serve::ServeClient::connect(addr).map_err(serve_err)?;
+    let mut out = String::new();
+    let mut prev: Option<(std::collections::HashMap<(String, String), u64>, Instant)> = None;
+    let mut polled = 0u64;
+    while polled < count {
+        if polled > 0 {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+        let resp = client.server_stats(flight).map_err(serve_err)?;
+        let now = Instant::now();
+        let rendered = if json {
+            format!("{}\n", resp.to_string())
+        } else {
+            let snap = resp.get("stats").ok_or_else(|| {
+                CliError::Serve(format!("stats response lacks \"stats\": {resp}"))
+            })?;
+            let last = prev.take();
+            let (table, counts) = render_top_table(
+                snap,
+                last.as_ref()
+                    .map(|(c, t)| (c, now.duration_since(*t).as_secs_f64())),
+            );
+            prev = Some((counts, now));
+            format!("ddn top — {addr} — poll {}\n{table}", polled + 1)
+        };
+        polled += 1;
+        if count == 1 {
+            // Single poll: the frame IS the command output (scripting).
+            out.push_str(&rendered);
+        } else {
+            // Live mode streams frames as they happen.
+            print!("{rendered}");
+        }
+    }
+    if flags.has("shutdown") {
+        client.shutdown().map_err(serve_err)?;
+        out.push_str("server shutdown requested\n");
+    }
+    if count > 1 {
+        out.push_str(&format!("polled {polled} times\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_flight(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "flight needs exactly one dump path\n\n{USAGE}"
+        )));
+    };
+    fn bump(list: &mut Vec<(String, u64)>, key: &str) {
+        if let Some((_, c)) = list.iter_mut().find(|(k, _)| k == key) {
+            *c += 1;
+        } else {
+            list.push((key.to_string(), 1));
+        }
+    }
+    let text = std::fs::read_to_string(path)?;
+    let mut events = 0u64;
+    let mut first_n = 0u64;
+    let mut expected: Option<u64> = None;
+    let mut verbs: Vec<(String, u64)> = Vec::new();
+    let mut outcomes: Vec<(String, u64)> = Vec::new();
+    let mut last: Option<Json> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Json::parse(line).map_err(|e| {
+            CliError::Serve(format!("{path}:{}: bad flight event: {e}", lineno + 1))
+        })?;
+        let n = event.get("n").and_then(Json::as_u64).ok_or_else(|| {
+            CliError::Serve(format!("{path}:{}: event lacks \"n\"", lineno + 1))
+        })?;
+        match expected {
+            // The ring never skips an index, so a gap in a dump means
+            // the file was corrupted or hand-edited.
+            Some(want) if n != want => {
+                return Err(CliError::Serve(format!(
+                    "{path}:{}: event index jumped to {n}, expected {want}",
+                    lineno + 1
+                )));
+            }
+            Some(_) => {}
+            None => first_n = n,
+        }
+        expected = Some(n + 1);
+        bump(&mut verbs, event.get("verb").and_then(Json::as_str).unwrap_or("?"));
+        bump(
+            &mut outcomes,
+            event.get("outcome").and_then(Json::as_str).unwrap_or("?"),
+        );
+        events += 1;
+        last = Some(event);
+    }
+    let Some(last) = last else {
+        return Err(CliError::Serve(format!("{path}: empty flight dump")));
+    };
+    let mut out = format!(
+        "flight dump {path}: {events} events, indices {first_n}..={} (consecutive)\n",
+        expected.expect("events > 0") - 1
+    );
+    let tally = |list: &[(String, u64)]| {
+        list.iter()
+            .map(|(k, c)| format!("{k} {c}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    out.push_str(&format!("verbs: {}\n", tally(&verbs)));
+    out.push_str(&format!("outcomes: {}\n", tally(&outcomes)));
+    out.push_str(&format!("last event: {last}\n"));
+    Ok(out)
+}
+
 fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
     use ddn_testkit::{Dir, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
     use ddn_trace::{Context, ContextSchema, Decision, DecisionSpace, TraceRecord};
@@ -1202,6 +1539,46 @@ fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
         )));
     }
 
+    // Observability invariant: the stats verb must agree with the
+    // counters it mirrors — per verb, the handler-histogram totals equal
+    // the request counter, however many retries the fault plan forced
+    // (each delivered attempt records both together).
+    let stats_resp = client.server_stats(false).map_err(serve_err)?;
+    let snap = stats_resp
+        .get("stats")
+        .ok_or_else(|| CliError::Serve(format!("stats verb returned no snapshot: {stats_resp}")))?;
+    let counters = snap
+        .get("counters")
+        .and_then(Json::as_object)
+        .unwrap_or_default();
+    let histograms = snap
+        .get("histograms")
+        .and_then(Json::as_object)
+        .unwrap_or_default();
+    let mut verbs_checked = 0usize;
+    for (name, value) in counters {
+        let Some(verb) = name.strip_prefix("serve.req.") else {
+            continue;
+        };
+        if verb.contains('.') {
+            continue;
+        }
+        let want = value.as_u64().unwrap_or(0);
+        let conn_name = format!("serve.req.{verb}.handle_ns");
+        let shard_prefix = format!("{conn_name}.s");
+        let total: u64 = histograms
+            .iter()
+            .filter(|(h, _)| *h == conn_name || h.starts_with(&shard_prefix))
+            .filter_map(|(_, j)| j.get("count").and_then(Json::as_u64))
+            .sum();
+        if total != want {
+            return Err(CliError::Serve(format!(
+                "stats invariant violated for verb {verb:?}: counter {want} != histogram total {total}"
+            )));
+        }
+        verbs_checked += 1;
+    }
+
     let injected = state.injected();
     let stats = client.stats();
     let rps = n_records as f64 / elapsed.as_secs_f64().max(1e-9);
@@ -1227,6 +1604,16 @@ fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
         "server: {} dedup replays, {} worker restarts\n",
         handle.stats().dedup_replays(),
         handle.stats().fault_worker_restarts(),
+    ));
+    let latency = stats.latency();
+    out.push_str(&format!(
+        "latency: p50 {} | p99 {} over {} delivered responses\n",
+        fmt_ns(latency.quantile(0.50)),
+        fmt_ns(latency.quantile(0.99)),
+        latency.total(),
+    ));
+    out.push_str(&format!(
+        "stats invariant: ok ({verbs_checked} verbs, histogram totals == counters)\n"
     ));
     out.push_str(&format!(
         "exactly-once: ok ({counted} records counted once)\nestimate parity: ok (online == offline, bit-identical)\n"
@@ -1590,6 +1977,18 @@ mod tests {
         assert!(out.contains("estimate parity: ok"), "{out}");
         assert!(out.contains("disconnect"), "{out}");
         assert!(out.contains("records/sec"), "{out}");
+        // The observability plane is checked on every run: per-verb
+        // histogram totals must equal the request counters, and the
+        // client-side latency histogram must have seen every delivered
+        // response.
+        // All six verbs are registered eagerly at serve() time, so the
+        // count is stable whatever traffic the plan produced.
+        assert!(
+            out.contains("stats invariant: ok (6 verbs"),
+            "{out}"
+        );
+        let lat = out.lines().find(|l| l.starts_with("latency:")).unwrap();
+        assert!(lat.contains("p50") && lat.contains("p99"), "{lat}");
         // At least one disconnect is guaranteed by construction.
         let faults_line = out.lines().find(|l| l.starts_with("faults injected:")).unwrap();
         assert!(!faults_line.contains("0 disconnect"), "{faults_line}");
@@ -1647,6 +2046,106 @@ mod tests {
         assert!(matches!(e, CliError::Serve(_)), "{e:?}");
         assert_eq!(e.exit_code(), 1);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn top_usage_errors() {
+        assert!(matches!(run(&args(&["top"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["top", "positional", "--addr", "127.0.0.1:1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["top", "--addr", "127.0.0.1:1", "--interval-ms", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["top", "--addr", "127.0.0.1:1", "--count", "zero"])),
+            Err(CliError::Usage(_))
+        ));
+        // A dead address with valid flags is a serve error, not usage.
+        let e = run(&args(&["top", "--addr", "127.0.0.1:1", "--once"])).unwrap_err();
+        assert!(matches!(e, CliError::Serve(_)), "{e:?}");
+    }
+
+    #[test]
+    fn top_renders_a_live_server_and_json_is_greppable() {
+        let handle = ddn_serve::serve(&ddn_serve::ServeConfig::default()).unwrap();
+        let addr = handle.local_addr().to_string();
+
+        let out = run(&args(&["top", "--addr", &addr, "--once"])).unwrap();
+        assert!(out.contains("verb"), "{out}");
+        assert!(out.contains("p99 handle"), "{out}");
+        assert!(out.contains("live sessions"), "{out}");
+        // Every shard verb appears even before any traffic: metric names
+        // are registered at serve() time, so the key set is stable.
+        for verb in ["init", "ingest", "estimate"] {
+            assert!(out.contains(verb), "missing {verb} row in {out}");
+        }
+
+        let json = run(&args(&["top", "--addr", &addr, "--once", "--json"])).unwrap();
+        assert!(json.contains("\"serve.req.ingest\":0"), "{json}");
+        assert!(json.contains("\"serve.conn.active\""), "{json}");
+        // The previous --once poll recorded its own stats request.
+        assert!(json.contains("\"serve.req.stats\":1"), "{json}");
+
+        // --flight inlines the per-shard ring (empty here: no traffic).
+        let flight = run(&args(&["top", "--addr", &addr, "--once", "--json", "--flight"]))
+            .unwrap();
+        assert!(flight.contains("\"flight\":{\"shard-0\":["), "{flight}");
+
+        let bye = run(&args(&["top", "--addr", &addr, "--once", "--shutdown"])).unwrap();
+        assert!(bye.contains("server shutdown requested"), "{bye}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn flight_validates_dumps_and_rejects_gaps() {
+        let dir = std::env::temp_dir().join("ddn-cli-flight-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let line = |n: u64, outcome: &str| {
+            format!(
+                "{{\"n\":{n},\"verb\":\"ingest\",\"session\":\"s\",\"seq\":{n},\"records\":8,\"outcome\":\"{outcome}\",\"dur_ns\":100}}"
+            )
+        };
+
+        let good = dir.join("good.jsonl");
+        std::fs::write(
+            &good,
+            format!("{}\n{}\n{}\n", line(3, "ok"), line(4, "ok"), line(5, "panic")),
+        )
+        .unwrap();
+        let out = run(&args(&["flight", good.to_str().unwrap()])).unwrap();
+        assert!(out.contains("3 events, indices 3..=5 (consecutive)"), "{out}");
+        assert!(out.contains("ok 2"), "{out}");
+        assert!(out.contains("panic 1"), "{out}");
+        assert!(out.contains("last event"), "{out}");
+
+        let gap = dir.join("gap.jsonl");
+        std::fs::write(&gap, format!("{}\n{}\n", line(3, "ok"), line(5, "ok"))).unwrap();
+        let e = run(&args(&["flight", gap.to_str().unwrap()])).unwrap_err();
+        assert!(format!("{e}").contains("jumped to 5, expected 4"), "{e}");
+
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        let e = run(&args(&["flight", bad.to_str().unwrap()])).unwrap_err();
+        assert!(format!("{e}").contains("bad flight event"), "{e}");
+
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let e = run(&args(&["flight", empty.to_str().unwrap()])).unwrap_err();
+        assert!(format!("{e}").contains("empty flight dump"), "{e}");
+
+        assert!(matches!(run(&args(&["flight"])), Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fmt_ns_picks_human_scales() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.50s");
     }
 
     #[test]

@@ -11,13 +11,14 @@
 //! twice. The net contract: an acknowledged batch was ingested exactly
 //! once, no matter how many wire-level attempts it took (DESIGN.md §11).
 
-use crate::protocol::DEFAULT_MAX_WEIGHT;
+use crate::protocol::{attach_id, request_id, DEFAULT_MAX_WEIGHT};
 use crate::transport::{IoStream, TcpTransport, Transport};
 use ddn_stats::Json;
-use ddn_telemetry::Collector;
+use ddn_telemetry::{Collector, Histogram};
 use ddn_trace::{ContextSchema, DecisionSpace, TraceRecord};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Client-side errors.
@@ -92,13 +93,19 @@ impl Default for ClientConfig {
 const READ_POLL: Duration = Duration::from_millis(50);
 
 /// Counters describing the client's fight with the transport, surfaced
-/// as `serve.retry.*` telemetry.
-#[derive(Debug, Default, Clone, Copy)]
+/// as `serve.retry.*` telemetry, plus a client-observed request-latency
+/// histogram.
+///
+/// Cloning snapshots the counters but *shares* the latency histogram
+/// (it is behind an `Arc`), so a clone taken before a run still sees
+/// latencies recorded during it.
+#[derive(Debug, Default, Clone)]
 pub struct ClientStats {
     retry_attempts: u64,
     reconnects: u64,
     timeouts: u64,
     giveups: u64,
+    latency: Arc<Histogram>,
 }
 
 impl ClientStats {
@@ -120,6 +127,16 @@ impl ClientStats {
     /// Requests abandoned after exhausting every retry.
     pub fn giveups(&self) -> u64 {
         self.giveups
+    }
+
+    /// Client-observed request latency in nanoseconds, measured from the
+    /// moment [`ServeClient::request`] stamps the request id to the
+    /// moment a verdict arrives — retries and backoff sleeps included,
+    /// because that is the latency the caller actually waited. Only
+    /// delivered verdicts (ok or a server error) are recorded; transport
+    /// give-ups are not latencies, they are failures.
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
     }
 
     /// The counters as a telemetry collector.
@@ -144,6 +161,9 @@ pub struct ServeClient {
     stats: ClientStats,
     /// Next ingest sequence number per session.
     seqs: HashMap<String, u64>,
+    /// Next request id; one id per logical request, shared by all of its
+    /// wire-level retry attempts.
+    next_id: u64,
     ever_connected: bool,
 }
 
@@ -172,15 +192,17 @@ impl ServeClient {
             config,
             stats: ClientStats::default(),
             seqs: HashMap::new(),
+            next_id: 0,
             ever_connected: false,
         };
         client.ensure_conn()?;
         Ok(client)
     }
 
-    /// The client's retry/reconnect/timeout counters.
+    /// The client's retry/reconnect/timeout counters and latency
+    /// histogram (see [`ClientStats`] for the clone semantics).
     pub fn stats(&self) -> ClientStats {
-        self.stats
+        self.stats.clone()
     }
 
     fn ensure_conn(&mut self) -> Result<(), ClientError> {
@@ -200,8 +222,12 @@ impl ServeClient {
 
     /// One wire-level attempt: write the request line, read the response
     /// line against the deadline. Any failure drops the connection so the
-    /// next attempt re-dials.
-    fn try_once(&mut self, req: &Json) -> Result<Json, ClientError> {
+    /// next attempt re-dials. `id` is the request id the response must
+    /// echo (`None` for the degenerate non-object requests that cannot
+    /// carry one); a mismatch is a (retryable) protocol error, because a
+    /// response that answers some other request proves the connection's
+    /// framing can no longer be trusted.
+    fn try_once(&mut self, req: &Json, id: Option<&Json>) -> Result<Json, ClientError> {
         self.ensure_conn()?;
         let deadline = Instant::now() + self.config.read_timeout;
         let (writer, reader) = self.conn.as_mut().expect("ensure_conn succeeded");
@@ -240,6 +266,14 @@ impl ServeClient {
         }
         let resp = Json::parse(line.trim())
             .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        if resp.get("id") != id {
+            self.conn = None;
+            return Err(ClientError::Protocol(format!(
+                "response id mismatch: sent {}, got {}",
+                id.map_or("none".to_string(), Json::to_string),
+                resp.get("id").map_or("none".to_string(), Json::to_string),
+            )));
+        }
         match resp.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(resp),
             Some(false) => Err(ClientError::Server(
@@ -261,11 +295,35 @@ impl ServeClient {
     /// idempotent on the server: `init` replaces, `estimate`/`health`
     /// read, `shutdown` latches, and `ingest` carries a sequence number
     /// the server deduplicates on.
+    ///
+    /// Every request is stamped with a monotonically increasing `"id"`
+    /// (unless the caller already supplied one) that all retry attempts
+    /// share; the response must echo it or the attempt fails with a
+    /// retryable protocol error. Delivered verdicts — ok or a server
+    /// error — record into the [`ClientStats::latency`] histogram.
     pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        let req = if matches!(req, Json::Object(_)) && request_id(req).is_none() {
+            let id = Json::Int(self.next_id as i64);
+            self.next_id += 1;
+            attach_id(req.clone(), Some(id))
+        } else {
+            // The caller supplied an id (kept), or the request is not an
+            // object and cannot carry one.
+            req.clone()
+        };
+        let id = request_id(&req);
+        let started = Instant::now();
+        let record = |stats: &mut ClientStats| {
+            let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            stats.latency.record(ns);
+        };
         let mut attempt: u32 = 0;
         loop {
-            match self.try_once(req) {
-                Ok(resp) => return Ok(resp),
+            match self.try_once(&req, id.as_ref()) {
+                Ok(resp) => {
+                    record(&mut self.stats);
+                    return Ok(resp);
+                }
                 Err(e) if e.is_retryable() && attempt < self.config.max_retries => {
                     self.conn = None;
                     self.stats.retry_attempts += 1;
@@ -276,6 +334,10 @@ impl ServeClient {
                 Err(e) => {
                     if e.is_retryable() {
                         self.stats.giveups += 1;
+                    } else {
+                        // A server verdict was delivered; that is a
+                        // completed request from a latency standpoint.
+                        record(&mut self.stats);
                     }
                     return Err(e);
                 }
@@ -365,6 +427,18 @@ impl ServeClient {
     /// Asks for the server-wide telemetry snapshot.
     pub fn health(&mut self) -> Result<Json, ClientError> {
         self.request(&Json::object(vec![("verb", Json::str("health"))]))
+    }
+
+    /// Asks for the server's live metric registry (the `stats` verb).
+    /// With `flight` set the response also carries every shard's
+    /// flight-recorder ring under `"flight"` (and the server rewrites
+    /// the on-disk dumps when durability is configured).
+    pub fn server_stats(&mut self, flight: bool) -> Result<Json, ClientError> {
+        let mut fields = vec![("verb", Json::str("stats"))];
+        if flight {
+            fields.push(("flight", Json::Bool(true)));
+        }
+        self.request(&Json::object(fields))
     }
 
     /// Asks the server to shut down gracefully.

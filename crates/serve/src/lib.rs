@@ -19,6 +19,9 @@
 //!   bounded retry, deterministic backoff, and per-request timeouts.
 //! - [`transport`] — the byte-stream abstraction both endpoints I/O
 //!   through; chaos tests wrap it in a deterministic fault injector.
+//! - [`flightrec`] — the per-shard flight recorder: a bounded ring of
+//!   recent request events dumped on worker panic and served by the
+//!   `stats` verb for causal post-mortems.
 //! - [`wal`] — the per-shard write-ahead log: length-prefixed,
 //!   checksummed frames holding the request lines a shard consumed.
 //! - [`snapshot`] — periodic full-state snapshots and crash-resume:
@@ -26,14 +29,17 @@
 //!
 //! See DESIGN.md §10 for the protocol grammar, backpressure semantics
 //! and the shutdown contract, §11 for the fault model and the
-//! exactly-once ingest contract, and §12 for the durability subsystem
-//! (WAL format, snapshot cadence, recovery invariants, fsync policy).
+//! exactly-once ingest contract, §12 for the durability subsystem
+//! (WAL format, snapshot cadence, recovery invariants, fsync policy),
+//! and §13 for the observability plane (request ids, the `stats` verb,
+//! metric naming, flight recorder, `ddn top`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod engine;
+pub mod flightrec;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
@@ -42,6 +48,7 @@ pub mod wal;
 
 pub use client::{ClientConfig, ClientError, ClientStats, ServeClient};
 pub use engine::{CouplingMonitor, Engine, Session};
+pub use flightrec::{flightrec_path, FlightEvent, FlightRecorder};
 pub use protocol::{InitSpec, PolicySpec, Request};
 pub use server::{serve, ServeConfig, ServerHandle, ServerStats};
 pub use snapshot::{read_snapshot, write_snapshot, RecoverReport, ShardDurability};

@@ -12,14 +12,26 @@
 //! ingest   {"verb":"ingest","session":S,"records":[R,...],"seq":Q?}
 //! estimate {"verb":"estimate","session":S}
 //! health   {"verb":"health"}
+//! stats    {"verb":"stats","flight":B?}
 //! shutdown {"verb":"shutdown"}
 //! ```
+//!
+//! Any request may additionally carry a client-assigned `"id"` (any
+//! JSON value); the server echoes it verbatim as the `"id"` field of
+//! the response — success or error — so clients can correlate
+//! request/response pairs across retries (DESIGN.md §13).
 //!
 //! where `H`/`P`/`R` are the `ddn-trace` JSONL encodings of a context
 //! schema, decision space, and trace record, `D` is a decision name or
 //! index, `V` is an optional constant reward-model value (default 0) for
 //! `dm`/`dr`, `W` an optional clip threshold (default 10) for `clipped`,
 //! and `N` an optional sliding-window capacity (omitted = cumulative).
+//!
+//! `stats` returns a point-in-time snapshot of the server's live metric
+//! [`ddn_telemetry::Registry`] (counters, gauges, log2 histogram
+//! buckets) as deterministic sorted-key JSON; with `"flight":true` it
+//! also returns (and, with durability on, dumps to disk) every shard's
+//! flight-recorder ring. See DESIGN.md §13.
 //!
 //! `Q` is an optional per-session batch sequence number starting at 0.
 //! A sequenced batch is applied atomically and exactly once: replaying
@@ -160,6 +172,14 @@ pub enum Request {
     },
     /// Ask for a server-wide telemetry snapshot.
     Health,
+    /// Ask for the live metric registry (and optionally the flight
+    /// recorder rings).
+    Stats {
+        /// Include every shard's flight-recorder events in the response
+        /// (and dump them to `flightrec-<shard>.jsonl` when durability
+        /// is configured).
+        flight: bool,
+    },
     /// Begin graceful shutdown.
     Shutdown,
 }
@@ -169,14 +189,20 @@ impl Request {
     /// straight into the `"error"` field of the response).
     pub fn parse(line: &str) -> Result<Request, String> {
         let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        Self::from_json(&v)
+    }
+
+    /// Parses an already-decoded request object (the connection layer
+    /// decodes once so it can echo the `"id"` field even on errors).
+    pub fn from_json(v: &Json) -> Result<Request, String> {
         let verb = v
             .get("verb")
             .and_then(Json::as_str)
             .ok_or("missing \"verb\"")?;
         match verb {
-            "init" => Ok(Request::Init(parse_init(&v)?)),
+            "init" => Ok(Request::Init(parse_init(v)?)),
             "ingest" => {
-                let session = required_session(&v)?;
+                let session = required_session(v)?;
                 let records = v
                     .get("records")
                     .and_then(Json::as_array)
@@ -198,13 +224,36 @@ impl Request {
                 })
             }
             "estimate" => Ok(Request::Estimate {
-                session: required_session(&v)?,
+                session: required_session(v)?,
             }),
             "health" => Ok(Request::Health),
+            "stats" => {
+                let flight = match v.get("flight") {
+                    None => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err("\"flight\" must be a boolean".into()),
+                };
+                Ok(Request::Stats { flight })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown verb {other:?}")),
         }
     }
+}
+
+/// The client-assigned request id of a decoded request object, if any.
+/// Ids are opaque: any JSON value is accepted and echoed verbatim.
+pub fn request_id(v: &Json) -> Option<Json> {
+    v.get("id").cloned()
+}
+
+/// Appends the echoed `"id"` field to a response object (no-op without
+/// an id, or on a non-object response).
+pub fn attach_id(mut resp: Json, id: Option<Json>) -> Json {
+    if let (Json::Object(fields), Some(id)) = (&mut resp, id) {
+        fields.push(("id".to_string(), id));
+    }
+    resp
 }
 
 fn required_session(v: &Json) -> Result<String, String> {
@@ -409,6 +458,39 @@ mod tests {
             let e = Request::parse(line).unwrap_err();
             assert!(e.contains(needle), "{line}: {e}");
         }
+    }
+
+    #[test]
+    fn parses_stats_verb() {
+        let Request::Stats { flight } = Request::parse(r#"{"verb":"stats"}"#).unwrap() else {
+            panic!("expected stats");
+        };
+        assert!(!flight);
+        let Request::Stats { flight } =
+            Request::parse(r#"{"verb":"stats","flight":true}"#).unwrap()
+        else {
+            panic!("expected stats");
+        };
+        assert!(flight);
+        let e = Request::parse(r#"{"verb":"stats","flight":1}"#).unwrap_err();
+        assert!(e.contains("flight"), "{e}");
+    }
+
+    #[test]
+    fn request_ids_are_extracted_and_echoed() {
+        let v = Json::parse(r#"{"verb":"health","id":"abc-7"}"#).unwrap();
+        let id = request_id(&v);
+        assert_eq!(id, Some(Json::str("abc-7")));
+        let resp = attach_id(ok_response(vec![]), id);
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("abc-7"));
+        // Errors echo too, and numeric (or any) ids survive verbatim.
+        let v = Json::parse(r#"{"verb":"nope","id":42}"#).unwrap();
+        let resp = attach_id(error_response("unknown verb"), request_id(&v));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(resp.get("id"), Some(&Json::Int(42)));
+        // No id, no field.
+        let resp = attach_id(ok_response(vec![]), None);
+        assert!(resp.get("id").is_none());
     }
 
     #[test]

@@ -57,11 +57,14 @@
 //! server state and no thread has leaked.
 
 use crate::engine::Engine;
-use crate::protocol::{error_response, ingest_request_json, ok_response, InitSpec, Request};
+use crate::flightrec::{flightrec_path, FlightRecorder};
+use crate::protocol::{
+    attach_id, error_response, ingest_request_json, ok_response, request_id, InitSpec, Request,
+};
 use crate::snapshot::{check_meta, RecoverReport, ShardDurability};
 use crate::transport::{IoStream, TcpTransport, Transport};
 use ddn_stats::Json;
-use ddn_telemetry::{Collector, TelemetrySnapshot};
+use ddn_telemetry::{Collector, Counter, Gauge, Histogram, Registry, TelemetrySnapshot};
 use ddn_trace::TraceRecord;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
@@ -74,7 +77,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hook type for [`ServeConfig::wrap`]: interposes on every accepted
 /// connection's transport.
@@ -107,6 +110,13 @@ pub struct ServeConfig {
     /// shard rotates to a fresh snapshot and an empty WAL. Ignored
     /// without [`ServeConfig::data_dir`].
     pub snapshot_every: u64,
+    /// Per-shard flight-recorder capacity in events (the post-mortem
+    /// ring dumped on worker panic and served by `stats {"flight":true}`).
+    pub flight_capacity: usize,
+    /// Record per-request trace metrics (queue-wait and handler-time
+    /// histograms, flight-recorder events). On by default; the observe
+    /// bench turns it off to measure the tracing overhead itself.
+    pub trace_requests: bool,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -120,6 +130,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("failpoint", &self.failpoint)
             .field("data_dir", &self.data_dir)
             .field("snapshot_every", &self.snapshot_every)
+            .field("flight_capacity", &self.flight_capacity)
+            .field("trace_requests", &self.trace_requests)
             .finish()
     }
 }
@@ -135,34 +147,81 @@ impl Default for ServeConfig {
             failpoint: None,
             data_dir: None,
             snapshot_every: 256,
+            flight_capacity: 256,
+            trace_requests: true,
         }
     }
 }
 
 /// Server-wide counters, surfaced by the `health` verb as telemetry
 /// counters (`serve.*`).
-#[derive(Default)]
+///
+/// Since the observability plane landed (DESIGN.md §13) the monotonic
+/// counters live in the server's [`Registry`] — the same instance the
+/// `stats` verb snapshots — so there is exactly one source of truth;
+/// the accessor methods below are thin reads of the registry handles.
+/// The two up/down values (`conn_active`, `queue_depth`) stay plain
+/// atomics (a [`Counter`] is monotonic) and are mirrored into registry
+/// *gauges* of the same name on every change.
 pub struct ServerStats {
-    ingest_records: AtomicU64,
+    registry: Arc<Registry>,
+    ingest_records: Arc<Counter>,
+    backpressure_stalls: Arc<Counter>,
+    dedup_replays: Arc<Counter>,
+    fault_conn_errors: Arc<Counter>,
+    fault_worker_restarts: Arc<Counter>,
+    wal_frames: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    snapshot_writes: Arc<Counter>,
+    recover_frames_replayed: Arc<Counter>,
+    recover_truncated_frames: Arc<Counter>,
+    recover_sessions: Arc<Counter>,
     conn_active: AtomicU64,
-    backpressure_stalls: AtomicU64,
     queue_depth: AtomicU64,
-    dedup_replays: AtomicU64,
-    fault_conn_errors: AtomicU64,
-    fault_worker_restarts: AtomicU64,
-    wal_frames: AtomicU64,
-    wal_bytes: AtomicU64,
-    snapshot_writes: AtomicU64,
-    recover_frames_replayed: AtomicU64,
-    recover_truncated_frames: AtomicU64,
-    recover_sessions: AtomicU64,
+    conn_gauge: Arc<Gauge>,
+    queue_gauge: Arc<Gauge>,
+}
+
+impl Default for ServerStats {
+    /// Builds stats over a fresh private registry. Each server gets its
+    /// own instance (never [`Registry::global`]): tests run many servers
+    /// in one process, and the `stats` determinism contract — identical
+    /// workloads produce identical snapshots — requires isolation.
+    fn default() -> Self {
+        let registry = Arc::new(Registry::new());
+        Self {
+            ingest_records: registry.counter("serve.ingest.records"),
+            backpressure_stalls: registry.counter("serve.backpressure.stalls"),
+            dedup_replays: registry.counter("serve.dedup.replays"),
+            fault_conn_errors: registry.counter("serve.fault.conn_errors"),
+            fault_worker_restarts: registry.counter("serve.fault.worker_restarts"),
+            wal_frames: registry.counter("serve.wal.frames"),
+            wal_bytes: registry.counter("serve.wal.bytes"),
+            snapshot_writes: registry.counter("serve.snapshot.writes"),
+            recover_frames_replayed: registry.counter("serve.recover.frames_replayed"),
+            recover_truncated_frames: registry.counter("serve.recover.truncated_frames"),
+            recover_sessions: registry.counter("serve.recover.sessions"),
+            conn_active: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            conn_gauge: registry.gauge("serve.conn.active"),
+            queue_gauge: registry.gauge("serve.queue.depth"),
+            registry,
+        }
+    }
 }
 
 impl ServerStats {
+    /// The live metric registry backing these counters — the object the
+    /// `stats` verb snapshots, and where the per-verb/per-shard request
+    /// histograms and gauges live.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// Total records accepted across all sessions. Replayed (duplicate)
     /// batches do not count: this is the exactly-once tally.
     pub fn ingest_records(&self) -> u64 {
-        self.ingest_records.load(Ordering::Relaxed)
+        self.ingest_records.get()
     }
 
     /// Connections currently open.
@@ -172,7 +231,7 @@ impl ServerStats {
 
     /// Times a connection found its shard queue full and had to block.
     pub fn backpressure_stalls(&self) -> u64 {
-        self.backpressure_stalls.load(Ordering::Relaxed)
+        self.backpressure_stalls.get()
     }
 
     /// Messages currently queued across all shards.
@@ -183,64 +242,81 @@ impl ServerStats {
     /// Sequenced ingest batches answered from the dedup window instead of
     /// being re-applied (each one is a retry the protocol made safe).
     pub fn dedup_replays(&self) -> u64 {
-        self.dedup_replays.load(Ordering::Relaxed)
+        self.dedup_replays.get()
     }
 
     /// Connection-level faults survived: read/write errors, torn lines at
     /// EOF, oversized lines.
     pub fn fault_conn_errors(&self) -> u64 {
-        self.fault_conn_errors.load(Ordering::Relaxed)
+        self.fault_conn_errors.get()
     }
 
     /// Shard-worker panics caught and recovered from (one quarantined
     /// session each).
     pub fn fault_worker_restarts(&self) -> u64 {
-        self.fault_worker_restarts.load(Ordering::Relaxed)
+        self.fault_worker_restarts.get()
     }
 
     /// WAL frames appended across all shards (zero with durability off).
     pub fn wal_frames(&self) -> u64 {
-        self.wal_frames.load(Ordering::Relaxed)
+        self.wal_frames.get()
     }
 
     /// WAL bytes appended across all shards, frame headers included.
     pub fn wal_bytes(&self) -> u64 {
-        self.wal_bytes.load(Ordering::Relaxed)
+        self.wal_bytes.get()
     }
 
     /// Snapshot files written (the one each shard writes at startup
     /// after recovery counts too).
     pub fn snapshot_writes(&self) -> u64 {
-        self.snapshot_writes.load(Ordering::Relaxed)
+        self.snapshot_writes.get()
     }
 
     /// WAL frames replayed during startup recovery.
     pub fn recover_frames_replayed(&self) -> u64 {
-        self.recover_frames_replayed.load(Ordering::Relaxed)
+        self.recover_frames_replayed.get()
     }
 
     /// Invalid WAL tail frames discarded during startup recovery (torn
     /// writes, checksum failures).
     pub fn recover_truncated_frames(&self) -> u64 {
-        self.recover_truncated_frames.load(Ordering::Relaxed)
+        self.recover_truncated_frames.get()
     }
 
     /// Sessions restored from snapshots during startup recovery.
     pub fn recover_sessions(&self) -> u64 {
-        self.recover_sessions.load(Ordering::Relaxed)
+        self.recover_sessions.get()
+    }
+
+    fn conn_opened(&self) {
+        let now = self.conn_active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conn_gauge.set(now as f64);
+    }
+
+    fn conn_closed(&self) {
+        let now = self.conn_active.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.conn_gauge.set(now as f64);
+    }
+
+    fn queue_inc(&self) {
+        let now = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_gauge.set(now as f64);
+    }
+
+    fn queue_dec(&self) {
+        let now = self.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.queue_gauge.set(now as f64);
     }
 
     /// Folds one shard's startup recovery into the counters. Opening a
     /// shard's durable state also writes its post-recovery snapshot, so
     /// this counts one snapshot write.
     fn record_recovery(&self, report: &RecoverReport) {
-        self.recover_sessions
-            .fetch_add(report.sessions, Ordering::Relaxed);
-        self.recover_frames_replayed
-            .fetch_add(report.frames_replayed, Ordering::Relaxed);
-        self.recover_truncated_frames
-            .fetch_add(report.truncated_frames, Ordering::Relaxed);
-        self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+        self.recover_sessions.add(report.sessions);
+        self.recover_frames_replayed.add(report.frames_replayed);
+        self.recover_truncated_frames.add(report.truncated_frames);
+        self.snapshot_writes.inc();
     }
 
     /// The counters as a telemetry collector (merged into `health`
@@ -279,20 +355,135 @@ impl ServerStats {
 /// over a per-request channel so a slow shard never blocks writes for
 /// other connections.
 enum ShardMsg {
-    Init(InitSpec, Sender<Json>),
+    Init {
+        spec: InitSpec,
+        /// Enqueue time, for the queue-wait histogram.
+        at: Instant,
+        reply: Sender<Json>,
+    },
     Ingest {
         session: String,
         records: Vec<TraceRecord>,
         seq: Option<u64>,
+        at: Instant,
         reply: Sender<Json>,
     },
     Estimate {
         session: String,
+        at: Instant,
         reply: Sender<Json>,
     },
     /// Health probe: the shard answers with its estimator-health
     /// collector.
     Collect(Sender<Collector>),
+    /// Flight-recorder read: the shard answers with its ring as a JSON
+    /// array (oldest first) and, when `dump` is set and durability is
+    /// configured, also rewrites `flightrec-<shard>.jsonl`.
+    Flight { dump: bool, reply: Sender<Json> },
+}
+
+/// Per-verb request metrics: the shared request counter plus this
+/// shard's latency histograms (queue wait and handler wall time, both
+/// in nanoseconds).
+struct ReqMetrics {
+    count: Arc<Counter>,
+    queue_ns: Arc<Histogram>,
+    handle_ns: Arc<Histogram>,
+}
+
+impl ReqMetrics {
+    fn shard(reg: &Registry, verb: &str, shard: usize) -> Self {
+        Self {
+            count: reg.counter(&format!("serve.req.{verb}")),
+            queue_ns: reg.histogram(&format!("serve.req.{verb}.queue_ns.s{shard}")),
+            handle_ns: reg.histogram(&format!("serve.req.{verb}.handle_ns.s{shard}")),
+        }
+    }
+}
+
+/// One shard worker's metric handles, resolved once before the worker
+/// spawns — the hot loop never touches the registry mutex, and every
+/// shard's metric names exist in the registry before any traffic
+/// arrives (so the `stats` key set is workload-independent).
+struct ShardMetrics {
+    init: ReqMetrics,
+    ingest: ReqMetrics,
+    estimate: ReqMetrics,
+    /// Live (non-quarantined) sessions on this shard.
+    sessions: Arc<Gauge>,
+    /// WAL frames since the last snapshot rotation, as of this shard's
+    /// most recent logged request (set at log time, not rotation time,
+    /// so the value is settled before the request's reply is sent).
+    wal_lag: Arc<Gauge>,
+}
+
+impl ShardMetrics {
+    fn new(reg: &Registry, shard: usize) -> Self {
+        Self {
+            init: ReqMetrics::shard(reg, "init", shard),
+            ingest: ReqMetrics::shard(reg, "ingest", shard),
+            estimate: ReqMetrics::shard(reg, "estimate", shard),
+            sessions: reg.gauge(&format!("serve.sessions.live.s{shard}")),
+            wal_lag: reg.gauge(&format!("serve.wal.lag_frames.s{shard}")),
+        }
+    }
+}
+
+/// Everything a shard worker needs for observability, bundled so the
+/// worker signature stays readable.
+struct ShardCtx {
+    shard: usize,
+    trace: bool,
+    flight_capacity: usize,
+    /// Where panic dumps and on-demand dumps go (the durability dir).
+    flight_dir: Option<PathBuf>,
+    metrics: ShardMetrics,
+}
+
+/// Saturating nanosecond count of a duration.
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// `"ok"` or `"error"` from a response envelope.
+fn outcome_of(resp: &Json) -> &'static str {
+    if resp.get("ok") == Some(&Json::Bool(true)) {
+        "ok"
+    } else {
+        "error"
+    }
+}
+
+/// Books one finished request: counts it, records queue-wait and
+/// handler latency (when tracing), and appends a flight event. Called
+/// BEFORE the reply is sent, so a client that reads `stats` right after
+/// its response always sees its own request counted — the per-verb
+/// histogram-total == counter invariant holds at every observable
+/// moment.
+#[allow(clippy::too_many_arguments)]
+fn observe_request(
+    ctx: &ShardCtx,
+    flight: &mut FlightRecorder,
+    metrics: &ReqMetrics,
+    verb: &'static str,
+    session: &str,
+    seq: Option<u64>,
+    records: u64,
+    outcome: &'static str,
+    at: Instant,
+    started: Instant,
+) {
+    metrics.count.inc();
+    let dur_ns = if ctx.trace {
+        let wait_ns = duration_ns(started.duration_since(at));
+        let dur_ns = duration_ns(started.elapsed());
+        metrics.queue_ns.record(wait_ns);
+        metrics.handle_ns.record(dur_ns);
+        dur_ns
+    } else {
+        0
+    };
+    flight.push(verb, session, seq, records, outcome, dur_ns);
 }
 
 /// A running server. Dropping the handle does NOT stop the server; call
@@ -397,12 +588,35 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
                 Some(d)
             }
         };
+        // Resolving the metric handles here (not in the worker) means
+        // every shard's metric names are registered before serve()
+        // returns, so the `stats` key set does not depend on which
+        // shards happen to receive traffic. (Connection-thread verbs
+        // get the same treatment just below the shard loop.)
+        let ctx = ShardCtx {
+            shard: i,
+            trace: config.trace_requests,
+            flight_capacity: config.flight_capacity,
+            flight_dir: config.data_dir.clone(),
+            metrics: ShardMetrics::new(stats.registry(), i),
+        };
         workers.push(
             std::thread::Builder::new()
                 .name(format!("ddn-serve-shard-{i}"))
-                .spawn(move || shard_worker(rx, stats, failpoint, engine, poisoned, durability))
+                .spawn(move || {
+                    shard_worker(rx, stats, failpoint, engine, poisoned, durability, ctx)
+                })
                 .expect("spawn shard worker"),
         );
+    }
+
+    // Eagerly register the connection-thread verbs too, so an idle
+    // server and a busy one expose the same `stats` key set.
+    for verb in ["health", "stats", "shutdown"] {
+        stats.registry().counter(&format!("serve.req.{verb}"));
+        stats
+            .registry()
+            .histogram(&format!("serve.req.{verb}.handle_ns"));
     }
 
     let acceptor = {
@@ -411,6 +625,7 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         let conns = Arc::clone(&conns);
         let wrap = config.wrap.clone();
         let max_line_bytes = config.max_line_bytes;
+        let trace = config.trace_requests;
         std::thread::Builder::new()
             .name("ddn-serve-acceptor".to_string())
             .spawn(move || {
@@ -431,7 +646,7 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
                     let spawned = std::thread::Builder::new()
                         .name("ddn-serve-conn".to_string())
                         .spawn(move || {
-                            stats.conn_active.fetch_add(1, Ordering::Relaxed);
+                            stats.conn_opened();
                             handle_connection(
                                 transport,
                                 &senders,
@@ -439,8 +654,9 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
                                 &stats,
                                 addr,
                                 max_line_bytes,
+                                trace,
                             );
-                            stats.conn_active.fetch_sub(1, Ordering::Relaxed);
+                            stats.conn_closed();
                         });
                     if let Ok(handle) = spawned {
                         let mut guard = lock(&conns);
@@ -480,12 +696,17 @@ fn degraded_response(session: &str) -> Json {
 fn wal_log(
     durability: &mut Option<ShardDurability>,
     stats: &ServerStats,
+    wal_lag: &Gauge,
     line: &str,
 ) -> std::io::Result<()> {
     if let Some(d) = durability {
         let bytes = d.log_request(line)?;
-        stats.wal_frames.fetch_add(1, Ordering::Relaxed);
-        stats.wal_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        stats.wal_frames.inc();
+        stats.wal_bytes.add(bytes as u64);
+        // Set at log time (not rotation time) so the gauge is settled
+        // before this request's reply goes out; it reads as "frames a
+        // restart would replay, as of the last logged request".
+        wal_lag.set(d.frames_since_snapshot() as f64);
     }
     Ok(())
 }
@@ -503,7 +724,7 @@ fn wal_maybe_snapshot(
     if let Some(d) = durability {
         match d.maybe_snapshot(engine, poisoned) {
             Ok(true) => {
-                stats.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+                stats.snapshot_writes.inc();
             }
             Ok(false) => {}
             Err(e) => eprintln!("ddn-serve: snapshot write failed: {e}"),
@@ -521,30 +742,56 @@ fn shard_worker(
     // pre-populates this from the snapshot.
     mut poisoned: HashSet<String>,
     mut durability: Option<ShardDurability>,
+    ctx: ShardCtx,
 ) {
+    let mut flight = FlightRecorder::new(ctx.flight_capacity);
     while let Ok(msg) = rx.recv() {
-        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        stats.queue_dec();
         match msg {
-            ShardMsg::Init(spec, reply) => {
+            ShardMsg::Init { spec, at, reply } => {
+                let started = Instant::now();
+                let session = spec.session.clone();
                 // Write-ahead: the init line is durable before the session
                 // exists, so an acknowledged init always survives a kill.
-                if let Err(e) = wal_log(&mut durability, &stats, &spec.to_json().to_string()) {
+                if let Err(e) = wal_log(
+                    &mut durability,
+                    &stats,
+                    &ctx.metrics.wal_lag,
+                    &spec.to_json().to_string(),
+                ) {
+                    observe_request(
+                        &ctx, &mut flight, &ctx.metrics.init, "init", &session, None, 0,
+                        "error", at, started,
+                    );
                     let _ = reply.send(error_response(&format!("durability failure: {e}")));
                     continue;
                 }
                 // Re-init lifts a quarantine: the replacement session is
                 // built from scratch, sequence numbers included.
-                poisoned.remove(&spec.session);
-                let _ = reply.send(engine.handle_init(spec));
+                poisoned.remove(&session);
+                let resp = engine.handle_init(spec);
+                ctx.metrics.sessions.set(engine.sessions() as f64);
+                observe_request(
+                    &ctx, &mut flight, &ctx.metrics.init, "init", &session, None, 0,
+                    outcome_of(&resp), at, started,
+                );
+                let _ = reply.send(resp);
                 wal_maybe_snapshot(&mut durability, &stats, &engine, &poisoned);
             }
             ShardMsg::Ingest {
                 session,
                 records,
                 seq,
+                at,
                 reply,
             } => {
+                let started = Instant::now();
+                let nrec = records.len() as u64;
                 if poisoned.contains(&session) {
+                    observe_request(
+                        &ctx, &mut flight, &ctx.metrics.ingest, "ingest", &session, seq,
+                        nrec, "error", at, started,
+                    );
                     let _ = reply.send(degraded_response(&session));
                     continue;
                 }
@@ -553,7 +800,12 @@ fn shard_worker(
                 // number, so replay must reproduce the rejection or
                 // recovery would desynchronize the dedup window.
                 let line = ingest_request_json(&session, &records, seq).to_string();
-                if let Err(e) = wal_log(&mut durability, &stats, &line) {
+                if let Err(e) = wal_log(&mut durability, &stats, &ctx.metrics.wal_lag, &line)
+                {
+                    observe_request(
+                        &ctx, &mut flight, &ctx.metrics.ingest, "ingest", &session, seq,
+                        nrec, "error", at, started,
+                    );
                     let _ = reply.send(error_response(&format!("durability failure: {e}")));
                     continue;
                 }
@@ -570,12 +822,18 @@ fn shard_worker(
                         let duplicate =
                             resp.get("duplicate") == Some(&Json::Bool(true));
                         if duplicate {
-                            stats.dedup_replays.fetch_add(1, Ordering::Relaxed);
+                            stats.dedup_replays.inc();
                         } else if let Some(accepted) =
                             resp.get("accepted").and_then(Json::as_u64)
                         {
-                            stats.ingest_records.fetch_add(accepted, Ordering::Relaxed);
+                            stats.ingest_records.add(accepted);
                         }
+                        ctx.metrics.sessions.set(engine.sessions() as f64);
+                        let oc = if duplicate { "duplicate" } else { outcome_of(&resp) };
+                        observe_request(
+                            &ctx, &mut flight, &ctx.metrics.ingest, "ingest", &session,
+                            seq, nrec, oc, at, started,
+                        );
                         let _ = reply.send(resp);
                         wal_maybe_snapshot(&mut durability, &stats, &engine, &poisoned);
                     }
@@ -583,19 +841,44 @@ fn shard_worker(
                         // The worker survives the panic: quarantine the
                         // one session whose state is now suspect and keep
                         // serving the rest of the shard.
-                        stats.fault_worker_restarts.fetch_add(1, Ordering::Relaxed);
+                        stats.fault_worker_restarts.inc();
                         engine.remove_session(&session);
                         poisoned.insert(session.clone());
+                        ctx.metrics.sessions.set(engine.sessions() as f64);
+                        observe_request(
+                            &ctx, &mut flight, &ctx.metrics.ingest, "ingest", &session,
+                            seq, nrec, "panic", at, started,
+                        );
+                        // Post-mortem: dump the ring — ending with the
+                        // request that panicked — before answering, so
+                        // the evidence is on disk even if the process is
+                        // killed right after.
+                        if let Some(dir) = &ctx.flight_dir {
+                            let path = flightrec_path(dir, ctx.shard);
+                            if let Err(e) = flight.dump(&path) {
+                                eprintln!("ddn-serve: flight-recorder dump failed: {e}");
+                            }
+                        }
                         let _ = reply.send(degraded_response(&session));
                     }
                 }
             }
-            ShardMsg::Estimate { session, reply } => {
+            ShardMsg::Estimate { session, at, reply } => {
+                let started = Instant::now();
                 if poisoned.contains(&session) {
+                    observe_request(
+                        &ctx, &mut flight, &ctx.metrics.estimate, "estimate", &session,
+                        None, 0, "error", at, started,
+                    );
                     let _ = reply.send(degraded_response(&session));
                     continue;
                 }
-                let _ = reply.send(engine.handle_estimate(&session));
+                let resp = engine.handle_estimate(&session);
+                observe_request(
+                    &ctx, &mut flight, &ctx.metrics.estimate, "estimate", &session, None,
+                    0, outcome_of(&resp), at, started,
+                );
+                let _ = reply.send(resp);
             }
             ShardMsg::Collect(reply) => {
                 let mut c = engine.collector();
@@ -604,6 +887,18 @@ fn shard_worker(
                         .push((format!("serve/{session}/degraded"), vec![("poisoned", 1.0)]));
                 }
                 let _ = reply.send(c);
+            }
+            ShardMsg::Flight { dump, reply } => {
+                let events = flight.to_json_array();
+                if dump {
+                    if let Some(dir) = &ctx.flight_dir {
+                        let path = flightrec_path(dir, ctx.shard);
+                        if let Err(e) = flight.dump(&path) {
+                            eprintln!("ddn-serve: flight-recorder dump failed: {e}");
+                        }
+                    }
+                }
+                let _ = reply.send(events);
             }
         }
     }
@@ -623,19 +918,32 @@ fn send_with_backpressure(
     msg: ShardMsg,
     stats: &ServerStats,
 ) -> Result<(), ()> {
-    stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+    stats.queue_inc();
     match tx.try_send(msg) {
         Ok(()) => Ok(()),
         Err(TrySendError::Full(msg)) => {
-            stats.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+            stats.backpressure_stalls.inc();
             tx.send(msg).map_err(|_| {
-                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                stats.queue_dec();
             })
         }
         Err(TrySendError::Disconnected(_)) => {
-            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            stats.queue_dec();
             Err(())
         }
+    }
+}
+
+/// Counts (and, when tracing, times) a verb handled on the connection
+/// thread itself — `health`, `stats`, `shutdown`. These are rare, so
+/// the per-call registry lookup is fine; the histogram name carries no
+/// shard suffix because no shard was involved.
+fn record_conn_verb(stats: &ServerStats, verb: &str, trace: bool, started: Instant) {
+    let reg = stats.registry();
+    reg.counter(&format!("serve.req.{verb}")).inc();
+    if trace {
+        reg.histogram(&format!("serve.req.{verb}.handle_ns"))
+            .record(duration_ns(started.elapsed()));
     }
 }
 
@@ -647,7 +955,10 @@ fn dispatch(
     shutdown: &AtomicBool,
     stats: &ServerStats,
     local_addr: SocketAddr,
+    trace: bool,
 ) -> (Json, bool) {
+    // Enqueue time for shard verbs; handler start for conn-thread verbs.
+    let at = Instant::now();
     // Round-trips one message to a shard and waits for its reply.
     let ask = |shard: usize, msg: ShardMsg, rx: Receiver<Json>| -> Json {
         if send_with_backpressure(&senders[shard], msg, stats).is_err() {
@@ -660,7 +971,12 @@ fn dispatch(
         Request::Init(spec) => {
             let shard = shard_of(&spec.session, senders.len());
             let (tx, rx) = std::sync::mpsc::channel();
-            (ask(shard, ShardMsg::Init(spec, tx), rx), false)
+            let msg = ShardMsg::Init {
+                spec,
+                at,
+                reply: tx,
+            };
+            (ask(shard, msg, rx), false)
         }
         Request::Ingest {
             session,
@@ -673,6 +989,7 @@ fn dispatch(
                 session,
                 records,
                 seq,
+                at,
                 reply: tx,
             };
             (ask(shard, msg, rx), false)
@@ -682,6 +999,7 @@ fn dispatch(
             let (tx, rx) = std::sync::mpsc::channel();
             let msg = ShardMsg::Estimate {
                 session,
+                at,
                 reply: tx,
             };
             (ask(shard, msg, rx), false)
@@ -699,15 +1017,46 @@ fn dispatch(
             }
             let mut snap = TelemetrySnapshot::from_runs(&collectors);
             snap.set_threads(senders.len());
+            record_conn_verb(stats, "health", trace, at);
             (
                 ok_response(vec![("telemetry", snap.to_json())]),
                 false,
             )
         }
+        Request::Stats { flight } => {
+            // Snapshot the registry BEFORE booking this request, so the
+            // response never counts itself: the first `stats` a client
+            // sends reports zero prior `stats` traffic, and every verb's
+            // histogram-total == counter invariant holds inside the
+            // snapshot (this request's handle_ns is recorded only after
+            // the snapshot is taken, together with its counter).
+            let snapshot = stats.registry().to_json();
+            let mut fields = vec![("stats", snapshot)];
+            if flight {
+                let mut shards = Vec::with_capacity(senders.len());
+                for (i, tx) in senders.iter().enumerate() {
+                    let (ftx, frx) = std::sync::mpsc::channel();
+                    let msg = ShardMsg::Flight {
+                        dump: true,
+                        reply: ftx,
+                    };
+                    let events = if send_with_backpressure(tx, msg, stats).is_ok() {
+                        frx.recv().unwrap_or_else(|_| Json::Array(Vec::new()))
+                    } else {
+                        Json::Array(Vec::new())
+                    };
+                    shards.push((format!("shard-{i}"), events));
+                }
+                fields.push(("flight", Json::Object(shards)));
+            }
+            record_conn_verb(stats, "stats", trace, at);
+            (ok_response(fields), false)
+        }
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             // Wake the acceptor so it observes the flag.
             let _ = TcpStream::connect(local_addr);
+            record_conn_verb(stats, "shutdown", trace, at);
             (
                 ok_response(vec![("shutting_down", Json::Bool(true))]),
                 true,
@@ -801,6 +1150,7 @@ fn handle_connection(
     stats: &ServerStats,
     local_addr: SocketAddr,
     max_line_bytes: usize,
+    trace: bool,
 ) {
     // A finite read timeout lets the thread notice shutdown while the
     // client is idle; partial reads accumulate in `line` across timeouts,
@@ -819,7 +1169,7 @@ fn handle_connection(
             Err(_) => {
                 // Socket-level failure (injected or real): this
                 // connection is over, the server is not.
-                stats.fault_conn_errors.fetch_add(1, Ordering::Relaxed);
+                stats.fault_conn_errors.inc();
                 break;
             }
         };
@@ -829,12 +1179,12 @@ fn handle_connection(
                 if torn {
                     // The peer died mid-line; the partial request is
                     // dropped (it was never acknowledged).
-                    stats.fault_conn_errors.fetch_add(1, Ordering::Relaxed);
+                    stats.fault_conn_errors.inc();
                 }
                 break;
             }
             LineRead::Overflow => {
-                stats.fault_conn_errors.fetch_add(1, Ordering::Relaxed);
+                stats.fault_conn_errors.inc();
                 (
                     error_response(&format!(
                         "request line exceeds {max_line_bytes} bytes"
@@ -851,14 +1201,26 @@ fn handle_connection(
                 if trimmed.is_empty() {
                     continue;
                 }
-                match Request::parse(trimmed) {
-                    Ok(req) => dispatch(req, senders, shutdown, stats, local_addr),
-                    Err(e) => (error_response(&e), false),
+                match Json::parse(trimmed) {
+                    Ok(v) => {
+                        // The id is extracted before verb validation so
+                        // even an error response for a malformed request
+                        // echoes it — the client can always correlate.
+                        let id = request_id(&v);
+                        let (resp, close) = match Request::from_json(&v) {
+                            Ok(req) => {
+                                dispatch(req, senders, shutdown, stats, local_addr, trace)
+                            }
+                            Err(e) => (error_response(&e), false),
+                        };
+                        (attach_id(resp, id), close)
+                    }
+                    Err(e) => (error_response(&format!("bad JSON: {e}")), false),
                 }
             }
         };
         if writeln!(writer, "{}", resp.to_string()).is_err() {
-            stats.fault_conn_errors.fetch_add(1, Ordering::Relaxed);
+            stats.fault_conn_errors.inc();
             break;
         }
         if close {

@@ -358,6 +358,13 @@ impl ShardDurability {
     pub fn next_frame_id(&self) -> u64 {
         self.wal.next_id()
     }
+
+    /// WAL frames appended since the last snapshot rotation — the
+    /// replay debt a crash right now would incur (the `serve.wal.lag`
+    /// gauge).
+    pub fn frames_since_snapshot(&self) -> u64 {
+        self.frames_since_snapshot
+    }
 }
 
 #[cfg(test)]

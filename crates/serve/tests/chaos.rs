@@ -166,8 +166,13 @@ fn a_disconnect_during_the_ack_is_deduplicated() {
     let handle = serve(&ServeConfig::default()).expect("bind");
     let addr = handle.local_addr().to_string();
 
-    let init_ack =
-        ddn_serve::protocol::ok_response(vec![("session", Json::str("det"))]).to_string();
+    // The client stamps request ids starting at 0 and the server echoes
+    // them, so the init ack on the wire carries `"id":0`.
+    let init_ack = ddn_serve::protocol::attach_id(
+        ddn_serve::protocol::ok_response(vec![("session", Json::str("det"))]),
+        Some(Json::Int(0)),
+    )
+    .to_string();
     let mut plan = FaultPlan::new();
     plan.push(FaultEvent {
         dir: Dir::Read,

@@ -57,5 +57,8 @@ pub mod metrics;
 pub mod snapshot;
 
 pub use collector::{add_count, collect, enabled, record_health, span, Collector, Span};
-pub use metrics::{Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use metrics::{
+    quantile_from_counts, quantile_from_le_buckets, Counter, Gauge, Histogram, Registry,
+    HISTOGRAM_BUCKETS,
+};
 pub use snapshot::{MetricAgg, TelemetrySnapshot, TimingAgg};

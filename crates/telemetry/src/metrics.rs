@@ -161,6 +161,15 @@ impl Histogram {
             .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Estimated value at quantile `q` (clamped to `[0, 1]`): the
+    /// inclusive upper bound of the log2 bucket holding the sample of
+    /// rank `ceil(q·n)`. With power-of-two buckets the estimate is
+    /// within 2x of the true quantile — plenty for p50/p99 dashboards
+    /// over nanosecond latencies. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_counts(&self.counts(), q)
+    }
+
     /// JSON snapshot: total count, sum, and the non-empty buckets as
     /// `{"le": inclusive_upper_bound, "count": n}` in bucket order.
     pub fn to_json(&self) -> Json {
@@ -186,6 +195,45 @@ impl Histogram {
             ("buckets", Json::Array(buckets)),
         ])
     }
+}
+
+/// Quantile estimate over raw per-bucket counts in [`Histogram`] bucket
+/// order (`counts.len() <= HISTOGRAM_BUCKETS`): the inclusive upper
+/// bound of the bucket holding the rank-`ceil(q·n)` sample. Returns 0
+/// when every count is zero.
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+    assert!(
+        counts.len() <= HISTOGRAM_BUCKETS,
+        "more buckets than a Histogram has"
+    );
+    let bounded: Vec<(u64, u64)> = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (Histogram::bucket_bounds(i).1, c))
+        .collect();
+    quantile_from_le_buckets(&bounded, q)
+}
+
+/// Quantile estimate over `(le, count)` pairs — the wire form the
+/// `stats` verb serves ([`Histogram::to_json`] buckets) — so scrapers
+/// like `ddn top` can compute p50/p99 without reconstructing a
+/// [`Histogram`]. Pairs must be in ascending `le` order; empty buckets
+/// may be omitted. Returns 0 when every count is zero.
+pub fn quantile_from_le_buckets(buckets: &[(u64, u64)], q: f64) -> u64 {
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for &(le, count) in buckets {
+        cum += count;
+        if cum >= rank {
+            return le;
+        }
+    }
+    buckets.last().map(|&(le, _)| le).unwrap_or(0)
 }
 
 /// Thread-safe name → metric map. Handles are `Arc`s, so callers fetch
@@ -320,6 +368,128 @@ mod tests {
         a.merge_from(&b);
         assert_eq!(a.total(), 3);
         assert_eq!(a.counts()[3], 2);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        // The three values a log2 scheme can get wrong: zero (no leading
+        // bit), one (first power), and the saturating top.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index((1 << 63) - 1), 63);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_edges_and_contiguity() {
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        // Buckets tile u64 exactly: no gaps, no overlaps, and every
+        // bound maps back to its own bucket.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= hi, "bucket {i} inverted");
+            assert_eq!(Histogram::bucket_index(lo), i, "low bound of {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "high bound of {i}");
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert_eq!(
+                    hi + 1,
+                    Histogram::bucket_bounds(i + 1).0,
+                    "gap after bucket {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket index out of range")]
+    fn bucket_bounds_rejects_out_of_range() {
+        Histogram::bucket_bounds(HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn extreme_values_record_and_saturate_in_json() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.total(), 3);
+        let counts = h.counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[64], 1);
+        // The raw sum wraps like the atomic adds (0 + 1 + u64::MAX = 0),
+        // but the JSON form clamps to i64::MAX so the wire never carries
+        // a wrapped (or negative) sum.
+        assert_eq!(h.sum(), 0);
+        let h2 = Histogram::new();
+        h2.record(u64::MAX);
+        let j = h2.to_json();
+        assert_eq!(j.get("sum").unwrap().as_i64(), Some(i64::MAX));
+        let buckets = j.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].get("le").unwrap().as_i64(), Some(i64::MAX));
+        assert_eq!(buckets[0].get("count").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn merge_from_edges() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        b.record(0);
+        b.record(u64::MAX);
+        a.merge_from(&b);
+        a.merge_from(&Histogram::new()); // empty merge is a no-op
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.counts()[0], 1);
+        assert_eq!(a.counts()[64], 1);
+        assert_eq!(a.sum(), b.sum());
+    }
+
+    /// Golden pin of the bucket boundaries behind the `stats` wire
+    /// format: bucket 0 is exactly zero, bucket i >= 1 is
+    /// [2^(i-1), 2^i), and the top bucket saturates at u64::MAX. If
+    /// this test fails, the `le` values every scraper stores have
+    /// silently shifted — that is a breaking change to make here,
+    /// deliberately.
+    #[test]
+    fn bucket_boundaries_golden() {
+        let golden_le: Vec<u64> = std::iter::once(0)
+            .chain((1..64).map(|i| (1u64 << i) - 1))
+            .chain(std::iter::once(u64::MAX))
+            .collect();
+        let got: Vec<u64> = (0..HISTOGRAM_BUCKETS)
+            .map(|i| Histogram::bucket_bounds(i).1)
+            .collect();
+        assert_eq!(got, golden_le);
+        assert_eq!(&got[..5], &[0, 1, 3, 7, 15]);
+        assert_eq!(got[10], 1023);
+        assert_eq!(got[63], i64::MAX as u64);
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for _ in 0..99 {
+            h.record(100); // bucket [64, 127]
+        }
+        h.record(100_000); // bucket [65536, 131071]
+        assert_eq!(h.quantile(0.0), 127);
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.quantile(1.0), 131_071);
+        // The wire form gives the same answers.
+        let pairs = [(127u64, 99u64), (131_071, 1)];
+        assert_eq!(quantile_from_le_buckets(&pairs, 0.5), 127);
+        assert_eq!(quantile_from_le_buckets(&pairs, 1.0), 131_071);
+        assert_eq!(quantile_from_le_buckets(&[], 0.5), 0);
+        assert_eq!(quantile_from_counts(&[0, 0, 0], 0.9), 0);
+        let mut counts = vec![0u64; HISTOGRAM_BUCKETS];
+        counts[0] = 1;
+        assert_eq!(quantile_from_counts(&counts, 0.5), 0);
     }
 
     #[test]

@@ -142,6 +142,56 @@ if [[ "${1:-}" == "ci" ]]; then
   test -s "$bench_dir/BENCH_wal.json"
   grep -q '"floor_records_per_sec"' "$bench_dir/BENCH_wal.json"
   grep -q '"wal_on_records_per_sec"' "$bench_dir/BENCH_wal.json"
+  echo "== ci: observability smoke (stats verb, ddn top, flight recorder) =="
+  # The live observability plane (DESIGN.md §13) at the user-facing
+  # surface: stream a trace into a fresh server, then require `ddn top
+  # --once --json` to report the exact request counts and ingest tally
+  # the workload implies. replay-to sends 300 records in two batches of
+  # 256 plus one init and one estimate.
+  : > "$port_file"
+  ./target/release/ddn serve --port-file "$port_file" --data-dir "$data_dir" \
+    --failpoint boom &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.05
+  done
+  test -s "$port_file" || { echo "FAIL: observed server never wrote its port" >&2; exit 1; }
+  addr="$(cat "$port_file")"
+  ./target/release/ddn replay-to "$serve_trace" \
+    --addr "$addr" --decision cdn1/br2 --estimator ips > /dev/null
+  top_json="$(./target/release/ddn top --addr "$addr" --once --json)"
+  printf '%s\n' "$top_json" | grep -q '"serve.req.init":1'
+  printf '%s\n' "$top_json" | grep -q '"serve.req.ingest":2'
+  printf '%s\n' "$top_json" | grep -q '"serve.req.estimate":1'
+  printf '%s\n' "$top_json" | grep -q '"serve.ingest.records":300'
+  top_table="$(./target/release/ddn top --addr "$addr" --once)"
+  printf '%s\n' "$top_table" | grep -q 'p99 handle'
+  printf '%s\n' "$top_table" | grep -q 'ingested 300 records'
+  # Flight recorder: a session matching the failpoint panics its worker,
+  # which must dump the pre-panic request ring to the data dir — final
+  # requests in order, ending in the panic — and `ddn flight` must
+  # validate it (consecutive indices, parseable lines).
+  ./target/release/ddn replay-to "$serve_trace" \
+    --addr "$addr" --decision cdn1/br2 --estimator ips --session boom \
+    > /dev/null 2>&1 && { echo "FAIL: failpoint session did not fail" >&2; exit 1; }
+  flight_dump="$(ls "$data_dir"/flightrec-*.jsonl)"
+  grep -q '"outcome":"panic"' "$flight_dump"
+  flight_out="$(./target/release/ddn flight "$flight_dump")"
+  printf '%s\n' "$flight_out" | grep -q 'consecutive'
+  printf '%s\n' "$flight_out" | grep -q 'panic 1'
+  ./target/release/ddn top --addr "$addr" --once --shutdown > /dev/null
+  wait "$serve_pid"
+  rm -f "$data_dir"/flightrec-*.jsonl
+  # Tiny observability-overhead bench smoke: traced vs untraced ingest
+  # throughput through real sockets, checking the harness and the pinned
+  # within_5pct key end-to-end (the ratio itself is pinned by full runs).
+  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_OBSERVE_RUNS=2000 \
+  DDN_BENCH_DIR="$bench_dir" \
+    cargo bench --offline -p ddn-bench --bench observe
+  test -s "$bench_dir/BENCH_observe.json"
+  grep -q '"within_5pct"' "$bench_dir/BENCH_observe.json"
+  grep -q '"traced_records_per_sec"' "$bench_dir/BENCH_observe.json"
   echo "== ci: chaos smoke (fault injection, exactly-once, retry/dedup) =="
   # A fixed-seed fault plan (disconnects guaranteed by construction)
   # against an in-process server: the command exits non-zero unless every

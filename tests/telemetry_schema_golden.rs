@@ -294,6 +294,128 @@ fn serve_health_verb_schema_is_pinned() {
     handle.shutdown();
 }
 
+/// Pinned counter key set the serve `stats` verb must expose (sorted)
+/// for a two-shard server. This is the long-lived metrics registry the
+/// `ddn top` CLI and monitoring pipelines read; every name is
+/// registered at `serve()` time, so the set is workload-independent.
+const GOLDEN_STATS_COUNTERS: &[&str] = &[
+    "serve.backpressure.stalls",
+    "serve.dedup.replays",
+    "serve.fault.conn_errors",
+    "serve.fault.worker_restarts",
+    "serve.ingest.records",
+    "serve.recover.frames_replayed",
+    "serve.recover.sessions",
+    "serve.recover.truncated_frames",
+    "serve.req.estimate",
+    "serve.req.health",
+    "serve.req.ingest",
+    "serve.req.init",
+    "serve.req.shutdown",
+    "serve.req.stats",
+    "serve.snapshot.writes",
+    "serve.wal.bytes",
+    "serve.wal.frames",
+];
+
+/// Pinned gauge key set (sorted, two shards).
+const GOLDEN_STATS_GAUGES: &[&str] = &[
+    "serve.conn.active",
+    "serve.queue.depth",
+    "serve.sessions.live.s0",
+    "serve.sessions.live.s1",
+    "serve.wal.lag_frames.s0",
+    "serve.wal.lag_frames.s1",
+];
+
+/// Pinned histogram key set (sorted, two shards): shard verbs get
+/// queue-wait and handler-time per shard; connection-thread verbs get
+/// handler time only, with no shard suffix.
+const GOLDEN_STATS_HISTOGRAMS: &[&str] = &[
+    "serve.req.estimate.handle_ns.s0",
+    "serve.req.estimate.handle_ns.s1",
+    "serve.req.estimate.queue_ns.s0",
+    "serve.req.estimate.queue_ns.s1",
+    "serve.req.health.handle_ns",
+    "serve.req.ingest.handle_ns.s0",
+    "serve.req.ingest.handle_ns.s1",
+    "serve.req.ingest.queue_ns.s0",
+    "serve.req.ingest.queue_ns.s1",
+    "serve.req.init.handle_ns.s0",
+    "serve.req.init.handle_ns.s1",
+    "serve.req.init.queue_ns.s0",
+    "serve.req.init.queue_ns.s1",
+    "serve.req.shutdown.handle_ns",
+    "serve.req.stats.handle_ns",
+];
+
+#[test]
+fn serve_stats_verb_schema_is_pinned() {
+    use ddn::prelude::*;
+    use ddn::serve::{serve, ServeClient, ServeConfig};
+
+    let handle = serve(&ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).unwrap();
+
+    // Drive one request through a shard so at least one histogram has a
+    // populated bucket whose entry shape we can pin.
+    let schema = ContextSchema::builder().categorical("g", 2).build();
+    let space = DecisionSpace::of(&["a", "b"]);
+    client
+        .init("golden", &schema, &space, &["ips"], "b", 0.0, None)
+        .unwrap();
+
+    let resp = client.server_stats(false).unwrap();
+    // Round-trip through the wire form, as consumers see it.
+    let resp = Json::parse(&resp.to_string()).unwrap();
+    let snap = resp.get("stats").expect("stats verb returns a snapshot");
+    assert_eq!(
+        keys(snap),
+        ["counters", "gauges", "histograms"],
+        "stats snapshot envelope changed"
+    );
+    assert_eq!(
+        keys(snap.get("counters").unwrap()),
+        GOLDEN_STATS_COUNTERS,
+        "stats counter key set changed"
+    );
+    assert_eq!(
+        keys(snap.get("gauges").unwrap()),
+        GOLDEN_STATS_GAUGES,
+        "stats gauge key set changed"
+    );
+    assert_eq!(
+        keys(snap.get("histograms").unwrap()),
+        GOLDEN_STATS_HISTOGRAMS,
+        "stats histogram key set changed"
+    );
+
+    // Every histogram entry has the pinned shape, and populated buckets
+    // carry exactly {le, count}.
+    for (name, hist) in snap.get("histograms").unwrap().as_object().unwrap() {
+        assert_eq!(keys(hist), ["count", "sum", "buckets"], "shape of {name}");
+        for bucket in hist.get("buckets").unwrap().as_array().unwrap() {
+            assert_eq!(keys(bucket), ["le", "count"], "bucket shape of {name}");
+        }
+    }
+    let init_total: u64 = (0..2)
+        .filter_map(|s| {
+            snap.get("histograms")
+                .unwrap()
+                .get(&format!("serve.req.init.handle_ns.s{s}"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64)
+        })
+        .sum();
+    assert_eq!(init_total, 1, "the init request landed in one shard");
+    handle.shutdown();
+}
+
 #[test]
 fn client_retry_counter_schema_is_pinned() {
     use ddn::prelude::*;
