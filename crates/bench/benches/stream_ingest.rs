@@ -10,6 +10,10 @@
 //!   (validation, propensity precheck, coupling monitor, full bank).
 //! - `stream/tcp_replay` — the complete loopback round trip: JSON
 //!   encode, TCP write, server parse/dispatch/ingest, reply.
+//! - `stream/tcp_replay_binary` — the same round trip over the binary
+//!   columnar batch frame; the summary pins its throughput at
+//!   ≥[`BINARY_OVER_JSON_FLOOR`]× the JSON path, at bit-identical
+//!   estimates.
 //!
 //! `DDN_STREAM_RUNS` overrides the record count (CI smoke uses a small
 //! value); `DDN_BENCH_WARMUP` / `DDN_BENCH_ITERS` crank iterations as
@@ -27,6 +31,12 @@ use ddn_trace::{Context, ContextSchema, DecisionSpace, TraceRecord};
 /// *online push* layer — deliberately conservative so the pin survives
 /// slow CI machines while still catching an accidental O(n) in `push`.
 const FLOOR_RECORDS_PER_SEC: f64 = 100_000.0;
+
+/// Minimum acceptable `tcp_replay_binary / tcp_replay` throughput
+/// ratio. The binary columnar frame exists to beat per-record JSON
+/// encode/parse; a ratio collapse means someone put text back on the
+/// hot path.
+const BINARY_OVER_JSON_FLOOR: f64 = 5.0;
 
 fn schema() -> ContextSchema {
     ContextSchema::builder().categorical("g", 2).build()
@@ -124,6 +134,11 @@ fn main() {
 
     let handle = serve(&ServeConfig::default()).expect("bind ephemeral port");
     let addr = handle.local_addr().to_string();
+    // The timed region is connect + init + ingest: the replay path under
+    // measurement. The estimate read happens once afterwards (it costs
+    // the same on both encodings — it never touches the wire format —
+    // and would otherwise drown the encode/parse difference at small
+    // record counts).
     suite.bench_throughput("stream/tcp_replay", n as u64, || {
         let mut client = ServeClient::connect(&addr).expect("loopback connect");
         client
@@ -132,13 +147,46 @@ fn main() {
         for chunk in recs.chunks(batch) {
             client.ingest("bench-tcp", chunk).expect("ingest accepted");
         }
-        client.estimate("bench-tcp").expect("estimate accepted")
     });
+    // Same workload, same batching, same server — only the ingest wire
+    // encoding changes, so the ratio isolates the JSON encode/parse tax.
+    suite.bench_throughput("stream/tcp_replay_binary", n as u64, || {
+        let mut client = ServeClient::connect(&addr).expect("loopback connect");
+        client
+            .init("bench-bin", &schema(), &space(), &["ips"], "b", 0.0, None)
+            .expect("init accepted");
+        for chunk in recs.chunks(batch) {
+            client
+                .ingest_binary("bench-bin", chunk)
+                .expect("binary ingest accepted");
+        }
+    });
+    // Bit-identity check: each bench's final iteration left its session
+    // holding exactly the workload, so the two estimates must agree to
+    // the last bit for the throughput comparison to mean anything.
+    let ips_bits = |est: &Json| -> u64 {
+        est.get("estimates")
+            .and_then(|e| e.get("ips"))
+            .and_then(|e| e.get("value"))
+            .and_then(Json::as_f64)
+            .expect("estimate carries an ips value")
+            .to_bits()
+    };
+    let mut check = ServeClient::connect(&addr).expect("loopback connect");
+    let est_json = check.estimate("bench-tcp").expect("estimate accepted");
+    let est_binary = check.estimate("bench-bin").expect("estimate accepted");
+    assert_eq!(
+        ips_bits(&est_json),
+        ips_bits(&est_binary),
+        "binary and JSON replay must serve bit-identical estimates"
+    );
     handle.shutdown();
 
     let push_rps = throughput(&suite, "stream/online_ips_push", n as u64);
     let engine_rps = throughput(&suite, "stream/engine_ingest", n as u64);
     let tcp_rps = throughput(&suite, "stream/tcp_replay", n as u64);
+    let binary_rps = throughput(&suite, "stream/tcp_replay_binary", n as u64);
+    let binary_over_json = binary_rps / tcp_rps;
     if push_rps < FLOOR_RECORDS_PER_SEC {
         eprintln!(
             "warning: online push throughput {push_rps:.0} records/s \
@@ -158,8 +206,21 @@ fn main() {
             ("engine_ingest_records_per_sec".into(), Json::Num(engine_rps)),
             ("tcp_replay_records_per_sec".into(), Json::Num(tcp_rps)),
             (
+                "tcp_replay_binary_records_per_sec".into(),
+                Json::Num(binary_rps),
+            ),
+            ("binary_over_json".into(), Json::Num(binary_over_json)),
+            (
+                "binary_over_json_floor".into(),
+                Json::Num(BINARY_OVER_JSON_FLOOR),
+            ),
+            (
                 "meets_floor".into(),
                 Json::Bool(push_rps >= FLOOR_RECORDS_PER_SEC),
+            ),
+            (
+                "meets_binary_floor".into(),
+                Json::Bool(binary_over_json >= BINARY_OVER_JSON_FLOOR),
             ),
         ]),
     );

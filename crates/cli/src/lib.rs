@@ -125,7 +125,8 @@ USAGE:
                [--failpoint <marker>]
   ddn replay-to <trace.jsonl> --addr <host:port> --decision <name>
                [--estimator ips|snips|clipped|dm|dr] [--session replay]
-               [--batch 256] [--model-value 0] [--window <n>] [--shutdown]
+               [--batch 256] [--model-value 0] [--window <n>] [--binary]
+               [--shutdown]
   ddn query    --addr <host:port> --session <name>
                [--estimator <name>] [--shutdown]
   ddn top      --addr <host:port> [--once] [--json] [--flight]
@@ -147,7 +148,9 @@ the bound address to stderr (and to --port-file, if given) and blocks
 until a client sends the shutdown verb. replay-to streams an existing
 JSONL trace into a running server without ever loading the whole file,
 then asks for the online estimate; with --shutdown it stops the server
-afterwards. With --data-dir, serve write-ahead-logs every state-bearing
+afterwards, and with --binary each batch travels as one binary columnar
+frame (DESIGN.md §14) instead of a JSON ingest line — same estimates,
+a fraction of the wire cost. With --data-dir, serve write-ahead-logs every state-bearing
 request and snapshots session state every --snapshot-every frames
 (DESIGN.md §12): restarting on the same directory recovers every session
 bit-identically. query reads the current estimate of an existing session
@@ -177,7 +180,7 @@ shard's flight recorder.
 ";
 
 /// Flags that stand alone (no value follows them).
-const BOOL_FLAGS: &[&str] = &["no-batch", "shutdown", "once", "json", "flight"];
+const BOOL_FLAGS: &[&str] = &["no-batch", "shutdown", "once", "json", "flight", "binary"];
 
 /// Parsed flag set (very small; hand-rolled on purpose — no CLI deps).
 struct Flags {
@@ -936,7 +939,11 @@ fn cmd_replay_to(args: &[String]) -> Result<String, CliError> {
         if chunk.is_empty() {
             break;
         }
-        client.ingest(session, &chunk).map_err(serve_err)?;
+        if flags.has("binary") {
+            client.ingest_binary(session, &chunk).map_err(serve_err)?;
+        } else {
+            client.ingest(session, &chunk).map_err(serve_err)?;
+        }
         sent += chunk.len();
     }
 
@@ -978,7 +985,14 @@ fn cmd_replay_to(args: &[String]) -> Result<String, CliError> {
             ));
         }
     }
-    out.push_str(&format!("streamed {sent} records\n"));
+    out.push_str(&format!(
+        "streamed {sent} records{}\n",
+        if flags.has("binary") {
+            " over binary frames"
+        } else {
+            ""
+        }
+    ));
     if flags.has("shutdown") {
         client.shutdown().map_err(serve_err)?;
         out.push_str("server shutdown requested\n");
@@ -1165,10 +1179,23 @@ fn render_top_table(
             fmt_ns(ddn_telemetry::quantile_from_le_buckets(buckets, q))
         }
     };
+    // A count below the previous poll's means the server restarted (its
+    // counters start over at zero). Deltas against the old baseline are
+    // meaningless for the whole frame — `saturating_sub` would quietly
+    // render 0.0 forever on busy verbs — so the frame shows no rates,
+    // marks itself reset, and this poll's counts become the new baseline.
+    let reset = match prev {
+        Some((before, _)) => rows.iter().any(|r| {
+            before
+                .get(&(r.verb.clone(), r.shard.clone()))
+                .is_some_and(|&was| was > r.count)
+        }),
+        None => false,
+    };
     for row in &rows {
         let key = (row.verb.clone(), row.shard.clone());
         let rate = match prev {
-            Some((before, dt)) if dt > 0.0 => {
+            Some((before, dt)) if dt > 0.0 && !reset => {
                 let was = before.get(&key).copied().unwrap_or(0);
                 format!("{:.1}", row.count.saturating_sub(was) as f64 / dt)
             }
@@ -1224,6 +1251,9 @@ fn render_top_table(
         counter("serve.dedup.replays"),
         counter("serve.fault.worker_restarts"),
     ));
+    if reset {
+        out.push_str("counters reset (server restarted); rates re-baseline next poll\n");
+    }
     (out, counts)
 }
 
@@ -2097,6 +2127,36 @@ mod tests {
         let bye = run(&args(&["top", "--addr", &addr, "--once", "--shutdown"])).unwrap();
         assert!(bye.contains("server shutdown requested"), "{bye}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn top_rates_rebaseline_after_a_counter_regression() {
+        let snap = |count: i64| {
+            Json::object(vec![(
+                "histograms",
+                Json::object(vec![(
+                    "serve.req.ingest.handle_ns.s0",
+                    Json::object(vec![
+                        ("count", Json::Int(count)),
+                        ("buckets", Json::Array(vec![])),
+                    ]),
+                )]),
+            )])
+        };
+        // Baseline poll: 100 requests seen so far.
+        let (_, counts) = render_top_table(&snap(100), None);
+        // The server restarts between polls, so its counters start over
+        // below the baseline. The frame must declare the reset instead
+        // of rendering a silent saturating 0.0 rate.
+        let (table, counts2) = render_top_table(&snap(5), Some((&counts, 1.0)));
+        assert!(table.contains("counters reset"), "{table}");
+        assert!(!table.contains("0.0"), "{table}");
+        // The regressed poll becomes the new baseline: the next delta is
+        // computed from 5, not from the pre-restart 100.
+        assert_eq!(counts2.get(&("ingest".into(), "s0".into())), Some(&5));
+        let (table, _) = render_top_table(&snap(25), Some((&counts2, 2.0)));
+        assert!(table.contains("10.0"), "{table}");
+        assert!(!table.contains("counters reset"), "{table}");
     }
 
     #[test]

@@ -220,19 +220,20 @@ impl ServeClient {
         Ok(())
     }
 
-    /// One wire-level attempt: write the request line, read the response
-    /// line against the deadline. Any failure drops the connection so the
-    /// next attempt re-dials. `id` is the request id the response must
-    /// echo (`None` for the degenerate non-object requests that cannot
-    /// carry one); a mismatch is a (retryable) protocol error, because a
-    /// response that answers some other request proves the connection's
-    /// framing can no longer be trusted.
-    fn try_once(&mut self, req: &Json, id: Option<&Json>) -> Result<Json, ClientError> {
+    /// One wire-level attempt: write the request bytes (a JSON line or a
+    /// binary batch frame — the response is a JSON line either way), read
+    /// the response line against the deadline. Any failure drops the
+    /// connection so the next attempt re-dials. `id` is the request id
+    /// the response must echo (`None` for the degenerate non-object
+    /// requests that cannot carry one); a mismatch is a (retryable)
+    /// protocol error, because a response that answers some other request
+    /// proves the connection's framing can no longer be trusted.
+    fn try_once_raw(&mut self, wire: &[u8], id: Option<&Json>) -> Result<Json, ClientError> {
         self.ensure_conn()?;
         let deadline = Instant::now() + self.config.read_timeout;
         let (writer, reader) = self.conn.as_mut().expect("ensure_conn succeeded");
         let result = (|| {
-            writeln!(writer, "{}", req.to_string())?;
+            writer.write_all(wire)?;
             writer.flush()?;
             Ok::<(), std::io::Error>(())
         })();
@@ -242,6 +243,7 @@ impl ServeClient {
         }
         let mut line = String::new();
         loop {
+            let polled_at = Instant::now();
             match reader.read_line(&mut line) {
                 Ok(0) => {
                     self.conn = None;
@@ -256,6 +258,15 @@ impl ServeClient {
                         self.conn = None;
                         self.stats.timeouts += 1;
                         return Err(ClientError::Timeout(self.config.read_timeout));
+                    }
+                    // A transport that reports WouldBlock immediately
+                    // (instead of honoring the READ_POLL timeout) must
+                    // wait explicitly, or this loop would spin a core
+                    // until the deadline. The guard keeps the normal
+                    // timed path — where the poll itself already slept
+                    // — free of extra latency.
+                    if polled_at.elapsed() < Duration::from_millis(1) {
+                        std::thread::sleep(Duration::from_millis(1));
                     }
                 }
                 Err(e) => {
@@ -312,6 +323,15 @@ impl ServeClient {
             req.clone()
         };
         let id = request_id(&req);
+        let wire = format!("{}\n", req.to_string()).into_bytes();
+        self.request_raw(&wire, id.as_ref())
+    }
+
+    /// The retry/backoff/latency loop shared by the JSON and binary
+    /// paths. `wire` is the exact bytes of one request — every retry
+    /// attempt re-sends them unchanged, which is what makes server-side
+    /// sequence deduplication sound for binary frames too.
+    fn request_raw(&mut self, wire: &[u8], id: Option<&Json>) -> Result<Json, ClientError> {
         let started = Instant::now();
         let record = |stats: &mut ClientStats| {
             let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
@@ -319,7 +339,7 @@ impl ServeClient {
         };
         let mut attempt: u32 = 0;
         loop {
-            match self.try_once(&req, id.as_ref()) {
+            match self.try_once_raw(wire, id) {
                 Ok(resp) => {
                     record(&mut self.stats);
                     return Ok(resp);
@@ -410,6 +430,35 @@ impl ServeClient {
         // The server consumes the sequence whenever it delivered a
         // verdict — positive or negative — so the client advances on
         // both. Only a transport-level failure leaves it unconsumed.
+        if matches!(result, Ok(_) | Err(ClientError::Server(_))) {
+            self.seqs.insert(session.to_string(), seq + 1);
+        }
+        result
+    }
+
+    /// Feeds a batch of records into a session over the binary columnar
+    /// frame (see [`crate::frame`]) instead of the JSON `ingest` verb.
+    /// Semantics are identical to [`ServeClient::ingest`] — the frame
+    /// carries the session's next sequence number and a request id the
+    /// JSON response must echo, and the frame is encoded exactly once so
+    /// every retry re-sends byte-identical wire data. Returns
+    /// [`ClientError::Protocol`] without touching the wire when the
+    /// batch cannot be encoded (ragged rows, mixed column kinds, or a
+    /// batch larger than the frame cap).
+    pub fn ingest_binary(
+        &mut self,
+        session: &str,
+        records: &[TraceRecord],
+    ) -> Result<Json, ClientError> {
+        let seq = *self.seqs.entry(session.to_string()).or_insert(0);
+        let id = self.next_id;
+        self.next_id += 1;
+        let wire = crate::frame::encode(session, records, Some(seq), Some(id))
+            .map_err(ClientError::Protocol)?;
+        let id_json = Json::Int(id as i64);
+        let result = self.request_raw(&wire, Some(&id_json));
+        // Same sequence contract as the JSON path: any delivered verdict
+        // consumed the sequence number on the server.
         if matches!(result, Ok(_) | Err(ClientError::Server(_))) {
             self.seqs.insert(session.to_string(), seq + 1);
         }

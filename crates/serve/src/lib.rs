@@ -11,10 +11,16 @@
 //!
 //! - [`protocol`] — the wire grammar (`init` / `ingest` / `estimate` /
 //!   `health` / `shutdown`) and request parsing.
+//! - [`frame`] — the length-prefixed binary columnar batch frame: the
+//!   high-throughput ingest encoding (contiguous little-endian columns)
+//!   that decodes to the same [`Request::Ingest`] as the JSON verb.
 //! - [`engine`] — sessions, estimator banks, and the online
 //!   [`CouplingMonitor`]; transport-independent and directly testable.
-//! - [`server`] — the sharded TCP front end: bounded ingest queues with
-//!   backpressure, per-connection error isolation, graceful shutdown.
+//! - [`server`] — the readiness-driven TCP front end: one epoll event
+//!   loop owning every connection, a small dispatcher pool, sharded
+//!   bounded ingest queues with backpressure, graceful shutdown.
+//! - [`eventloop`] — the zero-dependency epoll/eventfd layer (raw
+//!   syscalls; the only module in the workspace allowed `unsafe`).
 //! - [`client`] — a blocking client for `ddn replay-to` and tests, with
 //!   bounded retry, deterministic backoff, and per-request timeouts.
 //! - [`transport`] — the byte-stream abstraction both endpoints I/O
@@ -32,14 +38,19 @@
 //! exactly-once ingest contract, §12 for the durability subsystem
 //! (WAL format, snapshot cadence, recovery invariants, fsync policy),
 //! and §13 for the observability plane (request ids, the `stats` verb,
-//! metric naming, flight recorder, `ddn top`).
+//! metric naming, flight recorder, `ddn top`), and §14 for the
+//! readiness-driven event loop and the binary frame byte layout.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except `eventloop`, which needs raw
+// epoll/eventfd syscalls and carries its own file-level allow + audit.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod engine;
+pub mod eventloop;
 pub mod flightrec;
+pub mod frame;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
@@ -49,6 +60,7 @@ pub mod wal;
 pub use client::{ClientConfig, ClientError, ClientStats, ServeClient};
 pub use engine::{CouplingMonitor, Engine, Session};
 pub use flightrec::{flightrec_path, FlightEvent, FlightRecorder};
+pub use frame::{BinaryBatch, FRAME_MAGIC};
 pub use protocol::{InitSpec, PolicySpec, Request};
 pub use server::{serve, ServeConfig, ServerHandle, ServerStats};
 pub use snapshot::{read_snapshot, write_snapshot, RecoverReport, ShardDurability};

@@ -43,6 +43,17 @@
 //! Every response is `{"ok":true,...}` or `{"ok":false,"error":MSG}`.
 //! A malformed line never kills the connection: the server answers with
 //! an error object and keeps reading.
+//!
+//! ## Binary batch frames
+//!
+//! Alongside the JSON verbs, a connection may send an `ingest` as one
+//! length-prefixed binary columnar frame (magic byte `0xDB`, which can
+//! never open a JSON line). The frame decodes to exactly the same
+//! [`Request::Ingest`] — session, records, optional `seq` and `id` —
+//! and is answered by the same one-line JSON response. JSON stays the
+//! debug/compat protocol; the frame is the high-throughput encoding.
+//! Byte layout and invariants live in [`crate::frame`] and DESIGN.md
+//! §14.
 
 use ddn_stats::Json;
 use ddn_trace::{ContextSchema, DecisionSpace, TraceRecord};

@@ -1,18 +1,34 @@
-//! The TCP transport: acceptor, per-connection readers, and the sharded
-//! worker pool.
+//! The TCP transport: one readiness-driven event loop, a small
+//! dispatcher pool, and the sharded worker pool.
 //!
-//! ## Threading model
+//! ## Threading model (DESIGN.md §14)
 //!
 //! ```text
-//! acceptor ──spawn──▶ connection threads (one per client)
-//!                         │  parse line → Request
-//!                         │  hash(session) → shard
-//!                         ▼
-//!                bounded sync_channel (backpressure)
-//!                         │
-//!                         ▼
-//!                shard workers (own the sessions; no locks)
+//! event loop ──(complete requests)──▶ dispatchers (fixed pool)
+//!   │  epoll over listener,              │  parse JSON line or decode
+//!   │  every connection, and             │  binary frame → Request
+//!   │  a completion waker                │  hash(session) → shard
+//!   ▼                                    ▼
+//! accept / read / frame          bounded sync_channel (backpressure)
+//!   ▲                                    │
+//!   │                                    ▼
+//!   └──(responses via waker)──── shard workers (own the sessions)
 //! ```
+//!
+//! The event loop owns every socket: it accepts, reads, splits the byte
+//! stream into requests (newline-delimited JSON or length-prefixed
+//! binary frames), and writes responses — all nonblocking, so one
+//! thread holds ~100k idle connections at a few hundred bytes each
+//! instead of a stack per connection. Complete requests are handed to a
+//! fixed pool of dispatcher threads ([`ServeConfig::dispatchers`]) that
+//! do the parsing/decoding and the shard round-trip, then queue the
+//! response bytes back to the loop through an eventfd waker.
+//!
+//! Each connection is stop-and-wait: one request in flight at a time,
+//! responses written in request order. Pipelined bytes wait in the
+//! connection's input buffer. While a request is in flight the socket
+//! is deregistered from epoll entirely (a mere zero interest mask would
+//! still report `EPOLLHUP` and spin a level-triggered loop).
 //!
 //! Each session lives on exactly one shard (chosen by hashing its id), so
 //! session state needs no synchronization and requests for one session
@@ -26,55 +42,59 @@
 //! ## Backpressure
 //!
 //! Ingest queues are bounded ([`ServeConfig::queue_capacity`] messages
-//! per shard). A connection thread first tries a non-blocking send; when
-//! the shard's queue is full it counts a `serve.backpressure.stalls`
-//! event and falls back to a blocking send, which stalls *that client's*
-//! TCP stream (and eventually the client, via TCP flow control) without
-//! affecting other connections.
+//! per shard). A dispatcher first tries a non-blocking send; when the
+//! shard's queue is full it counts a `serve.backpressure.stalls` event
+//! and falls back to a blocking send, which stalls that dispatcher (and,
+//! through stop-and-wait, the client that sent the request) without
+//! affecting connections served by the other dispatchers.
 //!
 //! ## Fault isolation
 //!
-//! A connection that sends junk bytes, a torn line, or an oversized line
-//! gets an error response (or is dropped at EOF) without affecting other
-//! connections; such events count `serve.fault.conn_errors`. A shard
-//! worker that panics mid-request is caught ([`std::panic::catch_unwind`]
-//! around each message), the session whose request panicked is
-//! quarantined (its state may be half-applied), and the worker keeps
-//! serving its other sessions — the panic costs one session, not the
-//! server. Quarantined sessions answer every request with a `degraded`
-//! error (re-`init` lifts the quarantine) and show up in `health` under
-//! `serve/<session>/degraded`.
+//! A connection that sends junk bytes, a torn line or frame, or an
+//! oversized line gets an error response (or is dropped at EOF) without
+//! affecting other connections; such events count
+//! `serve.fault.conn_errors`. A shard worker that panics mid-request is
+//! caught ([`std::panic::catch_unwind`] around each message), the
+//! session whose request panicked is quarantined (its state may be
+//! half-applied), and the worker keeps serving its other sessions — the
+//! panic costs one session, not the server. Quarantined sessions answer
+//! every request with a `degraded` error (re-`init` lifts the
+//! quarantine) and show up in `health` under `serve/<session>/degraded`.
 //!
 //! ## Shutdown contract
 //!
 //! A `shutdown` verb (the SIGTERM-equivalent for this zero-dependency
-//! server) or [`ServerHandle::shutdown`] sets a flag, wakes the acceptor
-//! with a loopback connection, and answers in-flight requests. Connection
-//! threads notice the flag within one poll interval and close; workers
-//! drain their queues and exit once every connection is gone.
-//! [`ServerHandle::shutdown`] joins every thread — acceptor, workers,
-//! *and* connection threads — so when it returns the process holds no
-//! server state and no thread has leaked.
+//! server) or [`ServerHandle::shutdown`] sets a flag and wakes the
+//! event loop with a loopback connection. The loop stops accepting,
+//! closes idle connections, flushes in-flight responses, then exits;
+//! dropping its work channel stops the dispatchers, and dropping their
+//! shard senders stops the workers. [`ServerHandle::shutdown`] joins
+//! every thread — loop, dispatchers, and workers — so when it returns
+//! the process holds no server state and no thread or fd has leaked.
 
 use crate::engine::Engine;
+use crate::eventloop::{Epoll, Event, Waker, EPOLLIN, EPOLLOUT};
 use crate::flightrec::{flightrec_path, FlightRecorder};
+use crate::frame::{self, FRAME_MAGIC, FRAME_PREFIX_BYTES};
 use crate::protocol::{
     attach_id, error_response, ingest_request_json, ok_response, request_id, InitSpec, Request,
 };
 use crate::snapshot::{check_meta, RecoverReport, ShardDurability};
-use crate::transport::{IoStream, TcpTransport, Transport};
+use crate::transport::{TcpTransport, Transport};
+use crate::wal::MAX_FRAME_BYTES;
 use ddn_stats::Json;
 use ddn_telemetry::{Collector, Counter, Gauge, Histogram, Registry, TelemetrySnapshot};
 use ddn_trace::TraceRecord;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -93,8 +113,11 @@ pub struct ServeConfig {
     /// Bounded queue capacity per shard, in messages.
     pub queue_capacity: usize,
     /// Hard cap on one request line, in bytes; longer lines get an error
-    /// response and are discarded without buffering (anti-DoS).
+    /// response and are discarded without buffering (anti-DoS). Binary
+    /// frames are capped separately at the WAL frame limit (64 MiB).
     pub max_line_bytes: usize,
+    /// Dispatcher threads parsing requests and doing shard round-trips.
+    pub dispatchers: usize,
     /// Optional hook wrapping every accepted connection's transport
     /// (chaos tests inject faults here).
     pub wrap: Option<TransportWrap>,
@@ -126,6 +149,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("shards", &self.shards)
             .field("queue_capacity", &self.queue_capacity)
             .field("max_line_bytes", &self.max_line_bytes)
+            .field("dispatchers", &self.dispatchers)
             .field("wrap", &self.wrap.as_ref().map(|_| "<hook>"))
             .field("failpoint", &self.failpoint)
             .field("data_dir", &self.data_dir)
@@ -143,6 +167,7 @@ impl Default for ServeConfig {
             shards: 4,
             queue_capacity: 256,
             max_line_bytes: 1 << 20,
+            dispatchers: 2,
             wrap: None,
             failpoint: None,
             data_dir: None,
@@ -229,7 +254,7 @@ impl ServerStats {
         self.conn_active.load(Ordering::Relaxed)
     }
 
-    /// Times a connection found its shard queue full and had to block.
+    /// Times a dispatcher found its shard queue full and had to block.
     pub fn backpressure_stalls(&self) -> u64 {
         self.backpressure_stalls.get()
     }
@@ -245,8 +270,8 @@ impl ServerStats {
         self.dedup_replays.get()
     }
 
-    /// Connection-level faults survived: read/write errors, torn lines at
-    /// EOF, oversized lines.
+    /// Connection-level faults survived: read/write errors, torn lines or
+    /// frames at EOF, oversized lines, unframeable frames.
     pub fn fault_conn_errors(&self) -> u64 {
         self.fault_conn_errors.get()
     }
@@ -351,9 +376,8 @@ impl ServerStats {
     }
 }
 
-/// Messages a connection thread sends to a shard worker. Replies travel
-/// over a per-request channel so a slow shard never blocks writes for
-/// other connections.
+/// Messages a dispatcher sends to a shard worker. Replies travel over a
+/// per-request channel so a slow shard never blocks other dispatchers.
 enum ShardMsg {
     Init {
         spec: InitSpec,
@@ -365,6 +389,11 @@ enum ShardMsg {
         session: String,
         records: Vec<TraceRecord>,
         seq: Option<u64>,
+        /// The verbatim binary frame this batch arrived as, if it came
+        /// over the binary protocol: the WAL logs these bytes untouched
+        /// so crash-resume replays the exact frame (DESIGN.md §14).
+        /// `None` for JSON ingests, which log the canonical re-encoding.
+        raw: Option<Vec<u8>>,
         at: Instant,
         reply: Sender<Json>,
     },
@@ -492,9 +521,9 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
-    acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
+    dispatchers: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ServerHandle {
@@ -512,7 +541,7 @@ impl ServerHandle {
     /// with a client-sent `shutdown` verb (both paths set the same flag).
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor if it is parked in accept().
+        // Wake the event loop if it is parked in epoll_wait.
         let _ = TcpStream::connect(self.local_addr);
         self.join();
     }
@@ -521,14 +550,13 @@ impl ServerHandle {
     /// `shutdown` verb — then joins every thread. This is what
     /// `ddn serve` does after printing the bound address.
     pub fn join(mut self) {
-        if let Some(h) = self.acceptor.take() {
+        // The event loop exits once drained; dropping its work channel
+        // stops the dispatchers, and dropping their shard senders stops
+        // the workers — join in that dependency order.
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
-        // The acceptor is gone, so no new connection threads can appear;
-        // drain and join the ones that exist. They observe the shutdown
-        // flag within one poll interval.
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&self.conns));
-        for h in handles {
+        for h in self.dispatchers.drain(..) {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -537,26 +565,61 @@ impl ServerHandle {
     }
 }
 
-/// Locks a mutex, shrugging off poisoning: the guarded data here (thread
-/// handles, quarantine sets) stays valid even if some holder panicked.
+/// Locks a mutex, shrugging off poisoning: the guarded data here (the
+/// shared work-queue receiver) stays valid even if a holder panicked.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// How long a connection thread waits on a quiet socket before checking
-/// the shutdown flag.
+/// Fallback epoll timeout: how long the loop waits with no events
+/// before re-checking the shutdown flag (belt-and-braces — shutdown
+/// paths also wake the loop explicitly).
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
-/// Binds `config.addr` and starts the acceptor and shard workers.
+/// Epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Epoll token of the completion waker eventfd.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_CONN0: u64 = 2;
+
+/// One complete request the event loop framed off a connection, headed
+/// for a dispatcher.
+struct WorkItem {
+    conn_id: u64,
+    payload: Payload,
+}
+
+/// The two wire encodings a request can arrive in.
+enum Payload {
+    /// One newline-delimited JSON line (newline stripped).
+    Line(Vec<u8>),
+    /// One complete binary frame, magic through crc.
+    Frame(Vec<u8>),
+}
+
+/// A finished response headed back to the event loop for writing.
+struct Completion {
+    conn_id: u64,
+    /// The exact bytes to write (response JSON + `\n`).
+    bytes: Vec<u8>,
+    /// Close the connection after flushing (the `shutdown` ack).
+    close: bool,
+}
+
+/// Binds `config.addr` and starts the event loop, dispatchers, and
+/// shard workers. Any startup failure — bind, epoll/eventfd creation,
+/// thread spawn under resource exhaustion — returns an `io::Error`
+/// instead of panicking, so `ddn serve` exits 1 with a message.
 pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     assert!(config.shards > 0, "need at least one shard");
     assert!(config.queue_capacity > 0, "queue capacity must be positive");
     assert!(config.max_line_bytes > 0, "line cap must be positive");
+    assert!(config.dispatchers > 0, "need at least one dispatcher");
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
-    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
     // Crash-resume happens here, on the caller's thread, before any
     // traffic can arrive: each shard restores its snapshot and replays
@@ -591,7 +654,7 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         // Resolving the metric handles here (not in the worker) means
         // every shard's metric names are registered before serve()
         // returns, so the `stats` key set does not depend on which
-        // shards happen to receive traffic. (Connection-thread verbs
+        // shards happen to receive traffic. (Dispatcher-handled verbs
         // get the same treatment just below the shard loop.)
         let ctx = ShardCtx {
             shard: i,
@@ -600,17 +663,29 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
             flight_dir: config.data_dir.clone(),
             metrics: ShardMetrics::new(stats.registry(), i),
         };
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("ddn-serve-shard-{i}"))
-                .spawn(move || {
-                    shard_worker(rx, stats, failpoint, engine, poisoned, durability, ctx)
-                })
-                .expect("spawn shard worker"),
-        );
+        let spawned = std::thread::Builder::new()
+            .name(format!("ddn-serve-shard-{i}"))
+            .spawn(move || {
+                shard_worker(rx, stats, failpoint, engine, poisoned, durability, ctx)
+            });
+        match spawned {
+            Ok(h) => workers.push(h),
+            Err(e) => {
+                // Dropping `senders` disconnects the already-spawned
+                // workers' receive loops; they exit on their own.
+                drop(senders);
+                for h in workers {
+                    let _ = h.join();
+                }
+                return Err(std::io::Error::new(
+                    e.kind(),
+                    format!("cannot spawn shard worker {i}: {e}"),
+                ));
+            }
+        }
     }
 
-    // Eagerly register the connection-thread verbs too, so an idle
+    // Eagerly register the dispatcher-handled verbs too, so an idle
     // server and a busy one expose the same `stats` key set.
     for verb in ["health", "stats", "shutdown"] {
         stats.registry().counter(&format!("serve.req.{verb}"));
@@ -619,68 +694,682 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
             .histogram(&format!("serve.req.{verb}.handle_ns"));
     }
 
-    let acceptor = {
+    // All event-loop resources are created here, on the caller's
+    // thread, so their failures surface as io::Error from serve().
+    let cleanup = |senders: Vec<SyncSender<ShardMsg>>, workers: Vec<JoinHandle<()>>, e: std::io::Error| {
+        drop(senders);
+        for h in workers {
+            let _ = h.join();
+        }
+        e
+    };
+    macro_rules! try_startup {
+        ($expr:expr) => {
+            match $expr {
+                Ok(v) => v,
+                Err(e) => return Err(cleanup(senders, workers, e)),
+            }
+        };
+    }
+    let epoll = try_startup!(Epoll::new());
+    let waker = try_startup!(Waker::new());
+    try_startup!(listener.set_nonblocking(true));
+    try_startup!(epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN));
+    try_startup!(epoll.add(waker.raw(), TOKEN_WAKER, EPOLLIN));
+
+    let (work_tx, work_rx) = channel::<WorkItem>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let (done_tx, done_rx) = channel::<Completion>();
+
+    let mut dispatchers = Vec::with_capacity(config.dispatchers);
+    for d in 0..config.dispatchers {
+        let work_rx = Arc::clone(&work_rx);
+        let senders_d = senders.clone();
         let shutdown = Arc::clone(&shutdown);
         let stats = Arc::clone(&stats);
-        let conns = Arc::clone(&conns);
+        let done_tx_d = done_tx.clone();
+        let waker = waker.clone();
+        let trace = config.trace_requests;
+        let spawned = std::thread::Builder::new()
+            .name(format!("ddn-serve-dispatch-{d}"))
+            .spawn(move || {
+                dispatcher(
+                    work_rx, senders_d, shutdown, stats, local_addr, trace, done_tx_d, waker,
+                )
+            });
+        match spawned {
+            Ok(h) => dispatchers.push(h),
+            Err(e) => {
+                drop(work_tx);
+                drop(done_tx);
+                for h in dispatchers {
+                    let _ = h.join();
+                }
+                return Err(cleanup(
+                    senders,
+                    workers,
+                    std::io::Error::new(e.kind(), format!("cannot spawn dispatcher {d}: {e}")),
+                ));
+            }
+        }
+    }
+    drop(done_tx); // the loop's rx disconnects once every dispatcher exits
+
+    let event_loop = {
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
         let wrap = config.wrap.clone();
         let max_line_bytes = config.max_line_bytes;
-        let trace = config.trace_requests;
-        std::thread::Builder::new()
-            .name("ddn-serve-acceptor".to_string())
+        let spawned = std::thread::Builder::new()
+            .name("ddn-serve-loop".to_string())
             .spawn(move || {
-                for incoming in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = incoming else { continue };
-                    let mut transport: Box<dyn Transport> =
-                        Box::new(TcpTransport::new(stream));
-                    if let Some(wrap) = &wrap {
-                        transport = wrap(transport);
-                    }
-                    let senders = senders.clone();
-                    let shutdown = Arc::clone(&shutdown);
-                    let stats = Arc::clone(&stats);
-                    let addr = local_addr;
-                    let spawned = std::thread::Builder::new()
-                        .name("ddn-serve-conn".to_string())
-                        .spawn(move || {
-                            stats.conn_opened();
-                            handle_connection(
-                                transport,
-                                &senders,
-                                &shutdown,
-                                &stats,
-                                addr,
-                                max_line_bytes,
-                                trace,
-                            );
-                            stats.conn_closed();
-                        });
-                    if let Ok(handle) = spawned {
-                        let mut guard = lock(&conns);
-                        // Reap finished connections so the handle list
-                        // stays proportional to live connections, not to
-                        // total connections ever accepted.
-                        guard.retain(|h| !h.is_finished());
-                        guard.push(handle);
-                    }
+                event_loop(
+                    listener,
+                    epoll,
+                    waker,
+                    work_tx,
+                    done_rx,
+                    shutdown,
+                    stats,
+                    wrap,
+                    max_line_bytes,
+                )
+            });
+        match spawned {
+            Ok(h) => h,
+            Err(e) => {
+                // work_tx died with the failed closure; dispatchers and
+                // workers unwind through their disconnected channels.
+                for h in dispatchers {
+                    let _ = h.join();
                 }
-                // Dropping `senders` here lets workers exit once every
-                // connection thread has also dropped its clones.
-            })
-            .expect("spawn acceptor")
+                return Err(cleanup(
+                    senders,
+                    workers,
+                    std::io::Error::new(e.kind(), format!("cannot spawn event loop: {e}")),
+                ));
+            }
+        }
     };
 
     Ok(ServerHandle {
         local_addr,
         shutdown,
         stats,
-        acceptor: Some(acceptor),
+        event_loop: Some(event_loop),
+        dispatchers,
         workers,
-        conns,
     })
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    transport: Box<dyn Transport>,
+    fd: i32,
+    /// Bytes read but not yet framed into a request.
+    inbuf: Vec<u8>,
+    /// Response bytes not yet written, starting at `outpos`.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// A request from this connection is at a dispatcher; stop-and-wait
+    /// means no further framing until its completion arrives.
+    in_flight: bool,
+    /// The peer closed its write side; drain buffered requests, then
+    /// close.
+    eof: bool,
+    /// Close once `outbuf` drains (shutdown ack, unframeable input).
+    close_after_flush: bool,
+    /// Mid-discard of an oversized JSON line (bytes dropped up to the
+    /// next newline, then one error response).
+    overflow: bool,
+    /// Current epoll interest, `None` when deregistered (in flight).
+    interest: Option<u32>,
+}
+
+/// What `extract_request` found at the head of a connection's input.
+enum Extract {
+    /// Not enough bytes yet.
+    Need,
+    /// A complete request, off to a dispatcher.
+    Item(Payload),
+    /// A whitespace-only line: skipped, no response (keep extracting).
+    Skip,
+    /// An oversized JSON line finished discarding: error, keep conn.
+    OverflowedLine,
+    /// The frame layer is unrecoverable (bad declared length): error,
+    /// then close — the next request boundary is unknowable.
+    Unframeable(String),
+}
+
+/// Splits one request off the head of `inbuf`, advancing the buffer.
+///
+/// Mode detection is a 1-byte peek: 0xDB (the first magic byte, which
+/// no JSON line can start with) switches to binary framing; anything
+/// else is a newline-delimited JSON line. A 0xDB head whose next three
+/// bytes don't complete the magic falls back to the line path (it will
+/// produce a parse-error response at the next newline, like any junk).
+fn extract_request(conn: &mut Conn, max_line_bytes: usize) -> Extract {
+    if conn.overflow {
+        match conn.inbuf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                conn.inbuf.drain(..=i);
+                conn.overflow = false;
+                return Extract::OverflowedLine;
+            }
+            None => {
+                conn.inbuf.clear();
+                return Extract::Need;
+            }
+        }
+    }
+    if conn.inbuf.first() == Some(&FRAME_MAGIC[0]) {
+        if conn.inbuf.len() < 4 {
+            return Extract::Need;
+        }
+        if conn.inbuf[..4] == FRAME_MAGIC {
+            if conn.inbuf.len() < FRAME_PREFIX_BYTES {
+                return Extract::Need;
+            }
+            let body_len =
+                u32::from_le_bytes(conn.inbuf[4..8].try_into().expect("4 bytes")) as usize;
+            let total = FRAME_PREFIX_BYTES + body_len + frame::FRAME_CRC_BYTES;
+            if total > MAX_FRAME_BYTES {
+                return Extract::Unframeable(format!(
+                    "binary frame declares {body_len} body bytes, exceeding the \
+                     {MAX_FRAME_BYTES}-byte frame cap"
+                ));
+            }
+            if conn.inbuf.len() < total {
+                return Extract::Need;
+            }
+            let bytes: Vec<u8> = conn.inbuf.drain(..total).collect();
+            return Extract::Item(Payload::Frame(bytes));
+        }
+    }
+    match conn.inbuf.iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            if i > max_line_bytes {
+                // The cap applies even when the terminator has already
+                // arrived: an oversized line is rejected by size, never
+                // parsed.
+                conn.inbuf.drain(..=i);
+                return Extract::OverflowedLine;
+            }
+            let line: Vec<u8> = conn.inbuf.drain(..=i).take(i).collect();
+            // Junk bytes are tolerated: lossy decoding plus parse errors
+            // produce an error response, never a dropped connection — but
+            // whitespace-only lines get no response at all.
+            if String::from_utf8_lossy(&line).trim().is_empty() {
+                Extract::Skip
+            } else {
+                Extract::Item(Payload::Line(line))
+            }
+        }
+        None => {
+            if conn.inbuf.len() > max_line_bytes {
+                // Stop buffering; discard until the newline so the
+                // connection can continue with the next request.
+                conn.inbuf.clear();
+                conn.overflow = true;
+            }
+            Extract::Need
+        }
+    }
+}
+
+/// Why a connection was closed, for fault accounting.
+enum CloseReason {
+    /// Clean EOF or an orderly close; no fault counted.
+    Clean,
+    /// Torn input, socket error, or unframeable bytes.
+    Fault,
+}
+
+/// Drives one connection as far as it can go without blocking: flush
+/// pending output, then frame and dispatch requests (stop-and-wait),
+/// then settle the epoll interest. Returns `Some(reason)` when the
+/// connection should be closed and removed.
+#[allow(clippy::too_many_arguments)]
+fn pump_conn(
+    conn: &mut Conn,
+    token: u64,
+    epoll: &Epoll,
+    work_tx: &Sender<WorkItem>,
+    stats: &ServerStats,
+    max_line_bytes: usize,
+    draining: bool,
+) -> Option<CloseReason> {
+    loop {
+        // 1. Flush whatever output is pending.
+        while conn.outpos < conn.outbuf.len() {
+            match conn.transport.write(&conn.outbuf[conn.outpos..]) {
+                Ok(0) => return Some(CloseReason::Fault),
+                Ok(n) => conn.outpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    set_interest(conn, token, epoll, Some(EPOLLOUT));
+                    return None;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Some(CloseReason::Fault),
+            }
+        }
+        conn.outbuf.clear();
+        conn.outpos = 0;
+        if conn.close_after_flush {
+            return Some(CloseReason::Clean);
+        }
+
+        // 2. Stop-and-wait: while a request is at a dispatcher, this
+        // connection is deregistered from epoll entirely (a zero
+        // interest mask would still surface EPOLLHUP and spin).
+        if conn.in_flight {
+            set_interest(conn, token, epoll, None);
+            return None;
+        }
+
+        // 3. Frame the next request off the input buffer.
+        match extract_request(conn, max_line_bytes) {
+            Extract::Skip => continue,
+            Extract::Item(payload) => {
+                conn.in_flight = true;
+                if work_tx
+                    .send(WorkItem {
+                        conn_id: token,
+                        payload,
+                    })
+                    .is_err()
+                {
+                    // Dispatchers are gone: the server is stopping.
+                    return Some(CloseReason::Clean);
+                }
+            }
+            Extract::OverflowedLine => {
+                stats.fault_conn_errors.inc();
+                push_response(
+                    conn,
+                    &error_response(&format!("request line exceeds {max_line_bytes} bytes")),
+                );
+            }
+            Extract::Unframeable(msg) => {
+                stats.fault_conn_errors.inc();
+                push_response(conn, &error_response(&msg));
+                conn.close_after_flush = true;
+            }
+            Extract::Need => {
+                if conn.eof {
+                    // The peer died mid-line or mid-frame; the partial
+                    // request is dropped (it was never acknowledged).
+                    return Some(if !conn.inbuf.is_empty() || conn.overflow {
+                        CloseReason::Fault
+                    } else {
+                        CloseReason::Clean
+                    });
+                }
+                if draining {
+                    // Shutdown: idle connections close now instead of
+                    // waiting for more requests.
+                    return Some(CloseReason::Clean);
+                }
+                set_interest(conn, token, epoll, Some(EPOLLIN));
+                return None;
+            }
+        }
+    }
+}
+
+/// Appends one response (JSON + newline) to a connection's output
+/// buffer — the exact byte stream `writeln!` produced in the
+/// thread-per-connection server, which chaos byte-offset plans pin.
+fn push_response(conn: &mut Conn, resp: &Json) {
+    conn.outbuf.extend_from_slice(resp.to_string().as_bytes());
+    conn.outbuf.push(b'\n');
+}
+
+/// Reconciles a connection's epoll registration with the interest it
+/// needs right now (`None` = deregistered).
+fn set_interest(conn: &mut Conn, token: u64, epoll: &Epoll, want: Option<u32>) {
+    match (conn.interest, want) {
+        (None, None) => {}
+        (Some(cur), Some(ev)) if cur == ev => {}
+        (None, Some(ev)) => {
+            if epoll.add(conn.fd, token, ev).is_ok() {
+                conn.interest = Some(ev);
+            }
+        }
+        (Some(_), Some(ev)) => {
+            if epoll.modify(conn.fd, token, ev).is_ok() {
+                conn.interest = Some(ev);
+            }
+        }
+        (Some(_), None) => {
+            let _ = epoll.del(conn.fd);
+            conn.interest = None;
+        }
+    }
+}
+
+/// Reads everything currently available on a connection. Returns
+/// `Some(CloseReason::Fault)` on a socket error; EOF is recorded on the
+/// conn (buffered requests still get served) rather than returned.
+fn conn_read(conn: &mut Conn) -> Option<CloseReason> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match conn.transport.read(&mut buf) {
+            Ok(0) => {
+                conn.eof = true;
+                return None;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&buf[..n]);
+                if n < buf.len() {
+                    // Short read: the socket is drained for now.
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return None,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Socket-level failure (injected or real): this connection
+            // is over, the server is not.
+            Err(_) => return Some(CloseReason::Fault),
+        }
+    }
+}
+
+/// The event loop: owns the listener, the epoll instance, and every
+/// connection. Never blocks on a socket; blocks only in `epoll_wait`.
+#[allow(clippy::too_many_arguments)]
+fn event_loop(
+    listener: TcpListener,
+    epoll: Epoll,
+    waker: Waker,
+    work_tx: Sender<WorkItem>,
+    done_rx: Receiver<Completion>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    wrap: Option<TransportWrap>,
+    max_line_bytes: usize,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = TOKEN_CONN0;
+    let mut events: Vec<Event> = Vec::new();
+    let mut draining = false;
+
+    let close = |conn: &mut Conn, epoll: &Epoll, stats: &ServerStats, reason: CloseReason| {
+        if let CloseReason::Fault = reason {
+            stats.fault_conn_errors.inc();
+        }
+        if conn.interest.is_some() {
+            let _ = epoll.del(conn.fd);
+            conn.interest = None;
+        }
+        stats.conn_closed();
+        // Dropping the transport (by the caller removing the conn)
+        // closes the socket fd.
+    };
+
+    loop {
+        // Apply finished responses first: they free connections to
+        // either flush + continue or close.
+        while let Ok(done) = done_rx.try_recv() {
+            let Some(conn) = conns.get_mut(&done.conn_id) else {
+                continue; // connection died while its request was in flight
+            };
+            conn.in_flight = false;
+            conn.outbuf.extend_from_slice(&done.bytes);
+            if done.close {
+                conn.close_after_flush = true;
+            }
+            if let Some(reason) = pump_conn(
+                conn,
+                done.conn_id,
+                &epoll,
+                &work_tx,
+                &stats,
+                max_line_bytes,
+                draining,
+            ) {
+                let mut conn = conns.remove(&done.conn_id).expect("conn exists");
+                close(&mut conn, &epoll, &stats, reason);
+            }
+        }
+
+        if !draining && shutdown.load(Ordering::SeqCst) {
+            draining = true;
+            // Stop accepting: deregister the listener (a level-triggered
+            // backlog would otherwise spin the loop). It closes — RSTing
+            // any queued connects — when the loop exits and drops it.
+            let _ = epoll.del(listener.as_raw_fd());
+            // Close every idle connection now; in-flight ones finish
+            // their response first (pump_conn closes them via `draining`).
+            let idle: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| !c.in_flight && c.outpos >= c.outbuf.len())
+                .map(|(t, _)| *t)
+                .collect();
+            for token in idle {
+                let mut conn = conns.remove(&token).expect("conn exists");
+                close(&mut conn, &epoll, &stats, CloseReason::Clean);
+            }
+        }
+        if draining && conns.is_empty() {
+            break;
+        }
+
+        events.clear();
+        if epoll
+            .wait(&mut events, POLL_INTERVAL.as_millis() as i32)
+            .is_err()
+        {
+            // epoll itself failing is unrecoverable for the loop; treat
+            // it as shutdown so the process can exit cleanly.
+            shutdown.store(true, Ordering::SeqCst);
+            continue;
+        }
+
+        for ev in &events {
+            match ev.token {
+                TOKEN_WAKER => waker.drain(),
+                TOKEN_LISTENER => {
+                    if draining {
+                        continue;
+                    }
+                    accept_ready(
+                        &listener,
+                        &wrap,
+                        &epoll,
+                        &mut conns,
+                        &mut next_token,
+                        &stats,
+                    );
+                }
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue; // stale event for a closed conn
+                    };
+                    // Reading only when read-interested keeps the fault
+                    // injector's byte-offset cursor aligned with the
+                    // request stream.
+                    let read_err = if conn.interest == Some(EPOLLIN) {
+                        conn_read(conn)
+                    } else {
+                        None
+                    };
+                    let reason = read_err.or_else(|| {
+                        pump_conn(
+                            conn,
+                            token,
+                            &epoll,
+                            &work_tx,
+                            &stats,
+                            max_line_bytes,
+                            draining,
+                        )
+                    });
+                    if let Some(reason) = reason {
+                        let mut conn = conns.remove(&token).expect("conn exists");
+                        close(&mut conn, &epoll, &stats, reason);
+                    }
+                }
+            }
+        }
+    }
+    // Loop exit: dropping work_tx stops the dispatchers, whose shard
+    // senders then drop and stop the workers. The listener, epoll fd,
+    // waker ref, and any remaining sockets close here with their owners.
+}
+
+/// Accepts every connection currently queued on the (nonblocking)
+/// listener and registers each with the event loop.
+fn accept_ready(
+    listener: &TcpListener,
+    wrap: &Option<TransportWrap>,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    stats: &ServerStats,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            // Transient per-connection accept failures (e.g. the peer
+            // aborted while queued): the listener stays healthy, and
+            // level-triggered epoll re-reports any remaining backlog.
+            Err(_) => return,
+        };
+        let mut transport: Box<dyn Transport> = Box::new(TcpTransport::new(stream));
+        if let Some(wrap) = wrap {
+            transport = wrap(transport);
+        }
+        if transport.set_nonblocking(true).is_err() {
+            continue;
+        }
+        // A transport without an fd cannot be readiness-driven; no
+        // production or test transport is fd-less, so just drop it.
+        let Some(fd) = transport.raw_fd() else {
+            continue;
+        };
+        let token = *next_token;
+        *next_token += 1;
+        let mut conn = Conn {
+            transport,
+            fd,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            in_flight: false,
+            eof: false,
+            close_after_flush: false,
+            overflow: false,
+            interest: None,
+        };
+        if epoll.add(fd, token, EPOLLIN).is_err() {
+            continue;
+        }
+        conn.interest = Some(EPOLLIN);
+        stats.conn_opened();
+        conns.insert(token, conn);
+    }
+}
+
+/// A dispatcher thread: pulls framed requests off the shared queue,
+/// parses/decodes them, does the shard round-trip, and hands the
+/// response bytes back to the event loop.
+#[allow(clippy::too_many_arguments)]
+fn dispatcher(
+    work_rx: Arc<Mutex<Receiver<WorkItem>>>,
+    senders: Vec<SyncSender<ShardMsg>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    local_addr: SocketAddr,
+    trace: bool,
+    done_tx: Sender<Completion>,
+    waker: Waker,
+) {
+    loop {
+        // Hold the lock only for the recv itself, so dispatchers take
+        // work items one at a time without serializing the handling.
+        let item = lock(&work_rx).recv();
+        let Ok(item) = item else {
+            return; // event loop exited and dropped the work channel
+        };
+        let (resp, close) = match item.payload {
+            Payload::Line(line) => {
+                process_line(&line, &senders, &shutdown, &stats, local_addr, trace)
+            }
+            Payload::Frame(bytes) => {
+                process_frame(bytes, &senders, &shutdown, &stats, local_addr, trace)
+            }
+        };
+        let mut bytes = resp.to_string().into_bytes();
+        bytes.push(b'\n');
+        if done_tx
+            .send(Completion {
+                conn_id: item.conn_id,
+                bytes,
+                close,
+            })
+            .is_err()
+        {
+            return;
+        }
+        waker.wake();
+    }
+}
+
+/// Handles one JSON request line: parse, dispatch, echo the id.
+fn process_line(
+    line: &[u8],
+    senders: &[SyncSender<ShardMsg>],
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    local_addr: SocketAddr,
+    trace: bool,
+) -> (Json, bool) {
+    let text = String::from_utf8_lossy(line);
+    match Json::parse(text.trim()) {
+        Ok(v) => {
+            // The id is extracted before verb validation so even an
+            // error response for a malformed request echoes it — the
+            // client can always correlate.
+            let id = request_id(&v);
+            let (resp, close) = match Request::from_json(&v) {
+                Ok(req) => dispatch(req, None, senders, shutdown, stats, local_addr, trace),
+                Err(e) => (error_response(&e), false),
+            };
+            (attach_id(resp, id), close)
+        }
+        Err(e) => (error_response(&format!("bad JSON: {e}")), false),
+    }
+}
+
+/// Handles one complete binary frame: decode, dispatch as an ingest,
+/// echo the frame's integer id. A frame that fails decoding (crc
+/// mismatch, malformed body) gets an error response but keeps the
+/// connection — the length prefix already located the next request
+/// boundary, exactly like a bad JSON line.
+fn process_frame(
+    bytes: Vec<u8>,
+    senders: &[SyncSender<ShardMsg>],
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    local_addr: SocketAddr,
+    trace: bool,
+) -> (Json, bool) {
+    match frame::decode(&bytes) {
+        Ok(batch) => {
+            let id = batch.id.map(|i| Json::Int(i as i64));
+            let req = Request::Ingest {
+                session: batch.session,
+                records: batch.records,
+                seq: batch.seq,
+            };
+            let (resp, close) =
+                dispatch(req, Some(bytes), senders, shutdown, stats, local_addr, trace);
+            (attach_id(resp, id), close)
+        }
+        Err(e) => (error_response(&format!("bad frame: {e}")), false),
+    }
 }
 
 fn degraded_response(session: &str) -> Json {
@@ -689,18 +1378,19 @@ fn degraded_response(session: &str) -> Json {
     ))
 }
 
-/// Write-ahead-logs one request line, updating the WAL counters.
-/// `Ok(())` with no durability configured. On an I/O error the request
-/// MUST NOT be applied (the ack would describe state a restart loses);
-/// the caller returns the error to the client instead.
+/// Write-ahead-logs one request payload (a JSON line or a verbatim
+/// binary frame), updating the WAL counters. `Ok(())` with no
+/// durability configured. On an I/O error the request MUST NOT be
+/// applied (the ack would describe state a restart loses); the caller
+/// returns the error to the client instead.
 fn wal_log(
     durability: &mut Option<ShardDurability>,
     stats: &ServerStats,
     wal_lag: &Gauge,
-    line: &str,
+    payload: &[u8],
 ) -> std::io::Result<()> {
     if let Some(d) = durability {
-        let bytes = d.log_request(line)?;
+        let bytes = d.log_request(payload)?;
         stats.wal_frames.inc();
         stats.wal_bytes.add(bytes as u64);
         // Set at log time (not rotation time) so the gauge is settled
@@ -757,7 +1447,7 @@ fn shard_worker(
                     &mut durability,
                     &stats,
                     &ctx.metrics.wal_lag,
-                    &spec.to_json().to_string(),
+                    spec.to_json().to_string().as_bytes(),
                 ) {
                     observe_request(
                         &ctx, &mut flight, &ctx.metrics.init, "init", &session, None, 0,
@@ -782,6 +1472,7 @@ fn shard_worker(
                 session,
                 records,
                 seq,
+                raw,
                 at,
                 reply,
             } => {
@@ -798,9 +1489,17 @@ fn shard_worker(
                 // Write-ahead of the verdict, whatever it turns out to be:
                 // even a rejected sequenced batch consumes its sequence
                 // number, so replay must reproduce the rejection or
-                // recovery would desynchronize the dedup window.
-                let line = ingest_request_json(&session, &records, seq).to_string();
-                if let Err(e) = wal_log(&mut durability, &stats, &ctx.metrics.wal_lag, &line)
+                // recovery would desynchronize the dedup window. Binary
+                // batches log the client's frame bytes verbatim; JSON
+                // batches log the canonical re-encoding.
+                let payload = match &raw {
+                    Some(frame_bytes) => frame_bytes.clone(),
+                    None => ingest_request_json(&session, &records, seq)
+                        .to_string()
+                        .into_bytes(),
+                };
+                if let Err(e) =
+                    wal_log(&mut durability, &stats, &ctx.metrics.wal_lag, &payload)
                 {
                     observe_request(
                         &ctx, &mut flight, &ctx.metrics.ingest, "ingest", &session, seq,
@@ -912,7 +1611,7 @@ fn shard_of(session: &str, shards: usize) -> usize {
 
 /// Sends to a shard with backpressure accounting: non-blocking first;
 /// on a full queue counts a stall and blocks (stalling only this
-/// connection).
+/// dispatcher and, through stop-and-wait, its requesting client).
 fn send_with_backpressure(
     tx: &SyncSender<ShardMsg>,
     msg: ShardMsg,
@@ -934,7 +1633,7 @@ fn send_with_backpressure(
     }
 }
 
-/// Counts (and, when tracing, times) a verb handled on the connection
+/// Counts (and, when tracing, times) a verb handled on the dispatcher
 /// thread itself — `health`, `stats`, `shutdown`. These are rare, so
 /// the per-call registry lookup is fine; the histogram name carries no
 /// shard suffix because no shard was involved.
@@ -948,16 +1647,18 @@ fn record_conn_verb(stats: &ServerStats, verb: &str, trace: bool, started: Insta
 }
 
 /// Routes one parsed request and returns the response to write, plus
-/// whether to close the connection after replying.
+/// whether to close the connection after replying. `raw` carries the
+/// verbatim binary frame for binary ingests (WAL-logged untouched).
 fn dispatch(
     req: Request,
+    raw: Option<Vec<u8>>,
     senders: &[SyncSender<ShardMsg>],
     shutdown: &AtomicBool,
     stats: &ServerStats,
     local_addr: SocketAddr,
     trace: bool,
 ) -> (Json, bool) {
-    // Enqueue time for shard verbs; handler start for conn-thread verbs.
+    // Enqueue time for shard verbs; handler start for dispatcher verbs.
     let at = Instant::now();
     // Round-trips one message to a shard and waits for its reply.
     let ask = |shard: usize, msg: ShardMsg, rx: Receiver<Json>| -> Json {
@@ -989,6 +1690,7 @@ fn dispatch(
                 session,
                 records,
                 seq,
+                raw,
                 at,
                 reply: tx,
             };
@@ -1054,177 +1756,13 @@ fn dispatch(
         }
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
-            // Wake the acceptor so it observes the flag.
+            // Wake the event loop so it observes the flag.
             let _ = TcpStream::connect(local_addr);
             record_conn_verb(stats, "shutdown", trace, at);
             (
                 ok_response(vec![("shutting_down", Json::Bool(true))]),
                 true,
             )
-        }
-    }
-}
-
-/// Outcome of one bounded line read.
-enum LineRead {
-    /// A complete line is in the buffer (newline stripped).
-    Line,
-    /// The line exceeded the cap; its bytes were discarded up to the
-    /// newline and the buffer is empty.
-    Overflow,
-    /// The peer closed; `torn` means it closed mid-line (bytes arrived
-    /// after the last newline).
-    Eof { torn: bool },
-    /// The server is shutting down.
-    Shutdown,
-}
-
-/// Reads one `\n`-terminated line of at most `max` bytes into `line`,
-/// byte-wise (arbitrary junk, including invalid UTF-8, is fine). Handles
-/// the read-timeout poll against the shutdown flag internally so the
-/// oversized-discard state survives quiet periods.
-fn read_bounded_line<R: BufRead>(
-    reader: &mut R,
-    line: &mut Vec<u8>,
-    max: usize,
-    shutdown: &AtomicBool,
-) -> std::io::Result<LineRead> {
-    line.clear();
-    let mut overflow = false;
-    loop {
-        let (found_newline, used) = {
-            let buf = match reader.fill_buf() {
-                Ok(buf) => buf,
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock
-                        || e.kind() == ErrorKind::TimedOut =>
-                {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return Ok(LineRead::Shutdown);
-                    }
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            if buf.is_empty() {
-                return Ok(LineRead::Eof {
-                    torn: !line.is_empty() || overflow,
-                });
-            }
-            match buf.iter().position(|&b| b == b'\n') {
-                Some(i) => {
-                    if !overflow {
-                        line.extend_from_slice(&buf[..i]);
-                    }
-                    (true, i + 1)
-                }
-                None => {
-                    if !overflow {
-                        line.extend_from_slice(buf);
-                    }
-                    (false, buf.len())
-                }
-            }
-        };
-        reader.consume(used);
-        if line.len() > max {
-            // Stop buffering; keep consuming until the newline so the
-            // connection can continue with the next request.
-            overflow = true;
-            line.clear();
-        }
-        if found_newline {
-            return Ok(if overflow {
-                LineRead::Overflow
-            } else {
-                LineRead::Line
-            });
-        }
-    }
-}
-
-fn handle_connection(
-    transport: Box<dyn Transport>,
-    senders: &[SyncSender<ShardMsg>],
-    shutdown: &AtomicBool,
-    stats: &ServerStats,
-    local_addr: SocketAddr,
-    max_line_bytes: usize,
-    trace: bool,
-) {
-    // A finite read timeout lets the thread notice shutdown while the
-    // client is idle; partial reads accumulate in `line` across timeouts,
-    // so no bytes are lost.
-    let _ = transport.set_read_timeout(Some(POLL_INTERVAL));
-    let Ok(write_half) = transport.try_clone_transport() else {
-        return;
-    };
-    let mut writer = IoStream(write_half);
-    let mut reader = BufReader::new(IoStream(transport));
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        let outcome = match read_bounded_line(&mut reader, &mut line, max_line_bytes, shutdown)
-        {
-            Ok(outcome) => outcome,
-            Err(_) => {
-                // Socket-level failure (injected or real): this
-                // connection is over, the server is not.
-                stats.fault_conn_errors.inc();
-                break;
-            }
-        };
-        let (resp, close) = match outcome {
-            LineRead::Shutdown => break,
-            LineRead::Eof { torn } => {
-                if torn {
-                    // The peer died mid-line; the partial request is
-                    // dropped (it was never acknowledged).
-                    stats.fault_conn_errors.inc();
-                }
-                break;
-            }
-            LineRead::Overflow => {
-                stats.fault_conn_errors.inc();
-                (
-                    error_response(&format!(
-                        "request line exceeds {max_line_bytes} bytes"
-                    )),
-                    false,
-                )
-            }
-            LineRead::Line => {
-                // Junk bytes are tolerated: lossy decoding plus parse
-                // errors produce an error response, never a dropped
-                // connection or a dead server.
-                let text = String::from_utf8_lossy(&line);
-                let trimmed = text.trim();
-                if trimmed.is_empty() {
-                    continue;
-                }
-                match Json::parse(trimmed) {
-                    Ok(v) => {
-                        // The id is extracted before verb validation so
-                        // even an error response for a malformed request
-                        // echoes it — the client can always correlate.
-                        let id = request_id(&v);
-                        let (resp, close) = match Request::from_json(&v) {
-                            Ok(req) => {
-                                dispatch(req, senders, shutdown, stats, local_addr, trace)
-                            }
-                            Err(e) => (error_response(&e), false),
-                        };
-                        (attach_id(resp, id), close)
-                    }
-                    Err(e) => (error_response(&format!("bad JSON: {e}")), false),
-                }
-            }
-        };
-        if writeln!(writer, "{}", resp.to_string()).is_err() {
-            stats.fault_conn_errors.inc();
-            break;
-        }
-        if close {
-            break;
         }
     }
 }

@@ -285,11 +285,27 @@ impl ShardDurability {
                 continue;
             }
             max_id = frame.id;
-            let Ok(text) = std::str::from_utf8(&frame.payload) else {
-                continue;
-            };
-            let Ok(req) = Request::parse(text) else {
-                continue;
+            // Binary batch frames are logged verbatim (magic byte first);
+            // everything else is a JSON request line. Either way a payload
+            // that no longer decodes is skipped, not fatal: the WAL is a
+            // redo log, and an undecodable frame cannot have been applied.
+            let req = if frame.payload.first() == Some(&crate::frame::FRAME_MAGIC[0]) {
+                match crate::frame::decode(&frame.payload) {
+                    Ok(batch) => Request::Ingest {
+                        session: batch.session,
+                        records: batch.records,
+                        seq: batch.seq,
+                    },
+                    Err(_) => continue,
+                }
+            } else {
+                let Ok(text) = std::str::from_utf8(&frame.payload) else {
+                    continue;
+                };
+                let Ok(req) = Request::parse(text) else {
+                    continue;
+                };
+                req
             };
             replay_request(req, failpoint, engine, poisoned);
             report.frames_replayed += 1;
@@ -312,11 +328,14 @@ impl ShardDurability {
         ))
     }
 
-    /// Appends one request line to the WAL, write-ahead of applying it.
-    /// Returns the bytes appended (frame header included).
-    pub fn log_request(&mut self, line: &str) -> io::Result<usize> {
+    /// Appends one request payload to the WAL, write-ahead of applying
+    /// it. The payload is either a canonical JSON request line or a
+    /// verbatim binary batch frame — recovery distinguishes the two by
+    /// the leading magic byte. Returns the bytes appended (frame header
+    /// included).
+    pub fn log_request(&mut self, payload: &[u8]) -> io::Result<usize> {
         let before = self.wal.bytes_written();
-        self.wal.append(line.as_bytes())?;
+        self.wal.append(payload)?;
         self.frames_since_snapshot += 1;
         Ok((self.wal.bytes_written() - before) as usize)
     }

@@ -34,6 +34,15 @@ pub trait Transport: Send {
     fn flush(&mut self) -> io::Result<()>;
     /// Sets the blocking-read timeout (`None` = block forever).
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+    /// Switches the underlying stream between blocking and nonblocking
+    /// mode. The readiness-driven server puts every accepted transport
+    /// into nonblocking mode before registering it with epoll.
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
+    /// The underlying OS file descriptor, if this transport has one —
+    /// what the event loop registers with epoll. Wrappers delegate to
+    /// their inner transport; a transport with no fd (none exist today)
+    /// would return `None` and cannot be served by the event loop.
+    fn raw_fd(&self) -> Option<i32>;
     /// Clones the transport into a second handle over the same stream
     /// (for split read/write halves).
     fn try_clone_transport(&self) -> io::Result<Box<dyn Transport>>;
@@ -74,6 +83,15 @@ impl Transport for TcpTransport {
 
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         self.stream.set_read_timeout(dur)
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.stream.set_nonblocking(nonblocking)
+    }
+
+    fn raw_fd(&self) -> Option<i32> {
+        use std::os::fd::AsRawFd;
+        Some(self.stream.as_raw_fd())
     }
 
     fn try_clone_transport(&self) -> io::Result<Box<dyn Transport>> {
@@ -209,6 +227,17 @@ impl Transport for FaultyTransport {
 
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         self.inner.set_read_timeout(dur)
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.inner.set_nonblocking(nonblocking)
+    }
+
+    fn raw_fd(&self) -> Option<i32> {
+        // Faults are injected in the read/write calls, not at readiness
+        // time, so exposing the inner fd keeps byte-offset fault plans
+        // landing at the same offsets under the event loop.
+        self.inner.raw_fd()
     }
 
     fn try_clone_transport(&self) -> io::Result<Box<dyn Transport>> {

@@ -11,11 +11,15 @@
 //! crc    := FNV-1a 64 over id_le64 ++ payload
 //! ```
 //!
-//! A frame's payload is one wire-protocol request line (an `init` or
-//! `ingest` JSON object, no trailing newline): the WAL is literally the
-//! ordered log of every state-bearing request a shard consumed, so
-//! recovery replays frames through the same [`crate::Engine`] code path
-//! live traffic takes — bit-identity for free.
+//! A frame's payload is one state-bearing request exactly as it would
+//! travel on the wire: either a JSON request line (an `init` or `ingest`
+//! object, no trailing newline) or a verbatim binary batch frame
+//! ([`crate::frame`]). The WAL is literally the ordered log of every
+//! state-bearing request a shard consumed, so recovery replays frames
+//! through the same parse/decode code path live traffic takes —
+//! bit-identity for free. Recovery tells the two payload kinds apart by
+//! the leading byte: the binary magic `0xDB` can never begin a JSON
+//! request line.
 //!
 //! Frame ids are monotonic across snapshot rotations and never reused;
 //! a snapshot records the last id it covers, which is what lets recovery

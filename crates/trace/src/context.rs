@@ -347,6 +347,14 @@ impl Context {
         Self { values }
     }
 
+    /// Creates a context from wire values without schema validation,
+    /// mirroring the deferred-validation contract of [`Context::from_json`]:
+    /// conformance is checked later, at ingest, so binary and JSON decode
+    /// paths reject bad records at the same layer.
+    pub fn from_wire_values(values: Vec<FeatureValue>) -> Self {
+        Self { values }
+    }
+
     /// The raw feature values in schema order.
     pub fn values(&self) -> &[FeatureValue] {
         &self.values

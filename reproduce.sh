@@ -84,13 +84,51 @@ if [[ "${1:-}" == "ci" ]]; then
   fi
   printf '%s\n' "$replay_out" | grep -q 'streamed 300 records'
   printf '%s\n' "$replay_out" | grep -q 'server shutdown requested'
+  echo "== ci: binary-protocol smoke (binary replay-to == offline evaluate) =="
+  # The same bit-identity contract over the binary columnar batch frame
+  # (DESIGN.md §14): stream the trace with --binary and require the
+  # estimate line to match the offline `ddn evaluate` output exactly.
+  : > "$port_file"
+  ./target/release/ddn serve --port-file "$port_file" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.05
+  done
+  test -s "$port_file" || { echo "FAIL: binary-smoke server never wrote its port" >&2; exit 1; }
+  addr="$(cat "$port_file")"
+  binary_out="$(./target/release/ddn replay-to "$serve_trace" \
+    --addr "$addr" --decision cdn1/br2 --estimator ips --binary --shutdown)"
+  wait "$serve_pid"
+  binary_line="$(printf '%s\n' "$binary_out" | grep '^estimate:')"
+  if [[ "$binary_line" != "$offline_line" ]]; then
+    echo "FAIL: binary-frame estimate differs from offline evaluate" >&2
+    echo "  binary:  $binary_line" >&2
+    echo "  offline: $offline_line" >&2
+    exit 1
+  fi
+  printf '%s\n' "$binary_out" | grep -q 'streamed 300 records over binary frames'
   # Tiny streaming-ingest bench smoke: sized down via DDN_STREAM_RUNS,
-  # checking the throughput harness and the pinned floor key end-to-end.
+  # checking the throughput harness and the pinned floor keys end-to-end.
+  # Both floors gate CI: the online-push records/sec floor and the
+  # binary-over-JSON throughput ratio floor (≥5x, measured at ~10x even
+  # on small CI-sized runs now that the timed region is the replay path).
   DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_STREAM_RUNS=2000 \
   DDN_BENCH_DIR="$bench_dir" \
     cargo bench --offline -p ddn-bench --bench stream_ingest
   test -s "$bench_dir/BENCH_stream.json"
   grep -q '"floor_records_per_sec"' "$bench_dir/BENCH_stream.json"
+  grep -q '"tcp_replay_binary_records_per_sec"' "$bench_dir/BENCH_stream.json"
+  grep -q '"meets_floor":true' "$bench_dir/BENCH_stream.json" || {
+    echo "FAIL: stream ingest throughput fell below the recorded floor" >&2
+    grep -o '"stream":{[^}]*}' "$bench_dir/BENCH_stream.json" >&2 || true
+    exit 1
+  }
+  grep -q '"meets_binary_floor":true' "$bench_dir/BENCH_stream.json" || {
+    echo "FAIL: binary-over-JSON throughput ratio fell below the 5x floor" >&2
+    grep -o '"stream":{[^}]*}' "$bench_dir/BENCH_stream.json" >&2 || true
+    exit 1
+  }
   echo "== ci: crash-resume smoke (kill -9, restart, identical estimate) =="
   # The durability contract at the user-facing surface (DESIGN.md §12):
   # stream a trace into a WAL-backed server, query the estimate, kill the
@@ -207,7 +245,7 @@ if [[ "${1:-}" == "ci" ]]; then
     cargo bench --offline -p ddn-bench --bench soak
   test -s "$bench_dir/BENCH_soak.json"
   grep -q '"records_per_sec"' "$bench_dir/BENCH_soak.json"
-  echo "ci ok: built, tested, telemetry-smoked, batch-equivalence-checked, serve-smoked, crash-resume-smoked, and chaos-smoked with zero external dependencies"
+  echo "ci ok: built, tested, telemetry-smoked, batch-equivalence-checked, serve-smoked, binary-protocol-smoked, crash-resume-smoked, and chaos-smoked with zero external dependencies"
   exit 0
 fi
 
