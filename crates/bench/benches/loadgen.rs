@@ -1,0 +1,64 @@
+//! Closed-loop load-generation benchmark, writing `BENCH_loadgen.json`
+//! with a `loadgen` summary section: sustained records/sec through the
+//! full simulated-client wire path (schedule → fleet → multi-worker
+//! drive → parity verification) against a self-hosted multi-shard
+//! server.
+//!
+//! Unlike the other suites this one is not iterated by the harness: one
+//! load run *is* the measurement — hundreds of thousands of timed wire
+//! requests — and `ddn_loadgen::run` refuses to return a report at all
+//! unless every record was counted exactly once and every session's
+//! streamed estimate matched the offline estimator bit-for-bit.
+//!
+//! `DDN_LOADGEN_SESSIONS` overrides the session count (CI smoke uses a
+//! small value); `DDN_LOADGEN_FAULTS` sets the per-record transport
+//! fault rate (default 0: throughput, not chaos, is what the pinned
+//! floor tracks).
+
+use ddn_bench::Suite;
+use ddn_loadgen::{Framing, LoadgenConfig};
+use ddn_netsim::RateProfile;
+use ddn_serve::ServeConfig;
+
+fn main() {
+    let sessions: usize = std::env::var("DDN_LOADGEN_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let fault_rate: f64 = std::env::var("DDN_LOADGEN_FAULTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let cfg = LoadgenConfig {
+        sessions,
+        records_per_session: 3,
+        batch: 2,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(4, 8),
+        seed: 1107,
+        rate: RateProfile::Constant(25_000.0),
+        framing: Framing::Mixed,
+        fault_rate,
+        serve: ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        },
+        ..LoadgenConfig::default()
+    };
+
+    let report = ddn_loadgen::run(&cfg).expect("load run verifies exactly-once and parity");
+    println!(
+        "loadgen/drive: {:.0} records/s ({} records, {} requests, {} sessions in {:.2}s)",
+        report.records_per_sec,
+        report.records,
+        report.requests,
+        report.sessions,
+        report.elapsed_secs,
+    );
+
+    let mut suite = Suite::new("loadgen");
+    suite.attach_section("loadgen", report.to_json());
+    suite.finish();
+}

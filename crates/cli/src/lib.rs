@@ -60,6 +60,9 @@ pub enum CliError {
     Telemetry(String),
     /// The streaming evaluation service (or its client) failed.
     Serve(String),
+    /// A benchmark artifact failed the regression gate (bench-diff) or
+    /// could not be read/compared.
+    Bench(String),
 }
 
 impl CliError {
@@ -82,6 +85,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Telemetry(m) => write!(f, "telemetry error: {m}"),
             CliError::Serve(m) => write!(f, "serve error: {m}"),
+            CliError::Bench(m) => write!(f, "bench error: {m}"),
         }
     }
 }
@@ -120,7 +124,7 @@ USAGE:
   ddn selftest [--runs 16] [--telemetry <out.json>]
   ddn telemetry-check <telemetry.json>   (expects a full-menu snapshot,
                                           i.e. one written by selftest)
-  ddn serve    [--addr 127.0.0.1:0] [--shards 4] [--queue 256]
+  ddn serve    [--addr 127.0.0.1:0] [--shards 4] [--dispatchers 2] [--queue 256]
                [--port-file <path>] [--data-dir <dir>] [--snapshot-every 256]
                [--failpoint <marker>]
   ddn replay-to <trace.jsonl> --addr <host:port> --decision <name>
@@ -134,6 +138,13 @@ USAGE:
   ddn flight   <flightrec.jsonl>
   ddn chaos    [--seed 7] [--faults 0.01] [--duration-records 20000]
                [--batch 256] [--shards 4]
+  ddn loadgen  [--sessions 100000] [--records 3] [--batch 2] [--workers 0]
+               [--shards 4] [--dispatchers 2] [--queue 256] [--seed 7]
+               [--rate 25000] [--profile constant|diurnal] [--framing mixed]
+               [--faults 0] [--timescale 1] [--open-loop] [--smoke]
+               [--addr <host:port>] [--bench-json <out.json>]
+               [--health-every 512] [--stats-every 4096]
+  ddn bench-diff <bench-dir> [--floors bench_floors.json] [--pin]
 
 With --telemetry, the full snapshot (estimator health, span timings) is
 written as JSON to the given path and a summary table goes to stderr.
@@ -177,10 +188,43 @@ consecutive — and summarizes it. serve --failpoint <marker> arms the
 test-only panic failpoint: an ingest whose session contains the marker
 panics its shard worker, which quarantines the session and dumps that
 shard's flight recorder.
+
+loadgen drives a fleet of simulated clients through a live server
+(DESIGN.md §15): a seeded nonhomogeneous-Poisson schedule spawns mixed
+ABR/CDN/relay sessions that init, ingest their simulator-logged records
+(JSON or binary frames per --framing), and ask for estimates, with
+sparse health/stats polls. Default is closed-loop; --open-loop issues
+arrivals on the schedule clock (divided by --timescale) and measures
+init latency from the intended arrival, making coordinated omission
+visible. --faults wires the chaos fault plane into every worker's
+transport. The run fails unless the server counted every record exactly
+once and every session's streamed estimate is bit-identical to the
+offline estimator. --smoke runs a small fixed configuration against an
+ephemeral self-hosted server and additionally re-derives the schedule to
+prove digest-level determinism. --bench-json writes the
+BENCH_loadgen.json summary (records/sec, per-verb p50/p99, stalls,
+retries) the bench-diff gate consumes.
+
+bench-diff is the perf-trajectory regression gate: it reads the pinned
+floors file (repo root bench_floors.json), looks up each metric in the
+named BENCH_*.json inside <bench-dir>, and fails (exit 1) if any value
+fell below its floor. --pin rewrites the floors file from the current
+values times its pin_margin — the one-command way to re-baseline after
+an intentional perf change.
 ";
 
 /// Flags that stand alone (no value follows them).
-const BOOL_FLAGS: &[&str] = &["no-batch", "shutdown", "once", "json", "flight", "binary"];
+const BOOL_FLAGS: &[&str] = &[
+    "no-batch",
+    "shutdown",
+    "once",
+    "json",
+    "flight",
+    "binary",
+    "open-loop",
+    "smoke",
+    "pin",
+];
 
 /// Parsed flag set (very small; hand-rolled on purpose — no CLI deps).
 struct Flags {
@@ -305,6 +349,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "top" => cmd_top(rest),
         "flight" => cmd_flight(rest),
         "chaos" => cmd_chaos(rest),
+        "loadgen" => cmd_loadgen(rest),
+        "bench-diff" => cmd_bench_diff(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n\n{USAGE}"
@@ -831,6 +877,13 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             .ok()
             .filter(|&s: &usize| s > 0)
             .ok_or_else(|| CliError::Usage("shards must be a positive integer".into()))?;
+    }
+    if let Some(dispatchers) = flags.get("dispatchers") {
+        config.dispatchers = dispatchers
+            .parse()
+            .ok()
+            .filter(|&d: &usize| d > 0)
+            .ok_or_else(|| CliError::Usage("dispatchers must be a positive integer".into()))?;
     }
     if let Some(queue) = flags.get("queue") {
         config.queue_capacity = queue
@@ -1654,6 +1707,332 @@ fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "loadgen takes no positional arguments\n\n{USAGE}"
+        )));
+    }
+    let usage = |m: String| CliError::Usage(format!("{m}\n\n{USAGE}"));
+    let parse_usize = |name: &str, default: usize, min: usize| -> Result<usize, CliError> {
+        match flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .ok()
+                .filter(|&n: &usize| n >= min)
+                .ok_or_else(|| usage(format!("{name} must be an integer >= {min}"))),
+        }
+    };
+    let parse_f64 = |name: &str, default: f64| -> Result<f64, CliError> {
+        match flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| usage(format!("{name} must be a number"))),
+        }
+    };
+
+    let seed: u64 = match flags.get("seed") {
+        None => 7,
+        Some(v) => v.parse().map_err(|_| usage("seed must be a u64".into()))?,
+    };
+    let smoke = flags.has("smoke");
+    let mut cfg = if smoke {
+        ddn_loadgen::LoadgenConfig::smoke(seed)
+    } else {
+        let rate = parse_f64("rate", 25_000.0)?;
+        let sessions = parse_usize("sessions", 100_000, 1)?;
+        let profile = match flags.get("profile").unwrap_or("constant") {
+            "constant" => ddn_netsim::RateProfile::Constant(rate),
+            // One full diurnal cycle spanning the whole schedule, mean
+            // offered load equal to --rate.
+            "diurnal" => ddn_netsim::RateProfile::Diurnal {
+                base: rate,
+                amplitude: 0.6,
+                period: (sessions as f64 / rate.max(1e-9)).max(1e-6),
+                phase: 0.0,
+            },
+            other => {
+                return Err(usage(format!(
+                    "unknown profile {other:?} (expected constant|diurnal)"
+                )))
+            }
+        };
+        // Workers are I/O-bound (each blocks on its connection's round
+        // trips), so even a single-core machine profits from a few of
+        // them overlapping with the server's own threads.
+        let workers = match parse_usize("workers", 0, 0)? {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(4, 8),
+            n => n,
+        };
+        ddn_loadgen::LoadgenConfig {
+            sessions,
+            records_per_session: parse_usize("records", 3, 1)?,
+            batch: parse_usize("batch", 2, 1)?,
+            workers,
+            seed,
+            rate: profile,
+            timescale: parse_f64("timescale", 1.0)?,
+            open_loop: flags.has("open-loop"),
+            framing: ddn_loadgen::Framing::parse(flags.get("framing").unwrap_or("mixed"))
+                .map_err(usage)?,
+            fault_rate: parse_f64("faults", 0.0)?,
+            addr: flags.get("addr").map(str::to_string),
+            serve: ddn_serve::ServeConfig {
+                shards: parse_usize("shards", 4, 1)?,
+                dispatchers: parse_usize("dispatchers", 2, 1)?,
+                queue_capacity: parse_usize("queue", 256, 1)?,
+                ..ddn_serve::ServeConfig::default()
+            },
+            health_every: parse_usize("health-every", 512, 0)?,
+            stats_every: parse_usize("stats-every", 4096, 0)?,
+        }
+    };
+    if smoke {
+        if flags.has("open-loop") {
+            cfg.open_loop = true;
+            cfg.timescale = 1000.0;
+        }
+        if let Some(f) = flags.get("faults") {
+            cfg.fault_rate = f
+                .parse()
+                .map_err(|_| usage("faults must be a number".into()))?;
+        }
+    }
+
+    let report = ddn_loadgen::run(&cfg).map_err(|e| match e {
+        ddn_loadgen::LoadgenError::Config(m) => usage(m),
+        // CliError::Serve adds its own "serve error:" prefix, so unwrap
+        // the variants rather than Display-ing a doubled one.
+        ddn_loadgen::LoadgenError::Serve(m) => CliError::Serve(m),
+        ddn_loadgen::LoadgenError::Parity(m) => {
+            CliError::Serve(format!("estimate parity violation: {m}"))
+        }
+    })?;
+
+    // Smoke doubles as the determinism proof: re-deriving the schedule
+    // from the same seed must reproduce the digest byte-for-byte.
+    let redigest = if smoke {
+        let again = ddn_loadgen::Schedule::generate(cfg.sessions, &cfg.rate, cfg.seed, cfg.framing)
+            .map_err(CliError::Serve)?
+            .wire_digest();
+        if again != report.schedule_digest {
+            return Err(CliError::Serve(format!(
+                "schedule not deterministic: digest {:016x} re-derived as {again:016x}",
+                report.schedule_digest
+            )));
+        }
+        true
+    } else {
+        false
+    };
+
+    if let Some(path) = flags.get("bench-json") {
+        let doc = Json::Object(vec![
+            ("suite".into(), Json::str("loadgen")),
+            ("loadgen".into(), report.to_json()),
+        ]);
+        std::fs::write(path, format!("{doc}\n"))?;
+    }
+
+    let mut out = format!(
+        "loadgen: {} sessions (abr {} / cdn {} / relay {}) x {} records, {} workers, {} shards{}\n",
+        report.sessions,
+        report.kind_counts[0],
+        report.kind_counts[1],
+        report.kind_counts[2],
+        cfg.records_per_session,
+        cfg.workers,
+        cfg.serve.shards,
+        if cfg.addr.is_some() { " (external server)" } else { "" },
+    );
+    out.push_str(&format!(
+        "schedule: digest {:016x}, {} loop, faults {}\n",
+        report.schedule_digest,
+        if report.open_loop { "open" } else { "closed" },
+        report.fault_rate,
+    ));
+    out.push_str(&format!(
+        "throughput: {:.0} records/sec ({} records, {} requests in {:.2}s)\n",
+        report.records_per_sec, report.records, report.requests, report.elapsed_secs,
+    ));
+    for (verb, hist) in &report.verb_latency {
+        if hist.total() == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "latency {:>8}: p50 {} | p99 {} over {} responses\n",
+            verb,
+            fmt_ns(hist.quantile(0.50)),
+            fmt_ns(hist.quantile(0.99)),
+            hist.total(),
+        ));
+    }
+    out.push_str(&format!(
+        "client: {} retries, {} reconnects, {} timeouts, {} giveups\n",
+        report.retries, report.reconnects, report.timeouts, report.giveups,
+    ));
+    out.push_str(&format!(
+        "server: {} backpressure stalls, {} dedup replays, {:.0} live sessions\n",
+        report.backpressure_stalls, report.dedup_replays, report.live_sessions,
+    ));
+    out.push_str(&format!(
+        "exactly-once: ok ({} records counted once)\n",
+        report.server_ingested
+    ));
+    out.push_str(&format!(
+        "estimate parity: ok ({} sessions, online == offline bit-identical)\n",
+        report.parity_sessions
+    ));
+    if redigest {
+        out.push_str("determinism: ok (schedule digest re-derived byte-for-byte)\n");
+    }
+    Ok(out)
+}
+
+/// One pinned metric of the bench-diff gate.
+struct Floor {
+    file: String,
+    path: String,
+    floor: f64,
+}
+
+fn load_floors(path: &str) -> Result<(f64, Vec<Floor>), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Bench(format!("cannot read floors file {path}: {e}")))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| CliError::Bench(format!("floors file {path} is not JSON: {e}")))?;
+    let margin = doc
+        .get("pin_margin")
+        .and_then(Json::as_f64)
+        .filter(|m| (0.0..=1.0).contains(m))
+        .ok_or_else(|| {
+            CliError::Bench(format!("floors file {path} needs pin_margin in [0, 1]"))
+        })?;
+    let floors = doc
+        .get("floors")
+        .and_then(Json::as_array)
+        .ok_or_else(|| CliError::Bench(format!("floors file {path} needs a floors array")))?
+        .iter()
+        .map(|f| {
+            Some(Floor {
+                file: f.get("file")?.as_str()?.to_string(),
+                path: f.get("path")?.as_str()?.to_string(),
+                floor: f.get("floor").and_then(Json::as_f64)?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| {
+            CliError::Bench(format!(
+                "every floors entry in {path} needs file, path and numeric floor"
+            ))
+        })?;
+    Ok((margin, floors))
+}
+
+/// Looks up a dotted path (`"loadgen.records_per_sec"`) in a bench JSON.
+fn lookup_metric(doc: &Json, path: &str) -> Option<f64> {
+    let mut cur = doc;
+    for key in path.split('.') {
+        cur = cur.get(key)?;
+    }
+    cur.as_f64()
+}
+
+fn cmd_bench_diff(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let [bench_dir] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "bench-diff needs exactly one bench directory\n\n{USAGE}"
+        )));
+    };
+    let floors_path = flags.get("floors").unwrap_or("bench_floors.json");
+    let (margin, floors) = load_floors(floors_path)?;
+    let pin = flags.has("pin");
+
+    let mut out = String::new();
+    let mut failures = Vec::new();
+    let mut pinned = Vec::new();
+    for f in &floors {
+        let file = format!("{bench_dir}/{}", f.file);
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| CliError::Bench(format!("cannot read {file}: {e}")))?;
+        let doc = Json::parse(&text)
+            .map_err(|e| CliError::Bench(format!("{file} is not JSON: {e}")))?;
+        let value = lookup_metric(&doc, &f.path).ok_or_else(|| {
+            CliError::Bench(format!("{file} has no numeric metric at {:?}", f.path))
+        })?;
+        if pin {
+            let new_floor = value * margin;
+            out.push_str(&format!(
+                "pin {} {}: floor {} -> {} (measured {value:.2} x margin {margin})\n",
+                f.file, f.path, f.floor, new_floor,
+            ));
+            pinned.push(Floor {
+                file: f.file.clone(),
+                path: f.path.clone(),
+                floor: new_floor,
+            });
+        } else if value >= f.floor {
+            out.push_str(&format!(
+                "ok   {} {}: {value:.2} >= floor {}\n",
+                f.file, f.path, f.floor,
+            ));
+        } else {
+            out.push_str(&format!(
+                "FAIL {} {}: {value:.2} < floor {}\n",
+                f.file, f.path, f.floor,
+            ));
+            failures.push(format!("{} {} ({value:.2} < {})", f.file, f.path, f.floor));
+        }
+    }
+
+    if pin {
+        let doc = Json::Object(vec![
+            ("pin_margin".into(), Json::Num(margin)),
+            (
+                "floors".into(),
+                Json::Array(
+                    pinned
+                        .iter()
+                        .map(|f| {
+                            Json::Object(vec![
+                                ("file".into(), Json::str(f.file.clone())),
+                                ("path".into(), Json::str(f.path.clone())),
+                                ("floor".into(), Json::Num(f.floor)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(floors_path, format!("{doc}\n"))?;
+        out.push_str(&format!(
+            "bench-diff: pinned {} floors into {floors_path}\n",
+            pinned.len()
+        ));
+        return Ok(out);
+    }
+    if !failures.is_empty() {
+        return Err(CliError::Bench(format!(
+            "{} of {} pinned metrics regressed below their floor:\n  {}\n{out}",
+            failures.len(),
+            floors.len(),
+            failures.join("\n  "),
+        )));
+    }
+    out.push_str(&format!(
+        "bench-diff: ok ({} floors checked against {floors_path})\n",
+        floors.len()
+    ));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2243,5 +2622,159 @@ mod tests {
         std::fs::remove_file(path).ok();
         let help = run(&args(&["help"])).unwrap();
         assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn loadgen_usage_errors_exit_2() {
+        // Every bad-config path must surface as a usage error (exit 2),
+        // never a panic: these all once aborted inside RateProfile /
+        // WorldConfig validate().
+        for bad in [
+            vec!["loadgen", "--sessions", "0"],
+            vec!["loadgen", "--sessions", "many"],
+            vec!["loadgen", "--rate", "-5"],
+            vec!["loadgen", "--rate", "0"],
+            vec!["loadgen", "--framing", "carrier-pigeon"],
+            vec!["loadgen", "--profile", "square-wave"],
+            vec!["loadgen", "--faults", "1.5"],
+            vec!["loadgen", "--timescale", "-1"],
+            vec!["loadgen", "--batch", "0"],
+            vec!["loadgen", "stray-positional"],
+        ] {
+            let err = run(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}: {err}");
+            assert_eq!(err.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_dispatchers_usage_error() {
+        let err = run(&args(&["serve", "--dispatchers", "0"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = run(&args(&["serve", "--dispatchers", "lots"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn loadgen_small_run_reports_and_writes_bench_json() {
+        let bench = std::env::temp_dir().join(format!(
+            "ddn-cli-loadgen-bench-{}.json",
+            std::process::id()
+        ));
+        let out = run(&args(&[
+            "loadgen",
+            "--sessions",
+            "90",
+            "--records",
+            "3",
+            "--batch",
+            "2",
+            "--workers",
+            "3",
+            "--shards",
+            "2",
+            "--rate",
+            "5000",
+            "--seed",
+            "21",
+            "--faults",
+            "0.01",
+            "--bench-json",
+            bench.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("exactly-once: ok (270 records counted once)"), "{out}");
+        assert!(
+            out.contains("estimate parity: ok (90 sessions"),
+            "{out}"
+        );
+        assert!(out.contains("schedule: digest "), "{out}");
+        assert!(out.contains("latency   ingest:"), "{out}");
+        let doc = Json::parse(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("loadgen")
+                .and_then(|l| l.get("records"))
+                .and_then(Json::as_u64),
+            Some(270)
+        );
+        assert!(lookup_metric(&doc, "loadgen.records_per_sec").unwrap() > 0.0);
+        assert!(doc.get("loadgen").unwrap().get("verbs").unwrap().get("estimate").is_some());
+        std::fs::remove_file(&bench).ok();
+    }
+
+    #[test]
+    fn loadgen_smoke_proves_determinism() {
+        let out = run(&args(&["loadgen", "--smoke", "--seed", "3"])).unwrap();
+        assert!(out.contains("determinism: ok"), "{out}");
+        assert!(out.contains("estimate parity: ok (600 sessions"), "{out}");
+    }
+
+    #[test]
+    fn bench_diff_gates_pins_and_reports() {
+        let dir = std::env::temp_dir().join(format!("ddn-cli-bench-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench_file = dir.join("BENCH_loadgen.json");
+        std::fs::write(
+            &bench_file,
+            r#"{"suite":"loadgen","loadgen":{"records_per_sec":50000.0}}"#,
+        )
+        .unwrap();
+        let floors = dir.join("floors.json");
+        let floors_arg = floors.to_str().unwrap().to_string();
+        let dir_arg = dir.to_str().unwrap().to_string();
+        let write_floors = |floor: f64| {
+            std::fs::write(
+                &floors,
+                format!(
+                    r#"{{"pin_margin":0.5,"floors":[{{"file":"BENCH_loadgen.json","path":"loadgen.records_per_sec","floor":{floor}}}]}}"#
+                ),
+            )
+            .unwrap()
+        };
+
+        // At floor: passes and says so.
+        write_floors(40_000.0);
+        let out = run(&args(&["bench-diff", &dir_arg, "--floors", &floors_arg])).unwrap();
+        assert!(out.contains("bench-diff: ok (1 floors"), "{out}");
+
+        // Injected regression: the measured value sits below the floor, so
+        // the gate must fail with exit code 1.
+        write_floors(60_000.0);
+        let err = run(&args(&["bench-diff", &dir_arg, "--floors", &floors_arg])).unwrap_err();
+        assert!(matches!(err, CliError::Bench(_)), "{err}");
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("records_per_sec"), "{err}");
+
+        // One-command re-pin: floors become measured x margin, after which
+        // the gate passes again.
+        let out = run(&args(&[
+            "bench-diff",
+            &dir_arg,
+            "--floors",
+            &floors_arg,
+            "--pin",
+        ]))
+        .unwrap();
+        assert!(out.contains("pinned 1 floors"), "{out}");
+        let repinned = Json::parse(&std::fs::read_to_string(&floors).unwrap()).unwrap();
+        let new_floor = repinned.get("floors").and_then(Json::as_array).unwrap()[0]
+            .get("floor")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((new_floor - 25_000.0).abs() < 1e-6, "{new_floor}");
+        let out = run(&args(&["bench-diff", &dir_arg, "--floors", &floors_arg])).unwrap();
+        assert!(out.contains("bench-diff: ok"), "{out}");
+
+        // Missing metrics and unreadable files are bench errors too.
+        std::fs::write(
+            &floors,
+            r#"{"pin_margin":0.5,"floors":[{"file":"BENCH_loadgen.json","path":"loadgen.nope","floor":1}]}"#,
+        )
+        .unwrap();
+        let err = run(&args(&["bench-diff", &dir_arg, "--floors", &floors_arg])).unwrap_err();
+        assert!(matches!(err, CliError::Bench(_)), "{err}");
+        let err = run(&args(&["bench-diff"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

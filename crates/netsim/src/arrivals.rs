@@ -69,15 +69,21 @@ impl RateProfile {
         }
     }
 
-    /// Validates the profile parameters.
-    ///
-    /// # Panics
-    /// Panics on non-positive base rates, amplitude outside `\[0,1\]`,
-    /// non-positive period, or unordered piecewise segments.
-    pub fn validate(&self) {
+    /// Checks the profile parameters, returning a user-facing message on
+    /// the first violation. Library callers that reached this profile from
+    /// untrusted input (the `ddn loadgen` CLI) surface the message as a
+    /// usage error instead of aborting the process.
+    pub fn check(&self) -> Result<(), String> {
+        fn ensure(ok: bool, msg: &str) -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(msg.to_string())
+            }
+        }
         match self {
             RateProfile::Constant(r) => {
-                assert!(r.is_finite() && *r > 0.0, "constant rate must be positive");
+                ensure(r.is_finite() && *r > 0.0, "constant rate must be positive")
             }
             RateProfile::Diurnal {
                 base,
@@ -85,35 +91,47 @@ impl RateProfile {
                 period,
                 ..
             } => {
-                assert!(
+                ensure(
                     base.is_finite() && *base > 0.0,
-                    "base rate must be positive"
-                );
-                assert!(
+                    "base rate must be positive",
+                )?;
+                ensure(
                     (0.0..=1.0).contains(amplitude),
-                    "amplitude must be in [0,1]"
-                );
-                assert!(
+                    "amplitude must be in [0,1]",
+                )?;
+                ensure(
                     period.is_finite() && *period > 0.0,
-                    "period must be positive"
-                );
+                    "period must be positive",
+                )
             }
             RateProfile::Piecewise(segs) => {
-                assert!(!segs.is_empty(), "piecewise profile needs segments");
+                ensure(!segs.is_empty(), "piecewise profile needs segments")?;
                 let mut last = f64::NEG_INFINITY;
                 for &(until, rate) in segs {
-                    assert!(until > last, "piecewise segments must be ascending");
-                    assert!(
+                    ensure(until > last, "piecewise segments must be ascending")?;
+                    ensure(
                         rate.is_finite() && rate >= 0.0,
-                        "rates must be non-negative"
-                    );
+                        "rates must be non-negative",
+                    )?;
                     last = until;
                 }
-                assert!(
+                ensure(
                     segs.iter().any(|&(_, r)| r > 0.0),
-                    "piecewise profile must have a positive-rate segment"
-                );
+                    "piecewise profile must have a positive-rate segment",
+                )
             }
+        }
+    }
+
+    /// Validates the profile parameters.
+    ///
+    /// # Panics
+    /// Panics on non-positive base rates, amplitude outside `\[0,1\]`,
+    /// non-positive period, or unordered piecewise segments. Use
+    /// [`RateProfile::check`] to get the violation as an error instead.
+    pub fn validate(&self) {
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
         }
     }
 }
@@ -248,5 +266,27 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn bad_piecewise_panics() {
         let _ = ArrivalProcess::new(RateProfile::Piecewise(vec![(10.0, 1.0), (5.0, 2.0)]));
+    }
+
+    #[test]
+    fn check_returns_errors_instead_of_panicking() {
+        assert!(RateProfile::Constant(5.0).check().is_ok());
+        let err = RateProfile::Constant(-1.0).check().unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = RateProfile::Piecewise(vec![(10.0, 1.0), (5.0, 2.0)])
+            .check()
+            .unwrap_err();
+        assert!(err.contains("ascending"), "{err}");
+        let err = RateProfile::Diurnal {
+            base: 10.0,
+            amplitude: 1.5,
+            period: 100.0,
+            phase: 0.0,
+        }
+        .check()
+        .unwrap_err();
+        assert!(err.contains("amplitude"), "{err}");
+        let err = RateProfile::Piecewise(vec![(10.0, 0.0)]).check().unwrap_err();
+        assert!(err.contains("positive-rate"), "{err}");
     }
 }

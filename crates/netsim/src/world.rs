@@ -48,36 +48,52 @@ pub struct WorldConfig {
 }
 
 impl WorldConfig {
+    /// Checks the configuration, returning a user-facing message on the
+    /// first violation. CLI-facing callers (`ddn loadgen`) surface the
+    /// message as a usage error instead of aborting the process.
+    pub fn check(&self) -> Result<(), String> {
+        fn ensure(ok: bool, msg: &str) -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(msg.to_string())
+            }
+        }
+        ensure(self.isps > 0, "need at least one ISP")?;
+        ensure(!self.servers.is_empty(), "need at least one server")?;
+        ensure(
+            self.servers.iter().all(|s| s.service_rate > 0.0),
+            "service rates must be positive",
+        )?;
+        ensure(self.rtt.len() == self.isps, "rtt must have one row per ISP")?;
+        for row in &self.rtt {
+            ensure(
+                row.len() == self.servers.len(),
+                "rtt row must cover every server",
+            )?;
+            ensure(
+                row.iter().all(|r| r.is_finite() && *r >= 0.0),
+                "rtts must be ≥ 0",
+            )?;
+        }
+        self.arrivals.check()?;
+        ensure(self.horizon > 0.0, "horizon must be positive")?;
+        ensure(
+            self.high_load_backlog < self.overload_backlog,
+            "high-load threshold must be below overload threshold",
+        )
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     /// Panics on empty servers/ISPs, RTT shape mismatch, non-positive
-    /// rates/horizon, or unordered load thresholds.
+    /// rates/horizon, or unordered load thresholds. Use
+    /// [`WorldConfig::check`] to get the violation as an error instead.
     pub fn validate(&self) {
-        assert!(self.isps > 0, "need at least one ISP");
-        assert!(!self.servers.is_empty(), "need at least one server");
-        assert!(
-            self.servers.iter().all(|s| s.service_rate > 0.0),
-            "service rates must be positive"
-        );
-        assert_eq!(self.rtt.len(), self.isps, "rtt must have one row per ISP");
-        for row in &self.rtt {
-            assert_eq!(
-                row.len(),
-                self.servers.len(),
-                "rtt row must cover every server"
-            );
-            assert!(
-                row.iter().all(|r| r.is_finite() && *r >= 0.0),
-                "rtts must be ≥ 0"
-            );
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
         }
-        self.arrivals.validate();
-        assert!(self.horizon > 0.0, "horizon must be positive");
-        assert!(
-            self.high_load_backlog < self.overload_backlog,
-            "high-load threshold must be below overload threshold"
-        );
     }
 }
 
@@ -388,6 +404,23 @@ mod tests {
         for w2 in ts.windows(2) {
             assert!(w2[1] >= w2[0]);
         }
+    }
+
+    #[test]
+    fn check_returns_errors_instead_of_panicking() {
+        let mut cfg = small_world(RateProfile::Constant(10.0), 500.0).config().clone();
+        assert!(cfg.check().is_ok());
+        cfg.horizon = -1.0;
+        let err = cfg.check().unwrap_err();
+        assert!(err.contains("horizon"), "{err}");
+        cfg.horizon = 500.0;
+        cfg.arrivals = RateProfile::Constant(0.0);
+        let err = cfg.check().unwrap_err();
+        assert!(err.contains("rate"), "{err}");
+        cfg.arrivals = RateProfile::Constant(10.0);
+        cfg.rtt.pop();
+        let err = cfg.check().unwrap_err();
+        assert!(err.contains("rtt"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Property tests for the simulator-fleet pieces `ddn loadgen` leans on:
+//! the arrival process (its offered-load schedule source) and the queueing
+//! substrate (its reward dynamics). The loadgen determinism contract —
+//! same seed, same schedule bytes — reduces to these invariants.
+
+use ddn_netsim::{ArrivalProcess, QueueServer, RateProfile};
+use ddn_stats::rng::Xoshiro256;
+use ddn_testkit::{prop, prop_assert, prop_assert_eq, vecs};
+
+/// The exact expected count of a Poisson process over `[0, horizon)` is
+/// the rate integral Λ; the empirical count must sit within a generous
+/// multiple of its standard deviation √Λ (plus a constant floor so tiny
+/// Λ doesn't produce vacuously tight bounds).
+fn count_within_sigma(count: usize, lambda_integral: f64, sigmas: f64) -> bool {
+    let sd = lambda_integral.sqrt();
+    (count as f64 - lambda_integral).abs() <= sigmas * sd + 10.0
+}
+
+prop! {
+    fn arrivals_deterministic_per_seed(seed in 0u64..1_000_000, rate in 0.5f64..40.0) {
+        let draw = || {
+            let mut p = ArrivalProcess::new(RateProfile::Constant(rate));
+            let mut g = Xoshiro256::seed_from(seed);
+            p.arrivals_until(50.0, &mut g)
+        };
+        let a = draw();
+        let b = draw();
+        prop_assert_eq!(a.len(), b.len());
+        // Bit-for-bit, not approximately: the loadgen schedule digest
+        // depends on the exact f64 bits of every arrival.
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    fn arrivals_strictly_sorted_and_bounded(seed in 0u64..1_000_000, horizon in 1.0f64..200.0) {
+        let mut p = ArrivalProcess::new(RateProfile::Constant(20.0));
+        let mut g = Xoshiro256::seed_from(seed);
+        let arr = p.arrivals_until(horizon, &mut g);
+        for w in arr.windows(2) {
+            prop_assert!(w[1] > w[0], "arrivals out of order: {} then {}", w[0], w[1]);
+        }
+        for &t in &arr {
+            prop_assert!(t >= 0.0 && t < horizon, "arrival {} outside [0, {})", t, horizon);
+        }
+    }
+
+    fn constant_counts_track_rate_integral(seed in 0u64..1_000_000, rate in 1.0f64..30.0) {
+        let horizon = 400.0;
+        let mut p = ArrivalProcess::new(RateProfile::Constant(rate));
+        let mut g = Xoshiro256::seed_from(seed);
+        let n = p.arrivals_until(horizon, &mut g).len();
+        prop_assert!(
+            count_within_sigma(n, rate * horizon, 5.0),
+            "count {} far from Λ = {}", n, rate * horizon
+        );
+    }
+
+    fn diurnal_counts_track_rate_integral(
+        seed in 0u64..1_000_000,
+        base in 2.0f64..20.0,
+        amplitude in 0.0f64..1.0,
+    ) {
+        // Over exactly one period the sinusoid integrates away:
+        // Λ = base · period regardless of amplitude or phase.
+        let period = 500.0;
+        let profile = RateProfile::Diurnal { base, amplitude, period, phase: 0.3 };
+        let mut p = ArrivalProcess::new(profile);
+        let mut g = Xoshiro256::seed_from(seed);
+        let n = p.arrivals_until(period, &mut g).len();
+        prop_assert!(
+            count_within_sigma(n, base * period, 5.0),
+            "count {} far from Λ = {}", n, base * period
+        );
+    }
+
+    fn piecewise_counts_track_each_segment(seed in 0u64..1_000_000, lo in 1.0f64..5.0) {
+        let hi = lo * 8.0;
+        let mut p = ArrivalProcess::new(RateProfile::Piecewise(vec![(300.0, lo), (600.0, hi)]));
+        let mut g = Xoshiro256::seed_from(seed);
+        let arr = p.arrivals_until(600.0, &mut g);
+        let early = arr.iter().filter(|&&t| t < 300.0).count();
+        let late = arr.len() - early;
+        prop_assert!(
+            count_within_sigma(early, lo * 300.0, 5.0),
+            "early count {} far from Λ = {}", early, lo * 300.0
+        );
+        prop_assert!(
+            count_within_sigma(late, hi * 300.0, 5.0),
+            "late count {} far from Λ = {}", late, hi * 300.0
+        );
+    }
+
+    fn queue_departures_fifo_and_response_positive(
+        seed in 0u64..1_000_000,
+        gaps in vecs(0.0f64..0.5, 1..120),
+        rate in 1.0f64..20.0,
+    ) {
+        let mut s = QueueServer::new(rate);
+        let mut g = Xoshiro256::seed_from(seed);
+        let mut t = 0.0;
+        let mut last_departure = 0.0;
+        for gap in &gaps {
+            t += gap;
+            let (resp, _) = s.arrive(t, &mut g);
+            prop_assert!(resp > 0.0, "response time must be positive, got {}", resp);
+            let dep = t + resp;
+            prop_assert!(dep >= last_departure, "FIFO violated: {} < {}", dep, last_departure);
+            last_departure = dep;
+        }
+        prop_assert_eq!(s.served(), gaps.len() as u64);
+    }
+
+    fn queue_backlog_counts_in_flight_requests(
+        seed in 0u64..1_000_000,
+        gaps in vecs(0.0f64..0.5, 1..120),
+    ) {
+        // The backlog reported at each arrival must equal the number of
+        // earlier requests whose departure is still in the future, and
+        // the non-mutating backlog_at must agree with it.
+        let mut s = QueueServer::new(4.0);
+        let mut probe = QueueServer::new(4.0);
+        let mut g = Xoshiro256::seed_from(seed);
+        let mut g2 = Xoshiro256::seed_from(seed);
+        let mut t = 0.0;
+        let mut departures: Vec<f64> = Vec::new();
+        for gap in &gaps {
+            t += gap;
+            let expected = departures.iter().filter(|&&d| d > t).count();
+            prop_assert_eq!(probe.backlog_at(t), expected);
+            let (resp, backlog) = s.arrive(t, &mut g);
+            let (resp2, _) = probe.arrive(t, &mut g2);
+            prop_assert_eq!(resp.to_bits(), resp2.to_bits());
+            prop_assert!(backlog == expected, "backlog mismatch at t = {}", t);
+            departures.push(t + resp);
+        }
+    }
+
+    fn queue_utilization_bounded_by_busy_time(
+        seed in 0u64..1_000_000,
+        gaps in vecs(0.01f64..1.0, 1..80),
+    ) {
+        let mut s = QueueServer::new(10.0);
+        let mut g = Xoshiro256::seed_from(seed);
+        let mut t = 0.0;
+        for gap in &gaps {
+            t += gap;
+            s.arrive(t, &mut g);
+        }
+        let horizon = t + 1.0;
+        let u = s.utilization(horizon);
+        prop_assert!(u >= 0.0, "utilization must be non-negative, got {}", u);
+    }
+}

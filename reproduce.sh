@@ -7,8 +7,43 @@
 #   ./reproduce.sh ci    — hermetic CI check only: offline release build +
 #                          offline test suite, proving the workspace needs
 #                          nothing from crates.io
+#   ./reproduce.sh bench-pin — re-run the CI-sized bench smokes and re-pin
+#                          the bench_floors.json regression floors from
+#                          the fresh numbers (x pin_margin). Run after an
+#                          intentional perf change, commit the new floors.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Runs the CI-sized bench smokes into $1 (a bench dir). Shared verbatim
+# between the ci gate and bench-pin so pinned floors and gated values are
+# always measured under identical sizing.
+run_bench_smokes() {
+  local dir="$1"
+  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_STREAM_RUNS=2000 \
+  DDN_BENCH_DIR="$dir" \
+    cargo bench --offline -p ddn-bench --bench stream_ingest
+  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_WAL_RUNS=2000 \
+  DDN_BENCH_DIR="$dir" \
+    cargo bench --offline -p ddn-bench --bench wal
+  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_SOAK_RUNS=2000 \
+  DDN_BENCH_DIR="$dir" \
+    cargo bench --offline -p ddn-bench --bench soak
+  ./target/release/ddn loadgen --smoke --bench-json "$dir/BENCH_loadgen.json" \
+    | tee "$dir/loadgen_smoke.txt"
+}
+
+if [[ "${1:-}" == "bench-pin" ]]; then
+  echo "== bench-pin: offline release build =="
+  cargo build --workspace --release --offline
+  pin_dir="$(mktemp -d -t ddn-bench-pin-XXXXXX)"
+  trap 'rm -rf "$pin_dir"' EXIT
+  echo "== bench-pin: CI-sized bench smokes =="
+  run_bench_smokes "$pin_dir"
+  echo "== bench-pin: re-pinning bench_floors.json =="
+  ./target/release/ddn bench-diff "$pin_dir" --floors bench_floors.json --pin
+  echo "bench-pin ok: commit the updated bench_floors.json"
+  exit 0
+fi
 
 if [[ "${1:-}" == "ci" ]]; then
   echo "== ci: hermetic offline build =="
@@ -108,27 +143,6 @@ if [[ "${1:-}" == "ci" ]]; then
     exit 1
   fi
   printf '%s\n' "$binary_out" | grep -q 'streamed 300 records over binary frames'
-  # Tiny streaming-ingest bench smoke: sized down via DDN_STREAM_RUNS,
-  # checking the throughput harness and the pinned floor keys end-to-end.
-  # Both floors gate CI: the online-push records/sec floor and the
-  # binary-over-JSON throughput ratio floor (≥5x, measured at ~10x even
-  # on small CI-sized runs now that the timed region is the replay path).
-  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_STREAM_RUNS=2000 \
-  DDN_BENCH_DIR="$bench_dir" \
-    cargo bench --offline -p ddn-bench --bench stream_ingest
-  test -s "$bench_dir/BENCH_stream.json"
-  grep -q '"floor_records_per_sec"' "$bench_dir/BENCH_stream.json"
-  grep -q '"tcp_replay_binary_records_per_sec"' "$bench_dir/BENCH_stream.json"
-  grep -q '"meets_floor":true' "$bench_dir/BENCH_stream.json" || {
-    echo "FAIL: stream ingest throughput fell below the recorded floor" >&2
-    grep -o '"stream":{[^}]*}' "$bench_dir/BENCH_stream.json" >&2 || true
-    exit 1
-  }
-  grep -q '"meets_binary_floor":true' "$bench_dir/BENCH_stream.json" || {
-    echo "FAIL: binary-over-JSON throughput ratio fell below the 5x floor" >&2
-    grep -o '"stream":{[^}]*}' "$bench_dir/BENCH_stream.json" >&2 || true
-    exit 1
-  }
   echo "== ci: crash-resume smoke (kill -9, restart, identical estimate) =="
   # The durability contract at the user-facing surface (DESIGN.md §12):
   # stream a trace into a WAL-backed server, query the estimate, kill the
@@ -172,14 +186,6 @@ if [[ "${1:-}" == "ci" ]]; then
     diff <(printf '%s\n' "$before_query") <(printf '%s\n' "$after_sans_shutdown") >&2 || true
     exit 1
   fi
-  # Tiny WAL bench smoke: the durability-overhead harness end-to-end,
-  # checking the pinned WAL-on floor key (ratios are pinned by full runs).
-  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_WAL_RUNS=2000 \
-  DDN_BENCH_DIR="$bench_dir" \
-    cargo bench --offline -p ddn-bench --bench wal
-  test -s "$bench_dir/BENCH_wal.json"
-  grep -q '"floor_records_per_sec"' "$bench_dir/BENCH_wal.json"
-  grep -q '"wal_on_records_per_sec"' "$bench_dir/BENCH_wal.json"
   echo "== ci: observability smoke (stats verb, ddn top, flight recorder) =="
   # The live observability plane (DESIGN.md §13) at the user-facing
   # surface: stream a trace into a fresh server, then require `ddn top
@@ -238,14 +244,45 @@ if [[ "${1:-}" == "ci" ]]; then
   chaos_out="$(./target/release/ddn chaos --seed 7 --faults 0.01 --duration-records 5000)"
   printf '%s\n' "$chaos_out" | grep -q 'exactly-once: ok'
   printf '%s\n' "$chaos_out" | grep -q 'estimate parity: ok'
-  # Short chaos soak bench: throughput under a 1% fault rate, written to
-  # BENCH_soak.json (DDN_SOAK_RUNS sizes it down for CI).
-  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_SOAK_RUNS=2000 \
-  DDN_BENCH_DIR="$bench_dir" \
-    cargo bench --offline -p ddn-bench --bench soak
+  echo "== ci: perf trajectory (bench smokes + loadgen smoke + bench-diff gate) =="
+  # All four CI-sized bench smokes run through run_bench_smokes — the
+  # same function bench-pin uses — so every value the gate compares was
+  # measured under exactly the sizing its floor was pinned under.
+  run_bench_smokes "$bench_dir"
+  # Per-suite sanity: the harnesses wrote their files and the in-bench
+  # self-pinned keys held.
+  test -s "$bench_dir/BENCH_stream.json"
+  grep -q '"tcp_replay_binary_records_per_sec"' "$bench_dir/BENCH_stream.json"
+  grep -q '"meets_floor":true' "$bench_dir/BENCH_stream.json" || {
+    echo "FAIL: stream ingest throughput fell below the recorded floor" >&2
+    grep -o '"stream":{[^}]*}' "$bench_dir/BENCH_stream.json" >&2 || true
+    exit 1
+  }
+  grep -q '"meets_binary_floor":true' "$bench_dir/BENCH_stream.json" || {
+    echo "FAIL: binary-over-JSON throughput ratio fell below the 5x floor" >&2
+    grep -o '"stream":{[^}]*}' "$bench_dir/BENCH_stream.json" >&2 || true
+    exit 1
+  }
+  test -s "$bench_dir/BENCH_wal.json"
+  grep -q '"wal_on_records_per_sec"' "$bench_dir/BENCH_wal.json"
   test -s "$bench_dir/BENCH_soak.json"
   grep -q '"records_per_sec"' "$bench_dir/BENCH_soak.json"
-  echo "ci ok: built, tested, telemetry-smoked, batch-equivalence-checked, serve-smoked, binary-protocol-smoked, crash-resume-smoked, and chaos-smoked with zero external dependencies"
+  # Loadgen smoke (DESIGN.md §15): a seeded mixed ABR/CDN/relay fleet
+  # over both wire framings with a nonzero fault rate, against an
+  # ephemeral multi-shard server. The command itself exits non-zero
+  # unless the server counted every record exactly once and every
+  # session's streamed estimate is bit-identical to the offline
+  # estimator; the greps pin the human-facing contract lines.
+  grep -q 'estimate parity: ok' "$bench_dir/loadgen_smoke.txt"
+  grep -q 'exactly-once: ok' "$bench_dir/loadgen_smoke.txt"
+  grep -q 'determinism: ok' "$bench_dir/loadgen_smoke.txt"
+  test -s "$bench_dir/BENCH_loadgen.json"
+  grep -q '"parity_mismatches":0' "$bench_dir/BENCH_loadgen.json"
+  grep -q '"schedule_digest"' "$bench_dir/BENCH_loadgen.json"
+  # The regression gate proper: every metric pinned in bench_floors.json
+  # must sit at or above its floor, or ci fails here.
+  ./target/release/ddn bench-diff "$bench_dir" --floors bench_floors.json
+  echo "ci ok: built, tested, telemetry-smoked, batch-equivalence-checked, serve-smoked, binary-protocol-smoked, crash-resume-smoked, chaos-smoked, loadgen-smoked, and bench-diff-gated with zero external dependencies"
   exit 0
 fi
 
