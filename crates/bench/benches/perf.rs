@@ -4,7 +4,10 @@
 //! `BENCH_perf.json`.
 
 use ddn_bench::Suite;
-use ddn_estimators::{CrossFitDr, DoublyRobust, Estimator, Ips};
+use ddn_estimators::{
+    ActionEmbedding, AdaptiveDr, AdaptiveIps, AdaptiveWeights, CrossFitDr, DoublyRobust,
+    Estimator, Ips, MarginalizedDr, SeqDr,
+};
 use ddn_models::{ForestConfig, ForestRegressor, KnnConfig, KnnRegressor, TabularMeanModel};
 use ddn_netsim::{small_world, wise_like_tiered, EventQueue, RateProfile, SimTime};
 use ddn_policy::{LookupPolicy, UniformRandomPolicy};
@@ -155,6 +158,72 @@ fn bench_telemetry(suite: &mut Suite) -> ddn_stats::Json {
     snap.to_json()
 }
 
+/// Throughput of the estimator-menu extensions (DESIGN.md §16) over a
+/// 10k-record synthetic trace, summarized as a `menu` section so
+/// `bench_floors.json` can pin a floor under the heaviest of them
+/// (SeqDR: per-record DM terms plus the per-trajectory backward fold).
+fn bench_menu(suite: &mut Suite) -> ddn_stats::Json {
+    let n = 10_000usize;
+    let trace = synthetic_trace(n, 45);
+    let policy = LookupPolicy::constant(trace.space().clone(), 2);
+    let model = TabularMeanModel::fit_trace(&trace, 1.0);
+    // Two groups of two arms each — real marginalization, not identity.
+    let embedding = || ActionEmbedding::from_groups(vec![0, 0, 1, 1]);
+    suite.bench_throughput(&format!("menu/adaptive_ips/{n}"), n as u64, || {
+        AdaptiveIps::new(AdaptiveWeights::Stabilized)
+            .estimate(&trace, &policy)
+            .unwrap()
+            .value
+    });
+    suite.bench_throughput(&format!("menu/adaptive_dr/{n}"), n as u64, || {
+        AdaptiveDr::new(&model, AdaptiveWeights::Stabilized)
+            .estimate(&trace, &policy)
+            .unwrap()
+            .value
+    });
+    suite.bench_throughput(&format!("menu/mdr/{n}"), n as u64, || {
+        MarginalizedDr::new(
+            &model,
+            embedding(),
+            Box::new(UniformRandomPolicy::new(trace.space().clone())),
+        )
+        .estimate(&trace, &policy)
+        .unwrap()
+        .value
+    });
+    suite.bench_throughput(&format!("menu/seqdr/{n}"), n as u64, || {
+        SeqDr::new(&model, 4).estimate(&trace, &policy).unwrap().value
+    });
+
+    let per_sec = |name: &str| {
+        let r = suite
+            .results()
+            .iter()
+            .find(|r| r.name == name)
+            .expect("benchmark just registered");
+        n as f64 / (r.mean_ns * 1e-9)
+    };
+    ddn_stats::Json::object(vec![
+        ("records", ddn_stats::Json::Int(n as i64)),
+        (
+            "adaptive_ips_records_per_sec",
+            ddn_stats::Json::Num(per_sec(&format!("menu/adaptive_ips/{n}"))),
+        ),
+        (
+            "adaptive_dr_records_per_sec",
+            ddn_stats::Json::Num(per_sec(&format!("menu/adaptive_dr/{n}"))),
+        ),
+        (
+            "mdr_records_per_sec",
+            ddn_stats::Json::Num(per_sec(&format!("menu/mdr/{n}"))),
+        ),
+        (
+            "seqdr_records_per_sec",
+            ddn_stats::Json::Num(per_sec(&format!("menu/seqdr/{n}"))),
+        ),
+    ])
+}
+
 fn main() {
     let mut suite = Suite::new("perf");
     bench_estimators(&mut suite);
@@ -167,5 +236,9 @@ fn main() {
     // speedup into BENCH_perf.json alongside the raw timings.
     let eval_batch = ddn_bench::eval_batch::bench_eval_batch(&mut suite);
     suite.attach_section("eval_batch", eval_batch);
+    // Estimator-menu throughput: the summary section bench_floors.json
+    // pins its menu floor against.
+    let menu = bench_menu(&mut suite);
+    suite.attach_section("menu", menu);
     suite.finish();
 }

@@ -32,6 +32,7 @@ use ddn_estimators::{
 };
 use ddn_models::{KnnConfig, KnnRegressor, RewardModel, TabularMeanModel};
 use ddn_policy::{LookupPolicy, Policy};
+use ddn_scenarios::ablations::{ablation_menu, ablation_menu_instrumented, MenuConfig};
 use ddn_scenarios::figure7a::{figure7a_instrumented, figure7a_with, Figure7aConfig};
 use ddn_scenarios::figure7b::{figure7b_instrumented, figure7b_with, Figure7bConfig};
 use ddn_scenarios::figure7c::{figure7c_instrumented, figure7c_with, Figure7cConfig};
@@ -120,7 +121,8 @@ USAGE:
   ddn overlap  <trace.jsonl> --decision <name>
   ddn repair   <in.jsonl> <out.jsonl> [--smoothing 0.5]
   ddn generate <out.jsonl> --world cfa|wise|relay|netsim [--n 1000] [--seed 7]
-  ddn figure7  [7a|7b|7c|all] [--runs 50] [--no-batch] [--telemetry <out.json>]
+  ddn figure7  [7a|7b|7c|all|menu] [--panel <name>] [--runs 50] [--no-batch]
+               [--telemetry <out.json>]
   ddn selftest [--runs 16] [--telemetry <out.json>]
   ddn telemetry-check <telemetry.json>   (expects a full-menu snapshot,
                                           i.e. one written by selftest)
@@ -145,6 +147,12 @@ USAGE:
                [--addr <host:port>] [--bench-json <out.json>]
                [--health-every 512] [--stats-every 4096]
   ddn bench-diff <bench-dir> [--floors bench_floors.json] [--pin]
+
+figure7's `menu` panel (also reachable as `--panel menu`) runs the
+estimator-menu ablation instead of a paper panel: three breaking
+scenarios (adaptive logging, composite actions, multi-step sessions)
+swept over trace size, each challenger against its incumbents. `all`
+still means the paper's three panels.
 
 With --telemetry, the full snapshot (estimator health, span timings) is
 written as JSON to the given path and a summary table goes to stderr.
@@ -718,22 +726,12 @@ fn run_panel(
 
 fn cmd_figure7(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
+    // The panel can arrive positionally (`ddn figure7 menu`) or as a
+    // flag (`ddn figure7 --panel menu`); the flag wins if both appear.
     let panel = flags
-        .positional
-        .first()
-        .map(String::as_str)
+        .get("panel")
+        .or_else(|| flags.positional.first().map(String::as_str))
         .unwrap_or("all");
-    let panels: &[&str] = match panel {
-        "7a" => &["7a"],
-        "7b" => &["7b"],
-        "7c" => &["7c"],
-        "all" => &["7a", "7b", "7c"],
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown panel {other:?} (expected 7a|7b|7c|all)\n\n{USAGE}"
-            )))
-        }
-    };
     let runs: usize = flags
         .get("runs")
         .unwrap_or("50")
@@ -744,6 +742,35 @@ fn cmd_figure7(args: &[String]) -> Result<String, CliError> {
     }
     let telemetry_path = flags.get("telemetry");
     let use_batch = !flags.has("no-batch");
+
+    if panel == "menu" {
+        let cfg = MenuConfig {
+            runs,
+            ..Default::default()
+        };
+        let (scenarios, snap) = if telemetry_path.is_some() {
+            let (s, snap) = ablation_menu_instrumented(&cfg);
+            (s, Some(snap))
+        } else {
+            (ablation_menu(&cfg), None)
+        };
+        if let (Some(path), Some(snap)) = (telemetry_path, &snap) {
+            write_telemetry(path, snap)?;
+        }
+        return Ok(ddn_scenarios::ablations::menu::render(&scenarios));
+    }
+
+    let panels: &[&str] = match panel {
+        "7a" => &["7a"],
+        "7b" => &["7b"],
+        "7c" => &["7c"],
+        "all" => &["7a", "7b", "7c"],
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown panel {other:?} (expected 7a|7b|7c|all|menu)\n\n{USAGE}"
+            )))
+        }
+    };
 
     let mut out = String::new();
     let mut merged: Option<TelemetrySnapshot> = None;
@@ -814,6 +841,10 @@ const REQUIRED_HEALTH: &[(&str, &str)] = &[
     ("ClippedIPS", "clip_rate"),
     ("Replay", "acceptance_rate"),
     ("CFA", "coverage"),
+    ("AdaptiveIPS", "hsum"),
+    ("AdaptiveDR", "hsum"),
+    ("MarginalizedDR", "embedding_groups"),
+    ("SeqDR", "trajectories"),
 ];
 
 fn cmd_telemetry_check(args: &[String]) -> Result<String, CliError> {

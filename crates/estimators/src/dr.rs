@@ -111,7 +111,7 @@ impl<M: RewardModel> Estimator for DoublyRobust<M> {
 /// re-queried live; also accumulates `Σ|residual|` in record order.
 /// Shared by DR, SWITCH-DR (via pre-switched weights), and the
 /// state-aware path's dense case.
-fn dr_contributions_batch<M: RewardModel>(
+pub(crate) fn dr_contributions_batch<M: RewardModel>(
     source: &str,
     trace: &Trace,
     batch: &EvalBatch,

@@ -34,6 +34,21 @@
 //!   state changes from a load-proxy series and segment the trace so DR
 //!   only pools records from comparable regimes.
 //!
+//! ## The OPE-literature extensions (ROADMAP item 3)
+//!
+//! - [`AdaptiveIps`] / [`AdaptiveDr`] — variance-stabilizing adaptive
+//!   weights (Zhan et al. 2021) for *adaptively collected* logs, where a
+//!   learning logger's decaying propensities make plain IPS/SNIPS
+//!   confidence collapse.
+//! - [`MarginalizedDr`] — action-embedding marginalization for *large
+//!   composite action spaces* (thousands of CDN×bitrate×relay arms),
+//!   where vanilla importance weights explode but the reward depends on
+//!   the arm only through a coarse [`ActionEmbedding`].
+//! - [`SeqDr`] — per-decision sequential DR (Jiang & Li 2016) for
+//!   *multi-step session traces* (ABR trajectories), beating
+//!   trajectory-level weighting on variance by threading the correction
+//!   backward through each session.
+//!
 //! ## Experiment harness
 //!
 //! [`experiment`] provides the paper's evaluation protocol: run an
@@ -61,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod batch;
 pub mod coupling;
 pub mod crossfit;
@@ -69,14 +85,17 @@ pub mod dr;
 pub mod estimate;
 pub mod experiment;
 pub mod ips;
+pub mod marginalized;
 pub mod matching;
 pub mod online;
 pub mod optimize;
 pub mod overlap;
 pub mod replay;
 pub mod selection;
+pub mod seq;
 pub mod state_aware;
 
+pub use adaptive::{AdaptiveDr, AdaptiveIps, AdaptiveWeights};
 pub use batch::{BatchEstimator, EvalBatch, ModelScores};
 pub use coupling::{CouplingDetector, CouplingReport};
 pub use crossfit::CrossFitDr;
@@ -85,13 +104,16 @@ pub use dr::{DoublyRobust, SwitchDr};
 pub use estimate::{Estimate, Estimator, EstimatorError, WeightDiagnostics};
 pub use experiment::{relative_error, ErrorTable, ExperimentRunner};
 pub use ips::{ClippedIps, Ips, SelfNormalizedIps};
+pub use marginalized::{ActionEmbedding, MarginalizedDr};
 pub use matching::MatchingEstimator;
 pub use online::{
-    OnlineClippedIps, OnlineDm, OnlineDr, OnlineEstimate, OnlineEstimator, OnlineIps,
-    OnlineSnips, SlidingWindow, StreamingMoments,
+    OnlineAdaptiveDr, OnlineAdaptiveIps, OnlineClippedIps, OnlineDm, OnlineDr, OnlineEstimate,
+    OnlineEstimator, OnlineIps, OnlineMarginalizedDr, OnlineSeqDr, OnlineSnips, SlidingWindow,
+    StreamingMoments,
 };
 pub use optimize::{dm_greedy_policy, dr_select, SearchResult};
 pub use overlap::OverlapReport;
 pub use replay::{ReplayEvaluator, ReplayOutcome};
 pub use selection::{selection_accuracy, Candidate, Comparison, PolicyComparator};
+pub use seq::SeqDr;
 pub use state_aware::{ScaleTransition, StateAwareDr, TransitionModel};

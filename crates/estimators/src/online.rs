@@ -924,6 +924,629 @@ impl OnlineEstimator for OnlineDr {
     }
 }
 
+/// Streaming adaptively-weighted IPS ([`crate::AdaptiveIps`]).
+///
+/// Like SNIPS, the stabilized per-record term `(h_k·Γ_k)·(n/Σh)` embeds
+/// end-of-stream quantities (`n`, `Σh`) inside non-associative float
+/// expressions, so the estimator retains the `(h_k, Γ_k)` pairs — two
+/// f64 per record — and replays the exact batch fold at `estimate` time.
+pub struct OnlineAdaptiveIps {
+    policy: Box<dyn Policy + Send + Sync>,
+    mode: crate::adaptive::AdaptiveWeights,
+    /// `(h_k, Γ_k)` per accepted record, in push order.
+    pairs: Vec<(f64, f64)>,
+    /// EMA of past squared weights — the stabilizer's variance tracker.
+    ema: f64,
+    acc: WeightAcc,
+    moments: StreamingMoments,
+}
+
+impl OnlineAdaptiveIps {
+    /// Creates a streaming adaptive-IPS evaluator of `policy` over
+    /// `space` with the given stabilizer schedule.
+    pub fn new(
+        space: DecisionSpace,
+        policy: Box<dyn Policy + Send + Sync>,
+        mode: crate::adaptive::AdaptiveWeights,
+    ) -> Result<Self, EstimatorError> {
+        check_policy_space(&space, policy.as_ref())?;
+        Ok(Self {
+            policy,
+            mode,
+            pairs: Vec::new(),
+            ema: 1.0,
+            acc: WeightAcc::new(),
+            moments: StreamingMoments::new(),
+        })
+    }
+
+    /// The running stabilizer mass `Σh` — the same left fold the batch
+    /// path computes.
+    pub fn hsum(&self) -> f64 {
+        self.pairs.iter().map(|(h, _)| *h).sum()
+    }
+}
+
+/// The shared `estimate` tail of the adaptive family: replay the exact
+/// batch fold `(1/n)·Σ (h_k·Γ_k)·(n/Σh)` over the retained pairs.
+fn adaptive_estimate(
+    pairs: &[(f64, f64)],
+    acc: &WeightAcc,
+) -> Result<OnlineEstimate, EstimatorError> {
+    let hsum: f64 = pairs.iter().map(|(h, _)| *h).sum();
+    if hsum <= 0.0 {
+        return Err(EstimatorError::NoUsableRecords);
+    }
+    let n = pairs.len() as f64;
+    let scale = n / hsum;
+    let mut contribution_sum = -0.0;
+    for (h, g) in pairs {
+        contribution_sum += (h * g) * scale;
+    }
+    Ok(OnlineEstimate {
+        value: contribution_sum / n,
+        n: pairs.len(),
+        diagnostics: acc.diagnostics(),
+    })
+}
+
+/// Encodes `(a, b)` pairs as a flat alternating bit array (the SNIPS
+/// state format).
+fn save_pairs(pairs: &[(f64, f64)]) -> Json {
+    let mut flat = Vec::with_capacity(pairs.len() * 2);
+    for (a, b) in pairs {
+        flat.push(bits(*a));
+        flat.push(bits(*b));
+    }
+    Json::Array(flat)
+}
+
+/// Decodes a flat alternating bit array back into `(a, b)` pairs.
+fn load_pairs(state: &Json, key: &str) -> Result<Vec<(f64, f64)>, EstimatorError> {
+    let flat = field(state, key)?
+        .as_array()
+        .ok_or_else(|| state_err(format!("field `{key}` must be an array")))?;
+    if flat.len() % 2 != 0 {
+        return Err(state_err(format!(
+            "`{key}` must hold an even number of entries"
+        )));
+    }
+    let decode = |v: &Json| {
+        v.as_i64()
+            .map(|b| f64::from_bits(b as u64))
+            .ok_or_else(|| state_err(format!("`{key}` entries must hold f64 bits")))
+    };
+    let mut pairs = Vec::with_capacity(flat.len() / 2);
+    for ab in flat.chunks(2) {
+        pairs.push((decode(&ab[0])?, decode(&ab[1])?));
+    }
+    Ok(pairs)
+}
+
+impl OnlineEstimator for OnlineAdaptiveIps {
+    fn name(&self) -> &str {
+        "AdaptiveIPS"
+    }
+
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        let w = weight_at(self.policy.as_ref(), rec, self.pairs.len())?;
+        let gamma = w * rec.reward;
+        // h sees only past weights; the tracker advances afterward.
+        let h = self.mode.h_at(self.ema);
+        self.ema = crate::adaptive::AdaptiveWeights::advance(self.ema, w);
+        self.pairs.push((h, gamma));
+        self.acc.push(w);
+        // The moments track the unscaled stabilized terms: the final
+        // normalization is not knowable until the stream ends.
+        self.moments.push(h * gamma);
+        Ok(())
+    }
+
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        adaptive_estimate(&self.pairs, &self.acc)
+    }
+
+    fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn reset(&mut self) {
+        self.pairs.clear();
+        self.ema = 1.0;
+        self.acc = WeightAcc::new();
+        self.moments = StreamingMoments::new();
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        let mut m = common_health(self.pairs.len(), Some(&self.acc), &self.moments);
+        if !self.pairs.is_empty() {
+            m.push(("hsum", self.hsum()));
+        }
+        m
+    }
+
+    fn state_save(&self) -> Json {
+        Json::Object(vec![
+            ("est".into(), Json::str(self.name())),
+            ("pairs".into(), save_pairs(&self.pairs)),
+            ("ema".into(), bits(self.ema)),
+            ("acc".into(), self.acc.state_save()),
+            ("moments".into(), self.moments.state_save()),
+        ])
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.name())?;
+        let pairs = load_pairs(state, "pairs")?;
+        let ema = unbits(state, "ema")?;
+        let acc = WeightAcc::state_load(field(state, "acc")?)?;
+        let moments = StreamingMoments::state_load(field(state, "moments")?)?;
+        self.pairs = pairs;
+        self.ema = ema;
+        self.acc = acc;
+        self.moments = moments;
+        Ok(())
+    }
+}
+
+/// Streaming adaptively-weighted DR ([`crate::AdaptiveDr`]): retains
+/// `(h_k, Γ_k)` pairs where `Γ_k` is the full DR contribution, and
+/// replays the stabilized fold at `estimate` time.
+pub struct OnlineAdaptiveDr {
+    space: DecisionSpace,
+    policy: Box<dyn Policy + Send + Sync>,
+    model: Box<dyn RewardModel + Send + Sync>,
+    mode: crate::adaptive::AdaptiveWeights,
+    pairs: Vec<(f64, f64)>,
+    /// EMA of past squared weights — the stabilizer's variance tracker.
+    ema: f64,
+    abs_residual_sum: f64,
+    acc: WeightAcc,
+    moments: StreamingMoments,
+}
+
+impl OnlineAdaptiveDr {
+    /// Creates a streaming adaptive-DR evaluator of `policy` over
+    /// `space` with the given (pre-fitted) reward model and stabilizer
+    /// schedule.
+    pub fn new(
+        space: DecisionSpace,
+        policy: Box<dyn Policy + Send + Sync>,
+        model: Box<dyn RewardModel + Send + Sync>,
+        mode: crate::adaptive::AdaptiveWeights,
+    ) -> Result<Self, EstimatorError> {
+        check_policy_space(&space, policy.as_ref())?;
+        Ok(Self {
+            space,
+            policy,
+            model,
+            mode,
+            pairs: Vec::new(),
+            ema: 1.0,
+            abs_residual_sum: 0.0,
+            acc: WeightAcc::new(),
+            moments: StreamingMoments::new(),
+        })
+    }
+}
+
+impl OnlineEstimator for OnlineAdaptiveDr {
+    fn name(&self) -> &str {
+        "AdaptiveDR"
+    }
+
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        let w = weight_at(self.policy.as_ref(), rec, self.pairs.len())?;
+        let probs = self.policy.probabilities(&rec.context);
+        let dm_term: f64 = self
+            .space
+            .iter()
+            .map(|d| probs[d.index()] * self.model.predict(&rec.context, d))
+            .sum();
+        let residual = rec.reward - self.model.predict(&rec.context, rec.decision);
+        let gamma = dm_term + w * residual;
+        // h sees only past weights; the tracker advances afterward.
+        let h = self.mode.h_at(self.ema);
+        self.ema = crate::adaptive::AdaptiveWeights::advance(self.ema, w);
+        self.pairs.push((h, gamma));
+        self.abs_residual_sum += residual.abs();
+        self.acc.push(w);
+        self.moments.push(h * gamma);
+        Ok(())
+    }
+
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        adaptive_estimate(&self.pairs, &self.acc)
+    }
+
+    fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn reset(&mut self) {
+        self.pairs.clear();
+        self.ema = 1.0;
+        self.abs_residual_sum = 0.0;
+        self.acc = WeightAcc::new();
+        self.moments = StreamingMoments::new();
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        let mut m = common_health(self.pairs.len(), Some(&self.acc), &self.moments);
+        if !self.pairs.is_empty() {
+            m.push(("hsum", self.pairs.iter().map(|(h, _)| *h).sum()));
+            m.push((
+                "mean_abs_residual",
+                self.abs_residual_sum / self.pairs.len() as f64,
+            ));
+        }
+        m
+    }
+
+    fn state_save(&self) -> Json {
+        Json::Object(vec![
+            ("est".into(), Json::str(self.name())),
+            ("pairs".into(), save_pairs(&self.pairs)),
+            ("ema".into(), bits(self.ema)),
+            ("abs_residual_sum".into(), bits(self.abs_residual_sum)),
+            ("acc".into(), self.acc.state_save()),
+            ("moments".into(), self.moments.state_save()),
+        ])
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.name())?;
+        let pairs = load_pairs(state, "pairs")?;
+        let ema = unbits(state, "ema")?;
+        let abs_residual_sum = unbits(state, "abs_residual_sum")?;
+        let acc = WeightAcc::state_load(field(state, "acc")?)?;
+        let moments = StreamingMoments::state_load(field(state, "moments")?)?;
+        self.pairs = pairs;
+        self.ema = ema;
+        self.abs_residual_sum = abs_residual_sum;
+        self.acc = acc;
+        self.moments = moments;
+        Ok(())
+    }
+}
+
+/// Streaming marginalized DR ([`crate::MarginalizedDr`]): the marginal
+/// weight is final the moment a record arrives (both policy
+/// distributions are configuration), so the state is O(1) like
+/// [`OnlineDr`]. Never reads recorded propensities.
+pub struct OnlineMarginalizedDr {
+    space: DecisionSpace,
+    policy: Box<dyn Policy + Send + Sync>,
+    logging: Box<dyn Policy + Send + Sync>,
+    model: Box<dyn RewardModel + Send + Sync>,
+    embedding: crate::marginalized::ActionEmbedding,
+    n: usize,
+    contribution_sum: f64,
+    abs_residual_sum: f64,
+    acc: WeightAcc,
+    moments: StreamingMoments,
+}
+
+impl OnlineMarginalizedDr {
+    /// Creates a streaming marginalized-DR evaluator of `policy` over
+    /// `space`, with the logging policy supplying marginal denominators
+    /// over `embedding`'s groups.
+    ///
+    /// # Panics
+    /// Panics if the embedding does not cover exactly `space`'s arms.
+    pub fn new(
+        space: DecisionSpace,
+        policy: Box<dyn Policy + Send + Sync>,
+        logging: Box<dyn Policy + Send + Sync>,
+        model: Box<dyn RewardModel + Send + Sync>,
+        embedding: crate::marginalized::ActionEmbedding,
+    ) -> Result<Self, EstimatorError> {
+        check_policy_space(&space, policy.as_ref())?;
+        check_policy_space(&space, logging.as_ref())?;
+        assert_eq!(
+            embedding.len(),
+            space.len(),
+            "embedding covers {} arms but the space has {}",
+            embedding.len(),
+            space.len()
+        );
+        Ok(Self {
+            space,
+            policy,
+            logging,
+            model,
+            embedding,
+            n: 0,
+            contribution_sum: -0.0,
+            abs_residual_sum: 0.0,
+            acc: WeightAcc::new(),
+            moments: StreamingMoments::new(),
+        })
+    }
+}
+
+impl OnlineEstimator for OnlineMarginalizedDr {
+    fn name(&self) -> &str {
+        "MarginalizedDR"
+    }
+
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        let a = rec.decision.index();
+        let probs = self.policy.probabilities(&rec.context);
+        let num = self.embedding.marginal(&probs, a);
+        let den = self
+            .embedding
+            .marginal(&self.logging.probabilities(&rec.context), a);
+        let w = num / den;
+        let dm_term: f64 = self
+            .space
+            .iter()
+            .map(|d| probs[d.index()] * self.model.predict(&rec.context, d))
+            .sum();
+        let residual = rec.reward - self.model.predict(&rec.context, rec.decision);
+        let contribution = dm_term + w * residual;
+        self.contribution_sum += contribution;
+        self.abs_residual_sum += residual.abs();
+        self.acc.push(w);
+        self.moments.push(contribution);
+        self.n += 1;
+        Ok(())
+    }
+
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        if self.n == 0 {
+            return Err(EstimatorError::NoUsableRecords);
+        }
+        Ok(OnlineEstimate {
+            value: self.contribution_sum / self.n as f64,
+            n: self.n,
+            diagnostics: self.acc.diagnostics(),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.contribution_sum = -0.0;
+        self.abs_residual_sum = 0.0;
+        self.acc = WeightAcc::new();
+        self.moments = StreamingMoments::new();
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        let mut m = common_health(self.n, Some(&self.acc), &self.moments);
+        if self.n > 0 {
+            m.push(("embedding_groups", self.embedding.num_groups() as f64));
+            m.push((
+                "mean_abs_residual",
+                self.abs_residual_sum / self.n as f64,
+            ));
+        }
+        m
+    }
+
+    fn state_save(&self) -> Json {
+        Json::Object(vec![
+            ("est".into(), Json::str(self.name())),
+            ("n".into(), Json::Int(self.n as i64)),
+            ("sum".into(), bits(self.contribution_sum)),
+            ("abs_residual_sum".into(), bits(self.abs_residual_sum)),
+            ("acc".into(), self.acc.state_save()),
+            ("moments".into(), self.moments.state_save()),
+        ])
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.name())?;
+        let n = uint(state, "n")? as usize;
+        let sum = unbits(state, "sum")?;
+        let abs_residual_sum = unbits(state, "abs_residual_sum")?;
+        let acc = WeightAcc::state_load(field(state, "acc")?)?;
+        let moments = StreamingMoments::state_load(field(state, "moments")?)?;
+        self.n = n;
+        self.contribution_sum = sum;
+        self.abs_residual_sum = abs_residual_sum;
+        self.acc = acc;
+        self.moments = moments;
+        Ok(())
+    }
+}
+
+/// Streaming per-decision sequential DR ([`crate::SeqDr`]).
+///
+/// Records buffer into a pending trajectory as precomputed
+/// `(dm, w, residual)` steps — propensity errors therefore surface at
+/// the offending `push`, leaving state untouched. When the pending
+/// buffer reaches `horizon` the trajectory folds through the backward
+/// recursion and collapses into the O(1) running sums; only a partial
+/// trajectory (< horizon steps) is ever retained. Weight diagnostics
+/// cover completed trajectories only, matching the batch path's
+/// whole-trajectory slice.
+pub struct OnlineSeqDr {
+    space: DecisionSpace,
+    policy: Box<dyn Policy + Send + Sync>,
+    model: Box<dyn RewardModel + Send + Sync>,
+    horizon: usize,
+    /// `(dm, w, residual)` steps of the in-flight trajectory.
+    pending: Vec<(f64, f64, f64)>,
+    /// Completed trajectories.
+    trajectories: usize,
+    contribution_sum: f64,
+    abs_residual_sum: f64,
+    acc: WeightAcc,
+    moments: StreamingMoments,
+}
+
+impl OnlineSeqDr {
+    /// Creates a streaming sequential-DR evaluator of `policy` over
+    /// `space` for trajectories of exactly `horizon` steps.
+    ///
+    /// # Panics
+    /// Panics if `horizon == 0`.
+    pub fn new(
+        space: DecisionSpace,
+        policy: Box<dyn Policy + Send + Sync>,
+        model: Box<dyn RewardModel + Send + Sync>,
+        horizon: usize,
+    ) -> Result<Self, EstimatorError> {
+        assert!(horizon > 0, "horizon must be positive");
+        check_policy_space(&space, policy.as_ref())?;
+        Ok(Self {
+            space,
+            policy,
+            model,
+            horizon,
+            pending: Vec::new(),
+            trajectories: 0,
+            contribution_sum: -0.0,
+            abs_residual_sum: 0.0,
+            acc: WeightAcc::new(),
+            moments: StreamingMoments::new(),
+        })
+    }
+
+    /// The trajectory length.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Completed trajectories so far.
+    pub fn trajectories(&self) -> usize {
+        self.trajectories
+    }
+}
+
+impl OnlineEstimator for OnlineSeqDr {
+    fn name(&self) -> &str {
+        "SeqDR"
+    }
+
+    fn push(&mut self, rec: &TraceRecord) -> Result<(), EstimatorError> {
+        let k = self.trajectories * self.horizon + self.pending.len();
+        let w = weight_at(self.policy.as_ref(), rec, k)?;
+        let probs = self.policy.probabilities(&rec.context);
+        let dm_term: f64 = self
+            .space
+            .iter()
+            .map(|d| probs[d.index()] * self.model.predict(&rec.context, d))
+            .sum();
+        let residual = rec.reward - self.model.predict(&rec.context, rec.decision);
+        self.pending.push((dm_term, w, residual));
+        if self.pending.len() == self.horizon {
+            // Fold the completed trajectory into the running sums. The
+            // accumulators mirror the batch path's record order: weights
+            // and residuals forward, then the backward value recursion.
+            for &(_, w, residual) in &self.pending {
+                self.acc.push(w);
+                self.abs_residual_sum += residual.abs();
+            }
+            let v = crate::seq::trajectory_value(&self.pending);
+            self.contribution_sum += v;
+            self.moments.push(v);
+            self.trajectories += 1;
+            self.pending.clear();
+        }
+        Ok(())
+    }
+
+    fn estimate(&self) -> Result<OnlineEstimate, EstimatorError> {
+        if self.trajectories == 0 {
+            return Err(EstimatorError::NoUsableRecords);
+        }
+        Ok(OnlineEstimate {
+            value: self.contribution_sum / self.trajectories as f64,
+            n: self.trajectories,
+            diagnostics: self.acc.diagnostics(),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.trajectories * self.horizon + self.pending.len()
+    }
+
+    fn reset(&mut self) {
+        self.pending.clear();
+        self.trajectories = 0;
+        self.contribution_sum = -0.0;
+        self.abs_residual_sum = 0.0;
+        self.acc = WeightAcc::new();
+        self.moments = StreamingMoments::new();
+    }
+
+    fn health_metrics(&self) -> Vec<(&'static str, f64)> {
+        let completed = self.trajectories * self.horizon;
+        let mut m = common_health(completed, Some(&self.acc), &self.moments);
+        if completed > 0 {
+            m.push(("horizon", self.horizon as f64));
+            m.push(("trajectories", self.trajectories as f64));
+            m.push((
+                "mean_abs_residual",
+                self.abs_residual_sum / completed as f64,
+            ));
+        }
+        m
+    }
+
+    fn state_save(&self) -> Json {
+        let mut flat = Vec::with_capacity(self.pending.len() * 3);
+        for (dm, w, residual) in &self.pending {
+            flat.push(bits(*dm));
+            flat.push(bits(*w));
+            flat.push(bits(*residual));
+        }
+        Json::Object(vec![
+            ("est".into(), Json::str(self.name())),
+            ("trajectories".into(), Json::Int(self.trajectories as i64)),
+            ("sum".into(), bits(self.contribution_sum)),
+            ("abs_residual_sum".into(), bits(self.abs_residual_sum)),
+            ("pending".into(), Json::Array(flat)),
+            ("acc".into(), self.acc.state_save()),
+            ("moments".into(), self.moments.state_save()),
+        ])
+    }
+
+    fn state_load(&mut self, state: &Json) -> Result<(), EstimatorError> {
+        check_kind(state, self.name())?;
+        let trajectories = uint(state, "trajectories")? as usize;
+        let sum = unbits(state, "sum")?;
+        let abs_residual_sum = unbits(state, "abs_residual_sum")?;
+        let flat = field(state, "pending")?
+            .as_array()
+            .ok_or_else(|| state_err("field `pending` must be an array"))?;
+        if flat.len() % 3 != 0 {
+            return Err(state_err("`pending` must hold step triples"));
+        }
+        if flat.len() / 3 >= self.horizon {
+            return Err(state_err(format!(
+                "pending trajectory holds {} steps but the horizon is {}",
+                flat.len() / 3,
+                self.horizon
+            )));
+        }
+        let decode = |v: &Json| {
+            v.as_i64()
+                .map(|b| f64::from_bits(b as u64))
+                .ok_or_else(|| state_err("`pending` entries must hold f64 bits"))
+        };
+        let mut pending = Vec::with_capacity(flat.len() / 3);
+        for step in flat.chunks(3) {
+            pending.push((decode(&step[0])?, decode(&step[1])?, decode(&step[2])?));
+        }
+        let acc = WeightAcc::state_load(field(state, "acc")?)?;
+        let moments = StreamingMoments::state_load(field(state, "moments")?)?;
+        self.trajectories = trajectories;
+        self.contribution_sum = sum;
+        self.abs_residual_sum = abs_residual_sum;
+        self.pending = pending;
+        self.acc = acc;
+        self.moments = moments;
+        Ok(())
+    }
+}
+
 /// Bounds any online estimator to the most recent `capacity` records —
 /// the streaming answer to §4.1 non-stationarity: when the logged world
 /// drifts, only the recent regime should vote.
@@ -1308,6 +1931,104 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_window_panics() {
         let _ = SlidingWindow::new(OnlineIps::new(space(), Box::new(target())).unwrap(), 0);
+    }
+
+    #[test]
+    fn adaptive_replay_is_bit_identical() {
+        use crate::adaptive::{AdaptiveDr, AdaptiveIps, AdaptiveWeights};
+        let t = skewed_trace(300, 14);
+        for mode in [AdaptiveWeights::Stabilized, AdaptiveWeights::Constant] {
+            let batch = AdaptiveIps::new(mode).estimate(&t, &target()).unwrap();
+            let mut online =
+                OnlineAdaptiveIps::new(space(), Box::new(target()), mode).unwrap();
+            replay(&mut online, &t);
+            let e = online.estimate().unwrap();
+            assert_eq!(e.value.to_bits(), batch.value.to_bits());
+            assert_eq!(e.diagnostics, batch.diagnostics);
+
+            let batch = AdaptiveDr::new(model(), mode).estimate(&t, &target()).unwrap();
+            let mut online = OnlineAdaptiveDr::new(
+                space(),
+                Box::new(target()),
+                Box::new(model()),
+                mode,
+            )
+            .unwrap();
+            replay(&mut online, &t);
+            let e = online.estimate().unwrap();
+            assert_eq!(e.value.to_bits(), batch.value.to_bits());
+            assert_eq!(e.diagnostics, batch.diagnostics);
+        }
+    }
+
+    #[test]
+    fn marginalized_replay_is_bit_identical() {
+        use crate::marginalized::{ActionEmbedding, MarginalizedDr};
+        let t = skewed_trace(300, 15);
+        let logger = || {
+            EpsilonSmoothedPolicy::new(Box::new(LookupPolicy::constant(space(), 0)), 0.5)
+        };
+        let emb = ActionEmbedding::identity(2);
+        let batch = MarginalizedDr::new(model(), emb.clone(), Box::new(logger()))
+            .estimate(&t, &target())
+            .unwrap();
+        let mut online = OnlineMarginalizedDr::new(
+            space(),
+            Box::new(target()),
+            Box::new(logger()),
+            Box::new(model()),
+            emb,
+        )
+        .unwrap();
+        replay(&mut online, &t);
+        let e = online.estimate().unwrap();
+        assert_eq!(e.value.to_bits(), batch.value.to_bits());
+        assert_eq!(e.diagnostics, batch.diagnostics);
+    }
+
+    #[test]
+    fn seq_replay_is_bit_identical() {
+        use crate::seq::SeqDr;
+        let t = skewed_trace(300, 16);
+        for horizon in [1, 5] {
+            let batch = SeqDr::new(model(), horizon).estimate(&t, &target()).unwrap();
+            let mut online = OnlineSeqDr::new(
+                space(),
+                Box::new(target()),
+                Box::new(model()),
+                horizon,
+            )
+            .unwrap();
+            replay(&mut online, &t);
+            let e = online.estimate().unwrap();
+            assert_eq!(e.value.to_bits(), batch.value.to_bits());
+            assert_eq!(e.diagnostics, batch.diagnostics);
+            assert_eq!(e.n, 300 / horizon);
+        }
+    }
+
+    #[test]
+    fn seq_pending_trajectory_stays_out_of_the_estimate() {
+        let t = skewed_trace(10, 17);
+        let mut online = OnlineSeqDr::new(
+            space(),
+            Box::new(target()),
+            Box::new(model()),
+            4,
+        )
+        .unwrap();
+        for rec in &t.records()[..3] {
+            online.push(rec).unwrap();
+        }
+        // Three steps of a four-step trajectory: no estimate yet.
+        assert_eq!(online.len(), 3);
+        assert!(matches!(
+            online.estimate(),
+            Err(EstimatorError::NoUsableRecords)
+        ));
+        online.push(&t.records()[3]).unwrap();
+        assert_eq!(online.trajectories(), 1);
+        assert!(online.estimate().is_ok());
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //! zero importance weights.
 
 use ddn_estimators::{
-    EstimatorError, OnlineClippedIps, OnlineDm, OnlineDr, OnlineEstimator, OnlineIps,
-    OnlineSnips, SlidingWindow,
+    ActionEmbedding, AdaptiveWeights, EstimatorError, OnlineAdaptiveDr, OnlineAdaptiveIps,
+    OnlineClippedIps, OnlineDm, OnlineDr, OnlineEstimator, OnlineIps, OnlineMarginalizedDr,
+    OnlineSeqDr, OnlineSnips, SlidingWindow,
 };
 use ddn_models::ConstantModel;
-use ddn_policy::LookupPolicy;
+use ddn_policy::{LookupPolicy, UniformRandomPolicy};
 use ddn_stats::rng::{Rng, Xoshiro256};
 use ddn_stats::Json;
 use ddn_testkit::{prop, prop_assert, prop_assert_eq};
@@ -72,6 +73,43 @@ fn menu() -> Vec<(&'static str, Factory)> {
         ("dr", || {
             Box::new(
                 OnlineDr::new(space(), policy(), Box::new(ConstantModel::new(2.5))).unwrap(),
+            )
+        }),
+        ("adaptive", || {
+            Box::new(
+                OnlineAdaptiveIps::new(space(), policy(), AdaptiveWeights::Stabilized).unwrap(),
+            )
+        }),
+        ("adaptive_dr", || {
+            Box::new(
+                OnlineAdaptiveDr::new(
+                    space(),
+                    policy(),
+                    Box::new(ConstantModel::new(2.5)),
+                    AdaptiveWeights::Stabilized,
+                )
+                .unwrap(),
+            )
+        }),
+        ("mdr", || {
+            Box::new(
+                OnlineMarginalizedDr::new(
+                    space(),
+                    policy(),
+                    Box::new(UniformRandomPolicy::new(space())),
+                    Box::new(ConstantModel::new(2.5)),
+                    ActionEmbedding::identity(2),
+                )
+                .unwrap(),
+            )
+        }),
+        // Horizon 3 with arbitrary split points: most splits land
+        // mid-trajectory, so the pending step triples must survive the
+        // text round-trip too.
+        ("seqdr", || {
+            Box::new(
+                OnlineSeqDr::new(space(), policy(), Box::new(ConstantModel::new(2.5)), 3)
+                    .unwrap(),
             )
         }),
     ]

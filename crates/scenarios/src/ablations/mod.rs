@@ -6,6 +6,7 @@
 pub mod calibration;
 pub mod coupling;
 pub mod dimensionality;
+pub mod menu;
 pub mod nonstationary;
 pub mod randomness;
 pub mod second_order;
@@ -16,6 +17,9 @@ pub mod trace_size;
 pub use calibration::{ablation_calibration, CalibrationRow};
 pub use coupling::{ablation_coupling, CouplingRow};
 pub use dimensionality::{ablation_dimensionality, DimensionalityRow};
+pub use menu::{
+    ablation_menu, ablation_menu_instrumented, MenuConfig, MenuRow, MenuScenario,
+};
 pub use nonstationary::{ablation_nonstationary, NonstationaryResult};
 pub use randomness::{ablation_randomness, RandomnessRow};
 pub use second_order::{ablation_second_order, SecondOrderRow};

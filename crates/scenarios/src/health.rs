@@ -17,10 +17,11 @@
 
 use ddn_estimators::state_aware::MatchOnly;
 use ddn_estimators::{
-    BatchEstimator, ClippedIps, CouplingDetector, CrossFitDr, DirectMethod, DoublyRobust,
-    ErrorTable, Estimator, EvalBatch, ExperimentRunner, Ips, MatchingEstimator, OnlineClippedIps,
-    OnlineDm, OnlineDr, OnlineEstimator, OnlineIps, OnlineSnips, ReplayEvaluator,
-    SelfNormalizedIps, StateAwareDr, SwitchDr,
+    ActionEmbedding, AdaptiveDr, AdaptiveIps, AdaptiveWeights, BatchEstimator, ClippedIps,
+    CouplingDetector, CrossFitDr, DirectMethod, DoublyRobust, ErrorTable, Estimator, EvalBatch,
+    ExperimentRunner, Ips, MarginalizedDr, MatchingEstimator, OnlineAdaptiveDr, OnlineAdaptiveIps,
+    OnlineClippedIps, OnlineDm, OnlineDr, OnlineEstimator, OnlineIps, OnlineMarginalizedDr,
+    OnlineSeqDr, OnlineSnips, ReplayEvaluator, SelfNormalizedIps, SeqDr, StateAwareDr, SwitchDr,
 };
 use ddn_models::TabularMeanModel;
 use ddn_policy::{EpsilonSmoothedPolicy, LookupPolicy, Policy, StationaryAsHistory};
@@ -30,6 +31,12 @@ use ddn_trace::{Context, ContextSchema, StateTag, Trace, TraceRecord};
 
 /// True value of the always-`d1` policy in the suite's world.
 pub const HEALTH_TRUTH: f64 = 5.5;
+
+/// Horizon SeqDR groups the suite's records under. The default record
+/// count (and every config the tests use) is a multiple, so the trace
+/// splits into whole trajectories; the suite reports SeqDR's estimate
+/// per step (÷ horizon) so its row shares [`HEALTH_TRUTH`].
+pub const HEALTH_SEQ_HORIZON: usize = 4;
 
 /// Configuration knobs for the health suite.
 #[derive(Debug, Clone)]
@@ -180,6 +187,35 @@ fn run_seed(cfg: &HealthConfig, seed: u64) -> (f64, Vec<(String, f64)>) {
                 .expect("StateAwareDR")
                 .value,
         );
+        push(
+            "AdaptiveIPS",
+            AdaptiveIps::new(AdaptiveWeights::Stabilized)
+                .estimate_batch(&trace, &batch)
+                .expect("AdaptiveIPS")
+                .value,
+        );
+        push(
+            "AdaptiveDR",
+            AdaptiveDr::new(&model, AdaptiveWeights::Stabilized)
+                .estimate_batch(&trace, &batch)
+                .expect("AdaptiveDR")
+                .value,
+        );
+        push(
+            "MarginalizedDR",
+            MarginalizedDr::new(&model, ActionEmbedding::identity(2), Box::new(logger()))
+                .estimate_batch(&trace, &batch)
+                .expect("MarginalizedDR")
+                .value,
+        );
+        push(
+            "SeqDR",
+            SeqDr::new(&model, HEALTH_SEQ_HORIZON)
+                .estimate_batch(&trace, &batch)
+                .expect("SeqDR")
+                .value
+                / HEALTH_SEQ_HORIZON as f64,
+        );
 
         // Replay reads the *logging* policy's probability rows (it
         // reweights by the old policy), so it gets its own batch; the
@@ -254,6 +290,35 @@ fn run_seed(cfg: &HealthConfig, seed: u64) -> (f64, Vec<(String, f64)>) {
                 .expect("StateAwareDR")
                 .value,
         );
+        push(
+            "AdaptiveIPS",
+            AdaptiveIps::new(AdaptiveWeights::Stabilized)
+                .estimate(&trace, &target)
+                .expect("AdaptiveIPS")
+                .value,
+        );
+        push(
+            "AdaptiveDR",
+            AdaptiveDr::new(&model, AdaptiveWeights::Stabilized)
+                .estimate(&trace, &target)
+                .expect("AdaptiveDR")
+                .value,
+        );
+        push(
+            "MarginalizedDR",
+            MarginalizedDr::new(&model, ActionEmbedding::identity(2), Box::new(logger()))
+                .estimate(&trace, &target)
+                .expect("MarginalizedDR")
+                .value,
+        );
+        push(
+            "SeqDR",
+            SeqDr::new(&model, HEALTH_SEQ_HORIZON)
+                .estimate(&trace, &target)
+                .expect("SeqDR")
+                .value
+                / HEALTH_SEQ_HORIZON as f64,
+        );
 
         // Replay drives the target as a (degenerate) history policy so the
         // acceptance-rate diagnostic gets exercised too.
@@ -325,6 +390,54 @@ pub fn online_offline_cross_check(cfg: &HealthConfig) -> Result<(), String> {
                 ),
                 offline(&DoublyRobust::new(&model))?,
             ),
+            (
+                Box::new(
+                    OnlineAdaptiveIps::new(space(), newp(), AdaptiveWeights::Stabilized)
+                        .expect("spaces match"),
+                ),
+                offline(&AdaptiveIps::new(AdaptiveWeights::Stabilized))?,
+            ),
+            (
+                Box::new(
+                    OnlineAdaptiveDr::new(
+                        space(),
+                        newp(),
+                        Box::new(model.clone()),
+                        AdaptiveWeights::Stabilized,
+                    )
+                    .expect("spaces match"),
+                ),
+                offline(&AdaptiveDr::new(&model, AdaptiveWeights::Stabilized))?,
+            ),
+            (
+                Box::new(
+                    OnlineMarginalizedDr::new(
+                        space(),
+                        newp(),
+                        Box::new(logger()),
+                        Box::new(model.clone()),
+                        ActionEmbedding::identity(2),
+                    )
+                    .expect("spaces match"),
+                ),
+                offline(&MarginalizedDr::new(
+                    &model,
+                    ActionEmbedding::identity(2),
+                    Box::new(logger()),
+                ))?,
+            ),
+            (
+                Box::new(
+                    OnlineSeqDr::new(
+                        space(),
+                        newp(),
+                        Box::new(model.clone()),
+                        HEALTH_SEQ_HORIZON,
+                    )
+                    .expect("spaces match"),
+                ),
+                offline(&SeqDr::new(&model, HEALTH_SEQ_HORIZON))?,
+            ),
         ];
         for (online, batch_value) in &mut menu {
             let name = online.name().to_string();
@@ -384,6 +497,10 @@ mod tests {
             ("CrossFitDR", "folds"),
             ("CFA", "coverage"),
             ("StateAwareDR", "coverage"),
+            ("AdaptiveIPS", "hsum"),
+            ("AdaptiveDR", "hsum"),
+            ("MarginalizedDR", "embedding_groups"),
+            ("SeqDR", "trajectories"),
             ("Replay", "acceptance_rate"),
             ("CouplingDetector", "segments"),
         ] {
@@ -430,6 +547,10 @@ mod tests {
             "CrossFitDR",
             "CFA",
             "StateAwareDR",
+            "AdaptiveIPS",
+            "AdaptiveDR",
+            "MarginalizedDR",
+            "SeqDR",
             "Replay",
         ] {
             let a = batched.get(name).unwrap();
@@ -480,6 +601,10 @@ mod tests {
             "CrossFitDR",
             "CFA",
             "StateAwareDR",
+            "AdaptiveIPS",
+            "AdaptiveDR",
+            "MarginalizedDR",
+            "SeqDR",
             "Replay",
         ] {
             assert!(table.get(name).is_some(), "{name} row missing");

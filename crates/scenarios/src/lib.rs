@@ -19,6 +19,7 @@
 //! | [`ablations::second_order`] | §3 second-order bias | DR error tracks the *product* of DM and IPS error dials |
 //! | [`ablations::selection`] | the Figure 1 question itself | DR ranks candidate policies at least as well as the baselines |
 //! | [`ablations::calibration`] | §2.2.1 scale-shaped model bias | isotonic calibration fixes it without propensities |
+//! | [`ablations::menu`] | §4 estimator-menu extensions | adaptive/marginalized/sequential DR each beat the incumbents on the log shape that breaks them |
 //! | [`health`](mod@health) | §4's diagnostics, end to end | every estimator emits its telemetry health metrics |
 //!
 //! The absolute numbers will not match the paper (different substrate,

@@ -408,6 +408,18 @@ impl ServeClient {
         Ok(resp)
     }
 
+    /// Creates a session from a fully-formed init request object —
+    /// the escape hatch for protocol fields [`ServeClient::init`] does
+    /// not surface (the menu extensions `horizon`, `embedding`,
+    /// `logging`, or a non-constant policy). Resets the client's ingest
+    /// sequence for `session`, which must match the object's
+    /// `"session"` field.
+    pub fn init_with(&mut self, session: &str, init: &Json) -> Result<Json, ClientError> {
+        let resp = self.request(init)?;
+        self.seqs.insert(session.to_string(), 0);
+        Ok(resp)
+    }
+
     /// Feeds a batch of records into a session, stamped with the
     /// session's next sequence number so server-side deduplication makes
     /// retries exactly-once.

@@ -8,7 +8,9 @@
 
 use crate::protocol::{ok_response, InitSpec, PolicySpec};
 use ddn_estimators::{
-    OnlineClippedIps, OnlineDm, OnlineDr, OnlineEstimator, OnlineIps, OnlineSnips, SlidingWindow,
+    ActionEmbedding, AdaptiveWeights, OnlineAdaptiveDr, OnlineAdaptiveIps, OnlineClippedIps,
+    OnlineDm, OnlineDr, OnlineEstimator, OnlineIps, OnlineMarginalizedDr, OnlineSeqDr,
+    OnlineSnips, SlidingWindow,
 };
 use ddn_models::ConstantModel;
 use ddn_policy::{LookupPolicy, Policy, UniformRandomPolicy};
@@ -302,9 +304,61 @@ impl Session {
                         .map_err(|e| e.to_string())?,
                     )
                 }
+                "adaptive" => {
+                    needs_propensity = true;
+                    Box::new(
+                        OnlineAdaptiveIps::new(
+                            spec.space.clone(),
+                            policy,
+                            AdaptiveWeights::Stabilized,
+                        )
+                        .map_err(|e| e.to_string())?,
+                    )
+                }
+                "adaptive_dr" => {
+                    needs_propensity = true;
+                    Box::new(
+                        OnlineAdaptiveDr::new(
+                            spec.space.clone(),
+                            policy,
+                            Box::new(ConstantModel::new(spec.model_value)),
+                            AdaptiveWeights::Stabilized,
+                        )
+                        .map_err(|e| e.to_string())?,
+                    )
+                }
+                // Marginalized DR never reads per-record propensities —
+                // its denominators come from the init-declared logging
+                // policy's marginals — so it does not flip the
+                // propensity requirement.
+                "mdr" => Box::new(
+                    OnlineMarginalizedDr::new(
+                        spec.space.clone(),
+                        policy,
+                        build_policy(&spec.logging, &spec.space)?,
+                        Box::new(ConstantModel::new(spec.model_value)),
+                        match &spec.embedding {
+                            Some(groups) => ActionEmbedding::from_groups(groups.clone()),
+                            None => ActionEmbedding::identity(spec.space.len()),
+                        },
+                    )
+                    .map_err(|e| e.to_string())?,
+                ),
+                "seqdr" => {
+                    needs_propensity = true;
+                    Box::new(
+                        OnlineSeqDr::new(
+                            spec.space.clone(),
+                            policy,
+                            Box::new(ConstantModel::new(spec.model_value)),
+                            spec.horizon,
+                        )
+                        .map_err(|e| e.to_string())?,
+                    )
+                }
                 other => {
                     return Err(format!(
-                        "unknown estimator {other:?} (expected ips|snips|clipped|dm|dr)"
+                        "unknown estimator {other:?} (expected ips|snips|clipped|dm|dr|adaptive|adaptive_dr|mdr|seqdr)"
                     ))
                 }
             };
@@ -721,6 +775,77 @@ mod tests {
             .estimate(&trace, &policy)
             .unwrap();
         assert_eq!(online.to_bits(), offline.value.to_bits());
+    }
+
+    #[test]
+    fn menu_estimators_round_trip_match_offline() {
+        use ddn_estimators::{AdaptiveDr, AdaptiveIps, MarginalizedDr, SeqDr};
+        use ddn_policy::UniformRandomPolicy;
+
+        let mut engine = Engine::new();
+        let resp = engine.handle_init(init_spec(concat!(
+            r#","estimators":["adaptive","adaptive_dr","mdr","seqdr"]"#,
+            r#","policy":{"kind":"constant","decision":"b"}"#,
+            r#","model_value":2.0,"horizon":4"#,
+            r#","embedding":[0,0],"logging":{"kind":"uniform"}"#,
+        )));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+
+        let recs = records(200, 7);
+        let resp = engine.handle_ingest("s", &recs, None);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+
+        let est = engine.handle_estimate("s");
+        let online = |name: &str| {
+            est.get("estimates")
+                .and_then(|e| e.get(name))
+                .and_then(|e| e.get("value"))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{name} missing from {est:?}"))
+        };
+
+        let trace = Trace::from_records(schema(), space(), recs).unwrap();
+        let policy = LookupPolicy::constant(space(), 1);
+        let model = ConstantModel::new(2.0);
+        let offline_adaptive = AdaptiveIps::new(AdaptiveWeights::Stabilized)
+            .estimate(&trace, &policy)
+            .unwrap()
+            .value;
+        let offline_adaptive_dr = AdaptiveDr::new(model.clone(), AdaptiveWeights::Stabilized)
+            .estimate(&trace, &policy)
+            .unwrap()
+            .value;
+        let offline_mdr = MarginalizedDr::new(
+            model.clone(),
+            ActionEmbedding::from_groups(vec![0, 0]),
+            Box::new(UniformRandomPolicy::new(space())),
+        )
+        .estimate(&trace, &policy)
+        .unwrap()
+        .value;
+        let offline_seqdr = SeqDr::new(model, 4).estimate(&trace, &policy).unwrap().value;
+
+        assert_eq!(online("adaptive").to_bits(), offline_adaptive.to_bits());
+        assert_eq!(
+            online("adaptive_dr").to_bits(),
+            offline_adaptive_dr.to_bits()
+        );
+        assert_eq!(online("mdr").to_bits(), offline_mdr.to_bits());
+        assert_eq!(online("seqdr").to_bits(), offline_seqdr.to_bits());
+
+        // mdr alone must not demand propensities: it prices records off
+        // the declared logging policy, never the recorded propensity.
+        let mut engine = Engine::new();
+        let resp = engine.handle_init(init_spec(
+            r#","estimators":["mdr"],"policy":{"kind":"constant","decision":"b"}"#,
+        ));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        let mut bare = records(10, 8);
+        for r in &mut bare {
+            r.propensity = None;
+        }
+        let resp = engine.handle_ingest("s", &bare, None);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //!
 //! ```text
 //! init     {"verb":"init","session":S,"schema":H,"space":P,
-//!           "estimators":["ips","snips","clipped","dm","dr"],
+//!           "estimators":["ips","snips","clipped","dm","dr",
+//!                         "adaptive","adaptive_dr","mdr","seqdr"],
 //!           "policy":{"kind":"constant","decision":D}|{"kind":"uniform"},
-//!           "model_value":V?,"max_weight":W?,"window":N?}
+//!           "model_value":V?,"max_weight":W?,"window":N?,
+//!           "horizon":T?,"embedding":[G,...]?,"logging":POLICY?}
 //! ingest   {"verb":"ingest","session":S,"records":[R,...],"seq":Q?}
 //! estimate {"verb":"estimate","session":S}
 //! health   {"verb":"health"}
@@ -26,6 +28,12 @@
 //! index, `V` is an optional constant reward-model value (default 0) for
 //! `dm`/`dr`, `W` an optional clip threshold (default 10) for `clipped`,
 //! and `N` an optional sliding-window capacity (omitted = cumulative).
+//! The menu extensions add `T`, an optional trajectory horizon (default
+//! 1) for `seqdr`; `[G,...]`, an optional per-arm group assignment for
+//! `mdr` (omitted = identity embedding, one group per arm); and
+//! `"logging"`, an optional policy object giving `mdr` its marginal
+//! denominators (omitted = uniform — `mdr` never reads per-record
+//! propensities).
 //!
 //! `stats` returns a point-in-time snapshot of the server's live metric
 //! [`ddn_telemetry::Registry`] (counters, gauges, log2 histogram
@@ -102,16 +110,22 @@ pub struct InitSpec {
     /// Decision space the session's records must conform to.
     pub space: DecisionSpace,
     /// Estimators to run, by protocol name (`ips`, `snips`, `clipped`,
-    /// `dm`, `dr`).
+    /// `dm`, `dr`, `adaptive`, `adaptive_dr`, `mdr`, `seqdr`).
     pub estimators: Vec<String>,
     /// Target policy to evaluate.
     pub policy: PolicySpec,
-    /// Constant reward-model value for `dm`/`dr`.
+    /// Constant reward-model value for `dm`/`dr`/`adaptive_dr`/`mdr`/`seqdr`.
     pub model_value: f64,
     /// Clip threshold for `clipped`.
     pub max_weight: f64,
     /// Sliding-window capacity; `None` = cumulative estimators.
     pub window: Option<usize>,
+    /// Trajectory horizon for `seqdr` (default 1 — single-step DR).
+    pub horizon: usize,
+    /// Per-arm group assignment for `mdr`; `None` = identity embedding.
+    pub embedding: Option<Vec<usize>>,
+    /// Logging policy supplying `mdr`'s marginal denominators.
+    pub logging: PolicySpec,
 }
 
 impl InitSpec {
@@ -138,6 +152,18 @@ impl InitSpec {
         ];
         if let Some(w) = self.window {
             fields.push(("window", Json::Int(w as i64)));
+        }
+        if self.horizon != 1 {
+            fields.push(("horizon", Json::Int(self.horizon as i64)));
+        }
+        if let Some(groups) = &self.embedding {
+            fields.push((
+                "embedding",
+                Json::Array(groups.iter().map(|&g| Json::Int(g as i64)).collect()),
+            ));
+        }
+        if self.logging != PolicySpec::Uniform {
+            fields.push(("logging", self.logging.to_json()));
         }
         Json::object(fields)
     }
@@ -274,6 +300,27 @@ fn required_session(v: &Json) -> Result<String, String> {
         .ok_or_else(|| "missing \"session\"".to_string())
 }
 
+fn parse_policy(p: &Json) -> Result<PolicySpec, String> {
+    let kind = p
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("policy needs a \"kind\"")?;
+    match kind {
+        "uniform" => Ok(PolicySpec::Uniform),
+        "constant" => match p.get("decision") {
+            Some(Json::Str(name)) => Ok(PolicySpec::ConstantName(name.clone())),
+            Some(d) => {
+                let idx = d
+                    .as_u64()
+                    .ok_or("constant policy needs a decision name or index")?;
+                Ok(PolicySpec::ConstantIndex(idx as usize))
+            }
+            None => Err("constant policy needs \"decision\"".into()),
+        },
+        other => Err(format!("unknown policy kind {other:?}")),
+    }
+}
+
 fn parse_init(v: &Json) -> Result<InitSpec, String> {
     let session = required_session(v)?;
     let schema = ContextSchema::from_json(v.get("schema").ok_or("init needs \"schema\"")?)
@@ -297,26 +344,7 @@ fn parse_init(v: &Json) -> Result<InitSpec, String> {
     }
     let policy = match v.get("policy") {
         None => PolicySpec::Uniform,
-        Some(p) => {
-            let kind = p
-                .get("kind")
-                .and_then(Json::as_str)
-                .ok_or("policy needs a \"kind\"")?;
-            match kind {
-                "uniform" => PolicySpec::Uniform,
-                "constant" => match p.get("decision") {
-                    Some(Json::Str(name)) => PolicySpec::ConstantName(name.clone()),
-                    Some(d) => {
-                        let idx = d
-                            .as_u64()
-                            .ok_or("constant policy needs a decision name or index")?;
-                        PolicySpec::ConstantIndex(idx as usize)
-                    }
-                    None => return Err("constant policy needs \"decision\"".into()),
-                },
-                other => return Err(format!("unknown policy kind {other:?}")),
-            }
-        }
+        Some(p) => parse_policy(p)?,
     };
     let model_value = match v.get("model_value") {
         None => 0.0,
@@ -342,6 +370,44 @@ fn parse_init(v: &Json) -> Result<InitSpec, String> {
             Some(n as usize)
         }
     };
+    let horizon = match v.get("horizon") {
+        None => 1,
+        Some(x) => {
+            let n = x.as_u64().ok_or("\"horizon\" must be a positive integer")?;
+            if n == 0 {
+                return Err("\"horizon\" must be at least 1".into());
+            }
+            n as usize
+        }
+    };
+    let embedding = match v.get("embedding") {
+        None => None,
+        Some(x) => {
+            let arr = x
+                .as_array()
+                .ok_or("\"embedding\" must be an array of group ids")?;
+            let groups = arr
+                .iter()
+                .map(|g| {
+                    g.as_u64()
+                        .map(|g| g as usize)
+                        .ok_or_else(|| "\"embedding\" entries must be non-negative integers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if groups.len() != space.len() {
+                return Err(format!(
+                    "\"embedding\" covers {} arms but the space has {}",
+                    groups.len(),
+                    space.len()
+                ));
+            }
+            Some(groups)
+        }
+    };
+    let logging = match v.get("logging") {
+        None => PolicySpec::Uniform,
+        Some(p) => parse_policy(p)?,
+    };
     Ok(InitSpec {
         session,
         schema,
@@ -351,6 +417,9 @@ fn parse_init(v: &Json) -> Result<InitSpec, String> {
         model_value,
         max_weight,
         window,
+        horizon,
+        embedding,
+        logging,
     })
 }
 
@@ -403,6 +472,51 @@ mod tests {
     }
 
     #[test]
+    fn parses_and_round_trips_the_menu_init_fields() {
+        let line = format!(
+            concat!(
+                r#"{{"verb":"init","session":"s1","schema":{},"space":{},"#,
+                r#""estimators":["adaptive","adaptive_dr","mdr","seqdr"],"#,
+                r#""policy":{{"kind":"constant","decision":"b"}},"#,
+                r#""horizon":4,"embedding":[0,0],"#,
+                r#""logging":{{"kind":"constant","decision":"a"}}}}"#,
+            ),
+            schema_json(),
+            space_json()
+        );
+        let Request::Init(init) = Request::parse(&line).unwrap() else {
+            panic!("expected init");
+        };
+        assert_eq!(init.horizon, 4);
+        assert_eq!(init.embedding, Some(vec![0, 0]));
+        assert_eq!(init.logging, PolicySpec::ConstantName("a".into()));
+
+        // The snapshot encoding (to_json) must re-parse to the same spec.
+        let Request::Init(again) = Request::parse(&init.to_json().to_string()).unwrap() else {
+            panic!("expected init");
+        };
+        assert_eq!(again.horizon, init.horizon);
+        assert_eq!(again.embedding, init.embedding);
+        assert_eq!(again.logging, init.logging);
+        assert_eq!(again.estimators, init.estimators);
+
+        // Validation: zero horizon, bad embedding arity, bad logging kind.
+        for (extra, needle) in [
+            (r#","horizon":0"#, "horizon"),
+            (r#","embedding":[0]"#, "embedding"),
+            (r#","logging":{"kind":"warp"}"#, "policy kind"),
+        ] {
+            let line = format!(
+                r#"{{"verb":"init","session":"s","schema":{},"space":{}{extra}}}"#,
+                schema_json(),
+                space_json()
+            );
+            let e = Request::parse(&line).unwrap_err();
+            assert!(e.contains(needle), "{extra}: {e}");
+        }
+    }
+
+    #[test]
     fn init_defaults_are_sensible() {
         let line = format!(
             r#"{{"verb":"init","session":"s","schema":{},"space":{}}}"#,
@@ -416,6 +530,9 @@ mod tests {
         assert_eq!(init.policy, PolicySpec::Uniform);
         assert_eq!(init.max_weight, DEFAULT_MAX_WEIGHT);
         assert_eq!(init.window, None);
+        assert_eq!(init.horizon, 1);
+        assert_eq!(init.embedding, None);
+        assert_eq!(init.logging, PolicySpec::Uniform);
     }
 
     #[test]

@@ -32,9 +32,23 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The full online estimator menu plus a windowed variant; recovery must
-/// round-trip every accumulator shape, not just the easy ones.
-const MENU: &[&str] = &["ips", "snips", "clipped", "dm", "dr"];
+/// round-trip every accumulator shape, not just the easy ones. The menu
+/// trio rides along: `seqdr` runs at horizon 4 while batches arrive at
+/// arbitrary sizes, so kills land mid-trajectory and recovery must
+/// restore its pending partial trajectory exactly.
+const MENU: &[&str] = &[
+    "ips",
+    "snips",
+    "clipped",
+    "dm",
+    "dr",
+    "adaptive",
+    "adaptive_dr",
+    "mdr",
+    "seqdr",
+];
 const MODEL_VALUE: f64 = 2.5;
+const SEQ_HORIZON: usize = 4;
 
 fn schema() -> ContextSchema {
     ContextSchema::builder().categorical("g", 2).build()
@@ -105,6 +119,12 @@ fn init_request(session: &str, estimators: &[&str], window: Option<usize>) -> Js
         ),
         ("model_value", Json::Num(MODEL_VALUE)),
         ("max_weight", Json::Num(DEFAULT_MAX_WEIGHT)),
+        ("horizon", Json::Int(SEQ_HORIZON as i64)),
+        ("embedding", Json::Array(vec![Json::Int(0), Json::Int(0)])),
+        (
+            "logging",
+            Json::object(vec![("kind", Json::str("uniform"))]),
+        ),
     ];
     if let Some(w) = window {
         fields.push(("window", Json::Int(w as i64)));
@@ -304,7 +324,7 @@ fn killed_and_restarted_server_matches_unbroken_reference() {
                 [("menu", MENU, None), ("win", &["ips", "dm"], Some(16))];
             for (sid, ests, window) in sessions {
                 client
-                    .init(sid, &schema(), &space(), ests, "b", MODEL_VALUE, window)
+                    .init_with(sid, &init_request(sid, ests, window))
                     .expect("init");
                 reference.init(sid, ests, window);
             }
@@ -379,7 +399,7 @@ fn a_kill_between_snapshot_and_newer_wal_frames_replays_the_tail() {
     let mut client = server.client();
     let mut reference = Reference::default();
     client
-        .init("tail", &schema(), &space(), MENU, "b", MODEL_VALUE, None)
+        .init_with("tail", &init_request("tail", MENU, None))
         .unwrap();
     reference.init("tail", MENU, None);
 
@@ -417,7 +437,7 @@ fn a_torn_mid_frame_append_is_discarded_and_acked_batches_survive() {
     let mut client = server.client();
     let mut reference = Reference::default();
     client
-        .init("torn", &schema(), &space(), MENU, "b", MODEL_VALUE, None)
+        .init_with("torn", &init_request("torn", MENU, None))
         .unwrap();
     reference.init("torn", MENU, None);
     let recs = records(40, 13);

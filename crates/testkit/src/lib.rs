@@ -42,10 +42,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod composite;
 pub mod fault;
 pub mod gen;
 pub mod runner;
 
+pub use composite::{composite_scenarios, CompositeScenario, CompositeScenarioGen};
 pub use fault::{
     fault_plans, lifecycle_plans, Dir, FaultCounts, FaultCursor, FaultEvent, FaultKind,
     FaultPlan, FaultPlanConfig, FaultPlanGen, IoDecision, KillRestart, LifecycleDriver,

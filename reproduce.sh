@@ -28,6 +28,13 @@ run_bench_smokes() {
   DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 DDN_SOAK_RUNS=2000 \
   DDN_BENCH_DIR="$dir" \
     cargo bench --offline -p ddn-bench --bench soak
+  # The perf bench carries the estimator-menu throughput section
+  # (menu.seqdr_records_per_sec is floored in bench_floors.json); the
+  # eval_batch stage inside it is sized down to smoke scale.
+  DDN_BENCH_WARMUP=0 DDN_BENCH_ITERS=1 \
+  DDN_EVAL_BATCH_RUNS=1 DDN_EVAL_BATCH_CLIENTS=100 \
+  DDN_BENCH_DIR="$dir" \
+    cargo bench --offline -p ddn-bench --bench perf
   ./target/release/ddn loadgen --smoke --bench-json "$dir/BENCH_loadgen.json" \
     | tee "$dir/loadgen_smoke.txt"
 }
@@ -85,6 +92,22 @@ if [[ "${1:-}" == "ci" ]]; then
     cargo bench --offline -p ddn-bench --bench eval_batch
   test -s "$bench_dir/BENCH_eval_batch.json"
   grep -q '"speedup"' "$bench_dir/BENCH_eval_batch.json"
+  echo "== ci: estimator-menu smoke (figure7 --panel menu, challengers win) =="
+  # The menu ablation panel (DESIGN.md §16): three scenarios engineered to
+  # break the incumbent estimators, each won by its menu extension. The
+  # greps pin the panel's headline verdict lines — a "no" means a
+  # challenger stopped beating the scenario built for it.
+  menu_out="$(cargo run --release --offline -p ddn-cli --bin ddn -- \
+    figure7 --panel menu --runs 2)"
+  printf '%s\n' "$menu_out" | grep -q 'scenario adaptive (AdaptiveDR vs IPS, SNIPS)'
+  printf '%s\n' "$menu_out" | grep -q 'scenario marginalized (MarginalizedDR vs IPS, DR)'
+  printf '%s\n' "$menu_out" | grep -q 'scenario sequential (SeqDR vs TrajIPS, StepDR)'
+  if printf '%s\n' "$menu_out" | grep -q 'does NOT beat'; then
+    echo "FAIL: a menu challenger lost its own breaking scenario" >&2
+    printf '%s\n' "$menu_out" >&2
+    exit 1
+  fi
+  printf '%s\n' "$menu_out" | grep -c 'beats every incumbent' | grep -qx 3
   echo "== ci: streaming serve smoke (replay-to == offline evaluate) =="
   # End-to-end over a real socket: start the server on an ephemeral port,
   # stream a generated trace into it, and require the online estimate to
@@ -267,6 +290,8 @@ if [[ "${1:-}" == "ci" ]]; then
   grep -q '"wal_on_records_per_sec"' "$bench_dir/BENCH_wal.json"
   test -s "$bench_dir/BENCH_soak.json"
   grep -q '"records_per_sec"' "$bench_dir/BENCH_soak.json"
+  test -s "$bench_dir/BENCH_perf.json"
+  grep -q '"seqdr_records_per_sec"' "$bench_dir/BENCH_perf.json"
   # Loadgen smoke (DESIGN.md §15): a seeded mixed ABR/CDN/relay fleet
   # over both wire framings with a nonzero fault rate, against an
   # ephemeral multi-shard server. The command itself exits non-zero

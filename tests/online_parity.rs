@@ -11,12 +11,14 @@
 //! volume or reseed.
 
 use ddn::estimators::{
-    BatchEstimator, ClippedIps, DirectMethod, DoublyRobust, Estimate, Estimator, EstimatorError,
-    EvalBatch, Ips, OnlineClippedIps, OnlineDm, OnlineDr, OnlineEstimate, OnlineEstimator,
-    OnlineIps, OnlineSnips, SelfNormalizedIps, SlidingWindow,
+    ActionEmbedding, AdaptiveDr, AdaptiveIps, AdaptiveWeights, BatchEstimator, ClippedIps,
+    DirectMethod, DoublyRobust, Estimate, Estimator, EstimatorError, EvalBatch, Ips,
+    MarginalizedDr, OnlineAdaptiveDr, OnlineAdaptiveIps, OnlineClippedIps, OnlineDm, OnlineDr,
+    OnlineEstimate, OnlineEstimator, OnlineIps, OnlineMarginalizedDr, OnlineSeqDr, OnlineSnips,
+    SelfNormalizedIps, SeqDr, SlidingWindow,
 };
 use ddn::models::FnModel;
-use ddn::policy::{EpsilonSmoothedPolicy, LookupPolicy, Policy};
+use ddn::policy::{EpsilonSmoothedPolicy, LookupPolicy, Policy, UniformRandomPolicy};
 use ddn::trace::{Context, ContextSchema, Decision, DecisionSpace, Trace, TraceRecord};
 use ddn_testkit::{prop, prop_assert, prop_assert_eq, vecs, Gen};
 
@@ -138,6 +140,58 @@ fn check_stream_parity(
     }
 }
 
+/// Checks that two offline engines (scalar vs columnar) produced the
+/// same outcome bit-for-bit: value, per-record contributions, and weight
+/// diagnostics on success; the same error otherwise.
+fn check_engine_agreement(
+    name: &str,
+    scalar: &Result<Estimate, EstimatorError>,
+    batch: &Result<Estimate, EstimatorError>,
+) -> Result<(), String> {
+    match (scalar, batch) {
+        (Ok(s), Ok(b)) => {
+            if s.value.to_bits() != b.value.to_bits() {
+                return Err(format!(
+                    "{name}: scalar value {} != columnar {}",
+                    s.value, b.value
+                ));
+            }
+            if s.per_record.len() != b.per_record.len() {
+                return Err(format!(
+                    "{name}: contribution counts differ: {} vs {}",
+                    s.per_record.len(),
+                    b.per_record.len()
+                ));
+            }
+            for (k, (x, y)) in s.per_record.iter().zip(&b.per_record).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    return Err(format!("{name}: contribution {k}: {x} vs {y}"));
+                }
+            }
+            if s.diagnostics.max_weight.to_bits() != b.diagnostics.max_weight.to_bits() {
+                return Err(format!("{name}: max_weight diverged"));
+            }
+            Ok(())
+        }
+        (Err(a), Err(b)) => {
+            let (a, b) = (format!("{a:?}"), format!("{b:?}"));
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!("{name}: scalar err {a} vs columnar err {b}"))
+            }
+        }
+        (Ok(_), Err(e)) => Err(format!("{name}: scalar Ok, columnar Err {e:?}")),
+        (Err(e), Ok(_)) => Err(format!("{name}: scalar Err {e:?}, columnar Ok")),
+    }
+}
+
+/// A 3-arm embedding that genuinely marginalizes: arms a and b share
+/// group 0, arm c is group 1 by itself.
+fn grouped_embedding() -> ActionEmbedding {
+    ActionEmbedding::from_groups(vec![0, 0, 1])
+}
+
 prop! {
     // ---- Tentpole invariant: online ≡ batch, bit for bit ---------------
 
@@ -175,6 +229,108 @@ prop! {
             if let Err(msg) = check_stream_parity(online.as_mut(), batch_result, &trace) {
                 prop_assert!(false, "{}", msg);
             }
+        }
+    }
+
+    // ---- Menu trio: scalar ≡ columnar ≡ online, bit for bit ------------
+
+    fn menu_trio_matches_all_engines(rows in vecs(record_gen(), 1..40), base in 0usize..3, eps in 0.0..1.0f64, horizon in 1usize..5) {
+        let trace = build_trace(&rows);
+        let policy = target_policy(base, eps);
+        let model = parity_model();
+        let batch = EvalBatch::with_model(&trace, &policy, &model).unwrap();
+        let newp = || -> Box<dyn Policy + Send + Sync> { Box::new(target_policy(base, eps)) };
+        let newm = || -> Box<dyn ddn::models::RewardModel + Send + Sync> { Box::new(parity_model()) };
+        let logging = || -> Box<dyn Policy + Send + Sync> { Box::new(UniformRandomPolicy::new(space())) };
+
+        // When the trace is shorter than the horizon, SeqDr has zero
+        // complete trajectories and all three engines must reject it with
+        // the same NoUsableRecords — the Err/Err arms below cover that.
+        let mut menu: Vec<(
+            Box<dyn OnlineEstimator>,
+            Result<Estimate, EstimatorError>,
+            Result<Estimate, EstimatorError>,
+        )> = vec![
+            (
+                Box::new(OnlineAdaptiveIps::new(space(), newp(), AdaptiveWeights::Stabilized).unwrap()),
+                AdaptiveIps::new(AdaptiveWeights::Stabilized).estimate(&trace, &policy),
+                AdaptiveIps::new(AdaptiveWeights::Stabilized).estimate_batch(&trace, &batch),
+            ),
+            (
+                Box::new(OnlineAdaptiveDr::new(space(), newp(), newm(), AdaptiveWeights::Stabilized).unwrap()),
+                AdaptiveDr::new(parity_model(), AdaptiveWeights::Stabilized).estimate(&trace, &policy),
+                AdaptiveDr::new(parity_model(), AdaptiveWeights::Stabilized).estimate_batch(&trace, &batch),
+            ),
+            (
+                Box::new(OnlineMarginalizedDr::new(space(), newp(), logging(), newm(), grouped_embedding()).unwrap()),
+                MarginalizedDr::new(parity_model(), grouped_embedding(), logging()).estimate(&trace, &policy),
+                MarginalizedDr::new(parity_model(), grouped_embedding(), logging()).estimate_batch(&trace, &batch),
+            ),
+            (
+                Box::new(OnlineSeqDr::new(space(), newp(), newm(), horizon).unwrap()),
+                SeqDr::new(parity_model(), horizon).estimate(&trace, &policy),
+                SeqDr::new(parity_model(), horizon).estimate_batch(&trace, &batch),
+            ),
+        ];
+        for (mut online, scalar, batch_result) in menu.drain(..) {
+            let name = online.name().to_string();
+            if let Err(msg) = check_engine_agreement(&name, &scalar, &batch_result) {
+                prop_assert!(false, "{}", msg);
+            }
+            if let Err(msg) = check_stream_parity(online.as_mut(), batch_result, &trace) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+
+    // ---- Menu trio behind a sliding window ≡ batch over the tail -------
+
+    fn windowed_trio_equals_batch_over_tail(rows in vecs(record_gen(), 1..60), cap in 1usize..50, horizon in 1usize..4) {
+        let policy = target_policy(2, 0.4);
+        let newp = || -> Box<dyn Policy + Send + Sync> { Box::new(target_policy(2, 0.4)) };
+        let newm = || -> Box<dyn ddn::models::RewardModel + Send + Sync> { Box::new(parity_model()) };
+        let logging = || -> Box<dyn Policy + Send + Sync> { Box::new(UniformRandomPolicy::new(space())) };
+        let tail_start = rows.len().saturating_sub(cap);
+        let tail = build_trace(&rows[tail_start..]);
+
+        let mut adaptive = SlidingWindow::new(
+            OnlineAdaptiveIps::new(space(), newp(), AdaptiveWeights::Stabilized).unwrap(),
+            cap,
+        );
+        let mut mdr = SlidingWindow::new(
+            OnlineMarginalizedDr::new(space(), newp(), logging(), newm(), grouped_embedding()).unwrap(),
+            cap,
+        );
+        let mut seq = SlidingWindow::new(
+            OnlineSeqDr::new(space(), newp(), newm(), horizon).unwrap(),
+            cap,
+        );
+        for rec in build_trace(&rows).records() {
+            adaptive.push(rec);
+            mdr.push(rec);
+            seq.push(rec);
+        }
+
+        let batch = AdaptiveIps::new(AdaptiveWeights::Stabilized).estimate(&tail, &policy).unwrap();
+        let online = adaptive.estimate().unwrap();
+        prop_assert_eq!(online.value.to_bits(), batch.value.to_bits());
+        prop_assert_eq!(online.n, rows.len() - tail_start);
+
+        let batch = MarginalizedDr::new(parity_model(), grouped_embedding(), logging())
+            .estimate(&tail, &policy)
+            .unwrap();
+        let online = mdr.estimate().unwrap();
+        prop_assert_eq!(online.value.to_bits(), batch.value.to_bits());
+
+        // The window can be shorter than the horizon; replay and batch
+        // must then agree on NoUsableRecords rather than a value.
+        match (seq.estimate(), SeqDr::new(parity_model(), horizon).estimate(&tail, &policy)) {
+            (Ok(o), Ok(b)) => {
+                prop_assert_eq!(o.value.to_bits(), b.value.to_bits());
+                prop_assert_eq!(o.n, b.per_record.len());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            (o, b) => prop_assert!(false, "SeqDR windowed/batch split: {:?} vs {:?}", o.is_ok(), b.is_ok()),
         }
     }
 
@@ -226,6 +382,53 @@ prop! {
         }
         prop_assert_eq!(dm.len(), rows.len());
 
+        // AdaptiveIPS and SeqDR weight every record, so the push rejects
+        // the hole exactly like IPS does — same error, same survivors.
+        let mut adaptive =
+            OnlineAdaptiveIps::new(space(), newp(), AdaptiveWeights::Stabilized).unwrap();
+        if let Err(msg) = check_stream_parity(
+            &mut adaptive,
+            AdaptiveIps::new(AdaptiveWeights::Stabilized).estimate(&trace, &policy),
+            &trace,
+        ) {
+            prop_assert!(false, "{}", msg);
+        }
+        prop_assert_eq!(adaptive.len(), hole);
+
+        let mut seq = OnlineSeqDr::new(space(), newp(), Box::new(parity_model()), 2).unwrap();
+        if let Err(msg) = check_stream_parity(
+            &mut seq,
+            SeqDr::new(parity_model(), 2).estimate(&trace, &policy),
+            &trace,
+        ) {
+            prop_assert!(false, "{}", msg);
+        }
+        prop_assert_eq!(seq.len(), hole);
+
+        // MarginalizedDR's denominators come from the logging *policy*,
+        // never the recorded propensity — like DM it ingests the hole.
+        let mut mdr = OnlineMarginalizedDr::new(
+            space(),
+            newp(),
+            Box::new(UniformRandomPolicy::new(space())),
+            Box::new(parity_model()),
+            grouped_embedding(),
+        )
+        .unwrap();
+        if let Err(msg) = check_stream_parity(
+            &mut mdr,
+            MarginalizedDr::new(
+                parity_model(),
+                grouped_embedding(),
+                Box::new(UniformRandomPolicy::new(space())),
+            )
+            .estimate(&trace, &policy),
+            &trace,
+        ) {
+            prop_assert!(false, "{}", msg);
+        }
+        prop_assert_eq!(mdr.len(), rows.len());
+
         // And if the hole is not at the front, the surviving prefix still
         // estimates — bit-identical to the batch over just that prefix.
         if hole > 0 {
@@ -276,6 +479,60 @@ prop! {
             Ok(e) => panic!("SNIPS must reject zero weight mass, got {e:?}"),
         };
         prop_assert!(err.contains("NoUsableRecords"), "unexpected error {}", err);
+
+        // AdaptiveIPS: the stabilizers are weight-independent, so the
+        // weighted average of all-zero contributions is exactly zero —
+        // and bit-identical across the engines.
+        let mut adaptive =
+            OnlineAdaptiveIps::new(space(), newp(), AdaptiveWeights::Stabilized).unwrap();
+        if let Err(msg) = check_stream_parity(
+            &mut adaptive,
+            AdaptiveIps::new(AdaptiveWeights::Stabilized).estimate(&trace, &policy),
+            &trace,
+        ) {
+            prop_assert!(false, "{}", msg);
+        }
+        let est = adaptive.estimate().unwrap();
+        prop_assert_eq!(est.value, 0.0);
+        prop_assert_eq!(est.diagnostics.zero_weight_fraction.to_bits(), 1.0f64.to_bits());
+
+        // SeqDR: every per-step correction is killed by the zero weight,
+        // so each trajectory collapses to its first step's direct-method
+        // term — still bit-identical online vs offline.
+        let mut seq = OnlineSeqDr::new(space(), newp(), Box::new(parity_model()), 1).unwrap();
+        if let Err(msg) = check_stream_parity(
+            &mut seq,
+            SeqDr::new(parity_model(), 1).estimate(&trace, &policy),
+            &trace,
+        ) {
+            prop_assert!(false, "{}", msg);
+        }
+
+        // MarginalizedDR with the identity embedding: the target group
+        // mass sits entirely on `c`, which is never logged, so marginal
+        // weights are all zero and the estimate is the pure DM term.
+        let mut mdr = OnlineMarginalizedDr::new(
+            space(),
+            newp(),
+            Box::new(UniformRandomPolicy::new(space())),
+            Box::new(parity_model()),
+            ActionEmbedding::identity(3),
+        )
+        .unwrap();
+        if let Err(msg) = check_stream_parity(
+            &mut mdr,
+            MarginalizedDr::new(
+                parity_model(),
+                ActionEmbedding::identity(3),
+                Box::new(UniformRandomPolicy::new(space())),
+            )
+            .estimate(&trace, &policy),
+            &trace,
+        ) {
+            prop_assert!(false, "{}", msg);
+        }
+        let est = mdr.estimate().unwrap();
+        prop_assert_eq!(est.diagnostics.zero_weight_fraction.to_bits(), 1.0f64.to_bits());
     }
 
     // ---- Sliding window ≡ batch over the window's records --------------

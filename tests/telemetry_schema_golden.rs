@@ -15,6 +15,22 @@ use ddn::stats::Json;
 /// metric key set (sorted).
 const GOLDEN_HEALTH: &[(&str, &[&str])] = &[
     (
+        "AdaptiveDR",
+        &[
+            "ess",
+            "hsum",
+            "max_weight",
+            "mean_abs_residual",
+            "mean_weight",
+            "n",
+            "zero_weight_fraction",
+        ],
+    ),
+    (
+        "AdaptiveIPS",
+        &["ess", "hsum", "max_weight", "mean_weight", "n", "zero_weight_fraction"],
+    ),
+    (
         "CFA",
         &[
             "coverage",
@@ -69,6 +85,18 @@ const GOLDEN_HEALTH: &[(&str, &[&str])] = &[
         &["ess", "max_weight", "mean_weight", "n", "zero_weight_fraction"],
     ),
     (
+        "MarginalizedDR",
+        &[
+            "embedding_groups",
+            "ess",
+            "max_weight",
+            "mean_abs_residual",
+            "mean_weight",
+            "n",
+            "zero_weight_fraction",
+        ],
+    ),
+    (
         "Replay",
         &[
             "acceptance_rate",
@@ -84,6 +112,19 @@ const GOLDEN_HEALTH: &[(&str, &[&str])] = &[
     (
         "SNIPS",
         &["ess", "max_weight", "mean_weight", "n", "zero_weight_fraction"],
+    ),
+    (
+        "SeqDR",
+        &[
+            "ess",
+            "horizon",
+            "max_weight",
+            "mean_abs_residual",
+            "mean_weight",
+            "n",
+            "trajectories",
+            "zero_weight_fraction",
+        ],
     ),
     (
         "StateAwareDR",
@@ -228,6 +269,53 @@ const GOLDEN_ONLINE_HEALTH: &[&str] = &[
     "standard_error",
     "zero_weight_fraction",
 ];
+
+/// Pinned health source set of the figure7 `menu` panel (sorted). The
+/// panel runs the incumbents next to the three menu extensions, so its
+/// telemetry is the external contract for the "challenger wins" claim:
+/// `TrajIPS` is an inline product-weight fold, not an estimator, hence
+/// no source of its own.
+const GOLDEN_MENU_SOURCES: &[&str] = &[
+    "AdaptiveDR",
+    "AdaptiveIPS",
+    "DR",
+    "IPS",
+    "MarginalizedDR",
+    "SNIPS",
+    "SeqDR",
+];
+
+/// Pinned span paths of the instrumented menu panel.
+const GOLDEN_MENU_TIMINGS: &[&str] = &[
+    "experiment",
+    "run",
+    "run/estimate",
+    "run/log",
+];
+
+#[test]
+fn menu_panel_telemetry_schema_is_pinned() {
+    use ddn::scenarios::ablations::{ablation_menu_instrumented, MenuConfig};
+
+    let (scenarios, snap) = ablation_menu_instrumented(&MenuConfig {
+        runs: 2,
+        scales: vec![0.5],
+        ..MenuConfig::default()
+    });
+    assert_eq!(scenarios.len(), 3, "menu panel scenario count changed");
+    let doc = Json::parse(&snap.to_json().to_string()).unwrap();
+
+    assert_eq!(
+        sorted(keys(doc.get("health").unwrap())),
+        GOLDEN_MENU_SOURCES,
+        "menu panel health source set changed"
+    );
+    assert_eq!(
+        sorted(keys(doc.get("timings").unwrap())),
+        GOLDEN_MENU_TIMINGS,
+        "menu panel span path set changed"
+    );
+}
 
 #[test]
 fn serve_health_verb_schema_is_pinned() {
